@@ -1,0 +1,8 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one paper artefact (table or figure; see
+DESIGN.md's experiment index), prints it, and asserts the *shape*
+claims the paper makes.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""

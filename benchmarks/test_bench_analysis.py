@@ -1,0 +1,45 @@
+"""E7 -- safe language, static analysis, and checked testing."""
+
+from repro.experiments import analysis_exp
+from repro.analysis import compare_detection, evaluate_on_corpus
+
+
+def test_bench_safe_language(benchmark):
+    rows = benchmark.pedantic(analysis_exp.safe_language_report,
+                              rounds=1, iterations=1)
+    print("\n" + analysis_exp.render_safe_language(rows))
+    # Every vulnerable vehicle is either rejected at compile time or
+    # its unsafe operation is trapped at run time.
+    for row in rows:
+        assert ("rejected" in row["safe_mode"]
+                or "bounds" in row["safe_mode"].lower()
+                or "BoundsFault" in row["safe_mode"]), row
+
+
+def test_bench_static_analysis(benchmark):
+    evaluation = benchmark.pedantic(evaluate_on_corpus, rounds=3, iterations=1)
+    print("\n" + analysis_exp.static_analysis_report())
+    all_findings = evaluation["all_findings"]
+    definite = evaluation["definite_only"]
+    # The Section III-C2 tradeoff: useful but imperfect (FPs and FNs
+    # at the permissive setting; perfect precision, halved recall at
+    # the strict setting).
+    assert 0.8 <= all_findings["precision"] < 1.0
+    assert 0.8 <= all_findings["recall"] < 1.0
+    assert definite["precision"] == 1.0
+    assert definite["recall"] < all_findings["recall"]
+    # The effort ladder: the interprocedural setting recovers the
+    # aliased-overflow false negative (recall -> 1.0).
+    deep = evaluate_on_corpus(interprocedural=True)["all_findings"]
+    assert deep["recall"] > all_findings["recall"]
+    assert deep["recall"] == 1.0
+
+
+def test_bench_fuzzing_detection(benchmark):
+    comparison = benchmark.pedantic(
+        lambda: compare_detection(runs=120), rounds=1, iterations=1,
+    )
+    print("\n" + analysis_exp.fuzzing_report(runs=120))
+    assert comparison["plain_silent_rate"] == 0.0
+    assert comparison["asan_silent_rate"] == 1.0
+    assert comparison["asan_rate"] == 1.0

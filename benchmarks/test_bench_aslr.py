@@ -1,0 +1,39 @@
+"""E6 -- ASLR entropy sweep, with and without an information leak."""
+
+from repro.experiments import aslr
+
+
+def test_bench_aslr_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: aslr.sweep(bits_list=(0, 1, 2, 3, 4, 6), trials=24),
+        rounds=1, iterations=1,
+    )
+    print("\n" + aslr.render_sweep(points))
+
+    # Shape: monotone-ish decay of the blind success rate with
+    # entropy, ~2^-bits; the leak restores ~certain success.
+    assert points[0].blind_rate == 1.0
+    assert points[-1].blind_rate <= 0.25
+    for point in points:
+        assert point.leak_rate == 1.0
+        # Within generous binomial noise of the analytic rate.
+        assert abs(point.blind_rate - point.expected_blind_rate) <= 0.25
+    rates = [p.blind_rate for p in points]
+    assert rates[0] >= rates[2] >= rates[-1]
+
+
+def test_bench_partial_overwrite(benchmark):
+    """Partial pointer overwrites erode ASLR's effective entropy: only
+    the overwritten-yet-randomised bits (12..15) must be guessed."""
+    comparison = benchmark.pedantic(
+        lambda: aslr.partial_overwrite_comparison(trials=48),
+        rounds=1, iterations=1,
+    )
+    print(f"\nfull-address guess: {comparison['full_overwrite_successes']}"
+          f"/{comparison['trials']}  |  2-byte partial: "
+          f"{comparison['partial_overwrite_successes']}/{comparison['trials']}"
+          f" (expected ~1/16)")
+    assert comparison["partial_overwrite_successes"] > 0
+    assert (comparison["partial_overwrite_successes"]
+            > comparison["full_overwrite_successes"])
+    assert comparison["partial_rate"] <= 0.25  # still probabilistic

@@ -1,0 +1,33 @@
+"""E3 -- every Section III-B attack technique against the unmitigated
+platform (the paper's historical baseline: all of them work)."""
+
+from repro.attacks import io_attacks
+from repro.experiments.reporting import render_table
+from repro.mitigations import NONE
+
+BATTERY = (
+    io_attacks.attack_stack_smash_injection,
+    io_attacks.attack_ret2libc,
+    io_attacks.attack_rop_shell,
+    io_attacks.attack_rop_exfiltrate,
+    io_attacks.attack_rop_pivot,
+    io_attacks.attack_funcptr_to_libc,
+    io_attacks.attack_funcptr_to_injected,
+    io_attacks.attack_code_corruption,
+    io_attacks.attack_data_only,
+    io_attacks.attack_heartbleed,
+    io_attacks.attack_leak_then_smash,
+)
+
+
+def test_bench_attack_battery(benchmark):
+    results = benchmark.pedantic(
+        lambda: [attack(NONE) for attack in BATTERY], rounds=1, iterations=1,
+    )
+    print("\n" + render_table(
+        ["attack", "outcome", "detail"],
+        [[r.attack, r.outcome.value, r.detail[:60]] for r in results],
+        title="E3: the full attack battery vs the unprotected platform",
+    ))
+    for result in results:
+        assert result.succeeded, result.describe()

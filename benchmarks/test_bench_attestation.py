@@ -1,0 +1,50 @@
+"""E11 -- attestation, sealed storage, and state continuity."""
+
+from repro.experiments import attestation_exp
+from repro.experiments.reporting import render_kv
+from repro.pma.continuity import IceStyleScheme, MemoirStyleScheme, crash_matrix
+
+
+def test_bench_attestation(benchmark):
+    report = benchmark.pedantic(attestation_exp.attestation_report,
+                                rounds=3, iterations=1)
+    print("\n" + render_kv("E11: remote attestation", report))
+    assert report["genuine_module_verifies"]
+    assert not report["tampered_module_verifies"]
+    assert not report["nonce_replay_accepted"]
+
+
+def test_bench_sealing(benchmark):
+    report = benchmark.pedantic(attestation_exp.sealing_report,
+                                rounds=5, iterations=1)
+    print("\n" + render_kv("E11: sealed storage", report))
+    assert all(report.values())
+
+
+def test_bench_rollback(benchmark):
+    rows = benchmark.pedantic(attestation_exp.rollback_table,
+                              rounds=1, iterations=1)
+    print("\n" + attestation_exp.render_rollback(rows))
+    by_module = {row["module"]: row for row in rows}
+    assert by_module["plain sealing"]["rollback"] == "success"
+    assert by_module["monotonic counter"]["rollback"] == "detected"
+    # The tension the paper describes: strict freshness costs liveness.
+    assert by_module["plain sealing"]["crash_liveness"] == "recovers"
+    assert "BRICKED" in by_module["monotonic counter"]["crash_liveness"]
+
+
+def test_bench_continuity_crash_matrix(benchmark):
+    def run():
+        return (crash_matrix(MemoirStyleScheme), crash_matrix(IceStyleScheme))
+
+    memoir_rows, ice_rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    print("\n" + attestation_exp.render_crash_matrix())
+    # Memoir-style: exactly one deadlocking crash window.
+    deadlocks = [row for row in memoir_rows if not row["liveness"]]
+    assert len(deadlocks) == 1
+    assert deadlocks[0]["scenario"] == "crash_after=increment"
+    # Ice-style: live everywhere, and never accepts the replay.
+    assert all(row["liveness"] for row in ice_rows)
+    for rows in (memoir_rows, ice_rows):
+        replay = [row for row in rows if row["scenario"] == "replay-attack"][0]
+        assert replay["recovered_state"] is None

@@ -1,0 +1,19 @@
+"""Extension bench -- the CFI precision ladder (coarse vs typed)."""
+
+from repro.experiments import cfi_exp
+
+
+def test_bench_cfi_precision_ladder(benchmark):
+    rows = benchmark.pedantic(cfi_exp.cfi_table, rounds=1, iterations=1)
+    print("\n" + cfi_exp.render_cfi(rows))
+    by_attack = {row["attack"]: row for row in rows}
+    inject = by_attack["hijack -> injected bytes"]
+    wrong = by_attack["hijack -> libc function (wrong type)"]
+    same = by_attack["hijack -> same-type function"]
+    # Strictly increasing precision, with typed CFI's residue visible.
+    assert inject["no cfi"] == "success"
+    assert inject["coarse cfi"] == "detected"
+    assert inject["typed cfi"] == "detected"
+    assert wrong["coarse cfi"] == "success"
+    assert wrong["typed cfi"] == "detected"
+    assert same["typed cfi"] == "success"

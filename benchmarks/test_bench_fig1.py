@@ -1,0 +1,26 @@
+"""E1 -- regenerate Figure 1 (source / machine code / run-time state)."""
+
+from repro.experiments.fig1 import generate_fig1
+
+
+def test_bench_fig1(benchmark):
+    artifacts = benchmark.pedantic(generate_fig1, rounds=3, iterations=1)
+    rendered = artifacts.render()
+    print("\n" + rendered)
+
+    # Part (b): the compiled process() manages its activation record
+    # exactly as the figure shows.
+    assert "push bp" in artifacts.process_listing
+    assert "mov bp, sp" in artifacts.process_listing
+    assert "sub sp, 0x10" in artifacts.process_listing      # buf[16]
+    assert "call" in artifacts.process_listing
+
+    # Part (c): both activation records visible, management data above
+    # the buffer, machine code in the low text segment (0x08048000 as
+    # in the paper), stack at the top of user memory.
+    snapshot = artifacts.stack_snapshot
+    assert "get_request() record" in snapshot
+    assert "process() record" in snapshot
+    assert snapshot.index("buf[0..3]") < snapshot.index("process() record")
+    assert artifacts.registers["ip"] < 0x09000000
+    assert artifacts.registers["sp"] > 0xB0000000

@@ -1,0 +1,44 @@
+"""E9 -- Figure 3: the protected module defeats the machine-code attacker."""
+
+from repro.experiments import modules_exp
+from repro.experiments.reporting import render_kv
+
+
+def test_bench_pma_denies_scrapers(benchmark):
+    rows = benchmark.pedantic(modules_exp.scraper_table, rounds=1, iterations=1)
+    print("\n" + modules_exp.render_scrapers(rows))
+    outcomes = {row["scenario"]: row["outcome"] for row in rows}
+    assert outcomes["protected module, module malware"] == "detected"
+    assert outcomes["protected module, kernel malware"] == "detected"
+    assert outcomes["secure-compiled module, kernel malware"] == "detected"
+
+
+def test_bench_sweep_census(benchmark):
+    rows = benchmark.pedantic(modules_exp.sweep_census, rounds=1, iterations=1)
+    print("\n" + modules_exp.render_census(rows))
+    for row in rows:
+        if row["program"] == "plain":
+            assert "PIN" in row["secrets_found"]
+            assert row["denied_kib"] == 0
+        else:
+            assert row["secrets_found"] == "-"
+            assert row["denied_kib"] > 0
+
+
+def test_bench_functionality_preserved(benchmark):
+    report = benchmark.pedantic(modules_exp.functionality_preserved,
+                                rounds=1, iterations=1)
+    print("\n" + render_kv("E9c: protected module still serves honest "
+                           "clients", report))
+    assert report["correct_pin_served"]
+    assert report["wrong_pins_refused"]
+
+
+def test_bench_residue(benchmark):
+    rows = benchmark.pedantic(modules_exp.residue_table, rounds=1, iterations=1)
+    print("\n" + modules_exp.render_residue(rows))
+    by_build = {row["build"]: row for row in rows}
+    assert by_build["plain program"]["stack_residue"] == "success"
+    assert by_build["protected, insecure compile"]["stack_residue"] == "success"
+    assert by_build["protected, secure compile"]["stack_residue"] == "no_effect"
+    assert by_build["protected, secure compile"]["register_residue"] == "no_effect"

@@ -1,0 +1,30 @@
+"""E10 -- Figure 4: the function-pointer attack vs secure compilation."""
+
+from repro.experiments import fig4_exp
+
+
+def test_bench_fig4_scenarios(benchmark):
+    rows = benchmark.pedantic(fig4_exp.scenario_table, rounds=1, iterations=1)
+    print("\n" + fig4_exp.render_scenarios(rows))
+    outcomes = {row["scenario"]: row["outcome"] for row in rows}
+    assert outcomes["honest client, secure compile"] == "works"
+    assert outcomes["fig4 attacker, insecure compile"].startswith("success")
+    assert outcomes["fig4 attacker, secure compile"].startswith("detected")
+    assert outcomes["attacker calls mid-module address directly"].startswith(
+        "detected")
+
+
+def test_bench_fig4_brute_force(benchmark):
+    from repro.attacks.pma_exploit import brute_force_report
+
+    reports = benchmark.pedantic(
+        lambda: (brute_force_report(secure=False), brute_force_report(secure=True)),
+        rounds=1, iterations=1,
+    )
+    print("\n" + fig4_exp.render_brute_force())
+    insecure, secure = reports
+    # The paper's end state: insecure compilation lets the attacker
+    # defeat the three-strikes lockout; secure compilation holds it.
+    assert insecure["lockout_bypassed"]
+    assert not secure["lockout_bypassed"]
+    assert not secure["secret_obtained"]

@@ -1,0 +1,21 @@
+"""Extension bench -- heap attacks vs defences."""
+
+from repro.experiments import heap_exp
+
+
+def test_bench_heap_attacks(benchmark):
+    rows = benchmark.pedantic(heap_exp.heap_table, rounds=1, iterations=1)
+    print("\n" + heap_exp.render_heap(rows))
+    by_attack = {row["attack"]: row for row in rows}
+    uaf = by_attack["use-after-free (dangling fn ptr)"]
+    overflow = by_attack["heap overflow (adjacent chunk)"]
+    dfree = by_attack["double free"]
+    # Plain allocator: everything works.
+    assert uaf["plain"] == overflow["plain"] == dfree["plain"] == "success"
+    # Typed CFI catches the hijack, not the data-only overflow.
+    assert uaf["typed cfi"] == "detected"
+    assert overflow["typed cfi"] == "success"
+    # The checked allocator (red zones + quarantine) catches all three.
+    assert uaf["checked allocator"] == "detected"
+    assert overflow["checked allocator"] == "detected"
+    assert dfree["checked allocator"] == "detected"

@@ -1,0 +1,21 @@
+"""E4 -- the attack x countermeasure matrix (the paper's Section III-C
+claims as one table)."""
+
+from repro.experiments import matrix
+
+
+def test_bench_matrix(benchmark):
+    cells = benchmark.pedantic(matrix.run_matrix, rounds=1, iterations=1)
+    print("\n" + matrix.render_matrix(cells))
+    summary = matrix.matrix_summary(cells)
+    print("claims: " + ", ".join(f"{k}={v}" for k, v in summary.items()))
+    for claim, holds in summary.items():
+        assert holds, claim
+
+    # ASLR rows: with a fixed seed the blind attacks *usually* crash;
+    # the precise probability is E6's business.  Here assert only that
+    # ASLR never makes an attack easier than no mitigation.
+    by_key = {(c.attack, c.preset): c.result for c in cells}
+    for (attack, preset), result in by_key.items():
+        if preset == "none":
+            assert result.succeeded or "leak" in attack, (attack, preset)

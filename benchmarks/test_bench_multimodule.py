@@ -1,0 +1,14 @@
+"""Extension bench -- mutually distrustful protected modules
+(the paper's Section IV-B open problem, implemented)."""
+
+from repro.experiments import multimodule_exp
+
+
+def test_bench_multimodule(benchmark):
+    report = benchmark.pedantic(multimodule_exp.multimodule_report,
+                                rounds=1, iterations=1)
+    print("\n" + multimodule_exp.render_multimodule(report))
+    for key, value in report.items():
+        if key == "a_probe_output_before_fault":
+            continue
+        assert value, key

@@ -1,0 +1,24 @@
+"""E5 -- runtime overhead of the countermeasures."""
+
+from repro.experiments import overhead
+
+
+def test_bench_overhead_by_posture(benchmark):
+    rows = benchmark.pedantic(overhead.overhead_table, rounds=1, iterations=1)
+    print("\n" + overhead.render_overhead(rows))
+    by_name = {row.posture: row for row in rows}
+    # Shape: canaries are cheap; per-access checks cost more.
+    assert by_name["canaries"].overhead_pct < 2.0
+    assert (by_name["safe-language (bounds checks)"].overhead_pct
+            > by_name["canaries"].overhead_pct)
+
+
+def test_bench_overhead_scaling(benchmark):
+    rows = benchmark.pedantic(overhead.scaling_table, rounds=1, iterations=1)
+    print("\n" + overhead.render_scaling(rows))
+    # Canary cost is flat in the number of accesses...
+    canary_costs = {row["canary_extra"] for row in rows}
+    assert len(canary_costs) == 1
+    # ...bounds-check cost is exactly one instruction per access.
+    for row in rows:
+        assert row["bounds_extra"] == row["accesses"]

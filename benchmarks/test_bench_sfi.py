@@ -1,0 +1,49 @@
+"""Extension bench -- Software Fault Isolation (Section IV-A).
+
+Regenerates the containment table and measures the rewriting tax: the
+sandboxed module runs more instructions per call (every memory access
+pays a guard), which is SFI's price relative to hardware schemes.
+"""
+
+from repro.experiments import sfi_exp
+from repro.minic import CompileOptions, compile_source
+
+
+def test_bench_sfi_containment(benchmark):
+    rows = benchmark.pedantic(sfi_exp.sfi_table, rounds=1, iterations=1)
+    print("\n" + sfi_exp.render_sfi(rows))
+    report = sfi_exp.asymmetry_report()
+    print(f"asymmetry: host reads sandbox data = "
+          f"{report['host_reads_sandbox_data']} -- {report['note']}")
+    by_key = {(r["module"], r["mode"]): r["outcome"] for r in rows}
+    assert by_key[("benign computation", "raw")] == "correct result"
+    assert by_key[("benign computation", "sandboxed")] == "correct result"
+    for module, mode in by_key:
+        if module.startswith("hostile"):
+            if mode == "raw":
+                assert by_key[(module, mode)] == "HOST COMPROMISED"
+            else:
+                assert by_key[(module, mode)].startswith("contained")
+    assert report["host_reads_sandbox_data"]
+
+
+def test_bench_sfi_overhead(benchmark):
+    def measure():
+        results = {}
+        for rewrite in (False, True):
+            sandbox = compile_source(sfi_exp.BENIGN_SANDBOX, "sandbox",
+                                     CompileOptions())
+            program = sfi_exp.build_sfi_program(sandbox, rewrite=rewrite)
+            result = program.run()
+            assert result.output.split()[0] == b"232"
+            results["sandboxed" if rewrite else "raw"] = result.instructions
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    overhead = results["sandboxed"] / results["raw"] - 1
+    print(f"\nSFI guard overhead on the benign workload: "
+          f"raw {results['raw']} -> sandboxed {results['sandboxed']} "
+          f"instructions ({overhead:+.0%})")
+    # Guards cost real instructions (unlike the PMA's free hardware
+    # checks, E12) but stay within a small multiple.
+    assert 0.2 < overhead < 5.0

@@ -1,0 +1,45 @@
+"""Simulator throughput benchmarks (the substrate's own performance).
+
+Not a paper artefact: these wall-clock numbers characterise the
+simulator so experiment runtimes are interpretable, and guard against
+performance regressions in the fetch/decode/execute pipeline.
+"""
+
+from repro.link import load
+from repro.minic import CompileOptions, compile_source
+
+_HOT_LOOP = """
+void main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 20000; i++) {
+        acc += i;
+    }
+    print_int(acc);
+}
+"""
+
+
+def _build():
+    obj = compile_source(_HOT_LOOP, "hot", CompileOptions(optimize=True))
+    return load([obj])
+
+
+def test_bench_interpreter_throughput(benchmark):
+    def run_once():
+        program = _build()
+        result = program.run(10_000_000)
+        assert result.exit_code == 0
+        return result.instructions
+
+    instructions = benchmark(run_once)
+    rate = instructions / benchmark.stats.stats.mean
+    print(f"\nsimulator throughput: ~{rate:,.0f} instructions/second "
+          f"({instructions} instructions per run)")
+    assert instructions > 100_000
+
+
+def test_bench_compile_pipeline(benchmark):
+    """Compile+assemble+link+load latency for a small program."""
+    program = benchmark(_build)
+    assert program.image.entry

@@ -1,0 +1,93 @@
+"""E2 -- the vulnerability classes of Section III-A, made concrete.
+
+Demonstrates (and times) the raw vulnerability mechanics before any
+attack logic: how far a spatial overflow reaches, that an indexed
+write reaches the whole address space, and that a temporal bug reads
+another invocation's data.
+"""
+
+from repro.attacks.payloads import p32
+from repro.attacks.study import locate_overflow
+from repro.experiments.reporting import render_table
+from repro.machine import RunStatus
+from repro.programs import build_fig1, build_victim
+
+
+def _spatial_reach():
+    """The paper: the 32-byte read overwrites 16 bytes beyond buf,
+    covering the saved base pointer and the saved return address."""
+    site = locate_overflow(build_fig1(), frames_up=1)
+    victim = build_fig1()
+    marker = bytes(range(16, 32))
+    victim.feed(b"\x00" * 16 + marker)
+    victim.run()
+    memory = victim.machine.memory
+    overwritten = memory.read_bytes(site.buffer_addr + 16, 16)
+    return {
+        "buffer": site.buffer_addr,
+        "saved_bp_slot": site.saved_bp_addr,
+        "return_slot": site.return_addr_slot,
+        "reach_bytes": 16,
+        "saved_bp_overwritten": overwritten[:4] == marker[:4],
+        "return_overwritten": overwritten[8:12] == marker[8:12],
+    }
+
+
+def _arbitrary_write_reach():
+    """arr[i]=v with attacker i: one write, anywhere (wrapping)."""
+    victim = build_victim("arbitrary_write")
+    target = victim.symbol("libc_spawn_shell")  # far from the stack
+    from repro.attacks.study import run_until_syscall
+    from repro.machine import syscalls
+    from repro.isa.registers import BP
+
+    study = build_victim("arbitrary_write")
+    machine = run_until_syscall(study, syscalls.SYS_READ)
+    main_bp = machine.memory.read_word(machine.cpu.regs[BP])
+    arr = main_bp - 16
+    # Distance from a stack array to a text address, in words -- the
+    # write still lands (no DEP in this posture).
+    index = (target - arr) // 4
+    victim.feed(p32(1) + p32(index) + p32(0xFEEDFACE))
+    victim.run()
+    landed = victim.machine.memory.read_word(target)
+    return {"distance_words": index, "landed": landed == 0xFEEDFACE}
+
+
+def _temporal_misbehaviour():
+    victim = build_victim("temporal")
+    result = victim.run()
+    return {
+        "status": result.status,
+        "printed": result.output.strip(),
+        "expected_if_memory_were_safe": b"41",
+    }
+
+
+def test_bench_vulnerabilities(benchmark):
+    def run_all():
+        return _spatial_reach(), _arbitrary_write_reach(), _temporal_misbehaviour()
+
+    spatial, arbitrary, temporal = benchmark.pedantic(run_all, rounds=3)
+    print("\n" + render_table(
+        ["vulnerability", "paper claim", "measured"],
+        [
+            ["spatial (fig1 read 32)",
+             "overwrites 16 bytes incl. saved BP + return address",
+             f"bp@+16 hit={spatial['saved_bp_overwritten']}, "
+             f"ret@+24 hit={spatial['return_overwritten']}"],
+            ["arbitrary indexed write",
+             "range is essentially the entire address space",
+             f"landed {arbitrary['distance_words']:+,} words away: "
+             f"{arbitrary['landed']}"],
+            ["temporal (dangling stack ptr)",
+             "behaviour no longer specified by the source",
+             f"printed {temporal['printed']!r} instead of "
+             f"{temporal['expected_if_memory_were_safe']!r}"],
+        ],
+        title="E2: memory-safety vulnerability mechanics",
+    ))
+    assert spatial["saved_bp_overwritten"] and spatial["return_overwritten"]
+    assert arbitrary["landed"]
+    assert temporal["printed"] != temporal["expected_if_memory_were_safe"]
+    assert temporal["status"] is RunStatus.EXITED

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: the toolchain in five minutes.
+
+Compile a MinC program, inspect the generated machine code, load it
+into a simulated VN32 machine, and run it -- the pipeline every
+experiment in this repository is built on.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.asm import disassemble_text
+from repro.link import load
+from repro.minic import compile_source, compile_to_asm
+
+SOURCE = """
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+
+void main() {
+    char banner[6];
+    banner[0] = 'f'; banner[1] = 'i'; banner[2] = 'b';
+    banner[3] = '1'; banner[4] = '0'; banner[5] = 10;
+    write(1, banner, 6);
+    print_int(fib(10));
+}
+"""
+
+
+def main() -> None:
+    print("=== MinC source ===")
+    print(SOURCE)
+
+    print("=== generated assembly (excerpt) ===")
+    assembly = compile_to_asm(SOURCE, "quickstart")
+    print("\n".join(assembly.splitlines()[:18]))
+    print("    ...")
+
+    obj = compile_source(SOURCE, "quickstart")
+    print("\n=== machine code for the module's .text (excerpt) ===")
+    print("\n".join(disassemble_text(bytes(obj.text.data)).splitlines()[:10]))
+    print("    ...")
+
+    program = load([obj])
+    print("\n=== memory map ===")
+    for segment in program.image.segments:
+        print(f"  {segment.name:<10} 0x{segment.addr:08x} - 0x{segment.end:08x}")
+
+    result = program.run()
+    print("\n=== execution ===")
+    print(f"status: {result.status.value}, exit code: {result.exit_code}, "
+          f"instructions: {result.instructions}")
+    print(f"output: {result.output!r}")
+    assert result.output.endswith(b"55\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Figure 1 end to end: the server, the bug, the smash, the defences.
+
+Walks through the paper's Section III storyline on a live machine:
+
+1. the server answers an honest request;
+2. the classic stack smash with direct code injection pops a shell;
+3. each deployed countermeasure changes the outcome (canary detects,
+   DEP blocks the injected code but falls to return-to-libc, ASLR
+   derails the payload);
+4. the data-only attack that none of them stop.
+
+Run:  python examples/vulnerable_server.py
+"""
+
+from repro.attacks import io_attacks
+from repro.experiments.fig1 import generate_fig1
+from repro.mitigations import ASLR, CANARY, DEP, DEPLOYED, NONE
+from repro.programs import build_fig1, build_victim
+
+
+def main() -> None:
+    print("=== the Figure 1 moment: run-time state entering get_request ===")
+    artifacts = generate_fig1()
+    print(artifacts.stack_snapshot)
+
+    print("\n=== honest request ===")
+    server = build_fig1()
+    server.feed(b"GET /index.html\x00")
+    result = server.run()
+    print(f"served: {result.output[:16]!r} (exit {result.exit_code})")
+
+    print("\n=== the attack under each deployment posture ===")
+    postures = [("none", NONE), ("canary", CANARY), ("dep", DEP),
+                ("aslr", ASLR), ("deployed", DEPLOYED)]
+    for name, config in postures:
+        smash = io_attacks.attack_stack_smash_injection(config, seed=4)
+        reuse = io_attacks.attack_ret2libc(config, seed=4)
+        print(f"  {name:<10} smash+inject: {smash.outcome.value:<10} "
+              f"ret2libc: {reuse.outcome.value}")
+
+    print("\n=== what survives everything: the data-only attack ===")
+    for name, config in postures:
+        result = io_attacks.attack_data_only(config, seed=4)
+        print(f"  {name:<10} {result.outcome.value}: {result.detail}")
+
+    print("\n=== and the pure leak (Heartbleed pattern) ===")
+    leak = io_attacks.attack_heartbleed(DEPLOYED)
+    print(f"  deployed   {leak.outcome.value}: {leak.detail}")
+    print(f"  leaked bytes: {leak.evidence['leak'][16:32]!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro -- an executable reproduction of Piessens & Verbauwhede,
+"Software Security: Vulnerabilities and Countermeasures for Two
+Attacker Models" (DATE 2016).
+
+The package builds the entire execution platform the paper reasons
+about and makes every vulnerability, attack, and countermeasure it
+surveys runnable and measurable:
+
+* :mod:`repro.isa`, :mod:`repro.machine` -- the VN32 simulator (32-bit
+  von-Neumann machine with variable-length instructions, paged memory
+  with R/W/X permissions, I/O channels, syscalls);
+* :mod:`repro.asm`, :mod:`repro.minic`, :mod:`repro.link` -- the
+  toolchain: assembler/disassembler, the MinC C-subset compiler with
+  mitigation passes, linker and loader (DEP, ASLR, canaries);
+* :mod:`repro.mitigations` -- deployment postures (Section III-C);
+* :mod:`repro.pma` -- the Protected Module Architecture, attestation,
+  sealing, state continuity, plus the secure-compilation passes that
+  live in the compiler (Section IV);
+* :mod:`repro.attacks` -- both attacker models' full suites
+  (Sections III-B and IV);
+* :mod:`repro.analysis` -- static analysis and checked fuzzing
+  (Section III-C2);
+* :mod:`repro.programs` -- the paper's figures as compilable programs;
+* :mod:`repro.experiments` -- harnesses that regenerate each figure
+  and claim (``python -m repro.experiments``).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "asm",
+    "attacks",
+    "errors",
+    "experiments",
+    "isa",
+    "link",
+    "machine",
+    "minic",
+    "mitigations",
+    "pma",
+    "programs",
+    "sfi",
+]

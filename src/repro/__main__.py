@@ -1,0 +1,171 @@
+"""Command-line interface for the repro toolchain.
+
+Usage::
+
+    python -m repro run PROG.c [--mitigations deployed] [--stdin-hex 4141..]
+    python -m repro asm PROG.c            # show generated assembly
+    python -m repro disasm PROG.c         # show machine code listing
+    python -m repro debug PROG.c -b main  # break, then drop a report
+    python -m repro experiments [ids...]  # same as python -m repro.experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.link import load
+from repro.minic import compile_source, compile_to_asm
+from repro.minic.compiler import options_from_mitigations
+from repro.mitigations import config as mitigations_config
+from repro.programs.builders import libc_object
+
+#: Named postures accepted by ``--mitigations``.
+POSTURES = {
+    "none": mitigations_config.NONE,
+    "canary": mitigations_config.CANARY,
+    "dep": mitigations_config.DEP,
+    "aslr": mitigations_config.ASLR,
+    "deployed": mitigations_config.DEPLOYED,
+    "hardened": mitigations_config.HARDENED,
+    "safe": mitigations_config.SAFE_LANGUAGE,
+    "testing": mitigations_config.TESTING,
+}
+
+
+def _read_source(path: str) -> str:
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _build(args) -> "repro.link.LoadedProgram":
+    config = POSTURES[args.mitigations]
+    options = options_from_mitigations(config)
+    if getattr(args, "optimize", False):
+        from dataclasses import replace
+
+        options = replace(options, optimize=True)
+    objects = [compile_source(_read_source(args.program), "program", options)]
+    if not getattr(args, "no_libc", False):
+        objects.append(libc_object())
+    return load(objects, config, seed=getattr(args, "seed", 0))
+
+
+def cmd_run(args) -> int:
+    program = _build(args)
+    if args.stdin_hex:
+        program.feed(bytes.fromhex(args.stdin_hex))
+    if args.stdin:
+        program.feed(args.stdin.encode())
+    result = program.run(args.max_instructions)
+    sys.stdout.write(result.output.decode("latin-1"))
+    sys.stdout.flush()
+    print(f"\n-- {result.status.value}"
+          + (f" (exit {result.exit_code})" if result.exit_code is not None else "")
+          + (f" [{result.fault}]" if result.fault else "")
+          + f", {result.instructions} instructions", file=sys.stderr)
+    if result.shell_spawned:
+        print("-- SHELL SPAWNED (attack succeeded)", file=sys.stderr)
+    return 0 if result.exit_code in (0, None) and not result.fault else 1
+
+
+def cmd_asm(args) -> int:
+    config = POSTURES[args.mitigations]
+    print(compile_to_asm(_read_source(args.program), "program",
+                         options_from_mitigations(config)))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from repro.asm.disassembler import disassemble_text
+
+    config = POSTURES[args.mitigations]
+    obj = compile_source(_read_source(args.program), "program",
+                         options_from_mitigations(config))
+    print(disassemble_text(bytes(obj.text.data)))
+    return 0
+
+
+def cmd_debug(args) -> int:
+    from repro.machine.debugger import Debugger
+
+    program = _build(args)
+    if args.stdin_hex:
+        program.feed(bytes.fromhex(args.stdin_hex))
+    if args.stdin:
+        program.feed(args.stdin.encode())
+    debugger = Debugger(program)
+    for location in args.breakpoints or []:
+        debugger.add_breakpoint(location)
+    event = debugger.cont(args.max_instructions)
+    print(f"stopped: {event}")
+    print("\nregisters:")
+    for name, value in debugger.registers().items():
+        print(f"  {name:<4} 0x{value:08x}")
+    print("\nbacktrace:")
+    for frame in debugger.backtrace():
+        print(f"  {frame}")
+    print("\ncode:")
+    print(debugger.disassemble_around(debugger.machine.cpu.ip, count=6))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.ids)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MinC/VN32 toolchain from the DATE'16 software-security "
+                    "reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("program", help="MinC source file")
+        p.add_argument("--mitigations", choices=sorted(POSTURES), default="none")
+
+    run_p = sub.add_parser("run", help="compile and execute a MinC program")
+    common(run_p)
+    run_p.add_argument("--stdin", default="", help="input text to feed")
+    run_p.add_argument("--stdin-hex", default="", help="input bytes in hex")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--optimize", action="store_true")
+    run_p.add_argument("--no-libc", action="store_true")
+    run_p.add_argument("--max-instructions", type=int, default=2_000_000)
+    run_p.set_defaults(func=cmd_run)
+
+    asm_p = sub.add_parser("asm", help="show the generated assembly")
+    common(asm_p)
+    asm_p.set_defaults(func=cmd_asm)
+
+    disasm_p = sub.add_parser("disasm", help="show the machine-code listing")
+    common(disasm_p)
+    disasm_p.set_defaults(func=cmd_disasm)
+
+    debug_p = sub.add_parser("debug", help="run under the debugger")
+    common(debug_p)
+    debug_p.add_argument("-b", "--breakpoints", action="append",
+                         help="symbol or address to break at")
+    debug_p.add_argument("--stdin", default="")
+    debug_p.add_argument("--stdin-hex", default="")
+    debug_p.add_argument("--seed", type=int, default=0)
+    debug_p.add_argument("--max-instructions", type=int, default=2_000_000)
+    debug_p.set_defaults(func=cmd_debug)
+
+    exp_p = sub.add_parser("experiments", help="run the paper experiments")
+    exp_p.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    exp_p.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

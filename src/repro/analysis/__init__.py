@@ -1,0 +1,23 @@
+"""Vulnerability-introduction countermeasures: static analysis and
+testing with run-time checks (Section III-C2)."""
+
+from repro.analysis.corpus import CORPUS, CorpusEntry
+from repro.analysis.fuzzer import FuzzReport, compare_detection, fuzz_campaign
+from repro.analysis.static_analyzer import (
+    Finding,
+    StaticAnalyzer,
+    analyze_source,
+    evaluate_on_corpus,
+)
+
+__all__ = [
+    "CORPUS",
+    "CorpusEntry",
+    "FuzzReport",
+    "compare_detection",
+    "fuzz_campaign",
+    "Finding",
+    "StaticAnalyzer",
+    "analyze_source",
+    "evaluate_on_corpus",
+]

@@ -1,0 +1,296 @@
+"""Labelled corpus for evaluating the static analyzer and the fuzzer.
+
+Each entry is a small MinC program with ground truth: does it contain
+a memory-safety vulnerability?  The corpus deliberately includes the
+cases that make static analysis imprecise (Section III-C2 / [13]):
+value-dependent safety that a syntactic tool cannot see (false
+positives) and aliased writes it cannot track (false negatives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    name: str
+    source: str
+    vulnerable: bool
+    #: What a syntactic analyzer is expected to do: 'hit', 'miss'
+    #: (false negative), or 'false-positive'.
+    expected_analysis: str
+    note: str = ""
+
+
+CORPUS: list[CorpusEntry] = [
+    CorpusEntry(
+        "exact_read",
+        """
+void main() {
+    char buf[16];
+    read(0, buf, 16);
+    write(1, buf, 16);
+}
+""",
+        vulnerable=False,
+        expected_analysis="clean",
+        note="read length equals the buffer size",
+    ),
+    CorpusEntry(
+        "overflow_read",
+        """
+void main() {
+    char buf[16];
+    read(0, buf, 32);
+    write(1, buf, 16);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="the paper's Figure 1 bug",
+    ),
+    CorpusEntry(
+        "overread_write",
+        """
+void main() {
+    char buf[8];
+    read(0, buf, 8);
+    write(1, buf, 64);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="Heartbleed-style over-read",
+    ),
+    CorpusEntry(
+        "bounded_loop",
+        """
+void main() {
+    char buf[16];
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        buf[i] = 'a';
+    }
+    write(1, buf, 16);
+}
+""",
+        vulnerable=False,
+        expected_analysis="clean",
+        note="loop bound matches the array size",
+    ),
+    CorpusEntry(
+        "off_by_one_loop",
+        """
+void main() {
+    char buf[16];
+    int i;
+    for (i = 0; i <= 16; i = i + 1) {
+        buf[i] = 'a';
+    }
+    write(1, buf, 16);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="classic <= bound off-by-one",
+    ),
+    CorpusEntry(
+        "unchecked_input_index",
+        """
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() {
+    int table[8];
+    int idx = read_int();
+    table[idx] = read_int();
+    print_int(table[0]);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="attacker-controlled index, no guard",
+    ),
+    CorpusEntry(
+        "guarded_input_index",
+        """
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() {
+    int table[8];
+    int idx = read_int();
+    if (idx >= 0) {
+        if (idx < 8) {
+            table[idx] = read_int();
+        }
+    }
+    print_int(table[0]);
+}
+""",
+        vulnerable=False,
+        expected_analysis="clean",
+        note="properly guarded index",
+    ),
+    CorpusEntry(
+        "wrong_guard",
+        """
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() {
+    int table[8];
+    int idx = read_int();
+    if (idx <= 8) {
+        table[idx] = read_int();
+    }
+    print_int(table[0]);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="guard uses <= size (and misses negatives)",
+    ),
+    CorpusEntry(
+        "clamped_length",
+        """
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() {
+    char buf[16];
+    int n = read_int();
+    if (n > 16) { n = 16; }
+    if (n < 0) { n = 0; }
+    read(0, buf, n);
+    write(1, buf, 16);
+}
+""",
+        vulnerable=False,
+        expected_analysis="false-positive",
+        note="value flow makes it safe; a syntactic tool still warns",
+    ),
+    CorpusEntry(
+        "aliased_overflow",
+        """
+void fill(char *p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = 'x';
+    }
+}
+void main() {
+    char buf[8];
+    fill(buf, 32);
+    write(1, buf, 8);
+}
+""",
+        vulnerable=True,
+        expected_analysis="miss",
+        note="overflow through an aliased pointer: intraprocedural "
+             "analysis cannot see the callee's bound",
+    ),
+    CorpusEntry(
+        "aliased_in_bounds",
+        """
+void fill(char *p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        p[i] = 'x';
+    }
+}
+void main() {
+    char buf[8];
+    fill(buf, 8);
+    write(1, buf, 8);
+}
+""",
+        vulnerable=False,
+        expected_analysis="clean",
+        note="same aliasing shape but in bounds: the interprocedural "
+             "rule must not flag it",
+    ),
+    CorpusEntry(
+        "dangling_return",
+        """
+int *broken() {
+    int local = 5;
+    return &local;
+}
+void main() {
+    int *p = broken();
+    print_int(*p);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="temporal: address of a local escapes via return",
+    ),
+    CorpusEntry(
+        "global_return_ok",
+        """
+static int cell = 5;
+int *handle() {
+    return &cell;
+}
+void main() {
+    int *p = handle();
+    print_int(*p);
+}
+""",
+        vulnerable=False,
+        expected_analysis="clean",
+        note="returning the address of a global is fine",
+    ),
+    CorpusEntry(
+        "constant_index_ok",
+        """
+void main() {
+    int table[4];
+    table[0] = 1;
+    table[3] = 2;
+    print_int(table[0] + table[3]);
+}
+""",
+        vulnerable=False,
+        expected_analysis="clean",
+        note="constant in-bounds indices",
+    ),
+    CorpusEntry(
+        "constant_index_oob",
+        """
+void main() {
+    int table[4];
+    table[4] = 1;
+    print_int(table[0]);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="constant out-of-bounds index",
+    ),
+    CorpusEntry(
+        "write_const_over",
+        """
+void main() {
+    char greeting[8];
+    read(0, greeting, 8);
+    write(1, greeting, 12);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="constant over-read on output",
+    ),
+    CorpusEntry(
+        "loop_index_from_input",
+        """
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() {
+    char buf[16];
+    int n = read_int();
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        buf[i] = 'z';
+    }
+    write(1, buf, 16);
+}
+""",
+        vulnerable=True,
+        expected_analysis="hit",
+        note="loop bound comes from input",
+    ),
+]

@@ -1,0 +1,440 @@
+"""A syntactic static analyzer for memory-safety bugs in MinC.
+
+Models the "tools requiring little developer effort, but suffering
+from false positives and false negatives" of Section III-C2 [13].  It
+is intraprocedural and value-flow-free on purpose: its measured
+precision/recall on the corpus *is* the experiment -- the numbers show
+why such tools assist code review rather than replace it.
+
+Rules:
+
+* **R1 constant-length I/O** -- ``read``/``write`` into a statically
+  sized array with a constant length larger than the array.
+* **R2 variable-length I/O** -- same, but the length is not a
+  constant: reported as *possible* (no value tracking, hence the
+  false positive on clamped lengths).
+* **R3 unguarded index** -- indexing a sized array with a non-constant
+  expression not dominated by a recognisable ``idx < bound`` guard
+  with ``bound <= size`` (loop conditions count as guards).
+* **R4 constant index out of bounds.**
+* **R5 escaping local** -- returning ``&local`` or a local array.
+* **R6 interprocedural loop bound** (``interprocedural=True`` only) --
+  a sized array passed to a callee that loops ``p[i]`` up to a bound
+  that, after substituting the caller's constant arguments, exceeds
+  the array.  This is the "more effort, higher assurance" setting the
+  paper contrasts with lightweight tools ([14][15] vs [13]): it closes
+  the aliased-overflow false negative at the cost of a deeper
+  analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.minic import ast
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+from repro.minic.types import ArrayType
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule: str
+    line: int
+    message: str
+    #: 'definite' findings fire on constants; 'possible' ones on
+    #: unknown values (the false-positive-prone class).
+    confidence: str
+
+
+def _constant_value(expr: ast.Expr) -> int | None:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    return None
+
+
+def _array_size(expr: ast.Expr) -> int | None:
+    """Static size of a buffer expression, if the analyzer can see it."""
+    if isinstance(expr, ast.Ident) and isinstance(expr.type, ArrayType):
+        return None if expr.type.size is None else expr.type.size * _elem(expr.type)
+    return None
+
+
+def _elem(array_type: ArrayType) -> int:
+    from repro.minic.types import sizeof
+
+    return sizeof(array_type.element)
+
+
+class StaticAnalyzer:
+    """Runs the rules over one translation unit."""
+
+    def __init__(self, interprocedural: bool = False) -> None:
+        self.findings: list[Finding] = []
+        self.interprocedural = interprocedural
+        #: Stack of (variable-name, bound) guards currently dominating.
+        self._guards: list[tuple[str, int]] = []
+
+    # -- public API -------------------------------------------------------
+
+    def analyze_source(self, source: str) -> list[Finding]:
+        program = analyze(parse(source))
+        for func in program.functions:
+            if func.body is not None:
+                self._function(func)
+        return self.findings
+
+    # -- helpers -------------------------------------------------------------
+
+    def _report(self, rule: str, line: int, message: str,
+                confidence: str = "definite") -> None:
+        self.findings.append(Finding(rule, line, message, confidence))
+
+    def _guard_from_condition(self, cond: ast.Expr) -> list[tuple[str, int]]:
+        """Extract ``ident < const`` / ``ident <= const`` guards."""
+        guards = []
+        if isinstance(cond, ast.Binary):
+            if cond.op in ("<", "<=") and isinstance(cond.left, ast.Ident):
+                bound = _constant_value(cond.right)
+                if bound is not None:
+                    limit = bound if cond.op == "<" else bound + 1
+                    guards.append((cond.left.name, limit))
+            elif cond.op == "&&":
+                guards += self._guard_from_condition(cond.left)
+                guards += self._guard_from_condition(cond.right)
+        return guards
+
+    def _guarded_below(self, name: str, size: int) -> bool:
+        return any(g_name == name and g_limit <= size
+                   for g_name, g_limit in self._guards)
+
+    # -- traversal -------------------------------------------------------------
+
+    def _function(self, func: ast.FuncDef) -> None:
+        self._locals = set()
+        self._collect_local_names(func.body)
+        self._stmt(func.body, func)
+
+    def _collect_local_names(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.statements:
+                self._collect_local_names(child)
+        elif isinstance(stmt, ast.VarDecl):
+            self._locals.add(stmt.name)
+        elif isinstance(stmt, ast.If):
+            self._collect_local_names(stmt.then_branch)
+            if stmt.else_branch:
+                self._collect_local_names(stmt.else_branch)
+        elif isinstance(stmt, (ast.While,)):
+            self._collect_local_names(stmt.body)
+        elif isinstance(stmt, ast.For):
+            if stmt.init:
+                self._collect_local_names(stmt.init)
+            self._collect_local_names(stmt.body)
+
+    def _stmt(self, stmt: ast.Stmt, func: ast.FuncDef) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.statements:
+                self._stmt(child, func)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._expr(stmt.init)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.condition)
+            added = self._guard_from_condition(stmt.condition)
+            self._guards.extend(added)
+            self._stmt(stmt.then_branch, func)
+            del self._guards[len(self._guards) - len(added):]
+            if stmt.else_branch is not None:
+                self._stmt(stmt.else_branch, func)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.condition)
+            added = self._guard_from_condition(stmt.condition)
+            self._guards.extend(added)
+            self._stmt(stmt.body, func)
+            del self._guards[len(self._guards) - len(added):]
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._stmt(stmt.init, func)
+            added = []
+            if stmt.condition is not None:
+                self._expr(stmt.condition)
+                added = self._guard_from_condition(stmt.condition)
+            self._guards.extend(added)
+            self._stmt(stmt.body, func)
+            if stmt.step is not None:
+                self._expr(stmt.step)
+            del self._guards[len(self._guards) - len(added):]
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_escape(stmt.value)
+                self._expr(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+
+    def _check_escape(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.AddrOf):
+            operand = expr.operand
+            if isinstance(operand, ast.Ident) and isinstance(
+                operand.binding, (ast.VarDecl, ast.Param)
+            ):
+                self._report(
+                    "R5", expr.line,
+                    f"address of local {operand.name!r} escapes via return "
+                    "(temporal vulnerability)",
+                )
+        if isinstance(expr, ast.Ident) and isinstance(
+            expr.binding, ast.VarDecl
+        ) and isinstance(expr.type, ArrayType):
+            self._report(
+                "R5", expr.line,
+                f"local array {expr.name!r} escapes via return",
+            )
+
+    def _expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Call):
+            self._call(expr)
+            for arg in expr.args:
+                self._expr(arg)
+        elif isinstance(expr, ast.Binary):
+            self._expr(expr.left)
+            self._expr(expr.right)
+        elif isinstance(expr, ast.Assign):
+            self._expr(expr.target)
+            self._expr(expr.value)
+        elif isinstance(expr, ast.Unary):
+            self._expr(expr.operand)
+        elif isinstance(expr, (ast.Deref, ast.AddrOf)):
+            self._expr(expr.operand)
+        elif isinstance(expr, ast.Index):
+            self._index(expr)
+            self._expr(expr.base)
+            self._expr(expr.index)
+
+    def _call(self, expr: ast.Call) -> None:
+        if expr.mode == "direct" and self.interprocedural:
+            self._interprocedural_call(expr)
+        if expr.mode != "builtin" or expr.builtin.name not in ("read", "write"):
+            return
+        builtin = expr.builtin
+        buffer_expr = expr.args[builtin.buffer_arg]
+        length_expr = expr.args[builtin.length_arg]
+        size = _array_size(buffer_expr)
+        if size is None:
+            return  # buffer of unknown size: nothing to compare against
+        length = _constant_value(length_expr)
+        if length is None:
+            self._report(
+                "R2", expr.line,
+                f"{builtin.name} length is not a constant; buffer holds "
+                f"{size} bytes (possible overflow)",
+                confidence="possible",
+            )
+        elif length > size:
+            self._report(
+                "R1", expr.line,
+                f"{builtin.name} of {length} bytes into a {size}-byte buffer",
+            )
+
+    def _interprocedural_call(self, expr: ast.Call) -> None:
+        """R6: substitute constant arguments into the callee's loop
+        bounds over its pointer parameters."""
+        callee = expr.callee.binding
+        if not isinstance(callee, ast.FuncDef) or callee.body is None:
+            return
+        param_positions = {param.name: i for i, param in enumerate(callee.params)}
+        for pointer_param, bound in self._callee_loop_bounds(callee):
+            pointer_pos = param_positions.get(pointer_param)
+            if pointer_pos is None or pointer_pos >= len(expr.args):
+                continue
+            buffer_expr = expr.args[pointer_pos]
+            if not (isinstance(buffer_expr, ast.Ident)
+                    and isinstance(buffer_expr.type, ArrayType)
+                    and buffer_expr.type.size is not None):
+                continue
+            size = buffer_expr.type.size
+            if isinstance(bound, int):
+                bound_value = bound
+            else:  # bound is a parameter name: take the caller's constant
+                bound_pos = param_positions.get(bound)
+                if bound_pos is None or bound_pos >= len(expr.args):
+                    continue
+                bound_value = _constant_value(expr.args[bound_pos])
+                if bound_value is None:
+                    continue
+            if bound_value > size:
+                self._report(
+                    "R6", expr.line,
+                    f"call writes up to {bound_value} elements through "
+                    f"{pointer_param!r} into the {size}-element array "
+                    f"{buffer_expr.name!r} (interprocedural)",
+                )
+
+    def _callee_loop_bounds(self, func: ast.FuncDef):
+        """Yield ``(pointer_param_name, bound)`` for loops of the shape
+        ``for (i = ...; i < bound; ...) { param[i] = ...; }`` where
+        bound is a constant int or the name of another parameter."""
+        param_names = {param.name for param in func.params}
+        results = []
+
+        def walk(stmt):
+            if isinstance(stmt, ast.Block):
+                for child in stmt.statements:
+                    walk(child)
+            elif isinstance(stmt, (ast.While, ast.For)):
+                condition = getattr(stmt, "condition", None)
+                bound = None
+                loop_var = None
+                if (isinstance(condition, ast.Binary)
+                        and condition.op in ("<", "<=")
+                        and isinstance(condition.left, ast.Ident)):
+                    loop_var = condition.left.name
+                    constant = _constant_value(condition.right)
+                    if constant is not None:
+                        bound = constant + (1 if condition.op == "<=" else 0)
+                    elif (isinstance(condition.right, ast.Ident)
+                          and condition.right.name in param_names):
+                        bound = condition.right.name
+                if bound is not None:
+                    for pointer in self._indexed_params(stmt.body, loop_var,
+                                                        param_names):
+                        results.append((pointer, bound))
+                walk(stmt.body)
+            elif isinstance(stmt, ast.If):
+                walk(stmt.then_branch)
+                if stmt.else_branch is not None:
+                    walk(stmt.else_branch)
+
+        walk(func.body)
+        return results
+
+    def _indexed_params(self, stmt, loop_var, param_names):
+        """Pointer params indexed by ``loop_var`` anywhere in ``stmt``."""
+        found = set()
+
+        def visit_expr(expr):
+            if expr is None:
+                return
+            if isinstance(expr, ast.Index):
+                if (isinstance(expr.base, ast.Ident)
+                        and expr.base.name in param_names
+                        and isinstance(expr.index, ast.Ident)
+                        and expr.index.name == loop_var):
+                    found.add(expr.base.name)
+                visit_expr(expr.base)
+                visit_expr(expr.index)
+            elif isinstance(expr, ast.Binary):
+                visit_expr(expr.left)
+                visit_expr(expr.right)
+            elif isinstance(expr, ast.Assign):
+                visit_expr(expr.target)
+                visit_expr(expr.value)
+            elif isinstance(expr, (ast.Unary, ast.Deref, ast.AddrOf)):
+                visit_expr(expr.operand)
+            elif isinstance(expr, ast.PostOp):
+                visit_expr(expr.target)
+            elif isinstance(expr, ast.Call):
+                for arg in expr.args:
+                    visit_expr(arg)
+
+        def visit_stmt(node):
+            if isinstance(node, ast.Block):
+                for child in node.statements:
+                    visit_stmt(child)
+            elif isinstance(node, ast.ExprStmt):
+                visit_expr(node.expr)
+            elif isinstance(node, ast.VarDecl):
+                visit_expr(node.init)
+            elif isinstance(node, ast.If):
+                visit_expr(node.condition)
+                visit_stmt(node.then_branch)
+                if node.else_branch is not None:
+                    visit_stmt(node.else_branch)
+            elif isinstance(node, (ast.While, ast.DoWhile)):
+                visit_expr(node.condition)
+                visit_stmt(node.body)
+            elif isinstance(node, ast.For):
+                if node.init is not None:
+                    visit_stmt(node.init)
+                visit_expr(node.condition)
+                visit_expr(node.step)
+                visit_stmt(node.body)
+            elif isinstance(node, ast.Return):
+                visit_expr(node.value)
+
+        visit_stmt(stmt)
+        return found
+
+    def _index(self, expr: ast.Index) -> None:
+        base_type = expr.base.type
+        if not (isinstance(base_type, ArrayType) and base_type.size is not None):
+            return
+        size = base_type.size
+        constant = _constant_value(expr.index)
+        if constant is not None:
+            if constant < 0 or constant >= size:
+                self._report(
+                    "R4", expr.line,
+                    f"constant index {constant} out of bounds for "
+                    f"array of {size}",
+                )
+            return
+        if isinstance(expr.index, ast.Ident):
+            if self._guarded_below(expr.index.name, size):
+                return
+            self._report(
+                "R3", expr.line,
+                f"index {expr.index.name!r} not provably below {size}",
+                confidence="possible",
+            )
+        else:
+            self._report(
+                "R3", expr.line,
+                f"unanalyzable index expression into array of {size}",
+                confidence="possible",
+            )
+
+
+def analyze_source(source: str, interprocedural: bool = False) -> list[Finding]:
+    """Run the analyzer over one MinC translation unit."""
+    return StaticAnalyzer(interprocedural).analyze_source(source)
+
+
+def evaluate_on_corpus(interprocedural: bool = False) -> dict:
+    """Precision/recall of the analyzer on the labelled corpus.
+
+    Returns per-entry rows plus summary metrics for two policies:
+    ``all`` findings, and ``definite``-only findings (trading recall
+    for precision, as Section III-C2 describes).  ``interprocedural``
+    switches on the deeper R6 analysis.
+    """
+    from repro.analysis.corpus import CORPUS
+
+    rows = []
+    for entry in CORPUS:
+        findings = analyze_source(entry.source, interprocedural)
+        definite = [f for f in findings if f.confidence == "definite"]
+        rows.append({
+            "name": entry.name,
+            "vulnerable": entry.vulnerable,
+            "flagged_any": bool(findings),
+            "flagged_definite": bool(definite),
+            "findings": findings,
+            "expected": entry.expected_analysis,
+        })
+
+    def metrics(key: str) -> dict:
+        tp = sum(1 for r in rows if r["vulnerable"] and r[key])
+        fp = sum(1 for r in rows if not r["vulnerable"] and r[key])
+        fn = sum(1 for r in rows if r["vulnerable"] and not r[key])
+        tn = sum(1 for r in rows if not r["vulnerable"] and not r[key])
+        precision = tp / (tp + fp) if tp + fp else 1.0
+        recall = tp / (tp + fn) if tp + fn else 1.0
+        return {"tp": tp, "fp": fp, "fn": fn, "tn": tn,
+                "precision": precision, "recall": recall}
+
+    return {
+        "rows": rows,
+        "all_findings": metrics("flagged_any"),
+        "definite_only": metrics("flagged_definite"),
+    }

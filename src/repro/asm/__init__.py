@@ -1,0 +1,13 @@
+"""Assembler and disassembler for VN32."""
+
+from repro.asm.assembler import Assembler, assemble
+from repro.asm.disassembler import ListingLine, disassemble, disassemble_text, render_listing
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "ListingLine",
+    "disassemble",
+    "disassemble_text",
+    "render_listing",
+]

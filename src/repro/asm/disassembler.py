@@ -1,0 +1,75 @@
+"""Linear-sweep disassembler for VN32 machine code.
+
+Produces listings in the style of Figure 1(b) of the paper: address,
+raw bytes in hex, and the assembly text.  The tolerant mode emits
+``.byte`` lines for undecodable bytes and resynchronises one byte
+later, which is also how the ROP gadget finder sweeps code at every
+offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
+
+
+@dataclass
+class ListingLine:
+    """One line of a disassembly listing."""
+
+    address: int
+    raw: bytes
+    text: str
+    instruction: Instruction | None = None
+
+    def render(self) -> str:
+        raw_hex = self.raw.hex()
+        return f"0x{self.address:08x}  {raw_hex:<12}  {self.text}"
+
+
+def disassemble(
+    data: bytes,
+    base_address: int = 0,
+    symbols: dict[int, str] | None = None,
+    tolerant: bool = True,
+) -> list[ListingLine]:
+    """Disassemble ``data`` into listing lines.
+
+    ``symbols`` maps addresses to names; a matching address gets a
+    ``name:`` header line (address-only, no bytes).
+    """
+    symbols = symbols or {}
+    lines: list[ListingLine] = []
+    offset = 0
+    while offset < len(data):
+        address = base_address + offset
+        if address in symbols:
+            lines.append(ListingLine(address, b"", f"{symbols[address]}:"))
+        try:
+            insn, length = decode(data, offset)
+        except DecodeError:
+            if not tolerant:
+                raise
+            byte = data[offset]
+            lines.append(
+                ListingLine(address, bytes([byte]), f".byte 0x{byte:02x}")
+            )
+            offset += 1
+            continue
+        raw = data[offset : offset + length]
+        lines.append(ListingLine(address, raw, str(insn), insn))
+        offset += length
+    return lines
+
+
+def render_listing(lines: list[ListingLine]) -> str:
+    """Render listing lines to a printable block."""
+    return "\n".join(line.render() for line in lines)
+
+
+def disassemble_text(data: bytes, base_address: int = 0, **kwargs) -> str:
+    """One-shot convenience: bytes to printable listing."""
+    return render_listing(disassemble(data, base_address, **kwargs))

@@ -1,0 +1,97 @@
+"""Attacks: the I/O attacker and machine-code attacker suites."""
+
+from repro.attacks.base import AttackResult, Outcome, classify_failure
+from repro.attacks.gadgets import (
+    Gadget,
+    GadgetCatalog,
+    build_exfiltration_chain,
+    build_shell_chain,
+    find_gadgets,
+)
+from repro.attacks.heap import (
+    attack_heap_double_free,
+    attack_heap_overflow,
+    attack_heap_uaf,
+    build_heap_program,
+)
+from repro.attacks.io_attacks import (
+    attack_code_corruption,
+    attack_data_only,
+    attack_funcptr_same_type,
+    attack_funcptr_to_injected,
+    attack_funcptr_to_libc,
+    attack_heartbleed,
+    attack_leak_then_smash,
+    attack_ret2libc,
+    attack_rop_exfiltrate,
+    attack_rop_shell,
+    attack_stack_smash_injection,
+)
+from repro.attacks.machinecode import (
+    attack_memory_scraper,
+    attack_register_residue,
+    attack_stack_residue,
+    make_scraper_object,
+    sweep_memory,
+)
+from repro.attacks.payloads import cyclic, cyclic_find, p32, smash, u32
+from repro.attacks.pma_exploit import (
+    attack_direct_midmodule_call,
+    attack_fig4_function_pointer,
+    brute_force_report,
+    find_reset_instruction,
+)
+from repro.attacks.rollback import (
+    Platform,
+    attack_rollback,
+    boot,
+    liveness_report,
+)
+from repro.attacks.study import OverflowSite, locate_overflow, run_until_syscall
+
+__all__ = [
+    "AttackResult",
+    "Outcome",
+    "classify_failure",
+    "Gadget",
+    "GadgetCatalog",
+    "build_exfiltration_chain",
+    "build_shell_chain",
+    "find_gadgets",
+    "attack_code_corruption",
+    "attack_data_only",
+    "attack_funcptr_same_type",
+    "attack_funcptr_to_injected",
+    "attack_heap_double_free",
+    "attack_heap_overflow",
+    "attack_heap_uaf",
+    "build_heap_program",
+    "attack_funcptr_to_libc",
+    "attack_heartbleed",
+    "attack_leak_then_smash",
+    "attack_ret2libc",
+    "attack_rop_exfiltrate",
+    "attack_rop_shell",
+    "attack_stack_smash_injection",
+    "attack_memory_scraper",
+    "attack_register_residue",
+    "attack_stack_residue",
+    "make_scraper_object",
+    "sweep_memory",
+    "cyclic",
+    "cyclic_find",
+    "p32",
+    "smash",
+    "u32",
+    "attack_direct_midmodule_call",
+    "attack_fig4_function_pointer",
+    "brute_force_report",
+    "find_reset_instruction",
+    "Platform",
+    "attack_rollback",
+    "boot",
+    "liveness_report",
+    "OverflowSite",
+    "locate_overflow",
+    "run_until_syscall",
+]

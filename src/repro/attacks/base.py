@@ -1,0 +1,95 @@
+"""Attack framework: attacker models, goals, and results.
+
+The paper's two attacker models (Section I):
+
+* the **I/O attacker** may only feed bytes to the program's input
+  channel and observe its output channel;
+* the **machine-code attacker** may additionally supply the machine
+  code of some linked modules, or install kernel-privileged code.
+
+Every attack in this package is expressed against one of these
+interfaces and produces an :class:`AttackResult`, which records both
+*whether the security objective was violated* (the program behaved in
+a way its source code does not specify) and *how the attempt ended*
+(clean exploit, detected-and-killed, crash, ...).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.machine.machine import RunResult
+
+
+class Outcome(enum.Enum):
+    """How an attack attempt ended."""
+
+    #: The attacker reached their goal (shell, secret, privilege...).
+    SUCCESS = "success"
+    #: A countermeasure detected the attempt and terminated the program
+    #: (canary fault, CFI fault, bounds fault, PMA violation...).
+    DETECTED = "detected"
+    #: The attempt crashed the program without reaching the goal
+    #: (wild jump into unmapped memory under ASLR, DEP fault...).
+    CRASHED = "crashed"
+    #: The program survived and behaved as specified -- the attack
+    #: simply did not work.
+    NO_EFFECT = "no_effect"
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack attempt."""
+
+    attack: str
+    outcome: Outcome
+    #: Short human-readable explanation of what happened.
+    detail: str = ""
+    #: The victim's run result, if the attack ran the victim.
+    run: RunResult | None = None
+    #: Free-form evidence (leaked bytes, overwritten values, ...).
+    evidence: dict = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome is Outcome.SUCCESS
+
+    def describe(self) -> str:
+        fault = f" [{self.run.fault_name()}]" if self.run and self.run.fault else ""
+        return f"{self.attack}: {self.outcome.value}{fault} -- {self.detail}"
+
+
+def classify_failure(run: RunResult, detail: str = "") -> AttackResult:
+    """Classify a non-successful victim run into DETECTED vs CRASHED
+    vs NO_EFFECT, based on which fault (if any) ended it."""
+    from repro.errors import (
+        BoundsFault,
+        CanaryFault,
+        CFIFault,
+        PermissionFault,
+        ProtectionFault,
+        RedZoneFault,
+        ShadowStackFault,
+    )
+
+    if run.fault is None:
+        return AttackResult("", Outcome.NO_EFFECT, detail or "program unaffected", run)
+    # PermissionFault counts as detection: it is DEP (or W^X) actively
+    # refusing the access/execution, not a wild crash.
+    detected_types = (
+        CanaryFault, CFIFault, BoundsFault, RedZoneFault,
+        ShadowStackFault, ProtectionFault, PermissionFault,
+    )
+    if isinstance(run.fault, detected_types):
+        return AttackResult(
+            "", Outcome.DETECTED,
+            detail or f"stopped by {type(run.fault).__name__}", run,
+        )
+    return AttackResult("", Outcome.CRASHED, detail or str(run.fault), run)
+
+
+def finish(name: str, result: AttackResult) -> AttackResult:
+    """Stamp the attack name onto a result from :func:`classify_failure`."""
+    result.attack = name
+    return result

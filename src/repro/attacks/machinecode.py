@@ -1,0 +1,306 @@
+"""The machine-code attacker (Section IV).
+
+This attacker supplies machine code that runs *inside the victim's
+address space* -- a malicious linked module -- or *inside the kernel*.
+Note the paper's key observation: the I/O attacker needs a bug in the
+program, but even a bug-free program falls to this attacker unless an
+isolation mechanism (Section IV-A) protects it.
+
+Implemented attacks:
+
+* **memory scraping** -- malicious code reads the secret module's
+  variables straight out of memory (the POS-RAM-scraper malware of
+  reference [3]); as kernel code it also bypasses page permissions;
+* **stack residue harvesting** -- after the secret module returns,
+  its spilled temporaries (the PIN!) are still on the shared stack;
+* **register harvesting** -- values left in registers when the module
+  returns.
+
+Each has a builder that emits the attacker's module as real VN32
+assembly, so everything executes on the simulated machine under the
+machine's access-control rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm import assemble
+from repro.attacks.base import AttackResult, Outcome, classify_failure, finish
+from repro.attacks.payloads import p32, u32
+from repro.errors import MachineFault
+from repro.link.objfile import ObjectFile
+from repro.machine.machine import Machine
+from repro.mitigations.config import MitigationConfig, NONE
+from repro.programs.builders import build_secret_program
+
+
+def make_scraper_object(
+    targets: list[tuple[int, int]],
+    *,
+    kernel: bool = False,
+    name: str = "scraper",
+    entry: str = "scraper_main",
+) -> ObjectFile:
+    """An assembly module that exfiltrates memory ranges to the output
+    channel, then exits.  ``targets`` is a list of ``(addr, length)``.
+    """
+    lines = [".text", f".global {entry}", f"{entry}:"]
+    for addr, length in targets:
+        lines += [
+            "    mov r0, 1",
+            f"    mov r1, 0x{addr:x}",
+            f"    mov r2, {length}",
+            "    sys 2                ; write(1, addr, length)",
+        ]
+    lines += ["    mov r0, 0", "    sys 3"]
+    if kernel:
+        lines.append(".kernel")
+    return assemble("\n".join(lines), name)
+
+
+def run_installed_code(machine: Machine, entry: int, stack_top: int,
+                       max_instructions: int = 500_000):
+    """Transfer control to attacker code already present in memory.
+
+    Models the attacker's module being scheduled (e.g. a later callback
+    or the malware's own thread) after the program has run.
+    """
+    machine.cpu.ip = entry
+    machine.cpu.sp = stack_top
+    return machine.run(max_instructions)
+
+
+@dataclass
+class SweepReport:
+    """Result of a full address-space sweep (fault-tolerant scan)."""
+
+    bytes_readable: int
+    bytes_denied: int
+    secrets_found: list[str]
+
+
+def sweep_memory(machine: Machine, *, kernel: bool,
+                 needles: dict[str, bytes]) -> SweepReport:
+    """A fault-tolerant scanning loop over every mapped page.
+
+    Models scraper malware that installs a fault handler and probes
+    the whole address space (read instruction + resume on fault).  We
+    iterate page-sized probes through the machine's *checked* access
+    path with the scanner's privilege, so PMA and page permissions
+    apply exactly as they would to the probing instructions.
+    """
+    from repro.machine.memory import PAGE_SIZE
+
+    # Scanner context: executing from attacker code, outside any module.
+    machine.current_module = None
+    if kernel:
+        if not machine.kernel_regions:
+            machine.add_kernel_region(0xC0900000, 0xC0901000)
+        machine.current_ip = machine.kernel_regions[0][0]
+    else:
+        machine.current_ip = 0xDEAD0000  # arbitrary non-kernel, non-module IP
+
+    readable = bytearray()
+    denied = 0
+    for start, end in machine.memory.mapped_regions():
+        addr = start
+        while addr < end:
+            chunk = min(PAGE_SIZE, end - addr)
+            try:
+                readable += machine.read_bytes(addr, chunk)
+            except MachineFault:
+                denied += chunk
+            addr += chunk
+    found = [label for label, needle in needles.items() if needle in readable]
+    return SweepReport(len(readable), denied, found)
+
+
+def attack_memory_scraper(
+    *,
+    protected: bool,
+    secure: bool = True,
+    kernel: bool = False,
+    config: MitigationConfig = NONE,
+    seed: int = 0,
+) -> AttackResult:
+    """Fig. 2 vs Fig. 3: a scraper module targets the secret module's
+    variables.  Against the plain program it exfiltrates PIN, secret
+    and tries_left; against the protected module the hardware denies
+    the reads -- even for kernel-privileged malware."""
+    name = f"memory-scraper({'kernel' if kernel else 'module'})"
+    # The attacker knows the binary layout: link the program once to
+    # learn where the module's data lands (appending the scraper later
+    # does not move it), then aim the scraper at PIN and secret.
+    study = build_secret_program(config, protected=protected, secure=secure,
+                                 seed=seed)
+    pin_addr = study.image.symbol("secret:PIN")
+    secret_addr = study.image.symbol("secret:secret")
+    scraper = make_scraper_object(
+        [(pin_addr, 4), (secret_addr, 4)], kernel=kernel
+    )
+    program = _with_extra_module(None, config, protected, secure, seed, scraper)
+    # Run the honest program first (exercises the module), then the
+    # malware gets scheduled.
+    program.feed(p32(1) + p32(1111))
+    program.run()
+    machine = program.machine
+    machine.output.clear()
+    run = run_installed_code(
+        machine, program.symbol("scraper_main"), program.image.initial_sp
+    )
+    leaked = run.output
+    if p32(1234) in leaked and p32(666) in leaked:
+        return AttackResult(name, Outcome.SUCCESS,
+                            "PIN and secret scraped from memory", run,
+                            {"leak": leaked})
+    return finish(name, classify_failure(run, "module memory inaccessible"))
+
+
+def _with_extra_module(program, config, protected, secure, seed, extra):
+    """Rebuild the secret program with an extra attacker module linked in."""
+    from repro.minic.compiler import options_from_mitigations
+    from repro.minic import compile_source
+    from repro.programs import sources
+    from repro.programs.builders import libc_object
+    from repro.link import load
+
+    module_options = options_from_mitigations(config, protected=protected,
+                                              secure=secure)
+    secret_obj = compile_source(sources.SECRET_MODULE_FIG2, "secret", module_options)
+    main_obj = compile_source(sources.SECRET_MAIN_FIG2, "main",
+                              options_from_mitigations(config))
+    return load([main_obj, secret_obj, libc_object(), extra], config, seed=seed)
+
+
+#: Attacker main that calls get_secret once with a wrong PIN, then
+#: halts with all state intact so residue can be inspected/harvested.
+_RESIDUE_PROBE_ASM = """
+.text
+.global main
+main:
+    push bp
+    mov bp, sp
+    mov r0, 1111            ; a wrong guess
+    push r0
+    call get_secret
+    add sp, 4
+    ; Harvest the stack residue below SP: the module's spilled
+    ; temporaries live there if it ran on the shared stack.
+    mov r1, sp
+    sub r1, 64
+    mov r0, 1
+    mov r2, 64
+    sys 2                   ; write(1, sp-64, 64)
+    mov r0, 0
+    sys 3
+"""
+
+
+def attack_stack_residue(
+    *,
+    protected: bool,
+    secure: bool,
+    config: MitigationConfig = NONE,
+    seed: int = 0,
+) -> AttackResult:
+    """After a failed get_secret() call, read the dead stack below SP.
+
+    With the module on the shared stack (plain or insecurely compiled
+    PMA), the comparison `PIN == provided_pin` spilled the PIN there.
+    The secure compilation's module-private stack keeps the spill
+    inside the protected data section."""
+    name = "stack-residue"
+    probe = assemble(_RESIDUE_PROBE_ASM, "main")
+    program = build_secret_program(
+        config, protected=protected, secure=secure, seed=seed, main_object=probe,
+    )
+    run = program.run()
+    if run.fault is not None:
+        return finish(name, classify_failure(run))
+    # The module spills internal values onto whatever stack it runs on:
+    # the PIN itself (pushed while evaluating `PIN == provided_pin`)
+    # and pointers into its static data area.  Scan the harvest.
+    data_lo, data_hi = program.image.object_layout["secret"][".data"]
+    residue = run.output
+    pin_leaked = p32(1234) in residue
+    leaked_words = [
+        hex(u32(residue, position))
+        for position in range(0, len(residue) - 3, 4)
+        if data_lo <= u32(residue, position) < data_hi
+    ]
+    if pin_leaked or leaked_words:
+        what = []
+        if pin_leaked:
+            what.append("the PIN (1234)")
+        if leaked_words:
+            what.append("module data pointers " + ", ".join(leaked_words))
+        return AttackResult(
+            name, Outcome.SUCCESS,
+            "module internals left on the shared stack: " + "; ".join(what),
+            run, {"leak": residue},
+        )
+    return AttackResult(name, Outcome.NO_EFFECT,
+                        "no module residue on the attacker-visible stack", run)
+
+
+#: Attacker main that halts immediately after the module returns, so
+#: the harness can inspect the register file the attacker's code sees.
+_REGISTER_PROBE_ASM = """
+.text
+.global main
+main:
+    push bp
+    mov bp, sp
+    mov r0, 1111
+    push r0
+    call get_secret
+    add sp, 4
+    halt                    ; attacker code now owns these registers
+"""
+
+
+def attack_register_residue(
+    *,
+    protected: bool,
+    secure: bool,
+    config: MitigationConfig = NONE,
+    seed: int = 0,
+) -> AttackResult:
+    """Inspect registers right after the module returns.
+
+    Without scrubbing, scratch registers may hold module-internal
+    values (here: a pointer into the protected data section, leaking
+    the module's layout); the secure compilation zeroes r1-r7."""
+    name = "register-residue"
+    probe = assemble(_REGISTER_PROBE_ASM, "main")
+    program = build_secret_program(
+        config, protected=protected, secure=secure, seed=seed, main_object=probe,
+    )
+    run = program.run()
+    if run.fault is not None:
+        return finish(name, classify_failure(run))
+    machine = program.machine
+    module_values = []
+    if machine.pma.modules:
+        module = machine.pma.modules[0]
+        module_values = [
+            f"r{n}=0x{value:08x}"
+            for n, value in enumerate(machine.cpu.regs[:8])
+            if n != 0 and (module.in_data(value) or module.in_text(value))
+        ]
+    else:
+        # Unprotected baseline: any non-zero scratch register counts as
+        # residue the attacker can mine.
+        module_values = [
+            f"r{n}=0x{value:08x}"
+            for n, value in enumerate(machine.cpu.regs[:8])
+            if n != 0 and value != 0
+        ]
+    if module_values:
+        return AttackResult(
+            name, Outcome.SUCCESS,
+            f"module-internal values left in registers: {', '.join(module_values)}",
+            run, {"registers": machine.cpu.snapshot()},
+        )
+    return AttackResult(name, Outcome.NO_EFFECT, "registers scrubbed", run)

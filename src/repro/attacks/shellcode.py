@@ -1,0 +1,50 @@
+"""Shellcode: attacker-chosen machine code delivered as data.
+
+Direct code injection (Section III-B) works by writing these byte
+strings into a buffer and redirecting control flow onto them.  On VN32
+a shell spawn is tiny -- ``sys spawn_shell; sys exit`` -- just as real
+shellcode is a short ``execve("/bin/sh")`` sequence.
+"""
+
+from __future__ import annotations
+
+from repro.isa import R0, R1, R2, build, encode_many
+from repro.machine import syscalls
+
+
+def spawn_shell() -> bytes:
+    """Spawn a shell, then exit cleanly (4 bytes)."""
+    return encode_many([
+        build.sys(syscalls.SYS_SPAWN_SHELL),
+        build.sys(syscalls.SYS_EXIT),
+    ])
+
+
+def exfiltrate(addr: int, length: int) -> bytes:
+    """Write ``length`` bytes at ``addr`` to the output channel, then exit."""
+    return encode_many([
+        build.mov_ri(R0, 1),
+        build.mov_ri(R1, addr),
+        build.mov_ri(R2, length),
+        build.sys(syscalls.SYS_WRITE),
+        build.sys(syscalls.SYS_EXIT),
+    ])
+
+
+def overwrite_word(addr: int, value: int) -> bytes:
+    """Store ``value`` at ``addr`` (e.g. flip a privilege flag), then exit."""
+    from repro.isa import Mem
+
+    return encode_many([
+        build.mov_ri(R0, value),
+        build.mov_ri(R1, addr),
+        build.store(R0, Mem(R1, 0)),
+        build.sys(syscalls.SYS_EXIT),
+    ])
+
+
+def infinite_loop() -> bytes:
+    """A spin loop -- useful to prove execution reached a location."""
+    # jmp to self needs an absolute address; use two-instruction loop
+    # via a relative trick: HALT is simpler proof of reach.
+    return encode_many([build.halt()])

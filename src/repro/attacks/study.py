@@ -1,0 +1,117 @@
+"""The attacker's reconnaissance tools.
+
+Real attackers study their own copy of a victim binary under a
+debugger before attacking the live target.  These helpers model that:
+they run a *local* instance (same binary, attacker-chosen machine, so
+no load-time secrets) and observe it.  Load-time secrets -- the canary
+value and the ASLR shifts of the *victim's* instance -- are exactly
+what the local study cannot reveal, which is why those countermeasures
+have bite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.link.loader import LoadedProgram
+from repro.machine.machine import Machine
+
+
+class StudyComplete(Exception):
+    """Raised by observation hooks to stop a local study run."""
+
+
+def run_until_syscall(
+    program: LoadedProgram,
+    number: int,
+    occurrence: int = 1,
+    max_instructions: int = 2_000_000,
+) -> Machine:
+    """Run a local instance until the n-th occurrence of a syscall.
+
+    Returns the live machine, frozen at the moment the syscall is
+    about to execute (registers and memory inspectable).  This is the
+    moral equivalent of a debugger breakpoint on ``read``.
+    """
+    seen = 0
+
+    def hook(machine: Machine, sys_number: int) -> None:
+        nonlocal seen
+        if sys_number == number:
+            seen += 1
+            if seen >= occurrence:
+                raise StudyComplete
+
+    program.machine.syscall_hooks.append(hook)
+    try:
+        result = program.run(max_instructions)
+    except StudyComplete:
+        program.machine.syscall_hooks.remove(hook)
+        # Rewind to the ``sys`` instruction itself so a later resume
+        # re-executes the syscall (the hook fired before the handler).
+        program.machine.cpu.ip = program.machine.current_ip
+        return program.machine
+    program.machine.syscall_hooks.remove(hook)
+    raise RuntimeError(
+        f"study run never reached syscall {number} x{occurrence} "
+        f"(ended {result.status}, fault={result.fault_name()})"
+    )
+
+
+@dataclass
+class OverflowSite:
+    """What the attacker learns about one vulnerable ``read``:
+
+    where the buffer lives and where the interesting slots sit
+    relative to it (all in the *unrandomised* layout -- under ASLR the
+    victim's actual addresses differ by the unknown shifts).
+    """
+
+    #: Address the vulnerable read writes to.
+    buffer_addr: int
+    #: Address of the frame's saved base pointer slot (the frame whose
+    #: return address the overflow can reach).
+    saved_bp_addr: int
+    #: Address of the saved return address slot.
+    return_addr_slot: int
+    #: Value currently in the return slot (where the victim would
+    #: normally return to).
+    original_return: int
+
+    @property
+    def offset_to_return(self) -> int:
+        """Bytes of padding from the buffer to the return-address slot."""
+        return self.return_addr_slot - self.buffer_addr
+
+
+def locate_overflow(
+    program: LoadedProgram,
+    *,
+    read_occurrence: int = 1,
+    frames_up: int = 0,
+    feed: bytes = b"",
+) -> OverflowSite:
+    """Breakpoint on the vulnerable ``read`` and map the frame.
+
+    ``frames_up`` selects whose return address the attacker targets:
+    0 is the function executing the read; 1 its caller (e.g. Figure
+    1's ``process()`` owns the buffer its callee overflows), etc.
+    The frame walk follows the saved-BP chain, exactly as a debugger's
+    backtrace does.
+    """
+    from repro.isa.registers import BP
+    from repro.machine import syscalls
+
+    if feed:
+        program.feed(feed)
+    machine = run_until_syscall(program, syscalls.SYS_READ, read_occurrence)
+    buffer_addr = machine.cpu.regs[1]  # r1 = buf argument of sys read
+    frame_bp = machine.cpu.regs[BP]
+    for _ in range(frames_up):
+        frame_bp = machine.memory.read_word(frame_bp)
+    return OverflowSite(
+        buffer_addr=buffer_addr,
+        saved_bp_addr=frame_bp,
+        return_addr_slot=frame_bp + 4,
+        original_return=machine.memory.read_word(frame_bp + 4),
+    )

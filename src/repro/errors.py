@@ -1,0 +1,175 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator, toolchain, or security machinery
+derives from :class:`ReproError`, so callers can catch the whole family
+with a single ``except`` clause.  Faults raised *during simulated
+execution* (memory faults, protection faults, ...) additionally derive
+from :class:`MachineFault` and carry the faulting instruction pointer,
+because the attack experiments need to distinguish "the program crashed"
+from "the toolchain rejected the program".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Toolchain errors (raised while *building* a program, not while running it)
+# ---------------------------------------------------------------------------
+
+
+class ToolchainError(ReproError):
+    """Base class for assembler / compiler / linker / loader errors."""
+
+
+class EncodingError(ToolchainError):
+    """An instruction could not be encoded to bytes."""
+
+
+class DecodeError(ToolchainError):
+    """A byte sequence could not be decoded as an instruction.
+
+    The ROP gadget finder relies on this being raised (rather than
+    returning garbage) when a linear-sweep decode lands on an invalid
+    opcode.
+    """
+
+    def __init__(self, message: str, offset: int | None = None):
+        super().__init__(message)
+        self.offset = offset
+
+
+class AssemblerError(ToolchainError):
+    """Error while assembling source text."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class LinkError(ToolchainError):
+    """Error while linking object files into an image."""
+
+
+class LoaderError(ToolchainError):
+    """Error while loading an image into a machine."""
+
+
+class CompileError(ToolchainError):
+    """Error raised by the MinC compiler (lexer, parser, or sema)."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        location = ""
+        if line is not None:
+            location = f"line {line}"
+            if col is not None:
+                location += f", col {col}"
+            message = f"{location}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.col = col
+
+
+# ---------------------------------------------------------------------------
+# Machine faults (raised during simulated execution)
+# ---------------------------------------------------------------------------
+
+
+class MachineFault(ReproError):
+    """Base class for faults raised while the simulated CPU is running.
+
+    ``ip`` is the address of the faulting instruction (or access),
+    recorded so experiments can report *where* an attack was stopped.
+    """
+
+    def __init__(self, message: str, ip: int | None = None):
+        if ip is not None:
+            message = f"{message} (ip=0x{ip:08x})"
+        super().__init__(message)
+        self.ip = ip
+
+
+class MemoryFault(MachineFault):
+    """Access to an unmapped address."""
+
+
+class PermissionFault(MachineFault):
+    """Access violating page permissions (e.g. write to text, DEP)."""
+
+
+class ProtectionFault(MachineFault):
+    """Access violating the protected-module access-control rules."""
+
+
+class InvalidInstructionFault(MachineFault):
+    """The CPU fetched bytes that do not decode to a valid instruction."""
+
+
+class DivisionFault(MachineFault):
+    """Division (or modulo) by zero."""
+
+
+class CanaryFault(MachineFault):
+    """A stack canary check failed (``__stack_chk_fail``)."""
+
+
+class BoundsFault(MachineFault):
+    """A compiler-inserted bounds check (``CHK``) failed."""
+
+
+class RedZoneFault(MachineFault):
+    """An access hit a poisoned red zone (ASan-style testing checks)."""
+
+
+class ShadowStackFault(MachineFault):
+    """A ``RET`` popped a return address disagreeing with the shadow stack."""
+
+
+class CFIFault(MachineFault):
+    """An indirect call targeted an address outside the valid-target set."""
+
+
+class SyscallFault(MachineFault):
+    """A syscall was invoked with an invalid number or arguments."""
+
+
+class ExecutionLimitExceeded(MachineFault):
+    """The machine executed more instructions than the configured budget.
+
+    Used to bound attack experiments: an attack that sends the program
+    into an infinite loop has *not* succeeded.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Security-mechanism errors (PMA crypto, attestation, sealing)
+# ---------------------------------------------------------------------------
+
+
+class SecurityError(ReproError):
+    """Base class for attestation / sealing / continuity failures."""
+
+
+class AttestationError(SecurityError):
+    """A remote-attestation report failed verification."""
+
+
+class SealingError(SecurityError):
+    """A sealed blob failed authentication or could not be unsealed."""
+
+
+class RollbackError(SecurityError):
+    """A state-continuity scheme rejected stale (rolled-back) state."""
+
+
+class ContinuityLivenessError(SecurityError):
+    """A state-continuity scheme can no longer make progress.
+
+    Raised when recovery finds *no* acceptable stored state -- the
+    liveness failure mode discussed in Section IV-C of the paper.
+    """

@@ -1,0 +1,35 @@
+"""Experiment harnesses: one module per paper artefact (see DESIGN.md)."""
+
+from repro.experiments import (
+    analysis_exp,
+    aslr,
+    attestation_exp,
+    cfi_exp,
+    fig1,
+    heap_exp,
+    fig4_exp,
+    matrix,
+    modules_exp,
+    multimodule_exp,
+    overhead,
+    reporting,
+    securecomp_exp,
+    sfi_exp,
+)
+
+__all__ = [
+    "analysis_exp",
+    "aslr",
+    "attestation_exp",
+    "cfi_exp",
+    "fig1",
+    "heap_exp",
+    "fig4_exp",
+    "matrix",
+    "modules_exp",
+    "multimodule_exp",
+    "overhead",
+    "reporting",
+    "securecomp_exp",
+    "sfi_exp",
+]

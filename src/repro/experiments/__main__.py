@@ -1,0 +1,156 @@
+"""Run every experiment and print the paper-artefact reports.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments e4 e10     # selected experiment ids
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    analysis_exp,
+    aslr,
+    attestation_exp,
+    cfi_exp,
+    fig1,
+    heap_exp,
+    fig4_exp,
+    matrix,
+    modules_exp,
+    multimodule_exp,
+    overhead,
+    securecomp_exp,
+    sfi_exp,
+)
+from repro.experiments.reporting import render_kv
+
+
+def run_e1() -> str:
+    return fig1.generate_fig1().render()
+
+
+def run_e4() -> str:
+    return matrix.render_matrix(matrix.run_matrix())
+
+
+def run_e5() -> str:
+    return "\n\n".join([
+        overhead.render_overhead(overhead.overhead_table()),
+        overhead.render_overhead(overhead.overhead_table(optimize=True),
+                                 optimized=True),
+        overhead.render_scaling(overhead.scaling_table()),
+    ])
+
+
+def run_e6() -> str:
+    comparison = aslr.partial_overwrite_comparison(trials=48)
+    return (aslr.render_sweep(aslr.sweep(trials=16))
+            + "\n\n" + render_kv(
+                "E6b: eroding ASLR with a partial overwrite (16-bit ASLR)",
+                {
+                    "full-address guess": f"{comparison['full_rate']:.4f} "
+                    f"(expected ~{comparison['expected_full_rate']:.5f})",
+                    "2-byte partial overwrite": f"{comparison['partial_rate']:.4f} "
+                    f"(expected ~{comparison['expected_partial_rate']:.4f})",
+                }))
+
+
+def run_e7() -> str:
+    return "\n\n".join([
+        analysis_exp.render_safe_language(analysis_exp.safe_language_report()),
+        analysis_exp.static_analysis_report(),
+        analysis_exp.fuzzing_report(),
+    ])
+
+
+def run_e8_e9() -> str:
+    lockout = modules_exp.io_attacker_lockout()
+    parts = [
+        render_kv("E8a: I/O attacker vs the bug-free module", lockout),
+        modules_exp.render_scrapers(modules_exp.scraper_table()),
+        modules_exp.render_census(modules_exp.sweep_census()),
+        render_kv("E9c: functionality preserved under protection",
+                  modules_exp.functionality_preserved()),
+        modules_exp.render_residue(modules_exp.residue_table()),
+    ]
+    return "\n\n".join(parts)
+
+
+def run_e10() -> str:
+    return (fig4_exp.render_scenarios(fig4_exp.scenario_table())
+            + "\n\n" + fig4_exp.render_brute_force())
+
+
+def run_e11() -> str:
+    parts = [
+        render_kv("E11: attestation", attestation_exp.attestation_report()),
+        render_kv("E11: sealing", attestation_exp.sealing_report()),
+        attestation_exp.render_rollback(attestation_exp.rollback_table()),
+        attestation_exp.render_crash_matrix(),
+    ]
+    return "\n\n".join(parts)
+
+
+def run_e12() -> str:
+    return (overhead.render_crossing(overhead.boundary_crossing_table())
+            + "\n\n" + securecomp_exp.render_ablation(
+                securecomp_exp.ablation_table()))
+
+
+def run_cfi() -> str:
+    return cfi_exp.render_cfi(cfi_exp.cfi_table())
+
+
+def run_heap() -> str:
+    return heap_exp.render_heap(heap_exp.heap_table())
+
+
+def run_multimodule() -> str:
+    return multimodule_exp.render_multimodule(
+        multimodule_exp.multimodule_report())
+
+
+def run_sfi() -> str:
+    from repro.experiments.reporting import render_kv
+
+    return (sfi_exp.render_sfi(sfi_exp.sfi_table())
+            + "\n\n" + render_kv("SFI asymmetry (the paper's criticism)",
+                                 sfi_exp.asymmetry_report()))
+
+
+EXPERIMENTS = {
+    "e1": ("Figure 1: source / machine code / run-time state", run_e1),
+    "e4": ("attack x countermeasure matrix", run_e4),
+    "cfi": ("extension: coarse vs typed CFI precision", run_cfi),
+    "heap": ("extension: heap attacks vs defences", run_heap),
+    "multi": ("extension: mutually distrustful modules", run_multimodule),
+    "sfi": ("extension: software fault isolation", run_sfi),
+    "e5": ("countermeasure overhead", run_e5),
+    "e6": ("ASLR entropy sweep", run_e6),
+    "e7": ("safe language / static analysis / fuzzing", run_e7),
+    "e8": ("Figures 2-3: scraping vs the PMA", run_e8_e9),
+    "e10": ("Figure 4: secure compilation", run_e10),
+    "e11": ("attestation / sealing / continuity", run_e11),
+    "e12": ("secure-compilation cost and ablation", run_e12),
+}
+
+
+def main(argv: list[str]) -> int:
+    selected = [arg.lower() for arg in argv] or list(EXPERIMENTS)
+    for key in selected:
+        if key not in EXPERIMENTS:
+            print(f"unknown experiment {key!r}; have {', '.join(EXPERIMENTS)}")
+            return 1
+        title, runner = EXPERIMENTS[key]
+        banner = f"==== {key.upper()} :: {title} "
+        print(banner + "=" * max(0, 78 - len(banner)))
+        print(runner())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,116 @@
+"""E1 -- regenerate Figure 1: source, machine code, run-time state.
+
+The paper's Figure 1 shows (a) the server's source code, (b) the
+compiled machine code of ``process()`` with assembly and hex bytes,
+and (c) a snapshot of the run-time machine state just after entering
+``get_request()``: the two activation records, the saved base pointer
+and return address, the IP and SP.
+
+This experiment compiles the same program with our toolchain and
+prints the same three artefacts, with the stack snapshot annotated the
+way the figure annotates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.disassembler import disassemble, render_listing
+from repro.attacks.study import run_until_syscall
+from repro.isa.registers import BP, SP
+from repro.machine import syscalls
+from repro.mitigations.config import MitigationConfig, NONE
+from repro.programs.builders import build_fig1
+from repro.programs.sources import FIG1_SERVER_VULNERABLE
+
+
+@dataclass
+class Fig1Artifacts:
+    source: str
+    process_listing: str
+    stack_snapshot: str
+    registers: dict
+
+    def render(self) -> str:
+        return "\n\n".join([
+            "=== (a) Program source code ===",
+            self.source.strip(),
+            "=== (b) Machine code for process() ===",
+            self.process_listing,
+            "=== (c) Run-time machine state (just entered get_request) ===",
+            self.stack_snapshot,
+            "registers: " + ", ".join(
+                f"{name}=0x{value:08x}" for name, value in self.registers.items()
+            ),
+        ])
+
+
+def _function_extent(program, name: str) -> tuple[int, int]:
+    """Approximate [start, end) of a function in the text segment:
+    from its symbol to the next function symbol."""
+    image = program.image
+    start = image.symbol(name)
+    candidates = [addr for addr in image.function_addresses if addr > start]
+    end = min(candidates) if candidates else image.segment_named("text").end
+    return start, end
+
+
+def generate_fig1(config: MitigationConfig = NONE, *,
+                  request: bytes = b"ABCDEFGHIJKLMNO\x00") -> Fig1Artifacts:
+    """Build, run to the Figure 1 moment, and collect the artefacts."""
+    program = build_fig1(config, vulnerable=True)
+    image = program.image
+    start, end = _function_extent(program, "process")
+    text_segment = image.segment_named("text")
+    code = text_segment.data[start - text_segment.addr : end - text_segment.addr]
+    symbols = {addr: name for name, addr in image.symbols.items()
+               if ":" not in name}
+    listing = render_listing(disassemble(code, start, symbols=symbols))
+
+    program.feed(request)
+    machine = run_until_syscall(program, syscalls.SYS_READ)
+    cpu = machine.cpu
+
+    # Annotate the stack from SP up to the initial stack pointer,
+    # walking the saved-BP chain to label activation records.
+    frame_bp = cpu.regs[BP]
+    annotations: dict[int, str] = {}
+    # get_request's frame (we are inside its read call).
+    annotations[frame_bp] = "saved base pointer      <- get_request() record"
+    annotations[frame_bp + 4] = "saved return address"
+    annotations[frame_bp + 8] = "fd parameter"
+    annotations[frame_bp + 12] = "buf parameter"
+    process_bp = machine.memory.read_word(frame_bp)
+    buf_addr = machine.memory.read_word(frame_bp + 12)
+    offset = 0
+    while buf_addr + offset < process_bp - (4 if config.stack_canaries else 0):
+        annotations[buf_addr + offset] = f"buf[{offset}..{offset + 3}]"
+        offset += 4
+    if config.stack_canaries:
+        annotations[process_bp - 4] = "stack canary"
+    annotations[process_bp] = "saved base pointer      <- process() record"
+    annotations[process_bp + 4] = "saved return address"
+    annotations[process_bp + 8] = "fd parameter"
+    main_bp = machine.memory.read_word(process_bp)
+    annotations[main_bp] = "saved base pointer      <- main() record"
+    annotations[main_bp + 4] = "saved return address (into _start)"
+
+    lines = ["ADDRESS      CONTENTS     ANNOTATION"]
+    top = image.initial_sp
+    addr = cpu.regs[SP]
+    while addr <= top:
+        word = machine.memory.read_word(addr)
+        label = annotations.get(addr, "")
+        pointer = ""
+        if addr == cpu.regs[SP]:
+            pointer = "  <-- SP"
+        lines.append(f"0x{addr:08x}   0x{word:08x}   {label}{pointer}")
+        addr += 4
+    snapshot = "\n".join(lines)
+
+    return Fig1Artifacts(
+        source=FIG1_SERVER_VULNERABLE,
+        process_listing=listing,
+        stack_snapshot=snapshot,
+        registers={"ip": cpu.ip, "sp": cpu.regs[SP], "bp": cpu.regs[BP]},
+    )

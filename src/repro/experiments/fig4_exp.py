@@ -1,0 +1,94 @@
+"""E10 -- Figure 4: secure compilation vs the function-pointer attack.
+
+Four scenarios over the callback-taking secret module:
+
+* honest client, insecure compile -- even the *legitimate* callback
+  breaks: its return re-enters the module mid-code, which the PMA
+  refuses (naive compilation to a PMA is wrong both ways);
+* honest client, secure compile -- works (the outcall/re-entry stubs
+  route the callback's return through an entry point);
+* attacker, insecure compile -- the Figure 4 exploit: tries_left is
+  reset and the secret leaks through the hijacked epilogue;
+* attacker, secure compile -- the inserted function-pointer check
+  aborts the call.
+
+Plus the end-to-end brute-force comparison the paper frames the attack
+with.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.payloads import p32
+from repro.attacks.pma_exploit import (
+    attack_direct_midmodule_call,
+    attack_fig4_function_pointer,
+    brute_force_report,
+)
+from repro.experiments.reporting import render_kv, render_table
+from repro.mitigations.config import NONE
+from repro.programs.builders import build_secret_program
+
+
+def honest_client(secure: bool, seed: int = 0) -> dict:
+    """The legitimate Figure 4 usage: a pin-from-stdin callback."""
+    program = build_secret_program(NONE, protected=True, secure=secure,
+                                   fig4=True, seed=seed)
+    program.feed(p32(2) + p32(7777) + p32(1234))
+    result = program.run()
+    answers = [int(line) for line in result.output.split()] if not result.crashed else []
+    return {
+        "compile": "secure" if secure else "insecure",
+        "status": result.status.value,
+        "fault": result.fault_name(),
+        "answers": answers,
+        "works": answers == [0, 666],
+    }
+
+
+def scenario_table(seed: int = 0) -> list[dict]:
+    rows = []
+    for secure in (False, True):
+        honest = honest_client(secure, seed=seed)
+        rows.append({
+            "scenario": f"honest client, {'secure' if secure else 'insecure'} compile",
+            "outcome": "works" if honest["works"]
+            else f"{honest['status']} [{honest['fault']}]",
+        })
+    for secure in (False, True):
+        attack = attack_fig4_function_pointer(secure=secure, seed=seed)
+        rows.append({
+            "scenario": f"fig4 attacker, {'secure' if secure else 'insecure'} compile",
+            "outcome": f"{attack.outcome.value}: {attack.detail[:48]}",
+        })
+    direct = attack_direct_midmodule_call(seed=seed)
+    rows.append({
+        "scenario": "attacker calls mid-module address directly",
+        "outcome": f"{direct.outcome.value}: {direct.detail[:48]}",
+    })
+    return rows
+
+
+def render_scenarios(rows: list[dict]) -> str:
+    return render_table(
+        ["scenario", "outcome"],
+        [[r["scenario"], r["outcome"]] for r in rows],
+        title="E10: Figure 4 -- insecure vs secure compilation to the PMA",
+    )
+
+
+def render_brute_force(seed: int = 0) -> str:
+    insecure = brute_force_report(secure=False, seed=seed)
+    secure = brute_force_report(secure=True, seed=seed)
+    return render_kv("E10b: PIN brute force with a 20-candidate space", {
+        "insecure compile": (
+            f"secret obtained={insecure['secret_obtained']} "
+            f"(hijack {insecure['hijack']}, "
+            f"{insecure['effective_guesses']} effective guess)"
+        ),
+        "secure compile": (
+            f"secret obtained={secure['secret_obtained']} "
+            f"(hijack {secure['hijack']}, lockout holds at "
+            f"{secure['effective_guesses']} tries over "
+            f"{secure.get('guesses_burned')} candidates)"
+        ),
+    })

@@ -1,0 +1,148 @@
+"""E8/E9 -- Figures 2 and 3: the machine-code attacker vs the PMA.
+
+E8 establishes the paper's pivot point: the secret module is
+*bug-free* -- the I/O attacker is locked out after three tries -- yet
+scraping malware in the same address space (or the kernel) reads the
+PIN and the secret directly.
+
+E9 loads the same module into a protected module (Figure 3) and shows
+the hardware access-control rules deny the scraper and kernel malware,
+deny mid-code entry, deny outside writes -- while the legitimate entry
+point keeps working.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.attacks.machinecode import (
+    attack_memory_scraper,
+    attack_register_residue,
+    attack_stack_residue,
+    sweep_memory,
+)
+from repro.attacks.payloads import p32
+from repro.experiments.reporting import render_table
+from repro.mitigations.config import NONE
+from repro.programs.builders import build_secret_program
+
+
+def io_attacker_lockout(guess_budget: int = 100) -> dict:
+    """E8a: the I/O attacker's brute force against the bug-free module
+    is capped by the three-strikes counter."""
+    program = build_secret_program(NONE)
+    payload = struct.pack("<I", guess_budget)
+    for guess in range(1000, 1000 + guess_budget):  # never hits 1234
+        payload += p32(guess)
+    program.feed(payload)
+    result = program.run(20_000_000)
+    answers = [int(line) for line in result.output.split()]
+    return {
+        "guesses_sent": guess_budget,
+        "nonzero_answers": sum(1 for a in answers if a != 0),
+        "locked_out": all(a == 0 for a in answers),
+        "status": result.status.value,
+    }
+
+
+def scraper_table(seed: int = 0) -> list[dict]:
+    """E8b/E9a: the scraper outcome across protection levels."""
+    rows = []
+    for label, protected, secure, kernel in (
+        ("plain program, module malware", False, False, False),
+        ("plain program, kernel malware", False, False, True),
+        ("protected module, module malware", True, False, False),
+        ("protected module, kernel malware", True, False, True),
+        ("secure-compiled module, module malware", True, True, False),
+        ("secure-compiled module, kernel malware", True, True, True),
+    ):
+        result = attack_memory_scraper(
+            protected=protected, secure=secure, kernel=kernel, seed=seed,
+        )
+        rows.append({
+            "scenario": label,
+            "outcome": result.outcome.value,
+            "detail": result.detail,
+        })
+    return rows
+
+
+def render_scrapers(rows: list[dict]) -> str:
+    return render_table(
+        ["scenario", "outcome", "detail"],
+        [[r["scenario"], r["outcome"], r["detail"][:58]] for r in rows],
+        title="E8/E9: memory-scraping malware vs the protected module",
+    )
+
+
+def sweep_census(seed: int = 0) -> list[dict]:
+    """E9b: full address-space sweep census -- how much is readable,
+    and do the secrets surface?"""
+    needles = {"PIN": p32(1234), "secret": p32(666)}
+    rows = []
+    for label, protected in (("plain", False), ("protected", True)):
+        program = build_secret_program(NONE, protected=protected,
+                                       secure=protected, seed=seed)
+        program.feed(p32(1) + p32(1111))
+        program.run()
+        for privilege in ("module", "kernel"):
+            report = sweep_memory(program.machine, kernel=privilege == "kernel",
+                                  needles=needles)
+            rows.append({
+                "program": label,
+                "scanner": privilege,
+                "readable_kib": report.bytes_readable // 1024,
+                "denied_kib": report.bytes_denied // 1024,
+                "secrets_found": ",".join(report.secrets_found) or "-",
+            })
+    return rows
+
+
+def render_census(rows: list[dict]) -> str:
+    return render_table(
+        ["program", "scanner", "readable KiB", "denied KiB", "secrets found"],
+        [[r["program"], r["scanner"], r["readable_kib"], r["denied_kib"],
+          r["secrets_found"]] for r in rows],
+        title="E9b: address-space sweep census",
+    )
+
+
+def functionality_preserved(seed: int = 0) -> dict:
+    """E9c: the protected module still serves honest clients."""
+    program = build_secret_program(NONE, protected=True, secure=True, seed=seed)
+    program.feed(p32(4) + p32(1111) + p32(2222) + p32(1234) + p32(3333))
+    result = program.run()
+    answers = [int(line) for line in result.output.split()]
+    return {
+        "answers": answers,
+        "correct_pin_served": 666 in answers,
+        "wrong_pins_refused": answers.count(0) == 3,
+        "status": result.status.value,
+    }
+
+
+def residue_table(seed: int = 0) -> list[dict]:
+    """E9d: what the secure compilation's private stack and register
+    scrubbing buy (the ablation rows of DESIGN.md)."""
+    rows = []
+    for label, protected, secure in (
+        ("plain program", False, False),
+        ("protected, insecure compile", True, False),
+        ("protected, secure compile", True, True),
+    ):
+        stack = attack_stack_residue(protected=protected, secure=secure, seed=seed)
+        regs = attack_register_residue(protected=protected, secure=secure, seed=seed)
+        rows.append({
+            "build": label,
+            "stack_residue": stack.outcome.value,
+            "register_residue": regs.outcome.value,
+        })
+    return rows
+
+
+def render_residue(rows: list[dict]) -> str:
+    return render_table(
+        ["build", "stack residue", "register residue"],
+        [[r["build"], r["stack_residue"], r["register_residue"]] for r in rows],
+        title="E9d: information left behind after a module call",
+    )

@@ -1,0 +1,257 @@
+"""E5/E12 -- runtime overhead of the countermeasures.
+
+The paper's cost claims, measured in executed instructions (the
+architecture-neutral cost unit of the simulator):
+
+* stack canaries are "cheap and straightforward" -- a small constant
+  per function call;
+* run-time bounds checks "often impose a performance overhead that is
+  unacceptable in production systems" -- a cost per memory access,
+  growing with the work done;
+* secure compilation to a PMA adds a per-boundary-crossing cost
+  (entry stub, private-stack switch, scrubbing), not a per-instruction
+  cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import render_table
+from repro.minic import CompileOptions, compile_source
+from repro.minic.compiler import options_from_mitigations
+from repro.mitigations.config import (
+    CANARY,
+    MitigationConfig,
+    NONE,
+    SAFE_LANGUAGE,
+    TESTING,
+)
+from repro.programs.builders import build_secret_program, libc_object
+
+#: A compute-heavy workload: bounded array traffic that the safe mode
+#: accepts, so the identical source compiles in every posture.
+WORKLOAD_SOURCE = """
+static int table[64];
+
+int churn(int rounds) {
+    int acc = 0;
+    int r;
+    for (r = 0; r < rounds; r = r + 1) {
+        int i;
+        for (i = 0; i < 64; i = i + 1) {
+            table[i] = table[i] + i;
+        }
+        for (i = 0; i < 64; i = i + 1) {
+            acc = acc + table[i];
+        }
+    }
+    return acc;
+}
+
+int leaf(int x) {
+    char scratch[16];
+    int i;
+    for (i = 0; i < 16; i = i + 1) {
+        scratch[i] = x + i;
+    }
+    return scratch[0] + scratch[15];
+}
+
+int call_storm(int calls) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < calls; i = i + 1) {
+        acc = acc + leaf(i);
+    }
+    return acc;
+}
+
+void main() {
+    print_int(churn(10));
+    print_int(call_storm(100));
+}
+"""
+
+
+@dataclass
+class OverheadRow:
+    posture: str
+    instructions: int
+    overhead_pct: float
+
+
+def measure_workload(config: MitigationConfig, optimize: bool = False) -> int:
+    """Instructions to run the workload under one posture."""
+    from dataclasses import replace
+
+    from repro.link import load
+
+    options = replace(options_from_mitigations(config), optimize=optimize)
+    obj = compile_source(WORKLOAD_SOURCE, "workload", options)
+    program = load([obj, libc_object()], config)
+    result = program.run(50_000_000)
+    assert result.exit_code == 0, result
+    return result.instructions
+
+
+def overhead_table(optimize: bool = False) -> list[OverheadRow]:
+    """E5: instruction overhead of canaries vs bounds checks vs ASan.
+
+    ``optimize`` measures against the peephole-optimized baseline --
+    the tighter the surrounding code, the larger the *relative* cost
+    of per-access checks (the ablation DESIGN.md calls out).
+    """
+    postures = [
+        ("none", NONE),
+        ("canaries", CANARY),
+        ("safe-language (bounds checks)", SAFE_LANGUAGE.with_(dep=False)),
+        ("asan (testing red zones)", TESTING),
+    ]
+    baseline = measure_workload(NONE, optimize)
+    rows = []
+    for name, config in postures:
+        instructions = measure_workload(config, optimize)
+        rows.append(OverheadRow(
+            name, instructions,
+            100.0 * (instructions - baseline) / baseline,
+        ))
+    return rows
+
+
+def render_overhead(rows: list[OverheadRow], optimized: bool = False) -> str:
+    flavour = "optimized" if optimized else "unoptimized"
+    return render_table(
+        ["posture", "instructions", "overhead %"],
+        [[r.posture, r.instructions, f"{r.overhead_pct:+.1f}%"] for r in rows],
+        title=f"E5: runtime overhead by countermeasure ({flavour} baseline)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E5b: scaling shape -- canaries cost per *call*, bounds checks per *access*
+# ---------------------------------------------------------------------------
+
+_SCALING_SOURCE = """
+static int table[128];
+
+int touch(int accesses) {{
+    int acc = 0;
+    int i;
+    for (i = 0; i < accesses; i = i + 1) {{
+        int idx = i % 128;
+        acc = acc + table[idx];
+    }}
+    return acc;
+}}
+
+void main() {{
+    print_int(touch({accesses}));
+}}
+"""
+
+
+def scaling_table(access_counts=(64, 256, 1024, 4096)) -> list[dict]:
+    """Overhead vs memory-access density.
+
+    The canary adds a constant per call (flat line); the bounds check
+    adds one ``chk`` per access (linear growth) -- the shape behind
+    the paper's "acceptable in testing, unacceptable in production"
+    judgement for per-access run-time checks.
+    """
+    from repro.link import load
+
+    rows = []
+    for accesses in access_counts:
+        source = _SCALING_SOURCE.format(accesses=accesses)
+        instructions = {}
+        for name, config in (("none", NONE), ("canary", CANARY),
+                             ("bounds", SAFE_LANGUAGE.with_(dep=False))):
+            obj = compile_source(source, "scaling", options_from_mitigations(config))
+            program = load([obj, libc_object()], config)
+            result = program.run(100_000_000)
+            assert result.exit_code == 0
+            instructions[name] = result.instructions
+        rows.append({
+            "accesses": accesses,
+            "baseline": instructions["none"],
+            "canary_extra": instructions["canary"] - instructions["none"],
+            "bounds_extra": instructions["bounds"] - instructions["none"],
+        })
+    return rows
+
+
+def render_scaling(rows: list[dict]) -> str:
+    return render_table(
+        ["accesses", "baseline instr", "canary extra", "bounds extra"],
+        [[r["accesses"], r["baseline"], r["canary_extra"], r["bounds_extra"]]
+         for r in rows],
+        title="E5b: canary cost is per-call (flat); bounds-check cost is "
+              "per-access (linear)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# E12: cost of one protected-module boundary crossing
+# ---------------------------------------------------------------------------
+
+#: Driver that calls get_secret() `N` times; the per-call cost is the
+#: slope, independent of the constant program setup.
+_CROSSING_DRIVER = """
+int get_secret(int pin);
+
+void main() {{
+    int i;
+    int acc = 0;
+    for (i = 0; i < {calls}; i = i + 1) {{
+        acc = acc + get_secret(1234);
+    }}
+    print_int(acc);
+}}
+"""
+
+
+def _crossing_cost(protected: bool, secure: bool, calls_low: int = 10,
+                   calls_high: int = 110) -> float:
+    """Per-call instruction cost via a two-point slope."""
+    costs = {}
+    for calls in (calls_low, calls_high):
+        driver = compile_source(
+            _CROSSING_DRIVER.format(calls=calls), "main", CompileOptions()
+        )
+        program = build_secret_program(
+            NONE, protected=protected, secure=secure, main_object=driver,
+        )
+        result = program.run(50_000_000)
+        assert result.exit_code == 0, (result.status, result.fault)
+        costs[calls] = result.instructions
+    return (costs[calls_high] - costs[calls_low]) / (calls_high - calls_low)
+
+
+def boundary_crossing_table() -> list[dict]:
+    """E12: instructions per cross-module call, plain vs PMA vs secure."""
+    rows = []
+    baseline = None
+    for name, protected, secure in (
+        ("plain call (no PMA)", False, False),
+        ("protected module, insecure compile", True, False),
+        ("protected module, secure compile", True, True),
+    ):
+        per_call = _crossing_cost(protected, secure)
+        if baseline is None:
+            baseline = per_call
+        rows.append({
+            "scheme": name,
+            "instructions_per_call": round(per_call, 1),
+            "overhead_per_call": round(per_call - baseline, 1),
+        })
+    return rows
+
+
+def render_crossing(rows: list[dict]) -> str:
+    return render_table(
+        ["scheme", "instr/call", "overhead/call"],
+        [[r["scheme"], r["instructions_per_call"], r["overhead_per_call"]]
+         for r in rows],
+        title="E12: cost of one protected-module boundary crossing",
+    )

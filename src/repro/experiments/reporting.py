@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render an ASCII table (all cells stringified)."""
+    cells = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+
+    def line(parts: list[str]) -> str:
+        return "| " + " | ".join(
+            part.ljust(width) for part, width in zip(parts, widths)
+        ) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    out = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(headers))
+    out.append(separator)
+    for row in cells:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def render_kv(title: str, pairs: dict) -> str:
+    """Render a key/value block."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = [title]
+    for key, value in pairs.items():
+        lines.append(f"  {str(key).ljust(width)} : {value}")
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""VN32: the 32-bit instruction-set architecture used by this reproduction.
+
+Public surface:
+
+* :mod:`repro.isa.registers` -- register numbers and names;
+* :mod:`repro.isa.build` -- instruction constructors;
+* :mod:`repro.isa.encoding` -- binary encode/decode;
+* :class:`repro.isa.instructions.Instruction` and
+  :class:`repro.isa.instructions.Mem` -- value objects.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    Mem,
+    WORD_MASK,
+    WORD_SIZE,
+    format_instruction,
+    to_signed,
+    to_unsigned,
+)
+from repro.isa.encoding import decode, decode_all, encode, encode_many
+from repro.isa.opcodes import (
+    MAX_INSTRUCTION_LENGTH,
+    OPCODE_TABLE,
+    OperandFormat,
+    RET_OPCODE,
+)
+from repro.isa.registers import (
+    BP,
+    NUM_REGISTERS,
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    SP,
+    register_name,
+    register_number,
+)
+
+__all__ = [
+    "Instruction",
+    "Mem",
+    "WORD_MASK",
+    "WORD_SIZE",
+    "format_instruction",
+    "to_signed",
+    "to_unsigned",
+    "decode",
+    "decode_all",
+    "encode",
+    "encode_many",
+    "MAX_INSTRUCTION_LENGTH",
+    "OPCODE_TABLE",
+    "OperandFormat",
+    "RET_OPCODE",
+    "BP",
+    "NUM_REGISTERS",
+    "R0",
+    "R1",
+    "R2",
+    "R3",
+    "R4",
+    "R5",
+    "R6",
+    "R7",
+    "SP",
+    "register_name",
+    "register_number",
+]

@@ -1,0 +1,240 @@
+"""Constructors for VN32 instructions.
+
+Each function builds an :class:`~repro.isa.instructions.Instruction`
+with its opcode pinned, validating operand ranges.  The code generator
+and hand-written payload builders use these instead of raw tuples.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+from repro.isa.instructions import Instruction, Mem, to_unsigned
+from repro.isa.registers import NUM_REGISTERS
+
+
+def _check_reg(reg: int) -> int:
+    if not 0 <= reg < NUM_REGISTERS:
+        raise EncodingError(f"register number {reg} out of range")
+    return reg
+
+
+def _check_imm8(value: int) -> int:
+    if not 0 <= value <= 0xFF:
+        raise EncodingError(f"8-bit immediate {value} out of range")
+    return value
+
+
+def _check_imm32(value: int) -> int:
+    wrapped = to_unsigned(value)
+    if not -0x80000000 <= value <= 0xFFFFFFFF:
+        raise EncodingError(f"32-bit immediate {value} out of range")
+    return wrapped
+
+
+def _check_mem(mem: Mem) -> Mem:
+    _check_reg(mem.base)
+    if not -0x80000000 <= mem.disp <= 0x7FFFFFFF:
+        raise EncodingError(f"displacement {mem.disp} out of range")
+    return mem
+
+
+def nop() -> Instruction:
+    return Instruction(0x00)
+
+
+def halt() -> Instruction:
+    return Instruction(0x01)
+
+
+def mov_rr(dst: int, src: int) -> Instruction:
+    """``mov dst, src`` -- copy register to register."""
+    return Instruction(0x02, (_check_reg(dst), _check_reg(src)))
+
+
+def mov_ri(dst: int, imm: int) -> Instruction:
+    """``mov dst, imm32`` -- load an immediate."""
+    return Instruction(0x03, (_check_reg(dst), _check_imm32(imm)))
+
+
+def load(dst: int, mem: Mem) -> Instruction:
+    """``load dst, [base+disp]`` -- load a 32-bit word."""
+    return Instruction(0x04, (_check_reg(dst), _check_mem(mem)))
+
+
+def store(src: int, mem: Mem) -> Instruction:
+    """``store [base+disp], src`` -- store a 32-bit word."""
+    return Instruction(0x05, (_check_reg(src), _check_mem(mem)))
+
+
+def loadb(dst: int, mem: Mem) -> Instruction:
+    """``loadb dst, [base+disp]`` -- load a byte, zero-extended."""
+    return Instruction(0x06, (_check_reg(dst), _check_mem(mem)))
+
+
+def storeb(src: int, mem: Mem) -> Instruction:
+    """``storeb [base+disp], src`` -- store the low byte of ``src``."""
+    return Instruction(0x07, (_check_reg(src), _check_mem(mem)))
+
+
+def push(reg: int) -> Instruction:
+    return Instruction(0x08, (_check_reg(reg),))
+
+
+def pop(reg: int) -> Instruction:
+    return Instruction(0x09, (_check_reg(reg),))
+
+
+def add_rr(dst: int, src: int) -> Instruction:
+    return Instruction(0x0A, (_check_reg(dst), _check_reg(src)))
+
+
+def add_ri(dst: int, imm: int) -> Instruction:
+    return Instruction(0x0B, (_check_reg(dst), _check_imm32(imm)))
+
+
+def sub_rr(dst: int, src: int) -> Instruction:
+    return Instruction(0x0C, (_check_reg(dst), _check_reg(src)))
+
+
+def sub_ri(dst: int, imm: int) -> Instruction:
+    return Instruction(0x0D, (_check_reg(dst), _check_imm32(imm)))
+
+
+def mul_rr(dst: int, src: int) -> Instruction:
+    return Instruction(0x0E, (_check_reg(dst), _check_reg(src)))
+
+
+def div_rr(dst: int, src: int) -> Instruction:
+    """Signed division; faults on divide-by-zero."""
+    return Instruction(0x0F, (_check_reg(dst), _check_reg(src)))
+
+
+def mod_rr(dst: int, src: int) -> Instruction:
+    """Signed remainder; faults on divide-by-zero."""
+    return Instruction(0x10, (_check_reg(dst), _check_reg(src)))
+
+
+def and_rr(dst: int, src: int) -> Instruction:
+    return Instruction(0x11, (_check_reg(dst), _check_reg(src)))
+
+
+def or_rr(dst: int, src: int) -> Instruction:
+    return Instruction(0x12, (_check_reg(dst), _check_reg(src)))
+
+
+def xor_rr(dst: int, src: int) -> Instruction:
+    return Instruction(0x13, (_check_reg(dst), _check_reg(src)))
+
+
+def not_r(reg: int) -> Instruction:
+    return Instruction(0x14, (_check_reg(reg),))
+
+
+def shl(reg: int, amount: int) -> Instruction:
+    return Instruction(0x15, (_check_reg(reg), _check_imm8(amount)))
+
+
+def shr(reg: int, amount: int) -> Instruction:
+    """Logical (unsigned) right shift."""
+    return Instruction(0x16, (_check_reg(reg), _check_imm8(amount)))
+
+
+def cmp_rr(a: int, b: int) -> Instruction:
+    return Instruction(0x17, (_check_reg(a), _check_reg(b)))
+
+
+def cmp_ri(a: int, imm: int) -> Instruction:
+    return Instruction(0x18, (_check_reg(a), _check_imm32(imm)))
+
+
+def jmp_abs(addr: int) -> Instruction:
+    """``jmp addr`` -- unconditional absolute jump."""
+    return Instruction(0x19, (_check_imm32(addr),))
+
+
+def jmp_reg(reg: int) -> Instruction:
+    """``jmp reg`` -- indirect jump through a register."""
+    return Instruction(0x1A, (_check_reg(reg),))
+
+
+def jz(addr: int) -> Instruction:
+    return Instruction(0x1B, (_check_imm32(addr),))
+
+
+def jnz(addr: int) -> Instruction:
+    return Instruction(0x1C, (_check_imm32(addr),))
+
+
+def jl(addr: int) -> Instruction:
+    """Jump if less (signed)."""
+    return Instruction(0x1D, (_check_imm32(addr),))
+
+
+def jg(addr: int) -> Instruction:
+    """Jump if greater (signed)."""
+    return Instruction(0x1E, (_check_imm32(addr),))
+
+
+def jle(addr: int) -> Instruction:
+    return Instruction(0x1F, (_check_imm32(addr),))
+
+
+def jge(addr: int) -> Instruction:
+    return Instruction(0x20, (_check_imm32(addr),))
+
+
+def jb(addr: int) -> Instruction:
+    """Jump if below (unsigned)."""
+    return Instruction(0x21, (_check_imm32(addr),))
+
+
+def jae(addr: int) -> Instruction:
+    """Jump if above or equal (unsigned)."""
+    return Instruction(0x22, (_check_imm32(addr),))
+
+
+def call_abs(addr: int) -> Instruction:
+    """``call addr`` -- push return address, jump to ``addr``."""
+    return Instruction(0x23, (_check_imm32(addr),))
+
+
+def call_reg(reg: int) -> Instruction:
+    """``call reg`` -- indirect call; the control transfer exploited by
+    code-pointer-overwrite attacks and policed by CFI."""
+    return Instruction(0x24, (_check_reg(reg),))
+
+
+def ret() -> Instruction:
+    """``ret`` -- pop the return address into IP.
+
+    Single-byte encoding (0x25), so it occurs as a substring of
+    immediates and gives rise to unintended ROP gadgets.
+    """
+    return Instruction(0x25)
+
+
+def sys(number: int) -> Instruction:
+    """``sys n`` -- invoke platform service ``n`` (see
+    :mod:`repro.machine.syscalls`)."""
+    return Instruction(0x26, (_check_imm8(number),))
+
+
+def lea(dst: int, mem: Mem) -> Instruction:
+    """``lea dst, [base+disp]`` -- compute an address without access."""
+    return Instruction(0x27, (_check_reg(dst), _check_mem(mem)))
+
+
+def chk(reg: int, limit: int) -> Instruction:
+    """``chk reg, limit`` -- bounds check: fault if ``reg >= limit``
+    (unsigned).  Emitted by the safe-language compilation mode."""
+    return Instruction(0x28, (_check_reg(reg), _check_imm32(limit)))
+
+
+def land(tag: int) -> Instruction:
+    """``land tag`` -- a typed-CFI landing pad (no-op when executed).
+
+    Under typed CFI, indirect transfers must target a ``land`` whose
+    tag matches the call site's expected function-type tag (carried in
+    r7 by convention) -- the FineIBT/BTI-style refinement of coarse
+    CFI."""
+    return Instruction(0x29, (_check_imm8(tag),))

@@ -1,0 +1,151 @@
+"""Binary encoding and decoding of VN32 instructions.
+
+The encoding is byte-oriented and little-endian, mirroring the x86
+example of Figure 1 in the paper:
+
+* byte 0: opcode;
+* register operands: one byte each, or packed two-per-byte (high
+  nibble first operand, low nibble second) for two-register and
+  register+memory forms;
+* immediates and displacements: 32-bit little-endian words (or a
+  single byte for 8-bit forms).
+
+Because instructions are 1-6 bytes long and any byte stream can be
+decoded starting at any offset, code and data are interchangeable at
+this level -- the property that makes direct code injection and
+unintended ROP gadgets possible.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import DecodeError, EncodingError
+from repro.isa.instructions import Instruction, Mem, to_signed, to_unsigned
+from repro.isa.opcodes import BY_OPCODE, FORMAT_LENGTHS, OperandFormat
+from repro.isa.registers import NUM_REGISTERS
+
+_U32 = struct.Struct("<I")
+
+
+def encode(insn: Instruction) -> bytes:
+    """Encode ``insn`` to its binary form.
+
+    >>> from repro.isa import build
+    >>> encode(build.ret()).hex()
+    '25'
+    >>> encode(build.mov_ri(0, 0x11)).hex()
+    '030011000000'
+    """
+    spec = BY_OPCODE.get(insn.opcode)
+    if spec is None:
+        raise EncodingError(f"unknown opcode 0x{insn.opcode:02x}")
+    fmt = spec.fmt
+    ops = insn.operands
+    out = bytearray([insn.opcode])
+    if fmt is OperandFormat.NONE:
+        pass
+    elif fmt is OperandFormat.REG:
+        out.append(ops[0])
+    elif fmt is OperandFormat.REGREG:
+        out.append((ops[0] << 4) | ops[1])
+    elif fmt is OperandFormat.REGIMM32:
+        out.append(ops[0])
+        out += _U32.pack(to_unsigned(ops[1]))
+    elif fmt is OperandFormat.REGIMM8:
+        out.append(ops[0])
+        out.append(ops[1] & 0xFF)
+    elif fmt is OperandFormat.REGMEM:
+        mem: Mem = ops[1]
+        out.append((ops[0] << 4) | mem.base)
+        out += _U32.pack(to_unsigned(mem.disp))
+    elif fmt is OperandFormat.IMM32:
+        out += _U32.pack(to_unsigned(ops[0]))
+    elif fmt is OperandFormat.IMM8:
+        out.append(ops[0] & 0xFF)
+    else:  # pragma: no cover - exhaustive over OperandFormat
+        raise AssertionError(f"unhandled format {fmt}")
+    assert len(out) == FORMAT_LENGTHS[fmt]
+    return bytes(out)
+
+
+def encode_many(instructions) -> bytes:
+    """Encode a sequence of instructions to a contiguous byte string."""
+    return b"".join(encode(insn) for insn in instructions)
+
+
+def _check_decoded_reg(value: int, offset: int) -> int:
+    if value >= NUM_REGISTERS:
+        raise DecodeError(f"invalid register number {value}", offset)
+    return value
+
+
+def decode(data: bytes, offset: int = 0) -> tuple[Instruction, int]:
+    """Decode one instruction from ``data`` at ``offset``.
+
+    Returns ``(instruction, length)``.  Raises
+    :class:`~repro.errors.DecodeError` if the bytes do not form a valid
+    instruction (unknown opcode, bad register nibble, or truncation).
+
+    >>> insn, length = decode(bytes.fromhex('030011000000'))
+    >>> str(insn), length
+    ('mov r0, 0x11', 6)
+    """
+    if offset >= len(data):
+        raise DecodeError("offset beyond end of data", offset)
+    opcode = data[offset]
+    spec = BY_OPCODE.get(opcode)
+    if spec is None:
+        raise DecodeError(f"invalid opcode 0x{opcode:02x}", offset)
+    fmt = spec.fmt
+    length = FORMAT_LENGTHS[fmt]
+    if offset + length > len(data):
+        raise DecodeError(
+            f"truncated {spec.mnemonic} instruction at offset {offset}", offset
+        )
+    body = data[offset + 1 : offset + length]
+    if fmt is OperandFormat.NONE:
+        operands: tuple = ()
+    elif fmt is OperandFormat.REG:
+        operands = (_check_decoded_reg(body[0], offset),)
+    elif fmt is OperandFormat.REGREG:
+        operands = (
+            _check_decoded_reg(body[0] >> 4, offset),
+            _check_decoded_reg(body[0] & 0x0F, offset),
+        )
+    elif fmt is OperandFormat.REGIMM32:
+        operands = (
+            _check_decoded_reg(body[0], offset),
+            _U32.unpack(body[1:5])[0],
+        )
+    elif fmt is OperandFormat.REGIMM8:
+        operands = (_check_decoded_reg(body[0], offset), body[1])
+    elif fmt is OperandFormat.REGMEM:
+        reg = _check_decoded_reg(body[0] >> 4, offset)
+        base = _check_decoded_reg(body[0] & 0x0F, offset)
+        disp = to_signed(_U32.unpack(body[1:5])[0])
+        operands = (reg, Mem(base, disp))
+    elif fmt is OperandFormat.IMM32:
+        operands = (_U32.unpack(body[0:4])[0],)
+    elif fmt is OperandFormat.IMM8:
+        operands = (body[0],)
+    else:  # pragma: no cover - exhaustive over OperandFormat
+        raise AssertionError(f"unhandled format {fmt}")
+    return Instruction(opcode, operands), length
+
+
+def decode_all(data: bytes, base_address: int = 0) -> list[tuple[int, Instruction]]:
+    """Linear-sweep decode of an entire byte string.
+
+    Returns ``[(address, instruction), ...]``.  Raises
+    :class:`~repro.errors.DecodeError` on the first invalid byte; use
+    :func:`decode` directly for tolerant sweeps (as the gadget finder
+    does).
+    """
+    result = []
+    offset = 0
+    while offset < len(data):
+        insn, length = decode(data, offset)
+        result.append((base_address + offset, insn))
+        offset += length
+    return result

@@ -1,0 +1,138 @@
+"""Instruction and operand value objects for VN32.
+
+An :class:`Instruction` is the decoded, symbolic form of one machine
+instruction: an explicit opcode (which pins down the encoding -- VN32
+mnemonics like ``mov`` or ``jmp`` have several encodings, just as on
+x86), the canonical mnemonic, and a tuple of operands.  Operands are
+plain integers (register numbers or immediates) or :class:`Mem` (a
+base-register + displacement memory reference).
+
+The same objects flow through the whole toolchain: the assembler
+produces them, the encoder serialises them, the CPU executes them, and
+the disassembler / ROP gadget finder reconstruct them from raw bytes.
+Use the constructors in :mod:`repro.isa.build` rather than creating
+instances by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import BY_OPCODE, FORMAT_LENGTHS, OperandFormat
+from repro.isa.registers import register_name
+
+#: Modulus of the 32-bit machine word.
+WORD_MASK = 0xFFFFFFFF
+#: Size of a machine word in bytes.
+WORD_SIZE = 4
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit unsigned value as signed two's complement.
+
+    >>> to_signed(0xFFFFFFFF)
+    -1
+    >>> to_signed(5)
+    5
+    """
+    value &= WORD_MASK
+    if value >= 0x80000000:
+        return value - 0x100000000
+    return value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python integer into a 32-bit unsigned value.
+
+    >>> to_unsigned(-1)
+    4294967295
+    """
+    return value & WORD_MASK
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand: ``[base + disp]``.
+
+    ``base`` is a register number, ``disp`` a signed displacement.
+    Used by ``load``, ``store``, ``loadb``, ``storeb`` and ``lea``.
+    """
+
+    base: int
+    disp: int = 0
+
+    def __str__(self) -> str:
+        if self.disp == 0:
+            return f"[{register_name(self.base)}]"
+        sign = "+" if self.disp >= 0 else "-"
+        return f"[{register_name(self.base)}{sign}0x{abs(self.disp):x}]"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One VN32 instruction with a fixed encoding.
+
+    ``operands`` layout per operand format:
+
+    * ``NONE``     -- ``()``
+    * ``REG``      -- ``(reg,)``
+    * ``REGREG``   -- ``(reg_dst, reg_src)``
+    * ``REGIMM32`` -- ``(reg, imm)``
+    * ``REGIMM8``  -- ``(reg, imm8)``
+    * ``REGMEM``   -- ``(reg, Mem)``; for ``store``/``storeb`` the
+      value register is still the first operand even though assembly
+      syntax writes the memory operand first
+    * ``IMM32`` / ``IMM8`` -- ``(imm,)``
+    """
+
+    opcode: int
+    operands: tuple = ()
+
+    @property
+    def mnemonic(self) -> str:
+        return BY_OPCODE[self.opcode].mnemonic
+
+    @property
+    def fmt(self) -> OperandFormat:
+        return BY_OPCODE[self.opcode].fmt
+
+    @property
+    def length(self) -> int:
+        """Encoded length in bytes."""
+        return FORMAT_LENGTHS[self.fmt]
+
+    def __str__(self) -> str:
+        return format_instruction(self)
+
+
+def format_instruction(insn: Instruction) -> str:
+    """Render an instruction as canonical assembly text.
+
+    >>> from repro.isa import build
+    >>> format_instruction(build.add_rr(0, 1))
+    'add r0, r1'
+    >>> format_instruction(build.store(2, Mem(9, -4)))
+    'store [bp-0x4], r2'
+    """
+    mnemonic = insn.mnemonic
+    fmt = insn.fmt
+    ops = insn.operands
+    if fmt is OperandFormat.NONE:
+        return mnemonic
+    if fmt is OperandFormat.REG:
+        return f"{mnemonic} {register_name(ops[0])}"
+    if fmt is OperandFormat.REGREG:
+        return f"{mnemonic} {register_name(ops[0])}, {register_name(ops[1])}"
+    if fmt is OperandFormat.REGIMM32:
+        return f"{mnemonic} {register_name(ops[0])}, 0x{to_unsigned(ops[1]):x}"
+    if fmt is OperandFormat.REGIMM8:
+        return f"{mnemonic} {register_name(ops[0])}, {ops[1]}"
+    if fmt is OperandFormat.REGMEM:
+        if mnemonic in ("store", "storeb"):
+            return f"{mnemonic} {ops[1]}, {register_name(ops[0])}"
+        return f"{mnemonic} {register_name(ops[0])}, {ops[1]}"
+    if fmt is OperandFormat.IMM32:
+        return f"{mnemonic} 0x{to_unsigned(ops[0]):x}"
+    if fmt is OperandFormat.IMM8:
+        return f"{mnemonic} {ops[0]}"
+    raise AssertionError(f"unhandled format {fmt}")

@@ -1,0 +1,138 @@
+"""Opcode table and operand formats for the VN32 instruction set.
+
+Like the x86 code shown in Figure 1 of the paper, VN32 instructions are
+*variable length* (1 to 6 bytes).  This is a deliberate design choice:
+variable-length encodings mean the same bytes decode differently at
+different offsets, which is what gives Return-Oriented Programming its
+supply of *unintended* gadgets (Section III-B).  The gadget-census
+ablation in the benchmarks quantifies this.
+
+Each mnemonic maps to one or more encodings, distinguished by operand
+format (e.g. ``mov r0, r1`` and ``mov r0, 42`` use different opcodes,
+exactly like x86 ModRM vs immediate forms).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Final, NamedTuple
+
+
+class OperandFormat(enum.Enum):
+    """How an instruction's operands are laid out after the opcode byte."""
+
+    #: No operands.  Total length 1.
+    NONE = "none"
+    #: One register byte.  Total length 2.
+    REG = "reg"
+    #: One packed register byte: high nibble = first operand, low
+    #: nibble = second operand.  Total length 2.
+    REGREG = "regreg"
+    #: Register byte followed by a 32-bit little-endian immediate.
+    #: Total length 6.
+    REGIMM32 = "regimm32"
+    #: Register byte followed by an 8-bit immediate.  Total length 3.
+    REGIMM8 = "regimm8"
+    #: Packed register byte (value register, base register) followed by
+    #: a 32-bit displacement.  Total length 6.
+    REGMEM = "regmem"
+    #: A 32-bit little-endian immediate.  Total length 5.
+    IMM32 = "imm32"
+    #: An 8-bit immediate.  Total length 2.
+    IMM8 = "imm8"
+
+
+#: Encoded length in bytes for each operand format (including opcode).
+FORMAT_LENGTHS: Final[dict[OperandFormat, int]] = {
+    OperandFormat.NONE: 1,
+    OperandFormat.REG: 2,
+    OperandFormat.REGREG: 2,
+    OperandFormat.REGIMM32: 6,
+    OperandFormat.REGIMM8: 3,
+    OperandFormat.REGMEM: 6,
+    OperandFormat.IMM32: 5,
+    OperandFormat.IMM8: 2,
+}
+
+#: Longest encoded instruction, used by linear-sweep decoders.
+MAX_INSTRUCTION_LENGTH: Final[int] = max(FORMAT_LENGTHS.values())
+
+
+class OpcodeSpec(NamedTuple):
+    """One encoding of one mnemonic."""
+
+    opcode: int
+    mnemonic: str
+    fmt: OperandFormat
+
+
+#: The full opcode table.  Opcode bytes not listed here are invalid and
+#: raise :class:`~repro.errors.DecodeError` /
+#: :class:`~repro.errors.InvalidInstructionFault`.
+OPCODE_TABLE: Final[tuple[OpcodeSpec, ...]] = (
+    OpcodeSpec(0x00, "nop", OperandFormat.NONE),
+    OpcodeSpec(0x01, "halt", OperandFormat.NONE),
+    OpcodeSpec(0x02, "mov", OperandFormat.REGREG),
+    OpcodeSpec(0x03, "mov", OperandFormat.REGIMM32),
+    OpcodeSpec(0x04, "load", OperandFormat.REGMEM),
+    OpcodeSpec(0x05, "store", OperandFormat.REGMEM),
+    OpcodeSpec(0x06, "loadb", OperandFormat.REGMEM),
+    OpcodeSpec(0x07, "storeb", OperandFormat.REGMEM),
+    OpcodeSpec(0x08, "push", OperandFormat.REG),
+    OpcodeSpec(0x09, "pop", OperandFormat.REG),
+    OpcodeSpec(0x0A, "add", OperandFormat.REGREG),
+    OpcodeSpec(0x0B, "add", OperandFormat.REGIMM32),
+    OpcodeSpec(0x0C, "sub", OperandFormat.REGREG),
+    OpcodeSpec(0x0D, "sub", OperandFormat.REGIMM32),
+    OpcodeSpec(0x0E, "mul", OperandFormat.REGREG),
+    OpcodeSpec(0x0F, "div", OperandFormat.REGREG),
+    OpcodeSpec(0x10, "mod", OperandFormat.REGREG),
+    OpcodeSpec(0x11, "and", OperandFormat.REGREG),
+    OpcodeSpec(0x12, "or", OperandFormat.REGREG),
+    OpcodeSpec(0x13, "xor", OperandFormat.REGREG),
+    OpcodeSpec(0x14, "not", OperandFormat.REG),
+    OpcodeSpec(0x15, "shl", OperandFormat.REGIMM8),
+    OpcodeSpec(0x16, "shr", OperandFormat.REGIMM8),
+    OpcodeSpec(0x17, "cmp", OperandFormat.REGREG),
+    OpcodeSpec(0x18, "cmp", OperandFormat.REGIMM32),
+    OpcodeSpec(0x19, "jmp", OperandFormat.IMM32),
+    OpcodeSpec(0x1A, "jmp", OperandFormat.REG),
+    OpcodeSpec(0x1B, "jz", OperandFormat.IMM32),
+    OpcodeSpec(0x1C, "jnz", OperandFormat.IMM32),
+    OpcodeSpec(0x1D, "jl", OperandFormat.IMM32),
+    OpcodeSpec(0x1E, "jg", OperandFormat.IMM32),
+    OpcodeSpec(0x1F, "jle", OperandFormat.IMM32),
+    OpcodeSpec(0x20, "jge", OperandFormat.IMM32),
+    OpcodeSpec(0x21, "jb", OperandFormat.IMM32),
+    OpcodeSpec(0x22, "jae", OperandFormat.IMM32),
+    OpcodeSpec(0x23, "call", OperandFormat.IMM32),
+    OpcodeSpec(0x24, "call", OperandFormat.REG),
+    OpcodeSpec(0x25, "ret", OperandFormat.NONE),
+    OpcodeSpec(0x26, "sys", OperandFormat.IMM8),
+    OpcodeSpec(0x27, "lea", OperandFormat.REGMEM),
+    OpcodeSpec(0x28, "chk", OperandFormat.REGIMM32),
+    OpcodeSpec(0x29, "land", OperandFormat.IMM8),
+)
+
+#: The landing-pad opcode used by typed CFI (executes as a no-op).
+LAND_OPCODE: Final[int] = 0x29
+
+#: Opcode byte -> spec.
+BY_OPCODE: Final[dict[int, OpcodeSpec]] = {spec.opcode: spec for spec in OPCODE_TABLE}
+
+#: Mnemonic -> list of encodings (in table order).
+BY_MNEMONIC: Final[dict[str, list[OpcodeSpec]]] = {}
+for _spec in OPCODE_TABLE:
+    BY_MNEMONIC.setdefault(_spec.mnemonic, []).append(_spec)
+
+#: The single-byte ``ret`` opcode, of special interest to the ROP
+#: gadget finder (it plays the role of x86's ``0xC3``).
+RET_OPCODE: Final[int] = 0x25
+
+#: Mnemonics that unconditionally transfer control.
+UNCONDITIONAL_FLOW: Final[frozenset[str]] = frozenset({"jmp", "call", "ret", "halt"})
+
+#: Conditional branch mnemonics and the flag predicate they test.
+CONDITIONAL_BRANCHES: Final[frozenset[str]] = frozenset(
+    {"jz", "jnz", "jl", "jg", "jle", "jge", "jb", "jae"}
+)

@@ -1,0 +1,75 @@
+"""Register file definition for the VN32 architecture.
+
+VN32 is the 32-bit von-Neumann toy architecture used throughout this
+reproduction.  It mirrors the structural properties of the 32-bit x86
+machine used in Figure 1 of the paper:
+
+* eight general-purpose registers ``R0`` .. ``R7``;
+* a stack pointer ``SP`` and base (frame) pointer ``BP`` that are
+  addressable like general registers (so ``POP SP`` -- a stack pivot --
+  is encodable, exactly the property ROP trampolines exploit);
+* an instruction pointer ``IP`` and a flags register that are *not*
+  directly addressable and can only be changed by control flow and
+  comparison instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+#: Number of directly addressable registers (R0..R7, SP, BP).
+NUM_REGISTERS: Final[int] = 10
+
+#: Register indices.
+R0: Final[int] = 0
+R1: Final[int] = 1
+R2: Final[int] = 2
+R3: Final[int] = 3
+R4: Final[int] = 4
+R5: Final[int] = 5
+R6: Final[int] = 6
+R7: Final[int] = 7
+SP: Final[int] = 8
+BP: Final[int] = 9
+
+#: Canonical register names, indexed by register number.
+REGISTER_NAMES: Final[tuple[str, ...]] = (
+    "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "sp", "bp",
+)
+
+#: Map from lower-case register name to register number.
+REGISTER_NUMBERS: Final[dict[str, int]] = {
+    name: number for number, name in enumerate(REGISTER_NAMES)
+}
+
+
+def register_name(number: int) -> str:
+    """Return the canonical name of register ``number``.
+
+    >>> register_name(0)
+    'r0'
+    >>> register_name(8)
+    'sp'
+    """
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError(f"invalid register number {number}")
+    return REGISTER_NAMES[number]
+
+
+def register_number(name: str) -> int:
+    """Return the register number for ``name`` (case-insensitive).
+
+    >>> register_number('R3')
+    3
+    >>> register_number('bp')
+    9
+    """
+    try:
+        return REGISTER_NUMBERS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register {name!r}") from None
+
+
+def is_register_name(name: str) -> bool:
+    """Return True if ``name`` names a VN32 register."""
+    return name.lower() in REGISTER_NUMBERS

@@ -1,0 +1,22 @@
+"""Object files, linker, executable images, and the loader."""
+
+from repro.link.image import Image, ModuleSpec, Segment
+from repro.link.linker import LayoutPlan, link
+from repro.link.loader import LoadedProgram, load
+from repro.link.objfile import DATA, ObjectFile, Relocation, Section, Symbol, TEXT
+
+__all__ = [
+    "Image",
+    "ModuleSpec",
+    "Segment",
+    "LayoutPlan",
+    "link",
+    "LoadedProgram",
+    "load",
+    "DATA",
+    "ObjectFile",
+    "Relocation",
+    "Section",
+    "Symbol",
+    "TEXT",
+]

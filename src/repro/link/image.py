@@ -1,0 +1,93 @@
+"""Executable images: the linker's output, the loader's input.
+
+An image is a concrete address-space plan: segments with contents and
+intended permissions, a resolved global symbol table, per-object
+section placement (used by experiments that need ground truth, e.g.
+the scraper's notion of "where the secret module's data landed"), the
+protected-module descriptors, and kernel-privileged ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Segment:
+    """One contiguous region to map: ``[addr, addr+len(data))``."""
+
+    name: str
+    addr: int
+    data: bytes
+    #: Intended permissions with DEP on; the loader degrades these to
+    #: RWX when DEP is off.
+    perms: int
+    #: 'text' | 'data' | 'stack' | 'platform'
+    kind: str = "data"
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+
+@dataclass
+class ModuleSpec:
+    """A protected module's placement within an image."""
+
+    name: str
+    text_start: int
+    text_end: int
+    data_start: int
+    data_end: int
+    entry_points: dict[str, int]
+    #: The text bytes as linked (what the PMA hardware will measure).
+    text_bytes: bytes = b""
+
+
+@dataclass
+class Image:
+    """A fully linked executable image."""
+
+    segments: list[Segment] = field(default_factory=list)
+    #: Resolved addresses of all symbols, qualified ``object:name`` for
+    #: locals and bare ``name`` for globals.
+    symbols: dict[str, int] = field(default_factory=dict)
+    #: Entry address (the generated ``_start``).
+    entry: int = 0
+    #: Initial stack pointer.
+    initial_sp: int = 0
+    #: Stack segment bounds (start, end).
+    stack_range: tuple[int, int] = (0, 0)
+    #: Valid indirect-transfer targets (function entry addresses).
+    function_addresses: set[int] = field(default_factory=set)
+    #: Per-object section placement: name -> {'.text': (s, e), '.data': (s, e)}.
+    object_layout: dict[str, dict[str, tuple[int, int]]] = field(default_factory=dict)
+    #: Protected modules to register with the PMA.
+    protected_modules: list[ModuleSpec] = field(default_factory=list)
+    #: Kernel-privileged text ranges.
+    kernel_ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: Address of the canary cell in the platform segment.
+    canary_cell: int = 0
+
+    def symbol(self, name: str) -> int:
+        """Address of a symbol; raises ``KeyError`` with context."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            known = ", ".join(sorted(self.symbols)[:20])
+            raise KeyError(f"symbol {name!r} not in image (have: {known} ...)") from None
+
+    def segment_named(self, name: str) -> Segment:
+        for segment in self.segments:
+            if segment.name == name:
+                return segment
+        raise KeyError(f"no segment named {name!r}")
+
+    def segment_at(self, addr: int) -> Segment | None:
+        for segment in self.segments:
+            if segment.contains(addr):
+                return segment
+        return None

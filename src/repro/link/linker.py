@@ -1,0 +1,365 @@
+"""The static linker: object files to an executable image.
+
+Performs the layout + relocation step of the compilation pipeline
+described in Section II of the paper.  The default memory map mirrors
+Figure 1(c):
+
+* text segment low (``0x08048000``, the figure's own value);
+* data segment above it;
+* stack segment high (``0xbfff0000``), growing downward;
+* kernel segments at the top of the address space;
+* protected modules in their own page-aligned segments in between.
+
+ASLR is expressed as per-segment shifts in the :class:`LayoutPlan`;
+the loader draws them from the machine's entropy source, so linking
+with a randomised plan *is* load-time randomisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LinkError
+from repro.link.image import Image, ModuleSpec, Segment
+from repro.link.objfile import DATA, ObjectFile, Symbol, TEXT
+from repro.machine.memory import PAGE_SIZE, PERM_RW, PERM_RX
+
+#: Source for the generated startup object: call main, then exit with
+#: main's return value (already in r0, where ``sys exit`` reads it).
+CRT0_SOURCE = """
+.text
+.global _start
+_start:
+    call main
+    sys 3
+"""
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass
+class LayoutPlan:
+    """Where the linker places everything.
+
+    The ``*_shift`` fields are the ASLR displacements (multiples of
+    the page size); zero shifts give the classic fully predictable
+    layout that Section III attacks assume.
+    """
+
+    text_base: int = 0x08048000
+    data_base: int = 0x08100000
+    stack_base: int = 0xBFFF0000
+    stack_size: int = 0x10000
+    module_base: int = 0x30000000
+    kernel_base: int = 0xC0000000
+    platform_base: int = 0x00010000
+    #: SFI sandboxes: 1 MiB-aligned data and text areas (one slot per
+    #: sandboxed object, 2 MiB stride so masked addresses of different
+    #: sandboxes never alias).
+    sfi_data_base: int = 0x50000000
+    sfi_text_base: int = 0x58000000
+    text_shift: int = 0
+    data_shift: int = 0
+    stack_shift: int = 0
+
+
+@dataclass
+class _Placement:
+    """Where one object's sections landed."""
+
+    text_start: int = 0
+    data_start: int = 0
+    obj: ObjectFile = None
+
+
+def link(objects: list[ObjectFile], plan: LayoutPlan | None = None,
+         add_crt0: bool = True) -> Image:
+    """Link ``objects`` into an executable image.
+
+    ``add_crt0`` prepends the generated startup object (needs a global
+    ``main``); disable it for bare images driven directly by tests.
+    """
+    # Imported here: the assembler depends on the object-file model in
+    # this package, so a module-level import would be circular.
+    from repro.asm.assembler import assemble
+
+    plan = plan or LayoutPlan()
+    objects = list(objects)
+    if add_crt0:
+        objects.insert(0, assemble(CRT0_SOURCE, "crt0"))
+
+    names = [obj.name for obj in objects]
+    if len(set(names)) != len(names):
+        raise LinkError(f"duplicate object names: {sorted(names)}")
+
+    normal = [o for o in objects
+              if not o.protected and not o.kernel and not o.sfi]
+    protected = [o for o in objects if o.protected]
+    kernel = [o for o in objects if o.kernel]
+    sandboxed = [o for o in objects if o.sfi]
+    if any(o.protected and o.kernel for o in objects):
+        raise LinkError("an object cannot be both protected and kernel")
+    if any(o.sfi and (o.protected or o.kernel) for o in objects):
+        raise LinkError("an SFI object cannot be protected or kernel")
+
+    image = Image()
+    placements: dict[str, _Placement] = {}
+
+    # --- layout ---------------------------------------------------------
+    text_cursor = plan.text_base + plan.text_shift
+    for obj in normal:
+        placement = _Placement(obj=obj)
+        placement.text_start = text_cursor
+        text_cursor = _align(text_cursor + obj.text.size, 4)
+        placements[obj.name] = placement
+    text_start = plan.text_base + plan.text_shift
+    text_size = text_cursor - text_start
+
+    data_cursor = plan.data_base + plan.data_shift
+    for obj in normal:
+        placements[obj.name].data_start = data_cursor
+        data_cursor = _align(data_cursor + obj.data.size, 4)
+    data_start = plan.data_base + plan.data_shift
+    data_size = data_cursor - data_start
+
+    module_cursor = plan.module_base
+    module_bounds: dict[str, tuple[int, int, int, int]] = {}
+    for obj in protected:
+        placement = _Placement(obj=obj)
+        placement.text_start = module_cursor
+        module_text_end = placement.text_start + obj.text.size
+        placement.data_start = _align(module_text_end, PAGE_SIZE)
+        module_data_end = placement.data_start + max(obj.data.size, 4)
+        module_cursor = _align(module_data_end, PAGE_SIZE)
+        placements[obj.name] = placement
+        module_bounds[obj.name] = (
+            placement.text_start, module_text_end,
+            placement.data_start, module_data_end,
+        )
+
+    #: SFI sandboxes: each object gets a 1 MiB data sandbox (its .data
+    #: at the bottom, its stack at the top) and a 1 MiB text slot.
+    SANDBOX_SIZE = 0x100000
+    sfi_bounds: dict[str, tuple[int, int]] = {}  # name -> (data_base, text_base)
+    for position, obj in enumerate(sandboxed):
+        data_base = plan.sfi_data_base + position * 2 * SANDBOX_SIZE
+        text_base = plan.sfi_text_base + position * 2 * SANDBOX_SIZE
+        placement = _Placement(obj=obj)
+        placement.text_start = text_base
+        placement.data_start = data_base
+        placements[obj.name] = placement
+        sfi_bounds[obj.name] = (data_base, text_base)
+        if obj.text.size > SANDBOX_SIZE:
+            raise LinkError(f"SFI object {obj.name} exceeds its text sandbox")
+        if obj.data.size > SANDBOX_SIZE - 0x1000:
+            raise LinkError(f"SFI object {obj.name} exceeds its data sandbox")
+
+    kernel_cursor = plan.kernel_base
+    kernel_bounds: dict[str, tuple[int, int]] = {}
+    for obj in kernel:
+        placement = _Placement(obj=obj)
+        placement.text_start = kernel_cursor
+        kernel_text_end = placement.text_start + obj.text.size
+        placement.data_start = _align(kernel_text_end, 4)
+        kernel_cursor = _align(placement.data_start + obj.data.size, PAGE_SIZE)
+        placements[obj.name] = placement
+        kernel_bounds[obj.name] = (placement.text_start, kernel_text_end)
+
+    # --- symbol tables -----------------------------------------------------
+    def address_of(obj: ObjectFile, symbol: Symbol) -> int:
+        placement = placements[obj.name]
+        base = placement.text_start if symbol.section == TEXT else placement.data_start
+        return base + symbol.offset
+
+    global_table: dict[str, int] = {}
+    global_owner: dict[str, str] = {}
+    for obj in objects:
+        for symbol in obj.symbols.values():
+            if not symbol.is_global:
+                continue
+            if symbol.name in global_table:
+                raise LinkError(
+                    f"duplicate global symbol {symbol.name!r} in "
+                    f"{global_owner[symbol.name]} and {obj.name}"
+                )
+            global_table[symbol.name] = address_of(obj, symbol)
+            global_owner[symbol.name] = obj.name
+
+    # Platform symbols the toolchain may reference.
+    canary_cell = plan.platform_base
+    builtin_symbols = {"__canary": canary_cell}
+    if sandboxed:
+        if len(sandboxed) > 1:
+            raise LinkError(
+                "at most one SFI sandbox per image (its stack-top symbol "
+                "is global)"
+            )
+        sandbox_data, _sandbox_text = sfi_bounds[sandboxed[0].name]
+        builtin_symbols["__sfi_stack_top"] = sandbox_data + 0x100000 - 16
+    else:
+        # No sandbox in the image: the springboard (if linked) gets a
+        # scratch area low in the ordinary stack segment -- this is the
+        # "raw load" baseline where the untrusted module is unconfined.
+        builtin_symbols["__sfi_stack_top"] = (
+            plan.stack_base + plan.stack_shift + 0x8000
+        )
+    for name, addr in builtin_symbols.items():
+        if name in global_table:
+            raise LinkError(f"symbol {name!r} collides with a linker builtin")
+        global_table[name] = addr
+
+    for obj in objects:
+        for symbol in obj.symbols.values():
+            addr = address_of(obj, symbol)
+            image.symbols[f"{obj.name}:{symbol.name}"] = addr
+            if symbol.is_global:
+                image.symbols[symbol.name] = addr
+            elif symbol.name not in image.symbols:
+                image.symbols[symbol.name] = addr
+            if symbol.kind == "func":
+                image.function_addresses.add(addr)
+    image.symbols.update(builtin_symbols)
+
+    # --- relocation ---------------------------------------------------------
+    patched: dict[tuple[str, str], bytearray] = {}
+    for obj in objects:
+        for section_name in (TEXT, DATA):
+            section = obj.section(section_name)
+            blob = bytearray(section.data)
+            for reloc in section.relocations:
+                local = obj.symbols.get(reloc.symbol)
+                if local is not None:
+                    target = address_of(obj, local)
+                elif obj.sfi and reloc.symbol in ("__sfi_sandbox", "__sfi_text"):
+                    data_base, text_base = sfi_bounds[obj.name]
+                    target = (data_base if reloc.symbol == "__sfi_sandbox"
+                              else text_base)
+                elif obj.protected and reloc.symbol in ("__module_start", "__module_end"):
+                    # Per-module bounds for the secure-compilation
+                    # function-pointer checks: the module span is
+                    # [text_start, data_end).
+                    text_lo, _text_hi, _data_lo, data_hi = module_bounds[obj.name]
+                    target = text_lo if reloc.symbol == "__module_start" else data_hi
+                elif reloc.symbol in global_table:
+                    target = global_table[reloc.symbol]
+                else:
+                    raise LinkError(
+                        f"{obj.name}: undefined symbol {reloc.symbol!r}"
+                    )
+                value = (target + reloc.addend) & 0xFFFFFFFF
+                blob[reloc.offset : reloc.offset + 4] = value.to_bytes(4, "little")
+            patched[(obj.name, section_name)] = blob
+
+    # --- segments ---------------------------------------------------------------
+    def concatenate(objs: list[ObjectFile], section_name: str, start: int,
+                    total: int) -> bytes:
+        blob = bytearray(total)
+        for obj in objs:
+            placement = placements[obj.name]
+            base = (placement.text_start if section_name == TEXT
+                    else placement.data_start)
+            data = patched[(obj.name, section_name)]
+            blob[base - start : base - start + len(data)] = data
+        return bytes(blob)
+
+    if text_size:
+        image.segments.append(Segment(
+            "text", text_start, concatenate(normal, TEXT, text_start, text_size),
+            PERM_RX, "text",
+        ))
+    if data_size:
+        image.segments.append(Segment(
+            "data", data_start, concatenate(normal, DATA, data_start, data_size),
+            PERM_RW, "data",
+        ))
+
+    stack_start = plan.stack_base + plan.stack_shift
+    image.segments.append(Segment(
+        "stack", stack_start, bytes(plan.stack_size), PERM_RW, "stack",
+    ))
+    image.stack_range = (stack_start, stack_start + plan.stack_size)
+    image.initial_sp = stack_start + plan.stack_size - 32
+
+    image.segments.append(Segment(
+        "platform", plan.platform_base, bytes(PAGE_SIZE), PERM_RW, "platform",
+    ))
+    image.canary_cell = canary_cell
+
+    for obj in protected:
+        text_lo, text_hi, data_lo, data_hi = module_bounds[obj.name]
+        text_bytes = bytes(patched[(obj.name, TEXT)])
+        data_bytes = bytes(patched[(obj.name, DATA)]) or b"\x00\x00\x00\x00"
+        image.segments.append(Segment(
+            f"module:{obj.name}:text", text_lo, text_bytes, PERM_RX, "text",
+        ))
+        image.segments.append(Segment(
+            f"module:{obj.name}:data", data_lo,
+            data_bytes.ljust(data_hi - data_lo, b"\x00"), PERM_RW, "data",
+        ))
+        entry_points = {}
+        for entry_name in obj.entry_points:
+            symbol = obj.symbols[entry_name]
+            if symbol.section != TEXT:
+                raise LinkError(f"{obj.name}: entry point {entry_name!r} not in .text")
+            entry_points[entry_name] = address_of(obj, symbol)
+        image.protected_modules.append(ModuleSpec(
+            obj.name, text_lo, text_hi, data_lo, data_hi, entry_points, text_bytes,
+        ))
+
+    for obj in kernel:
+        placement = placements[obj.name]
+        text_bytes = bytes(patched[(obj.name, TEXT)])
+        data_bytes = bytes(patched[(obj.name, DATA)])
+        blob = bytearray(text_bytes)
+        blob += bytes(placement.data_start - (placement.text_start + len(text_bytes)))
+        blob += data_bytes
+        image.segments.append(Segment(
+            f"kernel:{obj.name}", placement.text_start, bytes(blob), PERM_RX, "text",
+        ))
+        image.kernel_ranges.append(kernel_bounds[obj.name])
+
+    for obj in sandboxed:
+        data_base, text_base = sfi_bounds[obj.name]
+        text_bytes = bytes(patched[(obj.name, TEXT)])
+        image.segments.append(Segment(
+            f"sfi:{obj.name}:text", text_base, text_bytes, PERM_RX, "text",
+        ))
+        # The whole data sandbox is mapped (object data at the bottom,
+        # the sandboxed stack at the top), so masked accesses are
+        # always defined.
+        sandbox_blob = bytearray(SANDBOX_SIZE)
+        data_bytes = patched[(obj.name, DATA)]
+        sandbox_blob[: len(data_bytes)] = data_bytes
+        image.segments.append(Segment(
+            f"sfi:{obj.name}:data", data_base, bytes(sandbox_blob),
+            PERM_RW, "data",
+        ))
+
+    # --- bookkeeping ------------------------------------------------------------
+    for obj in objects:
+        placement = placements[obj.name]
+        image.object_layout[obj.name] = {
+            TEXT: (placement.text_start, placement.text_start + obj.text.size),
+            DATA: (placement.data_start, placement.data_start + obj.data.size),
+        }
+
+    # No two segments may overlap (a text segment growing into the
+    # data base would silently corrupt the image).
+    placed = sorted(image.segments, key=lambda s: s.addr)
+    for before, after in zip(placed, placed[1:]):
+        if before.end > after.addr:
+            raise LinkError(
+                f"segment {before.name!r} [0x{before.addr:08x}, "
+                f"0x{before.end:08x}) overlaps {after.name!r} at "
+                f"0x{after.addr:08x}"
+            )
+
+    entry = image.symbols.get("_start")
+    if entry is None:
+        entry = image.symbols.get("main")
+    if entry is None:
+        raise LinkError("image has no _start or main")
+    image.entry = entry
+    return image

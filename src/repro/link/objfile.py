@@ -1,0 +1,124 @@
+"""Relocatable object files.
+
+The compilation model of Section II: each module (hand-written
+assembly or MinC source) compiles separately to an object file with a
+``.text`` and a ``.data`` section, a symbol table, and 32-bit absolute
+relocations.  The linker lays the sections out in the address space
+and patches the relocations.
+
+Object files also carry the security-relevant metadata this
+reproduction needs:
+
+* ``protected`` -- the module asks to be loaded into a protected
+  module (Section IV-A), with ``entry_points`` naming the symbols that
+  become its hardware entry points;
+* ``kernel`` -- the module asks to be loaded as kernel-privileged code
+  (the machine-code attacker model's strongest position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LinkError
+
+TEXT = ".text"
+DATA = ".data"
+
+
+@dataclass
+class Relocation:
+    """Patch the 32-bit word at ``offset`` in the holding section with
+    ``address_of(symbol) + addend``."""
+
+    offset: int
+    symbol: str
+    addend: int = 0
+
+
+@dataclass
+class Symbol:
+    """A named location: ``section`` + ``offset`` within one object."""
+
+    name: str
+    section: str
+    offset: int
+    #: 'func' for code labels, 'object' for data labels.
+    kind: str = "func"
+    #: Exported to other modules?  (Locals still resolve within the
+    #: defining object.)
+    is_global: bool = False
+
+
+@dataclass
+class Section:
+    """One named byte blob plus its relocations."""
+
+    name: str
+    data: bytearray = field(default_factory=bytearray)
+    relocations: list[Relocation] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class ObjectFile:
+    """One separately compiled module."""
+
+    name: str
+    sections: dict[str, Section] = field(default_factory=dict)
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+    #: Symbols designated as PMA entry points (implies ``protected``).
+    entry_points: list[str] = field(default_factory=list)
+    #: Load into a protected module.
+    protected: bool = False
+    #: Load as kernel-privileged code.
+    kernel: bool = False
+    #: This object has been SFI-rewritten: the linker places it in a
+    #: 1 MiB-aligned sandbox and resolves its ``__sfi_*`` symbols.
+    sfi: bool = False
+
+    def section(self, name: str) -> Section:
+        """Get or create a section."""
+        if name not in self.sections:
+            self.sections[name] = Section(name)
+        return self.sections[name]
+
+    @property
+    def text(self) -> Section:
+        return self.section(TEXT)
+
+    @property
+    def data(self) -> Section:
+        return self.section(DATA)
+
+    def add_symbol(
+        self,
+        name: str,
+        section: str,
+        offset: int,
+        kind: str = "func",
+        is_global: bool = False,
+    ) -> Symbol:
+        if name in self.symbols:
+            raise LinkError(f"{self.name}: duplicate symbol {name!r}")
+        symbol = Symbol(name, section, offset, kind, is_global)
+        self.symbols[name] = symbol
+        return symbol
+
+    def defined_symbols(self) -> list[str]:
+        return sorted(self.symbols)
+
+    def global_symbols(self) -> list[Symbol]:
+        return [s for s in self.symbols.values() if s.is_global]
+
+    def undefined_references(self) -> set[str]:
+        """Symbols referenced by relocations but not defined here."""
+        refs = {
+            reloc.symbol
+            for section in self.sections.values()
+            for reloc in section.relocations
+        }
+        return refs - set(self.symbols)

@@ -1,0 +1,44 @@
+"""The VN32 machine simulator: memory, CPU, devices, and syscalls."""
+
+from repro.machine.access import AccessKind
+from repro.machine.cpu import CPU
+from repro.machine.debugger import Debugger, Frame, StopEvent, StopReason
+from repro.machine.devices import InputChannel, OutputChannel, RandomDevice, ShellDevice
+from repro.machine.machine import Machine, MachineConfig, RunResult, RunStatus
+from repro.machine.memory import (
+    Memory,
+    PAGE_SIZE,
+    PERM_R,
+    PERM_RW,
+    PERM_RWX,
+    PERM_RX,
+    PERM_W,
+    PERM_X,
+    perms_to_str,
+)
+
+__all__ = [
+    "AccessKind",
+    "CPU",
+    "Debugger",
+    "Frame",
+    "StopEvent",
+    "StopReason",
+    "InputChannel",
+    "OutputChannel",
+    "RandomDevice",
+    "ShellDevice",
+    "Machine",
+    "MachineConfig",
+    "RunResult",
+    "RunStatus",
+    "Memory",
+    "PAGE_SIZE",
+    "PERM_R",
+    "PERM_RW",
+    "PERM_RWX",
+    "PERM_RX",
+    "PERM_W",
+    "PERM_X",
+    "perms_to_str",
+]

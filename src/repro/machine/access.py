@@ -1,0 +1,18 @@
+"""Memory-access kinds shared by the CPU and the protection machinery."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessKind(enum.Enum):
+    """What a memory access is for.
+
+    Every access performed by the CPU or on behalf of a syscall is one
+    of these; the page-permission check and the protected-module check
+    both dispatch on it.
+    """
+
+    FETCH = "fetch"
+    READ = "read"
+    WRITE = "write"

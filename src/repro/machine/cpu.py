@@ -1,0 +1,313 @@
+"""The VN32 CPU: registers, flags, and the execute stage.
+
+The CPU holds architectural state and knows how to execute one decoded
+instruction against a :class:`~repro.machine.machine.Machine` (which
+provides checked memory access and platform services).  Keeping the
+execute stage here and all policy (page permissions, PMA rules, shadow
+stack, CFI) in the machine mirrors the paper's layering: the attacks
+live entirely in the semantics below; the countermeasures are hooks
+around them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import DivisionFault
+from repro.isa.instructions import Instruction, Mem, WORD_MASK, to_signed, to_unsigned
+from repro.isa.registers import NUM_REGISTERS, SP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+
+
+class CPU:
+    """Architectural state: R0-R7, SP, BP, IP and comparison flags.
+
+    Flags are stored as the *outcomes* of the last comparison
+    (``zf``/``lt``/``ult``) rather than as raw carry/overflow bits;
+    this keeps signed/unsigned branching exact without modelling
+    two's-complement overflow flags.
+    """
+
+    def __init__(self) -> None:
+        self.regs: list[int] = [0] * NUM_REGISTERS
+        self.ip: int = 0
+        #: Last comparison: equal?
+        self.zf: bool = False
+        #: Last comparison: signed less-than?
+        self.lt: bool = False
+        #: Last comparison: unsigned less-than (below)?
+        self.ult: bool = False
+
+    # -- register access ----------------------------------------------------
+
+    def get(self, reg: int) -> int:
+        return self.regs[reg]
+
+    def set(self, reg: int, value: int) -> None:
+        self.regs[reg] = value & WORD_MASK
+
+    @property
+    def sp(self) -> int:
+        return self.regs[SP]
+
+    @sp.setter
+    def sp(self, value: int) -> None:
+        self.regs[SP] = value & WORD_MASK
+
+    def snapshot(self) -> dict[str, int]:
+        """A copy of the register file for tracing and register-leak
+        experiments (machine-code attackers can read registers)."""
+        from repro.isa.registers import REGISTER_NAMES
+
+        state = {name: self.regs[number] for number, name in enumerate(REGISTER_NAMES)}
+        state["ip"] = self.ip
+        return state
+
+    # -- flag helpers ---------------------------------------------------------
+
+    def _set_flags_result(self, result: int) -> None:
+        result &= WORD_MASK
+        self.zf = result == 0
+        self.lt = to_signed(result) < 0
+
+    def _set_flags_compare(self, a: int, b: int) -> None:
+        a &= WORD_MASK
+        b &= WORD_MASK
+        self.zf = a == b
+        self.lt = to_signed(a) < to_signed(b)
+        self.ult = a < b
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, insn: Instruction, machine: "Machine", next_ip: int) -> None:
+        """Execute one decoded instruction.
+
+        ``next_ip`` is the address of the following instruction; the
+        handler either leaves ``self.ip`` at ``next_ip`` (already set
+        by the machine) or overwrites it for control transfers.
+        """
+        _HANDLERS[insn.opcode](self, insn, machine)
+
+
+def _mem_addr(cpu: CPU, mem: Mem) -> int:
+    return (cpu.regs[mem.base] + mem.disp) & WORD_MASK
+
+
+# Handler functions, one per opcode. Each receives (cpu, insn, machine).
+
+
+def _nop(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    pass
+
+
+def _halt(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    machine.halt()
+
+
+def _mov_rr(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    dst, src = insn.operands
+    cpu.regs[dst] = cpu.regs[src]
+
+
+def _mov_ri(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    dst, imm = insn.operands
+    cpu.regs[dst] = imm & WORD_MASK
+
+
+def _load(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    dst, mem = insn.operands
+    cpu.regs[dst] = machine.read_word(_mem_addr(cpu, mem))
+
+
+def _store(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    src, mem = insn.operands
+    machine.write_word(_mem_addr(cpu, mem), cpu.regs[src])
+
+
+def _loadb(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    dst, mem = insn.operands
+    cpu.regs[dst] = machine.read_byte(_mem_addr(cpu, mem))
+
+
+def _storeb(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    src, mem = insn.operands
+    machine.write_byte(_mem_addr(cpu, mem), cpu.regs[src] & 0xFF)
+
+
+def _push(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    (reg,) = insn.operands
+    machine.push_word(cpu.regs[reg])
+
+
+def _pop(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    (reg,) = insn.operands
+    cpu.regs[reg] = machine.pop_word()
+
+
+def _binary_op(op: Callable[[int, int], int]) -> Callable:
+    def handler(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+        dst, src = insn.operands
+        result = op(cpu.regs[dst], cpu.regs[src]) & WORD_MASK
+        cpu.regs[dst] = result
+        cpu._set_flags_result(result)
+
+    return handler
+
+
+def _binary_imm_op(op: Callable[[int, int], int]) -> Callable:
+    def handler(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+        dst, imm = insn.operands
+        result = op(cpu.regs[dst], imm) & WORD_MASK
+        cpu.regs[dst] = result
+        cpu._set_flags_result(result)
+
+    return handler
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style signed division (truncation toward zero)."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        raise DivisionFault("division by zero")
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return to_unsigned(quotient)
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C-style signed remainder (sign follows the dividend)."""
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        raise DivisionFault("modulo by zero")
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return to_unsigned(remainder)
+
+
+def _not(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    (reg,) = insn.operands
+    result = (~cpu.regs[reg]) & WORD_MASK
+    cpu.regs[reg] = result
+    cpu._set_flags_result(result)
+
+
+def _shl(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    reg, amount = insn.operands
+    result = (cpu.regs[reg] << (amount & 31)) & WORD_MASK
+    cpu.regs[reg] = result
+    cpu._set_flags_result(result)
+
+
+def _shr(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    reg, amount = insn.operands
+    result = (cpu.regs[reg] & WORD_MASK) >> (amount & 31)
+    cpu.regs[reg] = result
+    cpu._set_flags_result(result)
+
+
+def _cmp_rr(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    a, b = insn.operands
+    cpu._set_flags_compare(cpu.regs[a], cpu.regs[b])
+
+
+def _cmp_ri(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    a, imm = insn.operands
+    cpu._set_flags_compare(cpu.regs[a], imm)
+
+
+def _jmp_abs(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    cpu.ip = insn.operands[0] & WORD_MASK
+
+
+def _jmp_reg(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    target = cpu.regs[insn.operands[0]]
+    machine.check_indirect_target(target)
+    cpu.ip = target
+
+
+def _conditional(predicate: Callable[[CPU], bool]) -> Callable:
+    def handler(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+        if predicate(cpu):
+            cpu.ip = insn.operands[0] & WORD_MASK
+
+    return handler
+
+
+def _call_abs(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    machine.push_return_address(cpu.ip)
+    cpu.ip = insn.operands[0] & WORD_MASK
+
+
+def _call_reg(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    target = cpu.regs[insn.operands[0]]
+    machine.check_indirect_target(target)
+    machine.push_return_address(cpu.ip)
+    cpu.ip = target
+
+
+def _ret(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    cpu.ip = machine.pop_return_address()
+
+
+def _sys(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    machine.do_syscall(insn.operands[0])
+
+
+def _lea(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    dst, mem = insn.operands
+    cpu.regs[dst] = _mem_addr(cpu, mem)
+
+
+def _chk(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    reg, limit = insn.operands
+    machine.bounds_check(cpu.regs[reg], limit)
+
+
+_HANDLERS: dict[int, Callable] = {
+    0x00: _nop,
+    0x01: _halt,
+    0x02: _mov_rr,
+    0x03: _mov_ri,
+    0x04: _load,
+    0x05: _store,
+    0x06: _loadb,
+    0x07: _storeb,
+    0x08: _push,
+    0x09: _pop,
+    0x0A: _binary_op(lambda a, b: a + b),
+    0x0B: _binary_imm_op(lambda a, b: a + b),
+    0x0C: _binary_op(lambda a, b: a - b),
+    0x0D: _binary_imm_op(lambda a, b: a - b),
+    0x0E: _binary_op(lambda a, b: a * b),
+    0x0F: _binary_op(_c_div),
+    0x10: _binary_op(_c_mod),
+    0x11: _binary_op(lambda a, b: a & b),
+    0x12: _binary_op(lambda a, b: a | b),
+    0x13: _binary_op(lambda a, b: a ^ b),
+    0x14: _not,
+    0x15: _shl,
+    0x16: _shr,
+    0x17: _cmp_rr,
+    0x18: _cmp_ri,
+    0x19: _jmp_abs,
+    0x1A: _jmp_reg,
+    0x1B: _conditional(lambda cpu: cpu.zf),
+    0x1C: _conditional(lambda cpu: not cpu.zf),
+    0x1D: _conditional(lambda cpu: cpu.lt),
+    0x1E: _conditional(lambda cpu: not cpu.lt and not cpu.zf),
+    0x1F: _conditional(lambda cpu: cpu.lt or cpu.zf),
+    0x20: _conditional(lambda cpu: not cpu.lt),
+    0x21: _conditional(lambda cpu: cpu.ult),
+    0x22: _conditional(lambda cpu: not cpu.ult),
+    0x23: _call_abs,
+    0x24: _call_reg,
+    0x25: _ret,
+    0x26: _sys,
+    0x27: _lea,
+    0x28: _chk,
+    0x29: _nop,  # land: a typed-CFI landing pad, inert when executed
+}

@@ -1,0 +1,110 @@
+"""Peripheral devices of the VN32 machine.
+
+The I/O attacker model (Section III) is defined by these devices: the
+attacker may write bytes to the :class:`InputChannel` and read bytes
+from the :class:`OutputChannel`, and nothing else.
+
+The :class:`ShellDevice` models the canonical attacker goal ("getting
+a root shell"): the ``sys spawn_shell`` service sets an observable
+flag.  An attack experiment counts as a compromise exactly when code
+the *source program never asks to run* manages to set this flag or to
+exfiltrate a secret on the output channel.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class InputChannel:
+    """Byte stream feeding ``sys read`` -- the attacker's input vector."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._consumed = 0
+
+    def feed(self, data: bytes) -> None:
+        """Append bytes for the program to read (what an attacker sends)."""
+        self._buffer += data
+
+    def read(self, size: int) -> bytes:
+        """Consume and return up to ``size`` bytes (empty at EOF)."""
+        available = len(self._buffer) - self._consumed
+        size = min(size, available)
+        if size <= 0:
+            return b""
+        start = self._consumed
+        self._consumed += size
+        return bytes(self._buffer[start : start + size])
+
+    @property
+    def remaining(self) -> int:
+        """Bytes fed but not yet consumed."""
+        return len(self._buffer) - self._consumed
+
+
+class OutputChannel:
+    """Byte stream collecting ``sys write`` output -- what the attacker sees."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self._buffer += data
+
+    def getvalue(self) -> bytes:
+        """All bytes written so far."""
+        return bytes(self._buffer)
+
+    def text(self, encoding: str = "latin-1") -> str:
+        """Output decoded as text (latin-1 never fails)."""
+        return self._buffer.decode(encoding)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class ShellDevice:
+    """Records whether (and where) a shell was spawned."""
+
+    def __init__(self) -> None:
+        self.spawned = False
+        self.spawn_ip: int | None = None
+        self.spawn_count = 0
+
+    def spawn(self, ip: int) -> None:
+        self.spawned = True
+        self.spawn_count += 1
+        if self.spawn_ip is None:
+            self.spawn_ip = ip
+
+    def reset(self) -> None:
+        self.spawned = False
+        self.spawn_ip = None
+        self.spawn_count = 0
+
+
+class RandomDevice:
+    """Deterministic, seedable entropy source.
+
+    Used by the loader for ASLR offsets and canary values, and exposed
+    to programs through ``sys rand``.  Seeding makes every experiment
+    reproducible; the ASLR sweep varies the seed explicitly.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def reseed(self, seed: int) -> None:
+        self._rng.seed(seed)
+
+    def word(self) -> int:
+        """A uniformly random 32-bit value."""
+        return self._rng.getrandbits(32)
+
+    def below(self, bound: int) -> int:
+        """A uniformly random integer in ``[0, bound)``."""
+        return self._rng.randrange(bound)
+
+    def bytes(self, size: int) -> bytes:
+        return self._rng.randbytes(size)

@@ -1,0 +1,390 @@
+"""The VN32 machine: CPU + memory + devices + protection machinery.
+
+:class:`Machine` is the facade the rest of the package programs
+against.  It composes, in checking order, every runtime protection the
+paper discusses:
+
+1. **Protected-module access control** (Section IV-A) -- consulted
+   first and for *every* access, including kernel-privileged ones;
+2. **Page permissions** (DEP, Section III-C1) -- skipped for
+   kernel-privileged code, which is exactly why DEP alone is useless
+   against the machine-code attacker;
+3. **Red zones** (ASan-style testing checks, Section III-C2);
+4. **Shadow stack** and **coarse CFI** on the control-transfer path.
+
+All of these are *disabled by default*: a bare machine is the
+historical unprotected platform that the Section III attacks assume.
+The loader switches them on according to a
+:class:`~repro.mitigations.config.MitigationConfig`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import (
+    BoundsFault,
+    CFIFault,
+    DecodeError,
+    ExecutionLimitExceeded,
+    InvalidInstructionFault,
+    MachineFault,
+    PermissionFault,
+    RedZoneFault,
+    ShadowStackFault,
+    SyscallFault,
+)
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction, WORD_MASK
+from repro.isa.opcodes import BY_OPCODE, FORMAT_LENGTHS
+from repro.machine.access import AccessKind
+from repro.machine.cpu import CPU
+from repro.machine.devices import InputChannel, OutputChannel, RandomDevice, ShellDevice
+from repro.machine.memory import Memory, PERM_R, PERM_W, PERM_X
+from repro.machine.syscalls import HANDLERS
+from repro.pma.module import PMAController
+
+
+class RunStatus(enum.Enum):
+    """How a :meth:`Machine.run` ended."""
+
+    EXITED = "exited"
+    HALTED = "halted"
+    FAULT = "fault"
+    LIMIT = "limit"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one :meth:`Machine.run` call."""
+
+    status: RunStatus
+    exit_code: int | None = None
+    fault: MachineFault | None = None
+    instructions: int = 0
+    output: bytes = b""
+    shell_spawned: bool = False
+
+    @property
+    def crashed(self) -> bool:
+        """True if execution ended in a fault (any kind)."""
+        return self.status is RunStatus.FAULT
+
+    def fault_name(self) -> str:
+        """Short class name of the fault, or '-' if none."""
+        return type(self.fault).__name__ if self.fault else "-"
+
+
+@dataclass
+class MachineConfig:
+    """Runtime-protection switches for one machine instance."""
+
+    #: Enforce the shadow stack on call/ret.
+    shadow_stack: bool = False
+    #: Enforce CFI on indirect calls/jumps.
+    cfi: bool = False
+    #: CFI precision: "coarse" admits any function entry; "typed"
+    #: requires a ``land`` landing pad whose tag matches the call
+    #: site's expected type tag (carried in r7 by convention).
+    cfi_mode: str = "coarse"
+    #: Enforce ASan-style red zones on data accesses.
+    redzones: bool = False
+    #: Record an execution trace (addresses + instructions).
+    trace: bool = False
+    #: Maximum trace entries retained.
+    trace_limit: int = 100_000
+    #: Seed for the machine's entropy source.
+    rng_seed: int = 0
+
+
+class Machine:
+    """One simulated VN32 computer."""
+
+    def __init__(
+        self,
+        config: MachineConfig | None = None,
+        pma: PMAController | None = None,
+    ) -> None:
+        self.config = config or MachineConfig()
+        self.memory = Memory()
+        self.cpu = CPU()
+        self.input = InputChannel()
+        self.output = OutputChannel()
+        self.shell = ShellDevice()
+        self.rng = RandomDevice(self.config.rng_seed)
+        self.pma = pma or PMAController()
+        #: The protected module the IP is currently inside (or None).
+        self.current_module = None
+        #: Address of the instruction currently executing.
+        self.current_ip = 0
+        #: Ranges of kernel-privileged code ``(start, end)``; code
+        #: fetched from these bypasses page permissions (but not PMA).
+        self.kernel_regions: list[tuple[int, int]] = []
+        #: Valid targets for indirect calls/jumps under CFI.
+        self.indirect_targets: set[int] = set()
+        #: Poisoned byte addresses (red zones).
+        self._redzones: set[int] = set()
+        self._shadow_stack: list[int] = []
+        #: Observation hooks ``f(machine, syscall_number)`` called
+        #: before each syscall -- used by tests and by the attacker's
+        #: local "debugger" when studying a binary.
+        self.syscall_hooks: list = []
+        self.trace: list[tuple[int, Instruction]] = []
+        self.instructions_executed = 0
+        self._status: RunStatus | None = None
+        self._exit_code: int | None = None
+
+    # -- privilege ----------------------------------------------------------
+
+    def add_kernel_region(self, start: int, end: int) -> None:
+        """Mark ``[start, end)`` as kernel-privileged code."""
+        self.kernel_regions.append((start, end))
+
+    def in_kernel(self, ip: int) -> bool:
+        """True if ``ip`` lies in a kernel-privileged region."""
+        return any(start <= ip < end for start, end in self.kernel_regions)
+
+    @property
+    def kernel_mode(self) -> bool:
+        """True if the currently executing instruction is kernel code."""
+        return self.in_kernel(self.current_ip)
+
+    # -- checked memory access ------------------------------------------------
+
+    def _check(self, kind: AccessKind, addr: int, size: int) -> None:
+        addr &= WORD_MASK
+        if self.pma.modules:
+            if kind is not AccessKind.FETCH:
+                self.pma.check_data_access(
+                    self.current_module, kind, addr, size, self.current_ip
+                )
+        if not self.kernel_mode:
+            perms = self.memory.range_perms(addr, size)
+            needed = {
+                AccessKind.FETCH: PERM_X,
+                AccessKind.READ: PERM_R,
+                AccessKind.WRITE: PERM_W,
+            }[kind]
+            if not perms & needed:
+                raise PermissionFault(
+                    f"{kind.value} of 0x{addr:08x} denied by page permissions",
+                    self.current_ip,
+                )
+        else:
+            # Kernel code still faults on unmapped memory.
+            self.memory.range_perms(addr, size)
+        if self.config.redzones and kind is not AccessKind.FETCH and self._redzones:
+            for offset in range(size):
+                if (addr + offset) & WORD_MASK in self._redzones:
+                    raise RedZoneFault(
+                        f"{kind.value} of 0x{(addr + offset) & WORD_MASK:08x} "
+                        "hit a red zone",
+                        self.current_ip,
+                    )
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        self._check(AccessKind.READ, addr, size)
+        return self.memory.read_bytes(addr, size)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check(AccessKind.WRITE, addr, len(data))
+        self.memory.write_bytes(addr, data)
+
+    def read_word(self, addr: int) -> int:
+        self._check(AccessKind.READ, addr, 4)
+        return self.memory.read_word(addr)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._check(AccessKind.WRITE, addr, 4)
+        self.memory.write_word(addr, value)
+
+    def read_byte(self, addr: int) -> int:
+        self._check(AccessKind.READ, addr, 1)
+        return self.memory.read_byte(addr)
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._check(AccessKind.WRITE, addr, 1)
+        self.memory.write_byte(addr, value)
+
+    # -- stack helpers ----------------------------------------------------------
+
+    def push_word(self, value: int) -> None:
+        self.cpu.sp = self.cpu.sp - 4
+        self.write_word(self.cpu.sp, value)
+
+    def pop_word(self) -> int:
+        value = self.read_word(self.cpu.sp)
+        self.cpu.sp = self.cpu.sp + 4
+        return value
+
+    def push_return_address(self, addr: int) -> None:
+        """Used by ``call``: pushes to the architectural stack and, when
+        enabled, to the protected shadow stack."""
+        self.push_word(addr)
+        if self.config.shadow_stack:
+            self._shadow_stack.append(addr)
+
+    def pop_return_address(self) -> int:
+        """Used by ``ret``: pops the architectural return address and
+        cross-checks it against the shadow stack when enabled."""
+        addr = self.pop_word()
+        if self.config.shadow_stack:
+            if not self._shadow_stack:
+                raise ShadowStackFault(
+                    "ret with empty shadow stack", self.current_ip
+                )
+            expected = self._shadow_stack.pop()
+            if expected != addr:
+                raise ShadowStackFault(
+                    f"return address 0x{addr:08x} disagrees with shadow "
+                    f"stack (expected 0x{expected:08x})",
+                    self.current_ip,
+                )
+        return addr
+
+    # -- control-flow policy -------------------------------------------------------
+
+    def check_indirect_target(self, target: int) -> None:
+        """CFI policy on indirect calls/jumps.
+
+        Coarse mode: the target must be a known function entry.
+        Typed mode: the target must be a ``land`` landing pad whose
+        tag equals the expected-type tag the call site placed in r7
+        (the FineIBT/BTI-style refinement).
+        """
+        if not self.config.cfi:
+            return
+        if self.config.cfi_mode == "typed":
+            from repro.isa.opcodes import LAND_OPCODE
+            from repro.isa.registers import R7
+
+            try:
+                opcode = self.memory.read_byte(target)
+                tag = self.memory.read_byte((target + 1) & WORD_MASK)
+            except MachineFault:
+                raise CFIFault(
+                    f"indirect transfer to unmapped address 0x{target:08x}",
+                    self.current_ip,
+                ) from None
+            expected = self.cpu.regs[R7] & 0xFF
+            if opcode != LAND_OPCODE:
+                raise CFIFault(
+                    f"indirect transfer to 0x{target:08x}: no landing pad",
+                    self.current_ip,
+                )
+            if tag != expected:
+                raise CFIFault(
+                    f"indirect transfer to 0x{target:08x}: landing-pad tag "
+                    f"{tag} does not match expected type tag {expected}",
+                    self.current_ip,
+                )
+            return
+        if target not in self.indirect_targets:
+            raise CFIFault(
+                f"indirect transfer to non-function address 0x{target:08x}",
+                self.current_ip,
+            )
+
+    def bounds_check(self, value: int, limit: int) -> None:
+        """The ``chk`` instruction: fault if ``value >= limit`` (unsigned)."""
+        if (value & WORD_MASK) >= (limit & WORD_MASK):
+            raise BoundsFault(
+                f"index {value} out of bounds (limit {limit})", self.current_ip
+            )
+
+    # -- red zones -----------------------------------------------------------------
+
+    def poison(self, addr: int, size: int) -> None:
+        for offset in range(size):
+            self._redzones.add((addr + offset) & WORD_MASK)
+
+    def unpoison(self, addr: int, size: int) -> None:
+        for offset in range(size):
+            self._redzones.discard((addr + offset) & WORD_MASK)
+
+    # -- syscalls -------------------------------------------------------------------
+
+    def do_syscall(self, number: int) -> None:
+        handler = HANDLERS.get(number)
+        if handler is None:
+            raise SyscallFault(f"invalid syscall number {number}", self.current_ip)
+        for hook in self.syscall_hooks:
+            hook(self, number)
+        handler(self)
+
+    # -- termination -------------------------------------------------------------------
+
+    def halt(self) -> None:
+        self._status = RunStatus.HALTED
+
+    def exit(self, code: int) -> None:
+        self._status = RunStatus.EXITED
+        self._exit_code = code
+
+    # -- execution ---------------------------------------------------------------------
+
+    def fetch_instruction(self, ip: int) -> Instruction:
+        """Fetch and decode the instruction at ``ip``.
+
+        Performs the PMA entry-point check (updating the current-module
+        tracking) and the page execute-permission check.
+        """
+        if self.pma.modules:
+            self.current_module = self.pma.check_fetch(self.current_module, ip)
+        self._check(AccessKind.FETCH, ip, 1)
+        opcode = self.memory.read_byte(ip)
+        spec = BY_OPCODE.get(opcode)
+        if spec is None:
+            raise InvalidInstructionFault(f"invalid opcode 0x{opcode:02x}", ip)
+        length = FORMAT_LENGTHS[spec.fmt]
+        if length > 1:
+            self._check(AccessKind.FETCH, ip + 1, length - 1)
+        raw = self.memory.read_bytes(ip, length)
+        try:
+            insn, _ = decode(raw)
+        except DecodeError as exc:
+            raise InvalidInstructionFault(str(exc), ip) from exc
+        return insn
+
+    def step(self) -> None:
+        """Fetch, decode and execute a single instruction."""
+        ip = self.cpu.ip
+        self.current_ip = ip
+        insn = self.fetch_instruction(ip)
+        if self.config.trace and len(self.trace) < self.config.trace_limit:
+            self.trace.append((ip, insn))
+        self.cpu.ip = (ip + insn.length) & WORD_MASK
+        self.cpu.execute(insn, self, self.cpu.ip)
+        self.instructions_executed += 1
+
+    def run(self, max_instructions: int = 2_000_000) -> RunResult:
+        """Run until exit, halt, fault, or the instruction budget.
+
+        Never raises on machine faults -- they are part of the
+        experiment outcome and are returned in the result.
+        """
+        self._status = None
+        start_count = self.instructions_executed
+        try:
+            while self._status is None:
+                if self.instructions_executed - start_count >= max_instructions:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_instructions} instructions", self.cpu.ip
+                    )
+                self.step()
+        except MachineFault as fault:
+            return self._result(RunStatus.FAULT, fault, start_count)
+        return self._result(self._status, None, start_count)
+
+    def _result(
+        self, status: RunStatus, fault: MachineFault | None, start_count: int
+    ) -> RunResult:
+        return RunResult(
+            status=status,
+            exit_code=self._exit_code,
+            fault=fault,
+            instructions=self.instructions_executed - start_count,
+            output=self.output.getvalue(),
+            shell_spawned=self.shell.spawned,
+        )

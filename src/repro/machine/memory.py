@@ -1,0 +1,194 @@
+"""Paged virtual memory for the VN32 machine.
+
+The address space is the flat 32-bit space described in Section II of
+the paper: 2**32 bytes, little-endian, holding code, data, stack and
+management information side by side.  Storage is sparse (a dict of
+4 KiB pages) so a full address space costs nothing until touched.
+
+Each page carries R/W/X permission bits.  Data Execution Prevention
+(Section III-C1) is expressed entirely through these bits: the loader
+maps text pages R+X and data/stack pages R+W.  With DEP disabled, the
+loader simply maps every page RWX, which is the historical pre-DEP
+behaviour that direct code injection relies on.
+
+This module performs *no* permission checking itself -- it only stores
+bytes and permission bits.  Checked accesses (page permissions, PMA
+rules, red zones) are composed in :class:`repro.machine.machine.Machine`,
+because what is allowed depends on who is executing (Section IV).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import MemoryFault
+from repro.isa.instructions import WORD_MASK
+
+#: Page size in bytes.
+PAGE_SIZE = 0x1000
+_PAGE_SHIFT = 12
+
+#: Permission bits.
+PERM_R = 1
+PERM_W = 2
+PERM_X = 4
+PERM_RW = PERM_R | PERM_W
+PERM_RX = PERM_R | PERM_X
+PERM_RWX = PERM_R | PERM_W | PERM_X
+
+_U32 = struct.Struct("<I")
+
+
+def perms_to_str(perms: int) -> str:
+    """Render permission bits as an ``rwx`` string.
+
+    >>> perms_to_str(PERM_RX)
+    'r-x'
+    """
+    return (
+        ("r" if perms & PERM_R else "-")
+        + ("w" if perms & PERM_W else "-")
+        + ("x" if perms & PERM_X else "-")
+    )
+
+
+class Memory:
+    """Sparse paged byte-addressable memory with per-page permissions."""
+
+    def __init__(self) -> None:
+        self._pages: dict[int, bytearray] = {}
+        self._perms: dict[int, int] = {}
+
+    # -- mapping ----------------------------------------------------------
+
+    def map_region(self, addr: int, size: int, perms: int = PERM_RW) -> None:
+        """Map all pages covering ``[addr, addr+size)`` with ``perms``.
+
+        Already-mapped pages keep their contents; their permissions are
+        overwritten.
+        """
+        if size <= 0:
+            return
+        first = addr >> _PAGE_SHIFT
+        last = (addr + size - 1) >> _PAGE_SHIFT
+        for page in range(first, last + 1):
+            if page not in self._pages:
+                self._pages[page] = bytearray(PAGE_SIZE)
+            self._perms[page] = perms
+
+    def set_perms(self, addr: int, size: int, perms: int) -> None:
+        """Change permissions of already-mapped pages covering a range."""
+        first = addr >> _PAGE_SHIFT
+        last = (addr + size - 1) >> _PAGE_SHIFT
+        for page in range(first, last + 1):
+            if page not in self._pages:
+                raise MemoryFault(f"set_perms on unmapped page 0x{page << _PAGE_SHIFT:08x}")
+            self._perms[page] = perms
+
+    def is_mapped(self, addr: int) -> bool:
+        """Return True if the byte at ``addr`` is mapped."""
+        return ((addr & WORD_MASK) >> _PAGE_SHIFT) in self._pages
+
+    def perms_at(self, addr: int) -> int:
+        """Return the permission bits of the page containing ``addr``.
+
+        Raises :class:`MemoryFault` if unmapped.
+        """
+        page = (addr & WORD_MASK) >> _PAGE_SHIFT
+        try:
+            return self._perms[page]
+        except KeyError:
+            raise MemoryFault(f"access to unmapped address 0x{addr & WORD_MASK:08x}") from None
+
+    def range_perms(self, addr: int, size: int) -> int:
+        """Return the AND of permissions across ``[addr, addr+size)``."""
+        if size <= 0:
+            return 0
+        perms = PERM_RWX
+        first = addr >> _PAGE_SHIFT
+        last = (addr + size - 1) >> _PAGE_SHIFT
+        for page in range(first, last + 1):
+            try:
+                perms &= self._perms[page]
+            except KeyError:
+                raise MemoryFault(
+                    f"access to unmapped address 0x{(page << _PAGE_SHIFT) & WORD_MASK:08x}"
+                ) from None
+        return perms
+
+    def mapped_regions(self) -> list[tuple[int, int]]:
+        """Return maximal contiguous mapped regions as ``(start, end)``.
+
+        ``end`` is exclusive.  Used by memory-scraping attacks, which
+        sweep everything that is addressable.
+        """
+        pages = sorted(self._pages)
+        regions: list[tuple[int, int]] = []
+        for page in pages:
+            start = page << _PAGE_SHIFT
+            end = start + PAGE_SIZE
+            if regions and regions[-1][1] == start:
+                regions[-1] = (regions[-1][0], end)
+            else:
+                regions.append((start, end))
+        return regions
+
+    # -- raw access (no permission checks) --------------------------------
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        """Read ``size`` raw bytes starting at ``addr``."""
+        addr &= WORD_MASK
+        out = bytearray()
+        remaining = size
+        while remaining > 0:
+            page = addr >> _PAGE_SHIFT
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            try:
+                data = self._pages[page]
+            except KeyError:
+                raise MemoryFault(f"read from unmapped address 0x{addr:08x}") from None
+            out += data[offset : offset + chunk]
+            addr = (addr + chunk) & WORD_MASK
+            remaining -= chunk
+        return bytes(out)
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Write raw bytes starting at ``addr``."""
+        addr &= WORD_MASK
+        offset_in_data = 0
+        remaining = len(data)
+        while remaining > 0:
+            page = addr >> _PAGE_SHIFT
+            offset = addr & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            try:
+                target = self._pages[page]
+            except KeyError:
+                raise MemoryFault(f"write to unmapped address 0x{addr:08x}") from None
+            target[offset : offset + chunk] = data[offset_in_data : offset_in_data + chunk]
+            addr = (addr + chunk) & WORD_MASK
+            offset_in_data += chunk
+            remaining -= chunk
+
+    def read_byte(self, addr: int) -> int:
+        return self.read_bytes(addr, 1)[0]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self.write_bytes(addr, bytes([value & 0xFF]))
+
+    def read_word(self, addr: int) -> int:
+        """Read a 32-bit little-endian word."""
+        return _U32.unpack(self.read_bytes(addr, 4))[0]
+
+    def write_word(self, addr: int, value: int) -> None:
+        """Write a 32-bit little-endian word."""
+        self.write_bytes(addr, _U32.pack(value & WORD_MASK))
+
+    def iter_words(self, start: int, end: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(address, word)`` for word-aligned addresses in range."""
+        addr = start
+        while addr + 4 <= end:
+            yield addr, self.read_word(addr)
+            addr += 4

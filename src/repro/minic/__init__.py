@@ -1,0 +1,23 @@
+"""MinC: the C-subset compiler used to build the paper's programs."""
+
+from repro.minic.codegen import (
+    CompileOptions,
+    PRIVATE_STACK_SIZE,
+    RED_ZONE_SIZE,
+    SECURITY_ABORT_EXIT_CODE,
+)
+from repro.minic.compiler import compile_source, compile_to_asm, options_from_mitigations
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+
+__all__ = [
+    "CompileOptions",
+    "PRIVATE_STACK_SIZE",
+    "RED_ZONE_SIZE",
+    "SECURITY_ABORT_EXIT_CODE",
+    "compile_source",
+    "compile_to_asm",
+    "options_from_mitigations",
+    "parse",
+    "analyze",
+]

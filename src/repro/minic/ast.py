@@ -1,0 +1,240 @@
+"""Abstract syntax tree for MinC.
+
+Nodes are plain dataclasses.  The semantic analyser decorates
+expression nodes with a ``type`` attribute and identifier nodes with a
+``binding`` (the declaration they resolve to); the code generator
+consumes the decorated tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic.types import Type
+
+
+@dataclass
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# --- expressions -----------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base expression; sema sets ``type``."""
+
+    def __post_init__(self) -> None:
+        self.type: Type | None = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StringLit(Expr):
+    value: bytes = b""
+    #: Label assigned by codegen when the literal is materialised.
+    label: str | None = None
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        #: Set by sema: the VarDecl / Param / GlobalVar / FuncDef.
+        self.binding = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class Call(Expr):
+    callee: Expr = None
+    args: list[Expr] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        #: Set by sema: 'direct', 'indirect', or 'builtin'.
+        self.mode: str = "direct"
+        #: For builtin calls: the builtin descriptor.
+        self.builtin = None
+
+
+@dataclass
+class Conditional(Expr):
+    """The ternary ``cond ? then : otherwise``."""
+
+    condition: Expr = None
+    then: Expr = None
+    otherwise: Expr = None
+
+
+@dataclass
+class PostOp(Expr):
+    """Postfix ``target++`` / ``target--`` (value is the *old* one)."""
+
+    op: str = "++"
+    target: Expr = None
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Deref(Expr):
+    operand: Expr = None
+
+
+@dataclass
+class AddrOf(Expr):
+    operand: Expr = None
+
+
+# --- statements ------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A local variable declaration (with optional initialiser)."""
+
+    name: str = ""
+    var_type: Type = None
+    init: Expr | None = None
+
+    def __post_init__(self) -> None:
+        #: Frame offset relative to BP, set by codegen.
+        self.offset: int | None = None
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr = None
+    then_branch: Stmt = None
+    else_branch: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None
+    condition: Expr = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    condition: Expr | None = None
+    step: Expr | None = None
+    body: Stmt = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --- top level -------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    var_type: Type = None
+
+    def __post_init__(self) -> None:
+        #: Frame offset relative to BP (positive), set by codegen.
+        self.offset: int | None = None
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: Type = None
+    params: list[Param] = field(default_factory=list)
+    body: Block = None
+    static: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.minic.types import FuncType
+
+        self.func_type = FuncType(
+            self.return_type, tuple(p.var_type for p in self.params)
+        )
+
+
+@dataclass
+class GlobalVar(Node):
+    name: str = ""
+    var_type: Type = None
+    #: Constant initialiser: int, bytes (string), or list[int].
+    init: object = None
+    static: bool = False
+
+
+@dataclass
+class Program(Node):
+    items: list[Node] = field(default_factory=list)
+
+    @property
+    def functions(self) -> list[FuncDef]:
+        return [item for item in self.items if isinstance(item, FuncDef)]
+
+    @property
+    def globals(self) -> list[GlobalVar]:
+        return [item for item in self.items if isinstance(item, GlobalVar)]

@@ -1,0 +1,49 @@
+"""MinC built-in functions: thin wrappers over ``sys`` services.
+
+A call to one of these names (when the program does not define its own
+function with the same name) compiles to argument setup in r0..r3
+followed by a single ``sys`` instruction, mirroring how libc wrappers
+sit directly on syscalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine import syscalls
+from repro.minic.types import INT, Type, VOID
+
+
+@dataclass(frozen=True)
+class Builtin:
+    name: str
+    syscall: int
+    arity: int
+    ret: Type
+    #: Index of a buffer argument whose bounds the safe-language mode
+    #: must know statically (None if not applicable).
+    buffer_arg: int | None = None
+    #: Index of the length argument tied to ``buffer_arg``.
+    length_arg: int | None = None
+
+
+BUILTINS: dict[str, Builtin] = {
+    builtin.name: builtin
+    for builtin in (
+        Builtin("read", syscalls.SYS_READ, 3, INT, buffer_arg=1, length_arg=2),
+        Builtin("write", syscalls.SYS_WRITE, 3, INT, buffer_arg=1, length_arg=2),
+        Builtin("exit", syscalls.SYS_EXIT, 1, VOID),
+        Builtin("spawn_shell", syscalls.SYS_SPAWN_SHELL, 0, INT),
+        Builtin("rand", syscalls.SYS_RAND, 0, INT),
+        Builtin("print_int", syscalls.SYS_PRINT_INT, 1, VOID),
+        Builtin("attest", syscalls.SYS_ATTEST, 3, INT),
+        Builtin("seal", syscalls.SYS_SEAL, 4, INT),
+        Builtin("unseal", syscalls.SYS_UNSEAL, 4, INT),
+        Builtin("ctr_read", syscalls.SYS_CTR_READ, 0, INT),
+        Builtin("ctr_incr", syscalls.SYS_CTR_INCR, 0, INT),
+        # Red-zone management for instrumented allocators (no-ops
+        # unless the machine runs with red-zone checking enabled).
+        Builtin("poison", syscalls.SYS_POISON, 2, VOID),
+        Builtin("unpoison", syscalls.SYS_UNPOISON, 2, VOID),
+    )
+}

@@ -1,0 +1,901 @@
+"""MinC code generator: decorated AST to VN32 assembly text.
+
+The generated code follows the cdecl-like convention of Figure 1 in
+the paper, which is exactly what the attacks exploit:
+
+* arguments pushed right-to-left by the caller, caller cleans up;
+* ``call`` pushes the return address; the callee saves the caller's
+  base pointer and sets its own (``push bp; mov bp, sp``);
+* locals live *below* the base pointer, the saved base pointer and
+  return address live *above* the locals -- so overflowing a local
+  buffer upward reaches first the other locals, then (the canary,
+  then) the saved base pointer, then the return address;
+* the return value travels in ``r0``.
+
+Mitigation passes (all off by default):
+
+* ``stack_canaries`` -- a random word (loaded from the platform canary
+  cell) is pushed between the locals and the saved registers and
+  checked in the epilogue (Section III-C1, StackGuard [9]);
+* ``bounds_checks`` -- safe-language mode: ``chk`` instructions guard
+  every array index, and ``read``/``write`` lengths are clamped to the
+  static buffer size (Section III-C2);
+* ``asan`` -- 8-byte red zones around every local array, poisoned on
+  entry and unpoisoned on exit (AddressSanitizer-style testing
+  checks [16]).
+
+Protected-module passes (Section IV-B):
+
+* ``protected`` -- the object requests PMA loading; every non-static
+  function becomes a hardware entry point;
+* ``secure`` (or the individual flags) -- the *secure compilation*
+  scheme of Agten/Patrignani et al. [30][31]: entry stubs that switch
+  to a module-private stack, outcall stubs that switch back and
+  re-enter through a dedicated entry point, function-pointer checks
+  that refuse targets inside the module, register scrubbing on exit,
+  and a reentrancy guard.  Compiling with ``protected=True`` but
+  ``secure=False`` reproduces the *insecure* compilation that the
+  Figure 4 attack defeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.machine import syscalls
+from repro.minic import ast
+from repro.minic.types import (
+    ArrayType,
+    CharType,
+    FuncType,
+    PointerType,
+    decay,
+    element_size,
+    sizeof,
+    storage_size,
+)
+
+#: Exit code used by compiler-inserted security aborts (e.g. a
+#: rejected function pointer).  Chosen to be recognisable in results.
+SECURITY_ABORT_EXIT_CODE = 102
+
+#: Size of the module-private stack in secure PMA mode.
+PRIVATE_STACK_SIZE = 2048
+
+#: Red-zone size (bytes) on each side of a local array in ASan mode.
+RED_ZONE_SIZE = 8
+
+
+def type_tag(func_type) -> int:
+    """A stable 1..255 tag for a function type (typed-CFI classes).
+
+    Functions with the same signature share a tag -- typed CFI cannot
+    distinguish them, which is exactly its residual attack surface.
+    """
+    import zlib
+
+    return (zlib.crc32(str(func_type).encode()) % 255) + 1
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Per-module compilation switches."""
+
+    stack_canaries: bool = False
+    bounds_checks: bool = False
+    asan: bool = False
+    #: Run the peephole optimizer over the generated assembly.
+    optimize: bool = False
+    #: Emit typed-CFI landing pads (``land <type-tag>``) at function
+    #: entries and expected-tag setup (r7) at indirect call sites.
+    cfi_landing_pads: bool = False
+    #: Request protected-module loading (Section IV-A).
+    protected: bool = False
+    #: Request kernel-privileged loading (machine-code attacker).
+    kernel: bool = False
+    #: Secure-compilation hardening, individually toggleable for the
+    #: ablation experiments.  ``secure()`` turns them all on.
+    pma_pointer_checks: bool = False
+    pma_private_stack: bool = False
+    pma_scrub_registers: bool = False
+    pma_reentrancy_guard: bool = False
+
+    @staticmethod
+    def secure_module() -> "CompileOptions":
+        """The full secure-compilation posture for a protected module."""
+        return CompileOptions(
+            protected=True,
+            pma_pointer_checks=True,
+            pma_private_stack=True,
+            pma_scrub_registers=True,
+            pma_reentrancy_guard=True,
+        )
+
+    @property
+    def any_pma_hardening(self) -> bool:
+        return (
+            self.pma_pointer_checks
+            or self.pma_private_stack
+            or self.pma_scrub_registers
+            or self.pma_reentrancy_guard
+        )
+
+
+@dataclass
+class _FrameInfo:
+    """Computed stack-frame layout for one function."""
+
+    frame_size: int = 0
+    #: (offset, size) pairs to poison in ASan mode.
+    red_zones: list[tuple[int, int]] = field(default_factory=list)
+
+
+class CodeGenerator:
+    """Generates assembly for one analysed MinC translation unit."""
+
+    def __init__(self, program: ast.Program, module_name: str,
+                 options: CompileOptions | None = None):
+        self.program = program
+        self.module_name = module_name
+        self.options = options or CompileOptions()
+        self.lines: list[str] = []
+        self.strings: list[tuple[str, bytes]] = []
+        self._label_counter = 0
+        self._break_labels: list[str] = []
+        self._continue_labels: list[str] = []
+        self.current_function: ast.FuncDef | None = None
+        self._defined_functions = {
+            f.name for f in program.functions if f.body is not None
+        }
+        self._uses_outcalls = False
+
+    # -- helpers ------------------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def emit_raw(self, text: str) -> None:
+        self.lines.append(text)
+
+    def new_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f".L{stem}_{self._label_counter}"
+
+    def string_label(self, value: bytes) -> str:
+        for label, existing in self.strings:
+            if existing == value:
+                return label
+        label = f".Lstr_{len(self.strings)}"
+        self.strings.append((label, value))
+        return label
+
+    @property
+    def _secure_stack(self) -> bool:
+        return self.options.protected and self.options.pma_private_stack
+
+    def _is_entry_function(self, func: ast.FuncDef) -> bool:
+        return self.options.protected and not func.static
+
+    # -- top level -------------------------------------------------------------
+
+    def generate(self) -> str:
+        """Produce the complete assembly text for this module."""
+        self.emit_raw(f"; module {self.module_name} (MinC)")
+        self.emit_raw(".text")
+        for func in self.program.functions:
+            if func.body is None:
+                continue  # prototype: resolved at link time
+            self.gen_function(func)
+        if self._secure_stack and self._uses_outcalls:
+            self.gen_reentry_stub()
+        self.emit_raw(".data")
+        for var in self.program.globals:
+            self.gen_global(var)
+        for label, value in self.strings:
+            ascii_bytes = ", ".join(str(b) for b in value)
+            self.emit_label(label)
+            self.emit(f".byte {ascii_bytes}")
+        if self.options.protected and self.options.any_pma_hardening:
+            self.gen_module_runtime_data()
+        # Exports and module markers.
+        for func in self.program.functions:
+            if func.body is None or func.static:
+                continue
+            if self.options.protected:
+                self.emit_raw(f".entry {func.name}")
+            else:
+                self.emit_raw(f".global {func.name}")
+        if self._secure_stack and self._uses_outcalls:
+            self.emit_raw(f".entry __reentry_{self.module_name}")
+        for var in self.program.globals:
+            if not var.static and not self.options.protected:
+                self.emit_raw(f".global {var.name}")
+        if self.options.protected:
+            self.emit_raw(".protected")
+        if self.options.kernel:
+            self.emit_raw(".kernel")
+        return "\n".join(self.lines) + "\n"
+
+    def gen_global(self, var: ast.GlobalVar) -> None:
+        self.emit_raw(".align 4")
+        self.emit_label(var.name)
+        var_type = var.var_type
+        init = var.init
+        if isinstance(var_type, ArrayType):
+            total = sizeof(var_type)
+            if isinstance(init, bytes):
+                data = ", ".join(str(b) for b in init)
+                self.emit(f".byte {data}")
+                if total > len(init):
+                    self.emit(f".space {total - len(init)}")
+            elif isinstance(init, list):
+                words = ", ".join(str(v) for v in init)
+                self.emit(f".word {words}")
+                remaining = total - 4 * len(init)
+                if remaining > 0:
+                    self.emit(f".space {remaining}")
+            else:
+                self.emit(f".space {total}")
+        else:
+            value = init if isinstance(init, int) else 0
+            if isinstance(var_type, CharType):
+                self.emit(f".byte {value & 0xFF}")
+                self.emit(".space 3")
+            else:
+                self.emit(f".word {value}")
+
+    def gen_module_runtime_data(self) -> None:
+        """Private stack and control cells for the secure-PMA runtime."""
+        self.emit_raw(".align 4")
+        if self.options.pma_private_stack:
+            self.emit_label("__priv_stack_base")
+            self.emit(f".space {PRIVATE_STACK_SIZE}")
+            self.emit_label("__priv_stack_top")
+            self.emit_label("__saved_sp")
+            self.emit(".word 0")
+            self.emit_label("__priv_sp")
+            self.emit(".word 0")
+            self.emit_label("__cont")
+            self.emit(".word 0")
+        if self.options.pma_reentrancy_guard:
+            self.emit_label("__busy")
+            self.emit(".word 0")
+
+    # -- frame layout ------------------------------------------------------------
+
+    def _collect_locals(self, stmt: ast.Stmt, out: list[ast.VarDecl]) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.statements:
+                self._collect_locals(child, out)
+        elif isinstance(stmt, ast.VarDecl):
+            out.append(stmt)
+        elif isinstance(stmt, ast.If):
+            self._collect_locals(stmt.then_branch, out)
+            if stmt.else_branch is not None:
+                self._collect_locals(stmt.else_branch, out)
+        elif isinstance(stmt, ast.While):
+            self._collect_locals(stmt.body, out)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self._collect_locals(stmt.init, out)
+            self._collect_locals(stmt.body, out)
+
+    def _layout_frame(self, func: ast.FuncDef) -> _FrameInfo:
+        """Assign BP-relative offsets to params and locals.
+
+        Locals are placed in declaration order from just below the
+        (canary and) saved BP downward, so a buffer declared *after* a
+        scalar sits below it and overflows into it -- the layout the
+        data-only attack of Section III-B relies on.
+        """
+        info = _FrameInfo()
+        for position, param in enumerate(func.params):
+            param.offset = 8 + 4 * position
+        cursor = 4 if self.options.stack_canaries else 0
+        locals_: list[ast.VarDecl] = []
+        self._collect_locals(func.body, locals_)
+        for decl in locals_:
+            is_array = isinstance(decl.var_type, ArrayType)
+            if self.options.asan and is_array:
+                cursor += RED_ZONE_SIZE
+                info.red_zones.append((-cursor, RED_ZONE_SIZE))
+            cursor += storage_size(decl.var_type)
+            decl.offset = -cursor
+            if self.options.asan and is_array:
+                cursor += RED_ZONE_SIZE
+                info.red_zones.append((-cursor, RED_ZONE_SIZE))
+        info.frame_size = cursor - (4 if self.options.stack_canaries else 0)
+        return info
+
+    # -- functions -----------------------------------------------------------------
+
+    def gen_function(self, func: ast.FuncDef) -> None:
+        self.current_function = func
+        info = self._layout_frame(func)
+        self.emit_raw(f"; {func.func_type} {func.name}")
+        self.emit_raw(".align 4")  # zero padding decodes as nop
+        self.emit_label(func.name)
+        if self.options.cfi_landing_pads:
+            self.emit(f"land {type_tag(func.func_type)}   ; typed-CFI pad")
+        is_entry = self._is_entry_function(func)
+        if is_entry and self.options.pma_reentrancy_guard:
+            self._gen_busy_check_and_set()
+        if is_entry and self.options.pma_private_stack:
+            self._gen_entry_stack_switch(func)
+        self.emit("push bp")
+        self.emit("mov bp, sp")
+        if self.options.stack_canaries:
+            self.emit("mov r1, __canary")
+            self.emit("load r1, [r1]")
+            self.emit("push r1            ; canary at [bp-4]")
+        if info.frame_size > 0:
+            self.emit(f"sub sp, {info.frame_size}")
+        for offset, size in info.red_zones:
+            self._emit_zone_syscall(offset, size, syscalls.SYS_POISON)
+        self.gen_stmt(func.body)
+        # Fall off the end: return 0 (undefined in C; deterministic here).
+        self.emit("mov r0, 0")
+        self.emit_label(f".Lret_{func.name}")
+        if info.red_zones:
+            self.emit("push r0            ; preserve return value")
+            for offset, size in info.red_zones:
+                self._emit_zone_syscall(offset, size, syscalls.SYS_UNPOISON)
+            self.emit("pop r0")
+        if self.options.stack_canaries:
+            ok_label = self.new_label("canary_ok")
+            self.emit("load r1, [bp-4]")
+            self.emit("mov r2, __canary")
+            self.emit("load r2, [r2]")
+            self.emit("cmp r1, r2")
+            self.emit(f"jz {ok_label}")
+            self.emit(f"sys {syscalls.SYS_CANARY_FAIL}")
+            self.emit_label(ok_label)
+        self.emit("mov sp, bp")
+        self.emit("pop bp")
+        if is_entry and self.options.pma_private_stack:
+            self.emit("mov r1, __saved_sp")
+            self.emit("load sp, [r1]       ; back to the caller's stack")
+        if is_entry and self.options.pma_reentrancy_guard:
+            self.emit("mov r1, __busy")
+            self.emit("mov r2, 0")
+            self.emit("store [r1], r2      ; clear reentrancy guard")
+        if is_entry and self.options.pma_scrub_registers:
+            for reg in range(1, 8):
+                self.emit(f"mov r{reg}, 0")
+        self.emit("ret")
+        self.current_function = None
+
+    def _emit_zone_syscall(self, offset: int, size: int, number: int) -> None:
+        self.emit(f"lea r0, [bp{offset:+#x}]" if offset else "mov r0, bp")
+        self.emit(f"mov r1, {size}")
+        self.emit(f"sys {number}")
+
+    def _gen_busy_check_and_set(self) -> None:
+        ok_label = self.new_label("not_busy")
+        self.emit("mov r1, __busy")
+        self.emit("load r1, [r1]")
+        self.emit("cmp r1, 0")
+        self.emit(f"jz {ok_label}")
+        self._gen_security_abort()
+        self.emit_label(ok_label)
+        self.emit("mov r1, __busy")
+        self.emit("mov r2, 1")
+        self.emit("store [r1], r2      ; set reentrancy guard")
+
+    def _gen_entry_stack_switch(self, func: ast.FuncDef) -> None:
+        """Copy return address + arguments onto the module-private stack.
+
+        The caller's SP is preserved in ``__saved_sp``; the epilogue
+        restores it so ``ret`` pops the *original* return address from
+        the caller's own stack.
+        """
+        nargs = len(func.params)
+        self.emit("mov r3, sp          ; caller sp (at return address)")
+        self.emit("mov r2, __saved_sp")
+        self.emit("store [r2], r3")
+        self.emit("mov r2, __priv_stack_top")
+        for position in range(nargs - 1, -1, -1):
+            self.emit(f"load r1, [r3+{4 + 4 * position:#x}]")
+            self.emit("sub r2, 4")
+            self.emit("store [r2], r1")
+        self.emit("load r1, [r3]       ; copy return address (placeholder)")
+        self.emit("sub r2, 4")
+        self.emit("store [r2], r1")
+        self.emit("mov sp, r2          ; switch to the private stack")
+
+    def _gen_security_abort(self) -> None:
+        self.emit(f"mov r0, {SECURITY_ABORT_EXIT_CODE}")
+        self.emit(f"sys {syscalls.SYS_EXIT}  ; security abort")
+
+    def gen_reentry_stub(self) -> None:
+        """The dedicated entry point through which outcalls return."""
+        name = f"__reentry_{self.module_name}"
+        self.emit_raw("; outcall return trampoline (hardware entry point)")
+        self.emit_label(name)
+        if self.options.pma_reentrancy_guard:
+            ok_label = self.new_label("reentry_ok")
+            self.emit("mov r1, __busy")
+            self.emit("load r1, [r1]")
+            self.emit("cmp r1, 1")
+            self.emit(f"jz {ok_label}")
+            self._gen_security_abort()
+            self.emit_label(ok_label)
+        self.emit("mov r2, __priv_sp")
+        self.emit("load sp, [r2]       ; back onto the private stack")
+        self.emit("mov r2, __cont")
+        self.emit("load r1, [r2]")
+        self.emit("jmp r1              ; resume the interrupted function")
+
+    # -- statements ------------------------------------------------------------------
+
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.statements:
+                self.gen_stmt(child)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self.gen_rvalue(stmt.init)
+                self._store_to_frame(stmt.offset, stmt.var_type)
+        elif isinstance(stmt, ast.If):
+            else_label = self.new_label("else")
+            end_label = self.new_label("endif")
+            self.gen_rvalue(stmt.condition)
+            self.emit("cmp r0, 0")
+            self.emit(f"jz {else_label}")
+            self.gen_stmt(stmt.then_branch)
+            self.emit(f"jmp {end_label}")
+            self.emit_label(else_label)
+            if stmt.else_branch is not None:
+                self.gen_stmt(stmt.else_branch)
+            self.emit_label(end_label)
+        elif isinstance(stmt, ast.While):
+            top_label = self.new_label("while")
+            end_label = self.new_label("endwhile")
+            self.emit_label(top_label)
+            self.gen_rvalue(stmt.condition)
+            self.emit("cmp r0, 0")
+            self.emit(f"jz {end_label}")
+            self._break_labels.append(end_label)
+            self._continue_labels.append(top_label)
+            self.gen_stmt(stmt.body)
+            self._break_labels.pop()
+            self._continue_labels.pop()
+            self.emit(f"jmp {top_label}")
+            self.emit_label(end_label)
+        elif isinstance(stmt, ast.DoWhile):
+            top_label = self.new_label("do")
+            cond_label = self.new_label("docond")
+            end_label = self.new_label("enddo")
+            self.emit_label(top_label)
+            self._break_labels.append(end_label)
+            self._continue_labels.append(cond_label)
+            self.gen_stmt(stmt.body)
+            self._break_labels.pop()
+            self._continue_labels.pop()
+            self.emit_label(cond_label)
+            self.gen_rvalue(stmt.condition)
+            self.emit("cmp r0, 0")
+            self.emit(f"jnz {top_label}")
+            self.emit_label(end_label)
+        elif isinstance(stmt, ast.For):
+            top_label = self.new_label("for")
+            step_label = self.new_label("forstep")
+            end_label = self.new_label("endfor")
+            if stmt.init is not None:
+                self.gen_stmt(stmt.init)
+            self.emit_label(top_label)
+            if stmt.condition is not None:
+                self.gen_rvalue(stmt.condition)
+                self.emit("cmp r0, 0")
+                self.emit(f"jz {end_label}")
+            self._break_labels.append(end_label)
+            self._continue_labels.append(step_label)
+            self.gen_stmt(stmt.body)
+            self._break_labels.pop()
+            self._continue_labels.pop()
+            self.emit_label(step_label)
+            if stmt.step is not None:
+                self.gen_rvalue(stmt.step)
+            self.emit(f"jmp {top_label}")
+            self.emit_label(end_label)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.gen_rvalue(stmt.value)
+            else:
+                self.emit("mov r0, 0")
+            self.emit(f"jmp .Lret_{self.current_function.name}")
+        elif isinstance(stmt, ast.ExprStmt):
+            self.gen_rvalue(stmt.expr)
+        elif isinstance(stmt, ast.Break):
+            self.emit(f"jmp {self._break_labels[-1]}")
+        elif isinstance(stmt, ast.Continue):
+            self.emit(f"jmp {self._continue_labels[-1]}")
+        else:
+            raise AssertionError(f"unexpected statement {stmt}")
+
+    def _store_to_frame(self, offset: int, var_type) -> None:
+        op = "storeb" if isinstance(var_type, CharType) else "store"
+        self.emit(f"lea r1, [bp{offset:+#x}]")
+        self.emit(f"{op} [r1], r0")
+
+    # -- expressions: lvalues -----------------------------------------------------------
+
+    def gen_lvalue(self, expr: ast.Expr) -> None:
+        """Leave the address of ``expr`` in r0."""
+        if isinstance(expr, ast.Ident):
+            binding = expr.binding
+            if isinstance(binding, (ast.VarDecl, ast.Param)):
+                self.emit(f"lea r0, [bp{binding.offset:+#x}]")
+            elif isinstance(binding, ast.GlobalVar):
+                self.emit(f"mov r0, {binding.name}")
+            else:
+                raise CompileError(f"not an lvalue: {expr.name}", expr.line)
+        elif isinstance(expr, ast.Deref):
+            self.gen_rvalue(expr.operand)
+        elif isinstance(expr, ast.Index):
+            self._gen_index_address(expr)
+        else:
+            raise CompileError("expression is not an lvalue", expr.line)
+
+    def _gen_index_address(self, expr: ast.Index) -> None:
+        base_type = expr.base.type
+        self.gen_rvalue(expr.base)  # decayed pointer value
+        self.emit("push r0")
+        self.gen_rvalue(expr.index)
+        if self.options.bounds_checks and isinstance(base_type, ArrayType) \
+                and base_type.size is not None:
+            self.emit(f"chk r0, {base_type.size}   ; bounds check")
+        scale = element_size(decay(base_type))
+        if scale == 4:
+            self.emit("shl r0, 2")
+        elif scale == 2:
+            self.emit("shl r0, 1")
+        elif scale != 1:
+            self.emit(f"mov r1, {scale}")
+            self.emit("mul r0, r1")
+        self.emit("mov r1, r0")
+        self.emit("pop r0")
+        self.emit("add r0, r1")
+
+    # -- expressions: rvalues ---------------------------------------------------------------
+
+    def gen_rvalue(self, expr: ast.Expr) -> None:
+        """Leave the value of ``expr`` in r0 (clobbers r1, r2)."""
+        if isinstance(expr, ast.IntLit):
+            self.emit(f"mov r0, {expr.value & 0xFFFFFFFF}")
+        elif isinstance(expr, ast.StringLit):
+            label = self.string_label(expr.value)
+            self.emit(f"mov r0, {label}")
+        elif isinstance(expr, ast.Ident):
+            self._gen_ident_rvalue(expr)
+        elif isinstance(expr, ast.Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, ast.Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, ast.Assign):
+            self._gen_assign(expr)
+        elif isinstance(expr, ast.Conditional):
+            self._gen_conditional(expr)
+        elif isinstance(expr, ast.PostOp):
+            self._gen_postop(expr)
+        elif isinstance(expr, ast.Call):
+            self.gen_call(expr)
+        elif isinstance(expr, ast.Index):
+            self._gen_index_address(expr)
+            self._gen_load_through("r0", expr.type)
+        elif isinstance(expr, ast.Deref):
+            self.gen_rvalue(expr.operand)
+            self._gen_load_through("r0", expr.type)
+        elif isinstance(expr, ast.AddrOf):
+            operand = expr.operand
+            if isinstance(operand, ast.Ident) and isinstance(operand.binding, ast.FuncDef):
+                self.emit(f"mov r0, {operand.name}")
+            else:
+                self.gen_lvalue(operand)
+        else:
+            raise AssertionError(f"unexpected expression {expr}")
+
+    def _gen_load_through(self, reg: str, value_type) -> None:
+        op = "loadb" if isinstance(value_type, CharType) else "load"
+        self.emit(f"{op} r0, [{reg}]")
+
+    def _gen_ident_rvalue(self, expr: ast.Ident) -> None:
+        binding = expr.binding
+        if isinstance(binding, ast.FuncDef):
+            self.emit(f"mov r0, {binding.name}")
+            return
+        var_type = expr.type
+        if isinstance(var_type, ArrayType):
+            if isinstance(binding, ast.Param):
+                # An array-typed parameter is really a pointer (C's
+                # parameter adjustment): load the pointer value.
+                self.gen_lvalue(expr)
+                self._gen_load_through("r0", PointerType(var_type.element))
+            else:
+                # A true array decays to its address.
+                self.gen_lvalue(expr)
+            return
+        self.gen_lvalue(expr)
+        self._gen_load_through("r0", var_type)
+
+    def _gen_unary(self, expr: ast.Unary) -> None:
+        self.gen_rvalue(expr.operand)
+        if expr.op == "-":
+            self.emit("mov r1, r0")
+            self.emit("mov r0, 0")
+            self.emit("sub r0, r1")
+        elif expr.op == "~":
+            self.emit("not r0")
+        elif expr.op == "!":
+            done = self.new_label("notdone")
+            self.emit("cmp r0, 0")
+            self.emit("mov r0, 1")
+            self.emit(f"jz {done}")
+            self.emit("mov r0, 0")
+            self.emit_label(done)
+        else:
+            raise AssertionError(f"unexpected unary {expr.op}")
+
+    _COMPARISON_JUMPS = {
+        "==": "jz", "!=": "jnz", "<": "jl", ">": "jg", "<=": "jle", ">=": "jge",
+    }
+
+    _ARITH_OPS = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+        "&": "and", "|": "or", "^": "xor",
+    }
+
+    def _gen_binary(self, expr: ast.Binary) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            self._gen_logical(expr)
+            return
+        left_type = decay(expr.left.type)
+        right_type = decay(expr.right.type)
+        self.gen_rvalue(expr.left)
+        self.emit("push r0")
+        self.gen_rvalue(expr.right)
+        self.emit("mov r1, r0")
+        self.emit("pop r0")
+        if op in self._COMPARISON_JUMPS:
+            true_label = self.new_label("cmptrue")
+            self.emit("cmp r0, r1")
+            self.emit("mov r0, 1")
+            self.emit(f"{self._COMPARISON_JUMPS[op]} {true_label}")
+            self.emit("mov r0, 0")
+            self.emit_label(true_label)
+            return
+        if op in ("<<", ">>"):
+            # Variable shifts are rare in our programs; implement via a
+            # small loop only when needed -- constant shifts fold here.
+            if isinstance(expr.right, ast.IntLit):
+                mnemonic = "shl" if op == "<<" else "shr"
+                self.emit(f"{mnemonic} r0, {expr.right.value & 31}")
+                return
+            self._gen_variable_shift(op)
+            return
+        if op in ("+", "-"):
+            if isinstance(left_type, PointerType) and not isinstance(
+                right_type, PointerType
+            ):
+                self._scale_register("r1", sizeof(left_type.pointee))
+            elif op == "+" and isinstance(right_type, PointerType):
+                self._scale_register("r0", sizeof(right_type.pointee))
+        self.emit(f"{self._ARITH_OPS[op]} r0, r1")
+
+    def _scale_register(self, reg: str, scale: int) -> None:
+        if scale == 1:
+            return
+        if scale in (2, 4, 8):
+            self.emit(f"shl {reg}, {scale.bit_length() - 1}")
+        else:
+            self.emit(f"mov r2, {scale}")
+            self.emit(f"mul {reg}, r2")
+
+    def _gen_variable_shift(self, op: str) -> None:
+        """r0 = r0 shifted by r1, via a loop (r1 masked to 31)."""
+        mnemonic = "shl" if op == "<<" else "shr"
+        loop = self.new_label("shift")
+        done = self.new_label("shiftdone")
+        self.emit("mov r2, 31")
+        self.emit("and r1, r2")
+        self.emit_label(loop)
+        self.emit("cmp r1, 0")
+        self.emit(f"jz {done}")
+        self.emit(f"{mnemonic} r0, 1")
+        self.emit("sub r1, 1")
+        self.emit(f"jmp {loop}")
+        self.emit_label(done)
+
+    def _gen_logical(self, expr: ast.Binary) -> None:
+        false_label = self.new_label("false")
+        true_label = self.new_label("true")
+        end_label = self.new_label("endlogic")
+        if expr.op == "&&":
+            self.gen_rvalue(expr.left)
+            self.emit("cmp r0, 0")
+            self.emit(f"jz {false_label}")
+            self.gen_rvalue(expr.right)
+            self.emit("cmp r0, 0")
+            self.emit(f"jz {false_label}")
+            self.emit("mov r0, 1")
+            self.emit(f"jmp {end_label}")
+            self.emit_label(false_label)
+            self.emit("mov r0, 0")
+            self.emit_label(end_label)
+        else:
+            self.gen_rvalue(expr.left)
+            self.emit("cmp r0, 0")
+            self.emit(f"jnz {true_label}")
+            self.gen_rvalue(expr.right)
+            self.emit("cmp r0, 0")
+            self.emit(f"jnz {true_label}")
+            self.emit("mov r0, 0")
+            self.emit(f"jmp {end_label}")
+            self.emit_label(true_label)
+            self.emit("mov r0, 1")
+            self.emit_label(end_label)
+
+    def _gen_conditional(self, expr: ast.Conditional) -> None:
+        else_label = self.new_label("ternelse")
+        end_label = self.new_label("ternend")
+        self.gen_rvalue(expr.condition)
+        self.emit("cmp r0, 0")
+        self.emit(f"jz {else_label}")
+        self.gen_rvalue(expr.then)
+        self.emit(f"jmp {end_label}")
+        self.emit_label(else_label)
+        self.gen_rvalue(expr.otherwise)
+        self.emit_label(end_label)
+
+    def _gen_postop(self, expr: ast.PostOp) -> None:
+        """``x++``/``x--``: r0 ends with the *old* value."""
+        target_type = expr.target.type
+        step = 1
+        if isinstance(decay(target_type), PointerType) and not isinstance(
+            target_type, ArrayType
+        ):
+            step = sizeof(decay(target_type).pointee)
+        width_op = "storeb" if isinstance(target_type, CharType) else "store"
+        load_op = "loadb" if isinstance(target_type, CharType) else "load"
+        self.gen_lvalue(expr.target)
+        self.emit("mov r2, r0            ; address")
+        self.emit(f"{load_op} r0, [r2]   ; old value")
+        self.emit("mov r1, r0")
+        mnemonic = "add" if expr.op == "++" else "sub"
+        self.emit(f"{mnemonic} r1, {step}")
+        self.emit(f"{width_op} [r2], r1")
+
+    def _gen_assign(self, expr: ast.Assign) -> None:
+        self.gen_lvalue(expr.target)
+        self.emit("push r0")
+        self.gen_rvalue(expr.value)
+        self.emit("pop r1")
+        op = "storeb" if isinstance(expr.target.type, CharType) else "store"
+        self.emit(f"{op} [r1], r0")
+
+    # -- calls ----------------------------------------------------------------------------
+
+    def gen_call(self, expr: ast.Call) -> None:
+        if expr.mode == "builtin":
+            self._gen_builtin_call(expr)
+            return
+        if expr.mode == "direct":
+            callee: ast.Ident = expr.callee
+            target = callee.binding
+            is_internal = (
+                isinstance(target, ast.FuncDef)
+                and target.body is not None
+                and target.name in self._defined_functions
+            )
+            if self._secure_stack and not is_internal:
+                self._gen_outcall(expr, direct_name=target.name)
+                return
+            for arg in reversed(expr.args):
+                self.gen_rvalue(arg)
+                self.emit("push r0")
+            self.emit(f"call {target.name}")
+            if expr.args:
+                self.emit(f"add sp, {4 * len(expr.args)}")
+            return
+        # Indirect call through a function pointer.
+        if self._secure_stack:
+            self._gen_outcall(expr, direct_name=None)
+            return
+        for arg in reversed(expr.args):
+            self.gen_rvalue(arg)
+            self.emit("push r0")
+        self.gen_rvalue(expr.callee)
+        if self.options.protected and self.options.pma_pointer_checks:
+            self._gen_pointer_check()
+        if self.options.cfi_landing_pads:
+            self._gen_expected_tag(expr)
+        self.emit("call r0")
+        if expr.args:
+            self.emit(f"add sp, {4 * len(expr.args)}")
+
+    def _gen_expected_tag(self, expr: ast.Call) -> None:
+        """Typed CFI: place the callee's static type tag in r7."""
+        callee_type = decay(expr.callee.type)
+        if isinstance(callee_type, PointerType):
+            callee_type = callee_type.pointee
+        self.emit(f"mov r7, {type_tag(callee_type)}   ; expected type tag")
+
+    def _gen_pointer_check(self) -> None:
+        """Refuse function pointers that point *into* this module.
+
+        This is the defensive check Section IV-B motivates with the
+        Figure 4 attack: an in-module target would let outside code
+        execute module code from the middle.
+        """
+        ok_label = self.new_label("fp_ok")
+        self.emit("cmp r0, __module_start")
+        self.emit(f"jb {ok_label}")
+        self.emit("cmp r0, __module_end")
+        self.emit(f"jae {ok_label}")
+        self._gen_security_abort()
+        self.emit_label(ok_label)
+
+    def _gen_builtin_call(self, expr: ast.Call) -> None:
+        builtin = expr.builtin
+        for arg in expr.args:
+            self.gen_rvalue(arg)
+            self.emit("push r0")
+        for position in range(len(expr.args) - 1, -1, -1):
+            self.emit(f"pop r{position}")
+        clamp = getattr(expr, "clamp_size", None)
+        if clamp is not None and builtin.length_arg is not None:
+            self.emit(
+                f"chk r{builtin.length_arg}, {clamp + 1}   ; clamp to buffer size"
+            )
+        self.emit(f"sys {builtin.syscall}")
+
+    def _gen_outcall(self, expr: ast.Call, direct_name: str | None) -> None:
+        """Secure-PMA call to code outside the module.
+
+        Switches back to the caller's stack (outside code may not
+        touch the private stack), pushes a *dedicated entry point* as
+        the return address, and resumes at a recorded continuation when
+        the callee returns through it.
+        """
+        self._uses_outcalls = True
+        nargs = len(expr.args)
+        cont_label = self.new_label("cont")
+        # Evaluate args onto the private stack (right-to-left), so the
+        # copies land in declaration order at [sp], [sp+4], ...
+        for arg in reversed(expr.args):
+            self.gen_rvalue(arg)
+            self.emit("push r0")
+        if direct_name is not None:
+            self.emit(f"mov r0, {direct_name}")
+        else:
+            self.gen_rvalue(expr.callee)
+        if self.options.pma_pointer_checks:
+            self._gen_pointer_check()
+        self.emit("mov r4, sp          ; private-stack arg block")
+        self.emit(f"mov r1, {cont_label}")
+        self.emit("mov r2, __cont")
+        self.emit("store [r2], r1")
+        self.emit("mov r2, __priv_sp")
+        self.emit("store [r2], sp")
+        self.emit("mov r2, __saved_sp")
+        self.emit("load sp, [r2]       ; switch to the outside stack")
+        for position in range(nargs - 1, -1, -1):
+            self.emit(f"load r1, [r4+{4 * position:#x}]")
+            self.emit("push r1")
+        self.emit(f"mov r1, __reentry_{self.module_name}")
+        self.emit("push r1             ; callee returns through the entry point")
+        self.emit("jmp r0")
+        self.emit_label(cont_label)
+        if nargs:
+            self.emit(f"add sp, {4 * nargs}  ; drop private arg copies")
+
+
+def generate(program: ast.Program, module_name: str,
+             options: CompileOptions | None = None) -> str:
+    """Generate assembly text for an analysed program."""
+    return CodeGenerator(program, module_name, options).generate()

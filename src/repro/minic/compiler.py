@@ -1,0 +1,68 @@
+"""The MinC compiler facade: source text to relocatable object file.
+
+Ties the pipeline together (lex -> parse -> sema -> codegen ->
+assemble) and maps a :class:`~repro.mitigations.config.MitigationConfig`
+onto per-module :class:`~repro.minic.codegen.CompileOptions`.
+"""
+
+from __future__ import annotations
+
+from repro.asm.assembler import assemble
+from repro.link.objfile import ObjectFile
+from repro.minic.codegen import CodeGenerator, CompileOptions
+from repro.minic.parser import parse
+from repro.minic.sema import analyze
+from repro.mitigations.config import MitigationConfig
+
+
+def options_from_mitigations(
+    config: MitigationConfig,
+    *,
+    protected: bool = False,
+    kernel: bool = False,
+    secure: bool = False,
+) -> CompileOptions:
+    """Derive compile options from a deployment posture.
+
+    ``secure`` applies the full secure-compilation scheme (only
+    meaningful together with ``protected``).
+    """
+    base = CompileOptions.secure_module() if (protected and secure) else CompileOptions()
+    return CompileOptions(
+        stack_canaries=config.stack_canaries,
+        bounds_checks=config.bounds_checks,
+        asan=config.asan,
+        cfi_landing_pads=config.cfi_typed,
+        protected=protected,
+        kernel=kernel,
+        pma_pointer_checks=base.pma_pointer_checks,
+        pma_private_stack=base.pma_private_stack,
+        pma_scrub_registers=base.pma_scrub_registers,
+        pma_reentrancy_guard=base.pma_reentrancy_guard,
+    )
+
+
+def compile_to_asm(
+    source: str,
+    module_name: str = "module",
+    options: CompileOptions | None = None,
+) -> str:
+    """Compile MinC source to assembly text (inspectable, like Fig. 1b)."""
+    options = options or CompileOptions()
+    program = analyze(parse(source), safe=options.bounds_checks)
+    asm_text = CodeGenerator(program, module_name, options).generate()
+    if options.optimize:
+        from repro.minic.optimizer import optimize_asm
+
+        asm_text = optimize_asm(asm_text)
+    return asm_text
+
+
+def compile_source(
+    source: str,
+    module_name: str = "module",
+    options: CompileOptions | None = None,
+) -> ObjectFile:
+    """Compile MinC source all the way to a relocatable object file."""
+    asm_text = compile_to_asm(source, module_name, options)
+    return assemble(asm_text, module_name)

@@ -1,0 +1,171 @@
+"""Lexer for MinC, the C subset used throughout the paper's examples.
+
+MinC keeps exactly the C features the paper's programs and attacks
+need: ``int``/``char``/``void``, pointers, arrays, function pointers,
+``static`` globals, the usual control flow, and string/char literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = frozenset(
+    {"int", "char", "void", "if", "else", "while", "do", "for", "return",
+     "static", "break", "continue"}
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+              "++", "--", "+=", "-=", "*=", "/=", "%=")
+_SINGLE_OPS = "+-*/%<>=!&|^~(){}[];,?:"
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0",
+    "\\": "\\", '"': '"', "'": "'",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``ident``, ``int``, ``string``, ``kw:<keyword>``, or
+    the operator text itself.  ``value`` carries the payload for
+    identifier/literal tokens.
+    """
+
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r}, {self.line}:{self.col})"
+
+
+def _lex_escape(text: str, i: int, line: int, col: int) -> tuple[str, int]:
+    """Process a backslash escape starting at ``text[i] == '\\\\'``."""
+    if i + 1 >= len(text):
+        raise CompileError("dangling escape", line, col)
+    esc = text[i + 1]
+    if esc == "x":
+        if i + 3 >= len(text):
+            raise CompileError("truncated hex escape", line, col)
+        return chr(int(text[i + 2 : i + 4], 16)), i + 4
+    if esc in _ESCAPES:
+        return _ESCAPES[esc], i + 2
+    raise CompileError(f"unknown escape \\{esc}", line, col)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise MinC source; raises :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        char = source[i]
+        if char in " \t\r\n":
+            advance()
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise CompileError("unterminated block comment", line, col)
+            advance(end + 2 - i)
+            continue
+        start_line, start_col = line, col
+        # Explicit ASCII classes: Unicode "digits"/"letters" (e.g. a
+        # superscript two) pass str.isdigit()/isalpha() but are not
+        # valid MinC tokens.
+        if char in "0123456789":
+            j = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                value = int(source[i:j], 16)
+            else:
+                while j < n and source[j] in "0123456789":
+                    j += 1
+                value = int(source[i:j])
+            tokens.append(Token("int", value, start_line, start_col))
+            advance(j - i)
+            continue
+        if ("a" <= char <= "z") or ("A" <= char <= "Z") or char == "_":
+            j = i
+            while j < n and (
+                ("a" <= source[j] <= "z") or ("A" <= source[j] <= "Z")
+                or source[j] in "0123456789_"
+            ):
+                j += 1
+            word = source[i:j]
+            if word in KEYWORDS:
+                tokens.append(Token(f"kw:{word}", word, start_line, start_col))
+            else:
+                tokens.append(Token("ident", word, start_line, start_col))
+            advance(j - i)
+            continue
+        if char == '"':
+            j = i + 1
+            chunks: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    chunk, j = _lex_escape(source, j, start_line, start_col)
+                    chunks.append(chunk)
+                else:
+                    chunks.append(source[j])
+                    j += 1
+            if j >= n:
+                raise CompileError("unterminated string literal", start_line, start_col)
+            tokens.append(Token("string", "".join(chunks), start_line, start_col))
+            advance(j + 1 - i)
+            continue
+        if char == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                chunk, j = _lex_escape(source, j, start_line, start_col)
+            elif j < n:
+                chunk = source[j]
+                j += 1
+            else:
+                raise CompileError("unterminated char literal", start_line, start_col)
+            if j >= n or source[j] != "'":
+                raise CompileError("unterminated char literal", start_line, start_col)
+            tokens.append(Token("int", ord(chunk), start_line, start_col))
+            advance(j + 1 - i)
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, start_line, start_col))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_OPS:
+            tokens.append(Token(char, char, start_line, start_col))
+            advance()
+            continue
+        raise CompileError(f"unexpected character {char!r}", line, col)
+    tokens.append(Token("eof", None, line, col))
+    return tokens

@@ -1,0 +1,196 @@
+"""Peephole optimizer for the MinC code generator's output.
+
+The stack-machine code generator emits extremely regular (and
+redundant) sequences; this pass cleans up the worst of them so that
+overhead measurements (E5) can be taken against a tighter baseline --
+with an unoptimized baseline, per-access checks look artificially
+cheap relative to the surrounding boilerplate.
+
+The rewrites are *local* (adjacent instructions within a basic block;
+labels and directives are barriers) and rely on one contract of this
+code generator: **r1 and r2 are statement-local scratch registers** --
+no value in them is ever consumed before being rewritten by the next
+statement.  That licenses dropping their stale values in patterns like
+``lea r1, [m]; store [m2], r0``.
+
+Patterns:
+
+* ``push rX; pop rY``      ->  ``mov rY, rX`` (or nothing if X == Y)
+* ``mov rX, rX``           ->  (nothing)
+* ``lea rA, [m]; load rA, [rA]``   ->  ``load rA, [m]``   (same for loadb)
+* ``lea r1, [m]; store [r1], r0``  ->  ``store [m], r0``  (same for storeb)
+* ``mov rA, imm; mov rB, rA``      ->  ``mov rB, imm`` (rA in {r1, r2})
+* ``jmp L`` immediately before ``L:``  ->  (nothing)
+
+The pass iterates to a fixpoint.  It operates on assembly *text*, so
+the result stays inspectable and the assembler remains the single
+encoder.
+"""
+
+from __future__ import annotations
+
+import re
+
+_PUSH_RE = re.compile(r"^push (r\d|sp|bp)$")
+_POP_RE = re.compile(r"^pop (r\d|sp|bp)$")
+_MOV_RR_RE = re.compile(r"^mov (r\d|sp|bp), (r\d|sp|bp)$")
+_MOV_RI_RE = re.compile(r"^mov (r\d), (-?(?:0x[0-9a-fA-F]+|\d+))$")
+_LEA_RE = re.compile(r"^lea (r\d), (\[[^\]]+\])$")
+_LOAD_SELF_RE = re.compile(r"^(load|loadb) (r\d), \[(r\d)\]$")
+_STORE_RE = re.compile(r"^(store|storeb) \[(r\d)\], (r\d)$")
+_JMP_RE = re.compile(r"^jmp (\S+)$")
+
+
+def _split(line: str) -> tuple[str, str, str]:
+    """Split a raw line into (indent, code, comment)."""
+    stripped = line.rstrip()
+    code = stripped
+    comment = ""
+    if ";" in stripped:
+        code, _, comment = stripped.partition(";")
+        comment = ";" + comment
+    indent = code[: len(code) - len(code.lstrip())]
+    return indent, code.strip(), comment.strip()
+
+
+def _is_barrier(code: str) -> bool:
+    """Labels, directives, and blank lines end a peephole window."""
+    return not code or code.endswith(":") or code.startswith(".") or code.startswith(";")
+
+
+class Peephole:
+    """One optimisation run over a list of assembly lines."""
+
+    #: Registers the code generator treats as statement-local scratch.
+    SCRATCH = {"r1", "r2"}
+
+    def __init__(self, lines: list[str]):
+        self.lines = list(lines)
+
+    def run(self) -> list[str]:
+        changed = True
+        while changed:
+            changed = self._pass()
+        return self.lines
+
+    # -- helpers -------------------------------------------------------------
+
+    def _code(self, index: int) -> str:
+        return _split(self.lines[index])[1]
+
+    def _replace(self, index: int, new_code: str | None) -> None:
+        if new_code is None:
+            self.lines[index] = None  # type: ignore[assignment]
+        else:
+            indent = "    "
+            self.lines[index] = f"{indent}{new_code}"
+
+    def _compact(self) -> None:
+        self.lines = [line for line in self.lines if line is not None]
+
+    # -- the pass -------------------------------------------------------------
+
+    def _pass(self) -> bool:
+        changed = False
+        index = 0
+        while index < len(self.lines):
+            code = self._code(index)
+            if _is_barrier(code):
+                index += 1
+                continue
+            next_index = index + 1
+            while next_index < len(self.lines) and not self._code(next_index):
+                next_index += 1
+            next_code = (
+                self._code(next_index) if next_index < len(self.lines) else ""
+            )
+
+            # mov rX, rX -> drop
+            mov = _MOV_RR_RE.match(code)
+            if mov and mov.group(1) == mov.group(2):
+                self._replace(index, None)
+                self._compact()
+                changed = True
+                continue
+
+            if _is_barrier(next_code) and not next_code.endswith(":"):
+                index += 1
+                continue
+
+            # jmp L directly before L:
+            jmp = _JMP_RE.match(code)
+            if jmp and next_code == f"{jmp.group(1)}:":
+                self._replace(index, None)
+                self._compact()
+                changed = True
+                continue
+            if next_code.endswith(":"):
+                index += 1
+                continue
+
+            # push rX; pop rY
+            push = _PUSH_RE.match(code)
+            pop = _POP_RE.match(next_code)
+            if push and pop:
+                src, dst = push.group(1), pop.group(1)
+                self._replace(index, None if src == dst else f"mov {dst}, {src}")
+                self._replace(next_index, None)
+                self._compact()
+                changed = True
+                continue
+
+            # lea rA, [m]; load rA, [rA]
+            lea = _LEA_RE.match(code)
+            if lea:
+                load_self = _LOAD_SELF_RE.match(next_code)
+                if (
+                    load_self
+                    and load_self.group(2) == lea.group(1)
+                    and load_self.group(3) == lea.group(1)
+                ):
+                    self._replace(
+                        index,
+                        f"{load_self.group(1)} {lea.group(1)}, {lea.group(2)}",
+                    )
+                    self._replace(next_index, None)
+                    self._compact()
+                    changed = True
+                    continue
+                # lea r1, [m]; store/storeb [r1], rS  (r1 is scratch)
+                store = _STORE_RE.match(next_code)
+                if (
+                    store
+                    and lea.group(1) in self.SCRATCH
+                    and store.group(2) == lea.group(1)
+                    and store.group(3) != lea.group(1)
+                ):
+                    self._replace(
+                        index,
+                        f"{store.group(1)} {lea.group(2)}, {store.group(3)}",
+                    )
+                    self._replace(next_index, None)
+                    self._compact()
+                    changed = True
+                    continue
+
+            # mov rA, imm; mov rB, rA  with rA scratch
+            mov_imm = _MOV_RI_RE.match(code)
+            if mov_imm and mov_imm.group(1) in self.SCRATCH:
+                mov_copy = _MOV_RR_RE.match(next_code)
+                if mov_copy and mov_copy.group(2) == mov_imm.group(1):
+                    self._replace(
+                        index, f"mov {mov_copy.group(1)}, {mov_imm.group(2)}"
+                    )
+                    self._replace(next_index, None)
+                    self._compact()
+                    changed = True
+                    continue
+
+            index += 1
+        return changed
+
+
+def optimize_asm(asm_text: str) -> str:
+    """Run the peephole pass over assembly text until fixpoint."""
+    lines = Peephole(asm_text.splitlines()).run()
+    return "\n".join(lines) + "\n"

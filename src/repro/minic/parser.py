@@ -1,0 +1,464 @@
+"""Recursive-descent parser for MinC.
+
+Grammar (C subset)::
+
+    program     := (func_def | global_var)*
+    func_def    := ['static'] type declarator '(' params ')' block
+    global_var  := ['static'] type declarator ['=' const_init] ';'
+    declarator  := '*'* IDENT ['[' INT? ']']
+                 | '(' '*' IDENT ')' '(' type_list? ')'      ; function ptr
+    params      := 'void' | param (',' param)*
+    stmt        := block | if | while | for | return | break | continue
+                 | var_decl | expr ';'
+    expr        := assignment with the usual C precedence levels
+
+Only constant initialisers are allowed at file scope (ints, strings,
+brace lists), as in the paper's ``static int PIN = 1234;`` example.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.minic import ast
+from repro.minic.lexer import Token, tokenize
+from repro.minic.types import (
+    ArrayType,
+    CHAR,
+    FuncType,
+    INT,
+    PointerType,
+    Type,
+    VOID,
+)
+
+_TYPE_KEYWORDS = {"kw:int": INT, "kw:char": CHAR, "kw:void": VOID}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def at(self, kind: str, ahead: int = 0) -> bool:
+        return self.peek(ahead).kind == kind
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise CompileError(
+                f"expected {kind!r}, found {token.kind!r}", token.line, token.col
+            )
+        return self.advance()
+
+    def accept(self, kind: str) -> Token | None:
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    def error(self, message: str) -> CompileError:
+        token = self.peek()
+        return CompileError(message, token.line, token.col)
+
+    # -- types ----------------------------------------------------------------
+
+    def at_type(self, ahead: int = 0) -> bool:
+        return self.peek(ahead).kind in _TYPE_KEYWORDS
+
+    def parse_base_type(self) -> Type:
+        token = self.advance()
+        base = _TYPE_KEYWORDS.get(token.kind)
+        if base is None:
+            raise CompileError(f"expected a type, found {token.kind!r}",
+                               token.line, token.col)
+        return base
+
+    def parse_pointer_suffix(self, base: Type) -> Type:
+        while self.accept("*"):
+            base = PointerType(base)
+        return base
+
+    def parse_abstract_type(self) -> Type:
+        """A type with no name, as inside function-pointer param lists."""
+        base = self.parse_pointer_suffix(self.parse_base_type())
+        if self.accept("["):
+            size = None
+            if self.at("int"):
+                size = self.advance().value
+            self.expect("]")
+            base = ArrayType(base, size)
+        return base
+
+    def parse_declarator(self, base: Type) -> tuple[str, Type]:
+        """Parse ``'*'* name ['[' N ']']`` or ``(*name)(types)``.
+
+        Returns ``(name, full_type)``.
+        """
+        base = self.parse_pointer_suffix(base)
+        if self.at("(") and self.at("*", 1):
+            # Function pointer: base (*name)(param types)
+            self.expect("(")
+            self.expect("*")
+            name = self.expect("ident").value
+            self.expect(")")
+            self.expect("(")
+            params: list[Type] = []
+            if not self.at(")"):
+                if self.at("kw:void") and self.at(")", 1):
+                    self.advance()
+                else:
+                    params.append(self.parse_abstract_type())
+                    self._skip_param_name()
+                    while self.accept(","):
+                        params.append(self.parse_abstract_type())
+                        self._skip_param_name()
+            self.expect(")")
+            return name, FuncType(base, tuple(params))
+        name = self.expect("ident").value
+        if self.accept("["):
+            size = None
+            if self.at("int"):
+                size = self.advance().value
+            self.expect("]")
+            return name, ArrayType(base, size)
+        return name, base
+
+    def _skip_param_name(self) -> None:
+        """Inside abstract param lists, a name may appear; ignore it."""
+        if self.at("ident"):
+            self.advance()
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        items: list[ast.Node] = []
+        while not self.at("eof"):
+            items.append(self.parse_top_level())
+        return ast.Program(items=items)
+
+    def parse_top_level(self) -> ast.Node:
+        start = self.peek()
+        static = bool(self.accept("kw:static"))
+        base = self.parse_base_type()
+        name, full_type = self.parse_declarator(base)
+        if self.at("(") and not isinstance(full_type, (ArrayType,)):
+            return self.parse_func_def(name, full_type, static, start.line)
+        init = None
+        if self.accept("="):
+            init = self.parse_const_init()
+        self.expect(";")
+        if full_type is VOID:
+            raise CompileError(f"variable {name!r} has void type", start.line)
+        return ast.GlobalVar(name=name, var_type=full_type, init=init,
+                             static=static, line=start.line)
+
+    def parse_const_init(self) -> object:
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return token.value.encode("latin-1") + b"\x00"
+        if token.kind == "{":
+            self.advance()
+            values: list[int] = []
+            while not self.at("}"):
+                values.append(self._parse_const_int())
+                if not self.accept(","):
+                    break
+            self.expect("}")
+            return values
+        return self._parse_const_int()
+
+    def _parse_const_int(self) -> int:
+        negative = bool(self.accept("-"))
+        token = self.expect("int")
+        return -token.value if negative else token.value
+
+    def parse_func_def(
+        self, name: str, return_type: Type, static: bool, line: int
+    ) -> ast.FuncDef:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.at(")"):
+            if self.at("kw:void") and self.at(")", 1):
+                self.advance()
+            else:
+                params.append(self.parse_param())
+                while self.accept(","):
+                    params.append(self.parse_param())
+        self.expect(")")
+        if self.accept(";"):
+            # Prototype: declares a function defined in another module
+            # (or later in this one).
+            body = None
+        else:
+            body = self.parse_block()
+        return ast.FuncDef(name=name, return_type=return_type, params=params,
+                           body=body, static=static, line=line)
+
+    def parse_param(self) -> ast.Param:
+        start = self.peek()
+        base = self.parse_base_type()
+        name, full_type = self.parse_declarator(base)
+        return ast.Param(name=name, var_type=full_type, line=start.line)
+
+    # -- statements -------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect("{")
+        statements: list[ast.Stmt] = []
+        while not self.at("}"):
+            statements.append(self.parse_stmt())
+        self.expect("}")
+        return ast.Block(statements=statements, line=start.line)
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "{":
+            return self.parse_block()
+        if token.kind == "kw:if":
+            return self.parse_if()
+        if token.kind == "kw:while":
+            return self.parse_while()
+        if token.kind == "kw:do":
+            return self.parse_do_while()
+        if token.kind == "kw:for":
+            return self.parse_for()
+        if token.kind == "kw:return":
+            self.advance()
+            value = None if self.at(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(value=value, line=token.line)
+        if token.kind == "kw:break":
+            self.advance()
+            self.expect(";")
+            return ast.Break(line=token.line)
+        if token.kind == "kw:continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue(line=token.line)
+        if self.at_type():
+            return self.parse_var_decl()
+        expr = self.parse_expr()
+        self.expect(";")
+        return ast.ExprStmt(expr=expr, line=token.line)
+
+    def parse_var_decl(self) -> ast.Stmt:
+        start = self.peek()
+        base = self.parse_base_type()
+        name, full_type = self.parse_declarator(base)
+        if full_type is VOID:
+            raise CompileError(f"variable {name!r} has void type", start.line)
+        init = None
+        if self.accept("="):
+            init = self.parse_assignment()
+        self.expect(";")
+        return ast.VarDecl(name=name, var_type=full_type, init=init, line=start.line)
+
+    def parse_if(self) -> ast.If:
+        start = self.expect("kw:if")
+        self.expect("(")
+        condition = self.parse_expr()
+        self.expect(")")
+        then_branch = self.parse_stmt()
+        else_branch = None
+        if self.accept("kw:else"):
+            else_branch = self.parse_stmt()
+        return ast.If(condition=condition, then_branch=then_branch,
+                      else_branch=else_branch, line=start.line)
+
+    def parse_while(self) -> ast.While:
+        start = self.expect("kw:while")
+        self.expect("(")
+        condition = self.parse_expr()
+        self.expect(")")
+        body = self.parse_stmt()
+        return ast.While(condition=condition, body=body, line=start.line)
+
+    def parse_do_while(self) -> ast.DoWhile:
+        start = self.expect("kw:do")
+        body = self.parse_stmt()
+        self.expect("kw:while")
+        self.expect("(")
+        condition = self.parse_expr()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(body=body, condition=condition, line=start.line)
+
+    def parse_for(self) -> ast.For:
+        start = self.expect("kw:for")
+        self.expect("(")
+        init: ast.Stmt | None = None
+        if not self.at(";"):
+            if self.at_type():
+                init = self.parse_var_decl()
+            else:
+                expr = self.parse_expr()
+                self.expect(";")
+                init = ast.ExprStmt(expr=expr, line=start.line)
+        else:
+            self.expect(";")
+        condition = None if self.at(";") else self.parse_expr()
+        self.expect(";")
+        step = None if self.at(")") else self.parse_expr()
+        self.expect(")")
+        body = self.parse_stmt()
+        return ast.For(init=init, condition=condition, step=step, body=body,
+                       line=start.line)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_assignment()
+
+    _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+    def parse_assignment(self) -> ast.Expr:
+        left = self.parse_ternary()
+        if self.at("="):
+            token = self.advance()
+            value = self.parse_assignment()
+            return ast.Assign(target=left, value=value, line=token.line)
+        if self.peek().kind in self._COMPOUND_OPS:
+            # a op= b desugars to a = a op b (the lvalue is evaluated
+            # twice; MinC lvalues are side-effect-light enough).
+            token = self.advance()
+            value = self.parse_assignment()
+            op = self._COMPOUND_OPS[token.kind]
+            return ast.Assign(
+                target=left,
+                value=ast.Binary(op=op, left=left, right=value, line=token.line),
+                line=token.line,
+            )
+        return left
+
+    def parse_ternary(self) -> ast.Expr:
+        condition = self.parse_logical_or()
+        if self.accept("?"):
+            then = self.parse_assignment()
+            self.expect(":")
+            otherwise = self.parse_ternary()
+            return ast.Conditional(condition=condition, then=then,
+                                   otherwise=otherwise, line=condition.line)
+        return condition
+
+    def _parse_binary_level(self, ops: tuple[str, ...], next_level) -> ast.Expr:
+        left = next_level()
+        while self.peek().kind in ops:
+            token = self.advance()
+            right = next_level()
+            left = ast.Binary(op=token.kind, left=left, right=right, line=token.line)
+        return left
+
+    def parse_logical_or(self) -> ast.Expr:
+        return self._parse_binary_level(("||",), self.parse_logical_and)
+
+    def parse_logical_and(self) -> ast.Expr:
+        return self._parse_binary_level(("&&",), self.parse_bit_or)
+
+    def parse_bit_or(self) -> ast.Expr:
+        return self._parse_binary_level(("|",), self.parse_bit_xor)
+
+    def parse_bit_xor(self) -> ast.Expr:
+        return self._parse_binary_level(("^",), self.parse_bit_and)
+
+    def parse_bit_and(self) -> ast.Expr:
+        return self._parse_binary_level(("&",), self.parse_equality)
+
+    def parse_equality(self) -> ast.Expr:
+        return self._parse_binary_level(("==", "!="), self.parse_relational)
+
+    def parse_relational(self) -> ast.Expr:
+        return self._parse_binary_level(("<", ">", "<=", ">="), self.parse_shift)
+
+    def parse_shift(self) -> ast.Expr:
+        return self._parse_binary_level(("<<", ">>"), self.parse_additive)
+
+    def parse_additive(self) -> ast.Expr:
+        return self._parse_binary_level(("+", "-"), self.parse_multiplicative)
+
+    def parse_multiplicative(self) -> ast.Expr:
+        return self._parse_binary_level(("*", "/", "%"), self.parse_unary)
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind in ("++", "--"):
+            # Prefix increment/decrement desugars to an assignment
+            # whose value is the *new* one.
+            self.advance()
+            target = self.parse_unary()
+            op = "+" if token.kind == "++" else "-"
+            return ast.Assign(
+                target=target,
+                value=ast.Binary(op=op, left=target,
+                                 right=ast.IntLit(value=1, line=token.line),
+                                 line=token.line),
+                line=token.line,
+            )
+        if token.kind in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(op=token.kind, operand=self.parse_unary(), line=token.line)
+        if token.kind == "*":
+            self.advance()
+            return ast.Deref(operand=self.parse_unary(), line=token.line)
+        if token.kind == "&":
+            self.advance()
+            return ast.AddrOf(operand=self.parse_unary(), line=token.line)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "(":
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.at(")"):
+                    args.append(self.parse_assignment())
+                    while self.accept(","):
+                        args.append(self.parse_assignment())
+                self.expect(")")
+                expr = ast.Call(callee=expr, args=args, line=token.line)
+            elif token.kind == "[":
+                self.advance()
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(base=expr, index=index, line=token.line)
+            elif token.kind in ("++", "--"):
+                self.advance()
+                expr = ast.PostOp(op=token.kind, target=expr, line=token.line)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(value=token.value, line=token.line)
+        if token.kind == "string":
+            self.advance()
+            return ast.StringLit(value=token.value.encode("latin-1") + b"\x00",
+                                 line=token.line)
+        if token.kind == "ident":
+            self.advance()
+            return ast.Ident(name=token.value, line=token.line)
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise self.error(f"unexpected token {token.kind!r} in expression")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MinC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,508 @@
+"""Semantic analysis for MinC: name resolution and type checking.
+
+Two personalities, matching Section III of the paper:
+
+* **unsafe mode** (default) -- faithful C semantics: arrays decay to
+  unbounded pointers, pointers and ints interconvert, addresses of
+  locals escape freely.  Programs with memory-safety bugs compile
+  without complaint, exactly as the paper's vulnerable examples do.
+
+* **safe mode** (``safe=True``; the Java/Rust stand-in of
+  Section III-C2) -- rejects every construct that loses bounds or
+  escapes a lifetime: indexing through unsized pointers, taking
+  addresses of variables, raw pointer dereference, and passing
+  buffers of unknown size to ``read``/``write``.  Surviving array
+  accesses get compiler-inserted ``chk`` bounds checks (in codegen)
+  and I/O lengths are clamped against the static buffer size.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.minic import ast
+from repro.minic.builtins import BUILTINS, Builtin
+from repro.minic.types import (
+    ArrayType,
+    CHAR,
+    FuncType,
+    INT,
+    PointerType,
+    Type,
+    VOID,
+    assignable,
+    decay,
+    is_integer,
+    is_scalar,
+)
+
+
+class Scope:
+    """A lexical scope mapping names to their declaring nodes."""
+
+    def __init__(self, parent: "Scope | None" = None):
+        self.parent = parent
+        self.names: dict[str, ast.Node] = {}
+
+    def declare(self, name: str, node: ast.Node, line: int) -> None:
+        if name in self.names:
+            raise CompileError(f"redeclaration of {name!r}", line)
+        self.names[name] = node
+
+    def lookup(self, name: str) -> ast.Node | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def _binding_type(node: ast.Node) -> Type:
+    if isinstance(node, ast.FuncDef):
+        return node.func_type
+    if isinstance(node, (ast.VarDecl, ast.Param, ast.GlobalVar)):
+        return node.var_type
+    raise AssertionError(f"unexpected binding {node}")
+
+
+class Analyzer:
+    """Decorates the AST with types and bindings; enforces the rules."""
+
+    def __init__(self, safe: bool = False):
+        self.safe = safe
+        self.globals = Scope()
+        self.current_function: ast.FuncDef | None = None
+        self.loop_depth = 0
+
+    # -- entry point --------------------------------------------------------
+
+    def analyze(self, program: ast.Program) -> ast.Program:
+        for item in program.items:
+            if isinstance(item, ast.FuncDef):
+                self._declare_function(item)
+            elif isinstance(item, ast.GlobalVar):
+                self.globals.declare(item.name, item, item.line)
+                self._check_global_init(item)
+        for item in program.functions:
+            if item.body is not None:
+                self._analyze_function(item)
+        return program
+
+    def _declare_function(self, func: ast.FuncDef) -> None:
+        existing = self.globals.names.get(func.name)
+        if isinstance(existing, ast.FuncDef):
+            if existing.func_type != func.func_type:
+                raise CompileError(
+                    f"conflicting declarations of {func.name!r}", func.line
+                )
+            if existing.body is None and func.body is not None:
+                # Definition supersedes the prototype; rebind so calls
+                # resolved later point at the definition.
+                self.globals.names[func.name] = func
+                return
+            if func.body is None:
+                return  # redundant prototype after the definition
+            raise CompileError(f"redefinition of {func.name!r}", func.line)
+        self.globals.declare(func.name, func, func.line)
+
+    def _check_global_init(self, var: ast.GlobalVar) -> None:
+        init = var.init
+        if init is None:
+            return
+        if isinstance(init, int):
+            if not is_scalar(var.var_type):
+                raise CompileError(
+                    f"scalar initialiser for non-scalar {var.name!r}", var.line
+                )
+            return
+        if isinstance(init, bytes):
+            if not isinstance(var.var_type, ArrayType) or var.var_type.element != CHAR:
+                raise CompileError(
+                    f"string initialiser for non-char-array {var.name!r}", var.line
+                )
+            if var.var_type.size is None:
+                var.var_type = ArrayType(CHAR, len(init))
+            elif len(init) > var.var_type.size:
+                raise CompileError(
+                    f"string initialiser too long for {var.name!r}", var.line
+                )
+            return
+        if isinstance(init, list):
+            if not isinstance(var.var_type, ArrayType):
+                raise CompileError(
+                    f"brace initialiser for non-array {var.name!r}", var.line
+                )
+            if var.var_type.size is None:
+                var.var_type = ArrayType(var.var_type.element, len(init))
+            elif len(init) > var.var_type.size:
+                raise CompileError(
+                    f"too many initialisers for {var.name!r}", var.line
+                )
+            return
+        raise AssertionError(f"unexpected initialiser {init!r}")
+
+    # -- functions -----------------------------------------------------------
+
+    def _analyze_function(self, func: ast.FuncDef) -> None:
+        self.current_function = func
+        scope = Scope(self.globals)
+        for param in func.params:
+            if param.var_type is VOID:
+                raise CompileError(f"parameter {param.name!r} has void type", param.line)
+            if self.safe and isinstance(param.var_type, ArrayType) and param.var_type.size is None:
+                raise CompileError(
+                    f"safe mode: parameter {param.name!r} is an unsized array "
+                    "(bounds unknown at the callee)",
+                    param.line,
+                )
+            scope.declare(param.name, param, param.line)
+        self._stmt(func.body, scope)
+        self.current_function = None
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            inner = Scope(scope)
+            for child in stmt.statements:
+                self._stmt(child, inner)
+        elif isinstance(stmt, ast.VarDecl):
+            if isinstance(stmt.var_type, ArrayType) and stmt.var_type.size is None:
+                raise CompileError(
+                    f"local array {stmt.name!r} must have a size", stmt.line
+                )
+            if stmt.init is not None:
+                init_type = self._expr(stmt.init, scope)
+                if not assignable(stmt.var_type, init_type):
+                    raise CompileError(
+                        f"cannot initialise {stmt.var_type} with {init_type}",
+                        stmt.line,
+                    )
+            scope.declare(stmt.name, stmt, stmt.line)
+        elif isinstance(stmt, ast.If):
+            self._condition(stmt.condition, scope)
+            self._stmt(stmt.then_branch, scope)
+            if stmt.else_branch is not None:
+                self._stmt(stmt.else_branch, scope)
+        elif isinstance(stmt, ast.While):
+            self._condition(stmt.condition, scope)
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+            self._condition(stmt.condition, scope)
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self._stmt(stmt.init, inner)
+            if stmt.condition is not None:
+                self._condition(stmt.condition, inner)
+            if stmt.step is not None:
+                self._expr(stmt.step, inner)
+            self.loop_depth += 1
+            self._stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            ret_type = self.current_function.return_type
+            if stmt.value is None:
+                if ret_type is not VOID:
+                    raise CompileError("return without a value", stmt.line)
+            else:
+                value_type = self._expr(stmt.value, scope)
+                if ret_type is VOID:
+                    raise CompileError("return with a value in void function", stmt.line)
+                if not assignable(ret_type, value_type):
+                    raise CompileError(
+                        f"cannot return {value_type} as {ret_type}", stmt.line
+                    )
+                if self.safe:
+                    self._check_no_local_escape(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                raise CompileError("break/continue outside a loop", stmt.line)
+        else:
+            raise AssertionError(f"unexpected statement {stmt}")
+
+    def _condition(self, expr: ast.Expr, scope: Scope) -> None:
+        cond_type = self._expr(expr, scope)
+        if not is_scalar(decay(cond_type)):
+            raise CompileError(f"condition has non-scalar type {cond_type}", expr.line)
+
+    def _check_no_local_escape(self, expr: ast.Expr) -> None:
+        """Safe mode: a returned value must not reference local storage.
+
+        AddrOf is already rejected wholesale in safe mode, so the only
+        remaining escape is returning a local array (decayed).
+        """
+        if isinstance(expr, ast.Ident) and isinstance(
+            expr.binding, (ast.VarDecl, ast.Param)
+        ):
+            if isinstance(_binding_type(expr.binding), ArrayType):
+                raise CompileError(
+                    "safe mode: returning a local array escapes its lifetime",
+                    expr.line,
+                )
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, expr: ast.Expr, scope: Scope, array_ok: bool = False) -> Type:
+        """Type an expression; ``array_ok`` permits a bare array value
+        (as an Index base or a checked builtin buffer argument) in safe
+        mode."""
+        expr.type = self._expr_inner(expr, scope, array_ok)
+        return expr.type
+
+    def _expr_inner(self, expr: ast.Expr, scope: Scope, array_ok: bool) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return INT
+        if isinstance(expr, ast.StringLit):
+            return ArrayType(CHAR, len(expr.value))
+        if isinstance(expr, ast.Ident):
+            return self._ident(expr, scope, array_ok)
+        if isinstance(expr, ast.Unary):
+            operand_type = self._expr(expr.operand, scope)
+            if not is_integer(decay(operand_type)) and expr.op in ("-", "~"):
+                raise CompileError(f"unary {expr.op} needs an integer", expr.line)
+            if expr.op == "!" and not is_scalar(decay(operand_type)):
+                raise CompileError("unary ! needs a scalar", expr.line)
+            return INT
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr, scope)
+        if isinstance(expr, ast.Conditional):
+            cond_type = self._expr(expr.condition, scope)
+            if not is_scalar(decay(cond_type)):
+                raise CompileError("?: condition must be scalar", expr.line)
+            then_type = decay(self._expr(expr.then, scope))
+            otherwise_type = decay(self._expr(expr.otherwise, scope))
+            if not (assignable(then_type, otherwise_type)
+                    or assignable(otherwise_type, then_type)):
+                raise CompileError(
+                    f"?: branches have incompatible types {then_type} "
+                    f"and {otherwise_type}", expr.line,
+                )
+            return then_type
+        if isinstance(expr, ast.PostOp):
+            target_type = self._expr(expr.target, scope)
+            if not self._is_lvalue(expr.target):
+                raise CompileError(
+                    f"{expr.op} needs an lvalue", expr.line)
+            decayed = decay(target_type)
+            if not (is_integer(decayed) or isinstance(decayed, PointerType)):
+                raise CompileError(
+                    f"{expr.op} needs an integer or pointer", expr.line)
+            if isinstance(target_type, ArrayType):
+                raise CompileError(f"cannot {expr.op} an array", expr.line)
+            return target_type
+        if isinstance(expr, ast.Call):
+            return self._call(expr, scope)
+        if isinstance(expr, ast.Index):
+            return self._index(expr, scope)
+        if isinstance(expr, ast.Deref):
+            if self.safe:
+                raise CompileError(
+                    "safe mode: raw pointer dereference is not allowed", expr.line
+                )
+            operand_type = decay(self._expr(expr.operand, scope))
+            if not isinstance(operand_type, PointerType):
+                raise CompileError(f"cannot dereference {operand_type}", expr.line)
+            return operand_type.pointee
+        if isinstance(expr, ast.AddrOf):
+            operand_type = self._expr(expr.operand, scope, array_ok=True)
+            if isinstance(expr.operand, ast.Ident) and isinstance(
+                expr.operand.binding, ast.FuncDef
+            ):
+                # &f on a function: the function value itself (C's
+                # function-to-pointer equivalence).  Allowed even in
+                # safe mode -- function pointers carry no bounds.
+                return operand_type
+            if self.safe:
+                raise CompileError(
+                    "safe mode: taking addresses is not allowed", expr.line
+                )
+            if not self._is_lvalue(expr.operand):
+                raise CompileError("cannot take the address of this expression", expr.line)
+            return PointerType(decay(operand_type) if isinstance(operand_type, ArrayType) else operand_type)
+        raise AssertionError(f"unexpected expression {expr}")
+
+    def _ident(self, expr: ast.Ident, scope: Scope, array_ok: bool) -> Type:
+        binding = scope.lookup(expr.name)
+        if binding is None:
+            raise CompileError(f"undeclared identifier {expr.name!r}", expr.line)
+        expr.binding = binding
+        binding_type = _binding_type(binding)
+        if (
+            self.safe
+            and isinstance(binding_type, ArrayType)
+            and not array_ok
+        ):
+            raise CompileError(
+                f"safe mode: array {expr.name!r} may only be indexed or "
+                "passed as a checked buffer (decay to a raw pointer loses "
+                "its bounds)",
+                expr.line,
+            )
+        return binding_type
+
+    def _binary(self, expr: ast.Binary, scope: Scope) -> Type:
+        left = decay(self._expr(expr.left, scope))
+        right = decay(self._expr(expr.right, scope))
+        op = expr.op
+        if op in ("&&", "||"):
+            if not (is_scalar(left) and is_scalar(right)):
+                raise CompileError(f"{op} needs scalar operands", expr.line)
+            return INT
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if not (is_scalar(left) and is_scalar(right)):
+                raise CompileError(f"{op} needs scalar operands", expr.line)
+            return INT
+        if op in ("+", "-"):
+            if isinstance(left, PointerType) and is_integer(right):
+                return left
+            if op == "+" and is_integer(left) and isinstance(right, PointerType):
+                return right
+            if is_integer(left) and is_integer(right):
+                return INT
+            raise CompileError(
+                f"invalid operands to {op}: {left} and {right}", expr.line
+            )
+        if op in ("*", "/", "%", "&", "|", "^", "<<", ">>"):
+            if not (is_integer(left) and is_integer(right)):
+                raise CompileError(f"{op} needs integer operands", expr.line)
+            return INT
+        raise AssertionError(f"unexpected operator {op}")
+
+    def _assign(self, expr: ast.Assign, scope: Scope) -> Type:
+        target_type = self._expr(expr.target, scope)
+        if not self._is_lvalue(expr.target):
+            raise CompileError("assignment target is not an lvalue", expr.line)
+        if isinstance(target_type, ArrayType):
+            raise CompileError("cannot assign to an array", expr.line)
+        value_type = self._expr(expr.value, scope)
+        if not assignable(target_type, value_type):
+            raise CompileError(
+                f"cannot assign {value_type} to {target_type}", expr.line
+            )
+        return target_type
+
+    def _is_lvalue(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, ast.Ident):
+            return isinstance(expr.binding, (ast.VarDecl, ast.Param, ast.GlobalVar))
+        return isinstance(expr, (ast.Deref, ast.Index))
+
+    def _index(self, expr: ast.Index, scope: Scope) -> Type:
+        base_type = self._expr(expr.base, scope, array_ok=True)
+        index_type = self._expr(expr.index, scope)
+        if not is_integer(decay(index_type)):
+            raise CompileError("array index must be an integer", expr.line)
+        base_decayed = decay(base_type)
+        if not isinstance(base_decayed, PointerType):
+            raise CompileError(f"cannot index {base_type}", expr.line)
+        if self.safe and not (
+            isinstance(base_type, ArrayType) and base_type.size is not None
+        ):
+            raise CompileError(
+                "safe mode: indexing requires a statically sized array",
+                expr.line,
+            )
+        return base_decayed.pointee
+
+    def _call(self, expr: ast.Call, scope: Scope) -> Type:
+        callee = expr.callee
+        if isinstance(callee, ast.Ident):
+            binding = scope.lookup(callee.name)
+            if binding is None and callee.name in BUILTINS:
+                return self._builtin_call(expr, BUILTINS[callee.name], scope)
+            if binding is None:
+                raise CompileError(f"undeclared function {callee.name!r}", expr.line)
+            callee.binding = binding
+            callee.type = _binding_type(binding)
+            if isinstance(binding, ast.FuncDef):
+                expr.mode = "direct"
+                return self._check_args(expr, binding.func_type, scope)
+        callee_type = callee.type if callee.type is not None else self._expr(callee, scope)
+        callee_decayed = decay(callee_type)
+        if isinstance(callee_decayed, PointerType) and isinstance(
+            callee_decayed.pointee, FuncType
+        ):
+            callee_decayed = callee_decayed.pointee
+        if not isinstance(callee_decayed, FuncType):
+            raise CompileError(f"cannot call value of type {callee_type}", expr.line)
+        expr.mode = "indirect"
+        return self._check_args(expr, callee_decayed, scope)
+
+    def _check_args(self, expr: ast.Call, func_type: FuncType, scope: Scope) -> Type:
+        if len(expr.args) != len(func_type.params):
+            raise CompileError(
+                f"call takes {len(func_type.params)} arguments, got {len(expr.args)}",
+                expr.line,
+            )
+        for arg, param_type in zip(expr.args, func_type.params):
+            # A *sized* array parameter keeps its bounds, so safe mode
+            # allows passing an array to it (and checks the sizes).
+            param_is_sized_array = (
+                isinstance(param_type, ArrayType) and param_type.size is not None
+            )
+            arg_type = self._expr(
+                arg, scope, array_ok=not self.safe or param_is_sized_array
+            )
+            if self.safe and param_is_sized_array:
+                if not (
+                    isinstance(arg_type, ArrayType)
+                    and arg_type.size is not None
+                    and arg_type.size >= param_type.size
+                ):
+                    raise CompileError(
+                        f"safe mode: argument must be an array of at least "
+                        f"{param_type.size} elements",
+                        arg.line,
+                    )
+                continue
+            if not assignable(param_type, arg_type):
+                raise CompileError(
+                    f"cannot pass {arg_type} as {param_type}", arg.line
+                )
+        return func_type.ret
+
+    def _builtin_call(self, expr: ast.Call, builtin: Builtin, scope: Scope) -> Type:
+        expr.mode = "builtin"
+        expr.builtin = builtin
+        if len(expr.args) != builtin.arity:
+            raise CompileError(
+                f"{builtin.name} takes {builtin.arity} arguments, got {len(expr.args)}",
+                expr.line,
+            )
+        expr.clamp_size = None
+        for position, arg in enumerate(expr.args):
+            is_buffer = position == builtin.buffer_arg
+            arg_type = self._expr(arg, scope, array_ok=True)
+            if self.safe and is_buffer:
+                if not (
+                    isinstance(arg, ast.Ident)
+                    and isinstance(arg_type, ArrayType)
+                    and arg_type.size is not None
+                ):
+                    raise CompileError(
+                        f"safe mode: {builtin.name} needs a statically sized "
+                        "array buffer",
+                        arg.line,
+                    )
+                # Codegen will clamp the length argument to the buffer size.
+                expr.clamp_size = arg_type.size
+            elif self.safe and isinstance(arg_type, ArrayType):
+                raise CompileError(
+                    "safe mode: array may only be passed as a checked buffer",
+                    arg.line,
+                )
+        return builtin.ret
+
+
+def analyze(program: ast.Program, safe: bool = False) -> ast.Program:
+    """Run semantic analysis over ``program`` (decorating in place)."""
+    return Analyzer(safe).analyze(program)

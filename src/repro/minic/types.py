@@ -1,0 +1,132 @@
+"""The MinC type system.
+
+Deliberately faithful to C's weaknesses: arrays decay to bare pointers
+(losing their bounds -- the root of spatial vulnerabilities), pointers
+and integers interconvert freely, and nothing tracks lifetimes (the
+root of temporal vulnerabilities).  The *safe* compilation mode
+(Section III-C2) rejects exactly the constructs that lose bounds or
+escape lifetimes; see :mod:`repro.minic.sema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class for MinC types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class CharType(Type):
+    def __str__(self) -> str:
+        return "char"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    #: None for unsized array parameters (``char buf[]``), which carry
+    #: no bounds -- the unsafe decay the paper's Section III-A pivots on.
+    size: int | None
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.size if self.size is not None else ''}]"
+
+
+@dataclass(frozen=True)
+class FuncType(Type):
+    ret: Type
+    params: tuple[Type, ...]
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params) or "void"
+        return f"{self.ret}(*)({params})"
+
+
+INT = IntType()
+CHAR = CharType()
+VOID = VoidType()
+
+
+def sizeof(type_: Type) -> int:
+    """Size in bytes of a value of ``type_``."""
+    if isinstance(type_, (IntType, PointerType, FuncType)):
+        return 4
+    if isinstance(type_, CharType):
+        return 1
+    if isinstance(type_, ArrayType):
+        if type_.size is None:
+            raise ValueError("sizeof unsized array")
+        return sizeof(type_.element) * type_.size
+    raise ValueError(f"sizeof {type_}")
+
+
+def storage_size(type_: Type) -> int:
+    """Stack slot size (4-byte aligned) for a local of ``type_``."""
+    return (sizeof(type_) + 3) // 4 * 4
+
+
+def is_scalar(type_: Type) -> bool:
+    """Usable in a condition / as an int-ish value."""
+    return isinstance(type_, (IntType, CharType, PointerType, FuncType))
+
+
+def is_integer(type_: Type) -> bool:
+    return isinstance(type_, (IntType, CharType))
+
+
+def decay(type_: Type) -> Type:
+    """Array-to-pointer decay (the bounds-losing conversion)."""
+    if isinstance(type_, ArrayType):
+        return PointerType(type_.element)
+    return type_
+
+
+def element_size(type_: Type) -> int:
+    """Scaling factor for pointer arithmetic / indexing on ``type_``."""
+    if isinstance(type_, PointerType):
+        return sizeof(type_.pointee)
+    if isinstance(type_, ArrayType):
+        return sizeof(type_.element)
+    raise ValueError(f"not indexable: {type_}")
+
+
+def assignable(dst: Type, src: Type) -> bool:
+    """Is ``src`` assignable to ``dst`` under MinC's (lax) rules?
+
+    Like historical C compilers, MinC permits int<->pointer traffic;
+    the unsafety is the point of the exercise.
+    """
+    src = decay(src)
+    dst = decay(dst)
+    if isinstance(dst, VoidType) or isinstance(src, VoidType):
+        return False
+    if is_integer(dst) and is_integer(src):
+        return True
+    if isinstance(dst, (PointerType, FuncType)) or isinstance(src, (PointerType, FuncType)):
+        return is_scalar(dst) and is_scalar(src)
+    return False

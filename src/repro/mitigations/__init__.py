@@ -1,0 +1,29 @@
+"""Countermeasure configuration and policy (Section III-C)."""
+
+from repro.mitigations.config import (
+    ASLR,
+    CANARY,
+    CANARY_DEP,
+    DEP,
+    DEPLOYED,
+    HARDENED,
+    MATRIX_PRESETS,
+    MitigationConfig,
+    NONE,
+    SAFE_LANGUAGE,
+    TESTING,
+)
+
+__all__ = [
+    "ASLR",
+    "CANARY",
+    "CANARY_DEP",
+    "DEP",
+    "DEPLOYED",
+    "HARDENED",
+    "MATRIX_PRESETS",
+    "MitigationConfig",
+    "NONE",
+    "SAFE_LANGUAGE",
+    "TESTING",
+]

@@ -1,0 +1,110 @@
+"""Mitigation configuration shared by the compiler and the loader.
+
+One :class:`MitigationConfig` value describes a complete deployment
+posture.  The MinC compiler consumes the compile-time flags (canaries,
+bounds checks, ASan instrumentation); the loader consumes the
+load-time flags (DEP page permissions, ASLR entropy, shadow stack,
+CFI).  The attack-vs-countermeasure matrix of experiment E4 sweeps
+over the named presets below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MitigationConfig:
+    """Which countermeasures from Section III-C are active."""
+
+    #: Stack canaries between locals and saved registers (compiler).
+    stack_canaries: bool = False
+    #: Data Execution Prevention: W^X page permissions (loader).
+    dep: bool = False
+    #: ASLR entropy in pages; 0 disables.  ``n`` bits means the text,
+    #: data and stack segments are independently shifted by a random
+    #: multiple of the page size in ``[0, 2**n)``.
+    aslr_bits: int = 0
+    #: Hardware shadow stack cross-checking every ``ret`` (machine).
+    shadow_stack: bool = False
+    #: Coarse-grained CFI on indirect calls/jumps (machine).
+    cfi: bool = False
+    #: Typed (fine-grained) CFI: the compiler emits ``land`` landing
+    #: pads tagged with the function's type; indirect calls must hit a
+    #: pad with the call site's expected tag.  Implies enforcement.
+    cfi_typed: bool = False
+    #: Safe-language mode: compiler-enforced bounds checks plus the
+    #: stricter MinC-safe type rules (Section III-C2's Java/Rust
+    #: stand-in).
+    bounds_checks: bool = False
+    #: ASan-style testing instrumentation: red zones around stack
+    #: arrays, enforced by the machine (Section III-C2's run-time
+    #: checks during testing).
+    asan: bool = False
+
+    def with_(self, **changes) -> "MitigationConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short human-readable summary, e.g. ``canary+dep+aslr16``."""
+        parts = []
+        if self.stack_canaries:
+            parts.append("canary")
+        if self.dep:
+            parts.append("dep")
+        if self.aslr_bits:
+            parts.append(f"aslr{self.aslr_bits}")
+        if self.shadow_stack:
+            parts.append("shadowstack")
+        if self.cfi_typed:
+            parts.append("cfi-typed")
+        elif self.cfi:
+            parts.append("cfi")
+        if self.bounds_checks:
+            parts.append("safe")
+        if self.asan:
+            parts.append("asan")
+        return "+".join(parts) if parts else "none"
+
+
+#: No protection at all: the historical baseline every Section III
+#: attack assumes.
+NONE = MitigationConfig()
+
+#: Stack canaries only.
+CANARY = MitigationConfig(stack_canaries=True)
+
+#: DEP only.
+DEP = MitigationConfig(dep=True)
+
+#: ASLR only, with 16 pages-worth of entropy per segment.
+ASLR = MitigationConfig(aslr_bits=16)
+
+#: Canaries + DEP (a common mid-2000s server posture).
+CANARY_DEP = MitigationConfig(stack_canaries=True, dep=True)
+
+#: The widely deployed triple of Section III-C1.
+DEPLOYED = MitigationConfig(stack_canaries=True, dep=True, aslr_bits=16)
+
+#: The deployed triple plus shadow stack and coarse CFI.
+HARDENED = MitigationConfig(
+    stack_canaries=True, dep=True, aslr_bits=16, shadow_stack=True, cfi=True
+)
+
+#: Safe-language mode (bounds checks) on top of the deployed triple.
+SAFE_LANGUAGE = MitigationConfig(bounds_checks=True, dep=True)
+
+#: Testing posture: ASan red zones (typically too slow for production).
+TESTING = MitigationConfig(asan=True)
+
+#: The preset sweep used by the attack-vs-countermeasure matrix.
+MATRIX_PRESETS: tuple[tuple[str, MitigationConfig], ...] = (
+    ("none", NONE),
+    ("canary", CANARY),
+    ("dep", DEP),
+    ("aslr", ASLR),
+    ("canary+dep", CANARY_DEP),
+    ("deployed", DEPLOYED),
+    ("hardened", HARDENED),
+)

@@ -1,0 +1,35 @@
+"""Protected Module Architecture: isolation, attestation, sealing,
+state continuity (Section IV of the paper)."""
+
+from repro.pma.attestation import (
+    ProvisioningAuthority,
+    RemoteVerifier,
+    attest_and_verify,
+    hardware_attest,
+)
+from repro.pma.continuity import (
+    Disk,
+    IceStyleScheme,
+    MemoirStyleScheme,
+    NVCounter,
+    SimulatedCrash,
+    crash_matrix,
+)
+from repro.pma.module import PMAController, ProtectedModule
+from repro.pma.sealing import SealedStorage
+
+__all__ = [
+    "ProvisioningAuthority",
+    "RemoteVerifier",
+    "attest_and_verify",
+    "hardware_attest",
+    "Disk",
+    "IceStyleScheme",
+    "MemoirStyleScheme",
+    "NVCounter",
+    "SimulatedCrash",
+    "crash_matrix",
+    "PMAController",
+    "ProtectedModule",
+    "SealedStorage",
+]

@@ -1,0 +1,95 @@
+"""Remote attestation (Section IV-C).
+
+The hardware derives a module-private key from the platform master key
+and a *measurement* (hash) of the module's code as loaded.  A remote
+verifier who knows the expected measurement -- and, via the
+provisioning authority, the corresponding expected key -- challenges
+the module with a nonce; only an unmodified module on genuine hardware
+holds the key that MACs the nonce correctly.
+
+If the (attacker-controlled) operating system modifies the module
+before loading it, the hardware measures the modified code, derives a
+*different* key, and every attestation report the modified module can
+produce fails verification.  The OS cannot lie about the measurement
+because measuring happens in hardware at registration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import AttestationError
+from repro.pma import crypto
+from repro.pma.module import PMAController, ProtectedModule
+
+
+@dataclass
+class ProvisioningAuthority:
+    """Holds the platform master key (the hardware vendor's role).
+
+    Derives the key a *correct* module would receive, and hands it to
+    verifiers over an out-of-band secure channel -- this is how Sancus
+    [25] and SGX [28] provision verifiers.
+    """
+
+    platform_key: bytes
+
+    def expected_module_key(self, expected_code: bytes) -> bytes:
+        return crypto.derive_module_key(
+            self.platform_key, crypto.measure(expected_code)
+        )
+
+
+class RemoteVerifier:
+    """Challenges a module and checks its attestation reports."""
+
+    def __init__(self, expected_module_key: bytes):
+        self._key = expected_module_key
+        self._outstanding: set[bytes] = set()
+
+    def challenge(self) -> bytes:
+        """A fresh random nonce (replay protection)."""
+        nonce = os.urandom(16)
+        self._outstanding.add(nonce)
+        return nonce
+
+    def verify(self, nonce: bytes, report: bytes) -> bool:
+        """Check a report; each nonce is accepted at most once."""
+        if nonce not in self._outstanding:
+            return False
+        self._outstanding.discard(nonce)
+        expected = crypto.mac(self._key, b"attest" + nonce)
+        return crypto.mac_verify(self._key, b"attest" + nonce, report) and (
+            len(report) == len(expected)
+        )
+
+    def require(self, nonce: bytes, report: bytes) -> None:
+        if not self.verify(nonce, report):
+            raise AttestationError("attestation report failed verification")
+
+
+def hardware_attest(controller: PMAController, module: ProtectedModule,
+                    nonce: bytes) -> bytes:
+    """The hardware service a module invokes via ``sys attest``.
+
+    Exposed at the Python level for protocol experiments; on the
+    machine the same computation runs through
+    :data:`repro.machine.syscalls.SYS_ATTEST` (which only works while
+    the module is executing).
+    """
+    return controller.attest(module, nonce)
+
+
+def attest_and_verify(
+    controller: PMAController,
+    module: ProtectedModule,
+    authority: ProvisioningAuthority,
+    expected_code: bytes,
+) -> bool:
+    """Full protocol round: provision a verifier for ``expected_code``,
+    challenge the loaded module, verify the report."""
+    verifier = RemoteVerifier(authority.expected_module_key(expected_code))
+    nonce = verifier.challenge()
+    report = hardware_attest(controller, module, nonce)
+    return verifier.verify(nonce, report)

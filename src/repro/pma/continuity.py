@@ -1,0 +1,212 @@
+"""State continuity: freshness for sealed module state (Section IV-C).
+
+Sealing authenticates *a* state; continuity guarantees it is the
+*latest* state, across restarts and crashes, against an attacker who
+controls storage.  The paper highlights the tension:
+
+* **rollback safety** -- a replayed stale state must be rejected;
+* **liveness** -- a crash at any instant must leave *some* acceptable
+  state, or the module bricks itself.
+
+Two schemes are implemented against a simulated non-volatile monotonic
+counter and an attacker-controlled disk, with crash injection at every
+step boundary:
+
+* :class:`MemoirStyleScheme` (increment-then-write, accept only the
+  exact counter): rollback-safe but *not* crash-live -- a crash
+  between the increment and the disk write strands the module, the
+  failure mode Memoir [36] works around with special hardware.
+* :class:`IceStyleScheme` (write-then-increment, accept counter or
+  counter+1, completing the increment during recovery): rollback-safe
+  *and* crash-live, the guarantee ICE [37] provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ContinuityLivenessError, RollbackError, SealingError
+from repro.pma.sealing import SealedStorage
+
+
+class SimulatedCrash(Exception):
+    """Raised by crash injection to abandon an update mid-flight."""
+
+
+class NVCounter:
+    """A non-volatile, strictly monotonic hardware counter."""
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def read(self) -> int:
+        return self._value
+
+    def increment(self) -> int:
+        """Atomic and durable (the hardware guarantee)."""
+        self._value += 1
+        return self._value
+
+
+class Disk:
+    """Attacker-controlled persistent storage: one blob slot.
+
+    The attacker may snapshot and replay anything ever stored -- but
+    cannot forge blobs (sealing) nor touch the NV counter."""
+
+    def __init__(self) -> None:
+        self.blob: bytes | None = None
+        self.history: list[bytes] = []
+
+    def store(self, blob: bytes) -> None:
+        self.blob = blob
+        self.history.append(blob)
+
+    def replay(self, index: int) -> None:
+        """Attacker action: roll storage back to an older snapshot."""
+        self.blob = self.history[index]
+
+
+@dataclass
+class ContinuityScheme:
+    """Shared plumbing: a sealed counter+state record on a disk."""
+
+    storage: SealedStorage
+    counter: NVCounter = field(default_factory=NVCounter)
+    disk: Disk = field(default_factory=Disk)
+
+    def _record(self, state: int, stamp: int) -> bytes:
+        return self.storage.seal_ints(state, stamp)
+
+    def _open(self, blob: bytes) -> tuple[int, int]:
+        return self.storage.unseal_ints(blob, 2)
+
+
+class MemoirStyleScheme(ContinuityScheme):
+    """Increment the counter first, then persist the stamped record.
+
+    Accepts only a record stamped with the *current* counter value.
+    """
+
+    def update(self, state: int, crash_after: str | None = None) -> None:
+        """Persist a new state.  ``crash_after`` ∈ {None, 'increment',
+        'write'} injects a crash after that step."""
+        stamp = self.counter.increment()
+        if crash_after == "increment":
+            raise SimulatedCrash("crashed after counter increment")
+        self.disk.store(self._record(state, stamp))
+        if crash_after == "write":
+            raise SimulatedCrash("crashed after disk write")
+
+    def recover(self) -> int:
+        """Reload state after a restart; raises on stale or missing."""
+        if self.disk.blob is None:
+            if self.counter.read() != 0:
+                raise ContinuityLivenessError(
+                    "no stored state but counter already advanced"
+                )
+            raise RollbackError("no stored state on first boot")
+        try:
+            state, stamp = self._open(self.disk.blob)
+        except SealingError as exc:
+            raise RollbackError(f"stored state forged: {exc}") from exc
+        current = self.counter.read()
+        if stamp < current:
+            raise RollbackError(f"stale state (stamp {stamp} < counter {current})")
+        if stamp > current:
+            raise ContinuityLivenessError(
+                f"state from the future (stamp {stamp} > counter {current})"
+            )
+        return state
+
+
+class IceStyleScheme(ContinuityScheme):
+    """Persist the stamped record first, then increment the counter.
+
+    Accepts a record stamped ``counter`` (update completed) or
+    ``counter + 1`` (crash before the increment; recovery completes
+    it).  Anything older is a rollback.
+    """
+
+    def update(self, state: int, crash_after: str | None = None) -> None:
+        stamp = self.counter.read() + 1
+        self.disk.store(self._record(state, stamp))
+        if crash_after == "write":
+            raise SimulatedCrash("crashed after disk write")
+        self.counter.increment()
+        if crash_after == "increment":
+            raise SimulatedCrash("crashed after counter increment")
+
+    def recover(self) -> int:
+        if self.disk.blob is None:
+            if self.counter.read() != 0:
+                raise ContinuityLivenessError(
+                    "no stored state but counter already advanced"
+                )
+            raise RollbackError("no stored state on first boot")
+        try:
+            state, stamp = self._open(self.disk.blob)
+        except SealingError as exc:
+            raise RollbackError(f"stored state forged: {exc}") from exc
+        current = self.counter.read()
+        if stamp == current + 1:
+            # The crash hit between write and increment: complete it.
+            self.counter.increment()
+            return state
+        if stamp == current:
+            return state
+        if stamp < current:
+            raise RollbackError(f"stale state (stamp {stamp} < counter {current})")
+        raise ContinuityLivenessError(
+            f"state from the future (stamp {stamp} > counter {current})"
+        )
+
+
+def crash_matrix(scheme_cls) -> list[dict]:
+    """Exhaustive crash/replay analysis of one scheme.
+
+    For every crash point and for the replay attack, report whether
+    the module (a) recovers and (b) rejects stale state.  This is the
+    E11 benchmark's data source.
+    """
+    rows = []
+    for crash_after in (None, "write", "increment"):
+        scheme = scheme_cls(SealedStorage(b"\x42" * 32))
+        scheme.update(10)  # a committed baseline state
+        try:
+            scheme.update(20, crash_after=crash_after)
+            crashed = False
+        except SimulatedCrash:
+            crashed = True
+        try:
+            recovered = scheme.recover()
+            alive = True
+        except (RollbackError, ContinuityLivenessError) as exc:
+            recovered = None
+            alive = False
+            recovered_error = type(exc).__name__
+        rows.append({
+            "scheme": scheme_cls.__name__,
+            "scenario": f"crash_after={crash_after}" if crashed else "clean",
+            "liveness": alive,
+            "recovered_state": recovered,
+            "error": None if alive else recovered_error,
+        })
+    # Replay attack: attacker rolls the disk back to the first record.
+    scheme = scheme_cls(SealedStorage(b"\x42" * 32))
+    scheme.update(10)
+    scheme.update(20)
+    scheme.disk.replay(0)
+    try:
+        recovered = scheme.recover()
+        rows.append({
+            "scheme": scheme_cls.__name__, "scenario": "replay-attack",
+            "liveness": True, "recovered_state": recovered,
+            "error": "ROLLBACK ACCEPTED" if recovered == 10 else None,
+        })
+    except RollbackError:
+        rows.append({
+            "scheme": scheme_cls.__name__, "scenario": "replay-attack",
+            "liveness": True, "recovered_state": None, "error": None,
+        })
+    return rows

@@ -1,0 +1,111 @@
+"""Cryptographic primitives for the protected-module architecture.
+
+The paper's Section IV-C relies on three hardware-rooted primitives:
+
+* a *measurement* of a module (a hash of its loaded code segment);
+* a *module-private key* derived from a platform master key and the
+  measurement (as in Sancus [25] / SGX [28]); and
+* authenticated encryption with that key, for sealed storage.
+
+All three are built here from SHA-256 (stdlib ``hashlib``/``hmac``).
+The encryption is SHA-256 in counter mode with an HMAC tag
+(encrypt-then-MAC).  This is a simulation-fidelity choice, not a
+production cipher suite: the security arguments in the experiments
+only require that (1) keys are unforgeable functions of the code
+measurement and (2) sealed blobs cannot be read or forged without the
+key -- both of which these constructions provide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import SealingError
+
+#: Byte length of hashes, keys and MACs.
+DIGEST_SIZE = 32
+
+
+def measure(code: bytes) -> bytes:
+    """Measurement (hash) of a module's code segment."""
+    return hashlib.sha256(code).digest()
+
+
+def derive_module_key(platform_key: bytes, measurement: bytes) -> bytes:
+    """Module-private key: ``HMAC(platform_key, measurement)``.
+
+    A module whose code was tampered with before loading measures
+    differently and therefore receives a *different* key -- the
+    property remote attestation builds on.
+    """
+    return hmac.new(platform_key, measurement, hashlib.sha256).digest()
+
+
+def mac(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 tag over ``message``."""
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def mac_verify(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time verification of an HMAC tag."""
+    return hmac.compare_digest(mac(key, message), tag)
+
+
+def _keystream(key: bytes, iv: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            key + iv + counter.to_bytes(8, "little") + b"ks"
+        ).digest()
+        out += block
+        counter += 1
+    return bytes(out[:length])
+
+
+def encrypt(key: bytes, iv: bytes, plaintext: bytes) -> bytes:
+    """XOR ``plaintext`` with a key/iv-derived keystream."""
+    stream = _keystream(key, iv, len(plaintext))
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+def decrypt(key: bytes, iv: bytes, ciphertext: bytes) -> bytes:
+    """Inverse of :func:`encrypt` (XOR streams are symmetric)."""
+    return encrypt(key, iv, ciphertext)
+
+
+def seal_blob(key: bytes, iv: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """Authenticated-encrypt ``plaintext`` into a self-contained blob.
+
+    Layout: ``iv (16) || ct_len (4) || ct || tag (32)``.  ``aad`` is
+    authenticated but not stored (callers bind context such as a
+    freshness counter through it).
+    """
+    if len(iv) != 16:
+        raise SealingError("iv must be 16 bytes")
+    ciphertext = encrypt(key, iv, plaintext)
+    header = iv + len(ciphertext).to_bytes(4, "little")
+    tag = mac(key, header + ciphertext + aad)
+    return header + ciphertext + tag
+
+
+def open_blob(key: bytes, blob: bytes, aad: bytes = b"") -> bytes:
+    """Verify and decrypt a blob produced by :func:`seal_blob`.
+
+    Raises :class:`~repro.errors.SealingError` on any malformation or
+    authentication failure.
+    """
+    if len(blob) < 16 + 4 + DIGEST_SIZE:
+        raise SealingError("sealed blob too short")
+    iv = blob[:16]
+    ct_len = int.from_bytes(blob[16:20], "little")
+    body_end = 20 + ct_len
+    if len(blob) != body_end + DIGEST_SIZE:
+        raise SealingError("sealed blob has inconsistent length")
+    ciphertext = blob[20:body_end]
+    tag = blob[body_end:]
+    if not mac_verify(key, blob[:body_end] + aad, tag):
+        raise SealingError("sealed blob failed authentication")
+    return decrypt(key, iv, ciphertext)

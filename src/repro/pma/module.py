@@ -1,0 +1,233 @@
+"""Protected Module Architecture: module descriptors and access control.
+
+This implements the memory access-control model of Section IV-A of the
+paper, which it states as three rules:
+
+1. When the instruction pointer is *outside* a protected module, access
+   to memory in the module is prohibited.
+2. When the IP is *inside* the module, data memory can be read and
+   written, and code memory can be executed.
+3. The only way for the IP to *enter* a protected module is by jumping
+   to one of the designated entry points.
+
+:class:`PMAController` is the "hardware": it holds the module table,
+answers the CPU's access-control queries, and implements the key
+derivation, attestation, sealing, and monotonic-counter services of
+Section IV-C.  It is deliberately independent of the operating system
+model -- kernel-privileged code bypasses *page* permissions but still
+goes through these checks, which is exactly the paper's point about
+protecting modules from a compromised OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtectionFault, SealingError
+from repro.machine.access import AccessKind
+from repro.pma import crypto
+
+
+@dataclass
+class ProtectedModule:
+    """One protected module: a code section, a data section, entry points.
+
+    ``text_start``/``text_end`` and ``data_start``/``data_end`` are
+    byte ranges (end exclusive).  ``entry_points`` are addresses inside
+    the text section at which outside code may (only) enter.
+    """
+
+    name: str
+    text_start: int
+    text_end: int
+    data_start: int
+    data_end: int
+    entry_points: frozenset[int]
+    #: Measurement of the code section as loaded (set by the loader).
+    measurement: bytes = b""
+    #: Key derived by the hardware from the platform key + measurement.
+    module_key: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if self.text_start >= self.text_end:
+            raise ValueError(f"module {self.name}: empty text section")
+        if self.data_start > self.data_end:
+            raise ValueError(f"module {self.name}: negative data section")
+        for entry in self.entry_points:
+            if not self.text_start <= entry < self.text_end:
+                raise ValueError(
+                    f"module {self.name}: entry point 0x{entry:08x} "
+                    "outside text section"
+                )
+
+    def in_text(self, addr: int) -> bool:
+        return self.text_start <= addr < self.text_end
+
+    def in_data(self, addr: int) -> bool:
+        return self.data_start <= addr < self.data_end
+
+    def contains(self, addr: int) -> bool:
+        return self.in_text(addr) or self.in_data(addr)
+
+    def _overlaps(self, start: int, end: int, lo: int, hi: int) -> bool:
+        return start < hi and end > lo
+
+    def text_overlaps(self, addr: int, size: int) -> bool:
+        return self._overlaps(addr, addr + size, self.text_start, self.text_end)
+
+    def data_overlaps(self, addr: int, size: int) -> bool:
+        return self._overlaps(addr, addr + size, self.data_start, self.data_end)
+
+
+class PMAController:
+    """The protected-module "hardware" of one machine.
+
+    Owns the module table, the platform master key, and the per-module
+    non-volatile monotonic counters used by state-continuity schemes.
+    """
+
+    def __init__(
+        self,
+        platform_key: bytes = b"\x00" * 32,
+        counter_store: dict[bytes, int] | None = None,
+    ) -> None:
+        self.modules: list[ProtectedModule] = []
+        self._platform_key = platform_key
+        #: Non-volatile monotonic counters, keyed by module measurement
+        #: (so a re-loaded identical module sees its own counter, while
+        #: a tampered module does not inherit the original's).  Pass a
+        #: shared dict to model counters surviving reboots.
+        self._counters: dict[bytes, int] = (
+            counter_store if counter_store is not None else {}
+        )
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, module: ProtectedModule, code: bytes) -> ProtectedModule:
+        """Register a module, measuring ``code`` and deriving its key.
+
+        ``code`` must be the module's text section content exactly as
+        loaded; the measurement is taken here, by the hardware, so a
+        malicious loader cannot lie about it.
+        """
+        for existing in self.modules:
+            if existing.text_overlaps(module.text_start, module.text_end - module.text_start) or (
+                module.data_end > module.data_start
+                and existing.data_overlaps(module.data_start, module.data_end - module.data_start)
+            ):
+                raise ProtectionFault(
+                    f"module {module.name} overlaps module {existing.name}"
+                )
+        module.measurement = crypto.measure(code)
+        module.module_key = crypto.derive_module_key(self._platform_key, module.measurement)
+        self.modules.append(module)
+        return module
+
+    # -- queries ------------------------------------------------------------
+
+    def module_at_text(self, addr: int) -> ProtectedModule | None:
+        """The module whose text section contains ``addr``, if any."""
+        for module in self.modules:
+            if module.in_text(addr):
+                return module
+        return None
+
+    def module_at(self, addr: int) -> ProtectedModule | None:
+        """The module whose text *or* data section contains ``addr``."""
+        for module in self.modules:
+            if module.contains(addr):
+                return module
+        return None
+
+    # -- access control ------------------------------------------------------
+
+    def check_fetch(
+        self, current: ProtectedModule | None, ip: int
+    ) -> ProtectedModule | None:
+        """Validate an instruction fetch at ``ip``; return the new module.
+
+        Implements rules 2 and 3: executing module *data* is never
+        allowed, and crossing into a module's text from outside is only
+        allowed at an entry point.  Leaving a module is always allowed.
+        """
+        for module in self.modules:
+            if module.in_data(ip):
+                raise ProtectionFault(
+                    f"attempt to execute data section of module {module.name}", ip
+                )
+        target = self.module_at_text(ip)
+        if target is None or target is current:
+            return target
+        if ip not in target.entry_points:
+            raise ProtectionFault(
+                f"jump into module {target.name} bypassing its entry points", ip
+            )
+        return target
+
+    def check_data_access(
+        self,
+        current: ProtectedModule | None,
+        kind: AccessKind,
+        addr: int,
+        size: int,
+        ip: int | None = None,
+    ) -> None:
+        """Validate a data read/write of ``size`` bytes at ``addr``.
+
+        Implements rule 1 (no outside access at all) and the inside
+        refinement of rule 2 (module data is read/write, module code is
+        read-only even to the module itself).
+        """
+        for module in self.modules:
+            touches_text = module.text_overlaps(addr, size)
+            touches_data = module.data_overlaps(addr, size)
+            if not (touches_text or touches_data):
+                continue
+            if module is not current:
+                raise ProtectionFault(
+                    f"{kind.value} of 0x{addr:08x} denied: "
+                    f"inside protected module {module.name}",
+                    ip,
+                )
+            if touches_text and kind is AccessKind.WRITE:
+                raise ProtectionFault(
+                    f"write to code section of module {module.name}", ip
+                )
+
+    # -- hardware services (Section IV-C) -------------------------------------
+
+    def attest(self, module: ProtectedModule, nonce: bytes) -> bytes:
+        """Produce an attestation report: ``HMAC(module_key, nonce)``.
+
+        Only callable (via ``sys attest``) while the module is
+        executing; the CPU passes the current module in.
+        """
+        return crypto.mac(module.module_key, b"attest" + nonce)
+
+    def seal(self, module: ProtectedModule, data: bytes, iv: bytes, aad: bytes = b"") -> bytes:
+        """Seal ``data`` to the module's identity."""
+        return crypto.seal_blob(module.module_key, iv, data, aad)
+
+    def unseal(self, module: ProtectedModule, blob: bytes, aad: bytes = b"") -> bytes:
+        """Unseal a blob; raises :class:`SealingError` if not this
+        module's blob or tampered with."""
+        return crypto.open_blob(module.module_key, blob, aad)
+
+    def counter_read(self, module: ProtectedModule) -> int:
+        """Read the module's non-volatile monotonic counter."""
+        return self._counters.get(module.measurement, 0)
+
+    def counter_increment(self, module: ProtectedModule) -> int:
+        """Increment and return the module's monotonic counter.
+
+        The increment is atomic and durable -- the hardware guarantee
+        the continuity schemes of Section IV-C build on.
+        """
+        value = self._counters.get(module.measurement, 0) + 1
+        self._counters[module.measurement] = value
+        return value
+
+
+def seal_error_is_rollback(blob_error: SealingError) -> bool:
+    """Helper for experiments: True if unsealing failed authentication."""
+    return "authentication" in str(blob_error)

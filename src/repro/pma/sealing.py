@@ -1,0 +1,53 @@
+"""Sealed storage: confidentiality + integrity for persisted module state.
+
+A module's state, sealed with its module-private key, can be stored on
+untrusted media (the attacker's disk, Section IV-C): the attacker can
+neither read nor forge it.  What sealing alone can *not* provide is
+freshness -- a stale genuine blob unseals happily -- which is why
+:mod:`repro.pma.continuity` exists.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import SealingError
+from repro.pma import crypto
+
+
+@dataclass
+class SealedStorage:
+    """Seal/unseal helper bound to one module key.
+
+    ``iv_source`` supplies 16-byte IVs (deterministic in tests,
+    random in anger).
+    """
+
+    module_key: bytes
+    _iv_counter: int = 0
+
+    def _next_iv(self) -> bytes:
+        self._iv_counter += 1
+        return struct.pack("<QQ", self._iv_counter, 0xA5A5A5A5A5A5A5A5)
+
+    def seal(self, data: bytes, aad: bytes = b"") -> bytes:
+        """Seal ``data``; ``aad`` binds context (e.g. a counter value)."""
+        return crypto.seal_blob(self.module_key, self._next_iv(), data, aad)
+
+    def unseal(self, blob: bytes, aad: bytes = b"") -> bytes:
+        """Unseal; raises :class:`SealingError` on any tampering or a
+        wrong key (another module's blob)."""
+        return crypto.open_blob(self.module_key, blob, aad)
+
+    def seal_ints(self, *values: int) -> bytes:
+        """Seal a tuple of 32-bit integers (module state records)."""
+        return self.seal(struct.pack(f"<{len(values)}I", *values))
+
+    def unseal_ints(self, blob: bytes, count: int) -> tuple[int, ...]:
+        data = self.unseal(blob)
+        if len(data) != 4 * count:
+            raise SealingError(
+                f"sealed record has {len(data)} bytes, expected {4 * count}"
+            )
+        return struct.unpack(f"<{count}I", data)

@@ -1,0 +1,19 @@
+"""Canonical programs: the paper's figures and the attack vehicles."""
+
+from repro.programs import sources
+from repro.programs.builders import (
+    build_fig1,
+    build_secret_program,
+    build_stateful_secret,
+    build_victim,
+    libc_object,
+)
+
+__all__ = [
+    "sources",
+    "build_fig1",
+    "build_secret_program",
+    "build_stateful_secret",
+    "build_victim",
+    "libc_object",
+]

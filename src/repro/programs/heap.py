@@ -1,0 +1,238 @@
+"""The heap substrate: a first-fit allocator written in MinC.
+
+Section III-A defines temporal vulnerabilities over *explicit*
+deallocation too ("such deallocation can happen implicitly or
+explicitly"); this module supplies the explicit side.  The allocator
+is deliberately classic -- inline chunk headers, first fit, forward
+coalescing -- because that is the design whose properties heap attacks
+exploit: freed memory is recycled verbatim (use-after-free becomes
+attacker-controlled aliasing) and chunks are adjacent (overflows cross
+into neighbours and their metadata).
+
+Two builds:
+
+* :data:`HEAP_ALLOCATOR` -- the plain allocator;
+* :data:`HEAP_ALLOCATOR_CHECKED` -- the same allocator instrumented
+  with red zones (guard word after each allocation, freed payloads
+  poisoned, double-free detected), the heap half of the
+  "run-time checks during testing" countermeasure of Section III-C2.
+
+Both are ordinary MinC modules; victims link one or the other.
+"""
+
+#: Shared interface (prototypes victims paste in).
+HEAP_PROTOTYPES = """
+int *malloc(int nbytes);
+void free_ptr(int *p);
+int heap_free_words();
+"""
+
+HEAP_ALLOCATOR = """
+// heap.c -- first-fit free-list allocator over a static arena.
+//
+// Chunk layout (word granularity):
+//   arena[i]     payload size in words
+//   arena[i+1]   1 if free, 0 if allocated
+//   arena[i+2..] payload
+static int arena[512];
+static int heap_ready = 0;
+
+int *malloc(int nbytes) {
+    if (heap_ready == 0) {
+        arena[0] = 510;
+        arena[1] = 1;
+        heap_ready = 1;
+    }
+    int nwords = (nbytes + 3) / 4;
+    if (nwords < 1) { nwords = 1; }
+    int i = 0;
+    while (i < 512) {
+        int size = arena[i];
+        if (arena[i + 1] == 1) {
+            if (size >= nwords) {
+                if (size >= nwords + 3) {
+                    // split: new free chunk after this allocation
+                    arena[i + 2 + nwords] = size - nwords - 2;
+                    arena[i + 3 + nwords] = 1;
+                    arena[i] = nwords;
+                }
+                arena[i + 1] = 0;
+                return &arena[i + 2];
+            }
+        }
+        i = i + 2 + size;
+    }
+    return 0;
+}
+
+void free_ptr(int *p) {
+    int addr = p;
+    int base = arena;
+    int idx = (addr - base) / 4 - 2;
+    arena[idx + 1] = 1;                 // no double-free check (classic)
+    int next = idx + 2 + arena[idx];
+    if (next < 511) {
+        if (arena[next + 1] == 1) {
+            // forward coalesce
+            arena[idx] = arena[idx] + 2 + arena[next];
+        }
+    }
+}
+
+int heap_free_words() {
+    if (heap_ready == 0) {
+        arena[0] = 510;
+        arena[1] = 1;
+        heap_ready = 1;
+    }
+    int total = 0;
+    int i = 0;
+    while (i < 512) {
+        if (arena[i + 1] == 1) { total = total + arena[i]; }
+        i = i + 2 + arena[i];
+    }
+    return total;
+}
+"""
+
+HEAP_ALLOCATOR_CHECKED = """
+// heap_checked.c -- the same allocator with testing instrumentation:
+//   * one poisoned guard word after every allocation (overflow trap)
+//   * freed payloads poisoned (use-after-free trap)
+//   * a one-slot quarantine delaying chunk reuse, so a dangling
+//     pointer still points at poisoned memory after the next malloc
+//     (the reason real AddressSanitizer quarantines frees)
+//   * double frees abort with exit code 13
+static int arena[512];
+static int heap_ready = 0;
+static int quarantine_idx = -1;
+
+int *malloc(int nbytes) {
+    if (heap_ready == 0) {
+        arena[0] = 510;
+        arena[1] = 1;
+        heap_ready = 1;
+        poison(&arena[2], 510 * 4);     // the virgin arena is off limits
+    }
+    int nwords = (nbytes + 3) / 4;
+    if (nwords < 1) { nwords = 1; }
+    int nalloc = nwords + 1;            // + guard word
+    int i = 0;
+    while (i < 512) {
+        int size = arena[i];
+        if (arena[i + 1] == 1) {
+            if (size >= nalloc) {
+                unpoison(&arena[i + 2], size * 4);
+                if (size >= nalloc + 3) {
+                    arena[i + 2 + nalloc] = size - nalloc - 2;
+                    arena[i + 3 + nalloc] = 1;
+                    arena[i] = nalloc;
+                    poison(&arena[i + 4 + nalloc], (size - nalloc - 2) * 4);
+                }
+                arena[i + 1] = 0;
+                poison(&arena[i + 2 + nwords], (arena[i] - nwords) * 4);
+                return &arena[i + 2];
+            }
+        }
+        i = i + 2 + size;
+    }
+    return 0;
+}
+
+void free_ptr(int *p) {
+    int addr = p;
+    int base = arena;
+    int idx = (addr - base) / 4 - 2;
+    if (idx == quarantine_idx) { exit(13); }   // double free (in quarantine)
+    if (arena[idx + 1] == 1) { exit(13); }     // double free detected
+    poison(&arena[idx + 2], arena[idx] * 4);
+    // Release the previously quarantined chunk for real...
+    if (quarantine_idx >= 0) {
+        arena[quarantine_idx + 1] = 1;
+        int next = quarantine_idx + 2 + arena[quarantine_idx];
+        if (next < 511) {
+            if (arena[next + 1] == 1) {
+                arena[quarantine_idx] = arena[quarantine_idx] + 2 + arena[next];
+            }
+        }
+    }
+    // ...and park this one (still marked allocated, so malloc skips it).
+    quarantine_idx = idx;
+}
+
+int heap_free_words() {
+    if (heap_ready == 0) {
+        arena[0] = 510;
+        arena[1] = 1;
+        heap_ready = 1;
+        poison(&arena[2], 510 * 4);
+    }
+    int total = 0;
+    int i = 0;
+    while (i < 512) {
+        if (arena[i + 1] == 1) { total = total + arena[i]; }
+        i = i + 2 + arena[i];
+    }
+    return total;
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Heap attack vehicles
+# ---------------------------------------------------------------------------
+
+#: Use-after-free onto a function pointer: the freed handler object is
+#: recycled into an attacker-filled buffer; the dangling call goes
+#: wherever the attacker wrote.
+HEAP_UAF_VICTIM = HEAP_PROTOTYPES + """
+int greet(int x) {
+    print_int(x);
+    return 0;
+}
+
+void main() {
+    int *handler_obj = malloc(8);
+    handler_obj[0] = greet;            // code pointer in a heap object
+    handler_obj[1] = 42;
+    free_ptr(handler_obj);             // BUG: object freed...
+    int *request = malloc(8);          // ...its chunk is recycled...
+    read(0, request, 8);               // ...and attacker-filled
+    int (*f)(int);
+    f = handler_obj[0];                // BUG: ...but still used (dangling)
+    f(handler_obj[1]);
+}
+"""
+
+#: Heap overflow into the adjacent chunk: the note buffer overflows
+#: across the next chunk's header into the account object.
+HEAP_OVERFLOW_VICTIM = HEAP_PROTOTYPES + """
+int read_int() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void main() {
+    int *note = malloc(16);
+    int *account = malloc(8);
+    account[0] = 0;                    // is_admin
+    int n = read_int();
+    read(0, note, n);                  // BUG: n is attacker-controlled
+    if (account[0]) {
+        print_int(31337);              // administrative action
+    } else {
+        print_int(0);
+    }
+}
+"""
+
+#: Double free (caught by the checked allocator, silent corruption
+#: fodder in the plain one).
+HEAP_DOUBLE_FREE_VICTIM = HEAP_PROTOTYPES + """
+void main() {
+    int *a = malloc(8);
+    free_ptr(a);
+    free_ptr(a);                       // BUG
+    print_int(heap_free_words());
+}
+"""

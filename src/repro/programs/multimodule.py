@@ -1,0 +1,95 @@
+"""Multiple mutually distrustful protected modules.
+
+Section IV-B closes with the open problem: "the work mentioned above
+focuses on compilation of a single protected module, and does not
+handle the case of multiple mutually distrustful modules".  This
+substrate implements the scenario: two secure-compiled modules, each
+with its own secrets, keys, private stack, and entry points, loaded
+side by side.
+
+The programs below let the experiments show:
+
+* **mutual isolation** -- module A's code cannot touch module B's
+  memory (each module is "outside" for the other);
+* **mutual interaction** -- A can still *call* B through B's entry
+  points (A's secure outcall stub -> B's entry stub -> back through
+  A's re-entry point), so distrust does not preclude cooperation;
+* **key separation** -- A cannot unseal B's sealed state (their
+  hardware-derived keys differ because their measurements differ).
+"""
+
+MODULE_A = """
+static int secret_a = 111;
+
+int get_secret_b(int pin);
+
+int get_secret_a(int pin) {
+    if (pin == 1111) { return secret_a; }
+    return 0;
+}
+
+// A's "curiosity": read an arbitrary address from inside module A.
+// Against module B this must be denied by the hardware.
+int probe_from_a(int addr) {
+    int *p = addr;
+    return *p;
+}
+
+// A calling B: mutual distrust must still allow cooperation through
+// entry points (A's outcall stub -> B's entry stub).
+int relay_to_b(int pin) {
+    return get_secret_b(pin);
+}
+
+// Seal A's secret with A's hardware-derived key.
+int seal_from_a(char *out) {
+    return seal(&secret_a, 4, out, 96);
+}
+"""
+
+MODULE_B = """
+static int secret_b = 222;
+
+int get_secret_b(int pin) {
+    if (pin == 2222) { return secret_b; }
+    return 0;
+}
+
+// Try to unseal a blob inside module B (fails for A's blobs: B's key
+// differs because B's measurement differs).
+int unseal_in_b(char *blob, int n) {
+    int out = 0;
+    int got = unseal(blob, n, &out, 4);
+    if (got == -1) { return -1; }
+    return out;
+}
+"""
+
+#: Driver exercising the honest surface and the cross-module probes.
+#: Input: one word -- an address for probe_from_a to read.
+MULTI_MAIN = """
+int get_secret_a(int pin);
+int get_secret_b(int pin);
+int probe_from_a(int addr);
+int relay_to_b(int pin);
+int seal_from_a(char *out);
+int unseal_in_b(char *blob, int n);
+
+static char blob[96];
+
+int read_int() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void main() {
+    print_int(get_secret_a(1111));       // 111: A serves its client
+    print_int(get_secret_b(2222));       // 222: B serves its client
+    print_int(relay_to_b(2222));         // 222: A -> B through entry points
+    int n = seal_from_a(blob);
+    print_int(unseal_in_b(blob, n));     // -1: B cannot open A's blob
+    int target = read_int();
+    print_int(probe_from_a(target));     // A probes an address (may fault)
+}
+"""

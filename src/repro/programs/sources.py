@@ -1,0 +1,595 @@
+"""Canonical program sources: the paper's figures and the attack vehicles.
+
+Each constant is MinC (or VN32 assembly) source for one module.  The
+comments mark the deliberate bugs -- every one is an instance of the
+vulnerability classes of Section III-A of the paper.
+"""
+
+# ---------------------------------------------------------------------------
+# Figure 1: the server program.  The paper introduces the bug by
+# changing the read length from 16 to 32.  Both variants are provided.
+# ---------------------------------------------------------------------------
+
+#: The correct server from Figure 1(a).
+FIG1_SERVER_SAFE = """
+void get_request(int fd, char buf[]) {
+    read(fd, buf, 16);
+}
+
+void process(int fd) {
+    char buf[16];
+    get_request(fd, buf);
+    // Process the request (the paper omits this part): echo it back.
+    write(1, buf, 16);
+}
+
+void main() {
+    int fd = 1;
+    // Initialize server, wait for a connection (modelled by the
+    // machine's input channel), then process the request:
+    process(fd);
+}
+"""
+
+#: The vulnerable variant: read(fd, buf, 32) into a 16-byte buffer --
+#: the paper's canonical spatial vulnerability.
+FIG1_SERVER_VULNERABLE = FIG1_SERVER_SAFE.replace(
+    "read(fd, buf, 16);", "read(fd, buf, 32);   // BUG: buf holds only 16 bytes"
+)
+
+#: A variant with a much larger overflow, giving stack-smashing
+#: payloads room for shellcode and ROP chains.
+FIG1_SERVER_WIDE_OPEN = FIG1_SERVER_SAFE.replace(
+    "read(fd, buf, 16);", "read(fd, buf, 256);  // BUG: buf holds only 16 bytes"
+)
+
+# ---------------------------------------------------------------------------
+# Data-only attack vehicle (Section III-B): overflowing ``name``
+# reaches the adjacent ``is_admin`` flag without touching the canary
+# or any code pointer.
+# ---------------------------------------------------------------------------
+
+DATA_ONLY_VICTIM = """
+static int account_balance = 31337;    // the admin-only datum
+
+void main() {
+    int is_admin = 0;
+    char name[16];
+    read(0, name, 64);                 // BUG: name holds only 16 bytes
+    if (is_admin) {
+        print_int(account_balance);    // administrative action
+    } else {
+        print_int(0);
+    }
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Arbitrary-write vehicle: ``arr[i] = v`` with attacker-controlled i
+# and v.  As Section III-A notes, this reaches the entire address
+# space (indexing wraps at the top of memory).
+# ---------------------------------------------------------------------------
+
+ARBITRARY_WRITE_VICTIM = """
+int read_int() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void check_credentials() {
+    // Patch target for the code-corruption attack: always prints 0
+    // unless its code is rewritten.
+    print_int(0);
+}
+
+void main() {
+    int arr[4];
+    int writes = read_int();
+    int i;
+    for (i = 0; i < writes; i = i + 1) {
+        int idx = read_int();
+        int val = read_int();
+        arr[idx] = val;                // BUG: idx is never checked
+    }
+    check_credentials();
+    exit(7);
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Code-pointer overwrite vehicle: a function pointer sits between the
+# buffer and the canary, so overwriting it evades canary checks.
+# ---------------------------------------------------------------------------
+
+FUNCPTR_VICTIM = """
+int apply_discount(int price) {
+    return price - 10;
+}
+
+// Same signature as apply_discount: the residual target typed CFI
+// cannot exclude (it only checks the function *type*).
+int waive_payment(int price) {
+    return 0;
+}
+
+void main() {
+    int (*handler)(int);
+    char coupon[16];
+    handler = &apply_discount;
+    read(0, coupon, 64);               // BUG: coupon holds only 16 bytes
+    print_int(handler(100));
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Information-leak vehicles (Section III-B / Heartbleed; also the
+# "memory secrecy" bypass of reference [5]).
+# ---------------------------------------------------------------------------
+
+#: Global over-read: echoes a request back with an attacker-chosen
+#: length, leaking the secret key that sits after the reply buffer.
+HEARTBLEED_VICTIM = """
+char reply[16];
+static char secret_key[16] = "KEY-19A7F3C055E";
+
+int read_int() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void main() {
+    int n = read_int();
+    read(0, reply, 16);
+    write(1, reply, n);                // BUG: n may exceed 16
+}
+"""
+
+#: Stack over-read + later overflow in the same frame: leaks the
+#: canary and a return address (defeating ASLR), then lets the
+#: attacker smash with the leaked values.  Runs request rounds until
+#: the input channel is exhausted.
+LEAK_THEN_SMASH_VICTIM = """
+int read_int() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void handle_request() {
+    char buf[16];
+    int fill = read_int();
+    int echo = read_int();
+    read(0, buf, fill);                // BUG if fill > 16
+    write(1, buf, echo);               // BUG if echo > 16 (leak)
+}
+
+void main() {
+    int rounds = read_int();
+    int i;
+    for (i = 0; i < rounds; i = i + 1) {
+        handle_request();
+    }
+}
+"""
+
+# ---------------------------------------------------------------------------
+# ROP exfiltration vehicle: a secret in static data plus a wide-open
+# stack overflow.  Under DEP the attacker cannot inject code, but a
+# chain of pre-existing gadgets can still ship the key out.
+# ---------------------------------------------------------------------------
+
+#: Pivot vehicle: the stack overflow is *tight* (just past the return
+#: address), but the attacker also controls a large global message
+#: store -- the paper's trampoline scenario: reset SP into the
+#: attacker-controlled region and return.
+ROP_PIVOT_VICTIM = """
+static char inbox[128];                // attacker-filled message store
+
+void store_message() {
+    read(0, inbox, 128);
+}
+
+void serve() {
+    char buf[16];
+    read(0, buf, 28);                  // BUG, but only 8 bytes past buf+bp
+}
+
+void main() {
+    store_message();
+    serve();
+}
+"""
+
+ROP_EXFIL_VICTIM = """
+static char master_key[16] = "MK-7F3A55E90C2";
+
+void serve() {
+    char buf[16];
+    read(0, buf, 512);                 // BUG: buf holds only 16 bytes
+    write(1, buf, 4);
+}
+
+void main() {
+    serve();
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Temporal vulnerability (use-after-return), Section III-A.
+# ---------------------------------------------------------------------------
+
+TEMPORAL_VICTIM = """
+int *make_counter() {
+    int counter = 41;
+    return &counter;                   // BUG: counter dies on return
+}
+
+int unrelated(int x) {
+    int local = x;                     // reuses the dead frame
+    return local + 1;
+}
+
+void main() {
+    int *p = make_counter();
+    unrelated(58);
+    print_int(*p);                     // reads whatever unrelated() left
+}
+"""
+
+#: The safe-language rewrite of the same program (what MinC-safe
+#: accepts): state lives in a global, no addresses escape.
+TEMPORAL_SAFE_REWRITE = """
+static int counter = 41;
+
+int unrelated(int x) {
+    int local = x;
+    return local + 1;
+}
+
+void main() {
+    unrelated(58);
+    print_int(counter);
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Figure 2: the secret module and a driver.
+# ---------------------------------------------------------------------------
+
+SECRET_MODULE_FIG2 = """
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+
+int get_secret(int provided_pin) {
+    if (tries_left > 0) {
+        if (PIN == provided_pin) {
+            tries_left = 3;
+            return secret;
+        } else { tries_left-- ; return 0; }
+    }
+    else return 0;
+}
+"""
+
+#: Driver for Figure 2: reads a guess count, then that many PIN
+#: guesses (4-byte little-endian each), printing get_secret's answer.
+SECRET_MAIN_FIG2 = """
+int get_secret(int pin);
+
+int read_int() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void main() {
+    int guesses = read_int();
+    int i;
+    for (i = 0; i < guesses; i = i + 1) {
+        print_int(get_secret(read_int()));
+    }
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Figure 4: the variant taking a get_pin() callback.
+# ---------------------------------------------------------------------------
+
+SECRET_MODULE_FIG4 = """
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+
+int get_secret(int (*get_pin)()) {
+    if (tries_left > 0) {
+        if (PIN == get_pin()) {
+            tries_left = 3;
+            return secret;
+        } else { tries_left-- ; return 0; }
+    }
+    else return 0;
+}
+"""
+
+#: Honest driver for Figure 4: supplies a PIN-from-stdin callback.
+SECRET_MAIN_FIG4 = """
+int get_secret(int (*get_pin)());
+
+int pin_from_stdin() {
+    int v = 0;
+    read(0, &v, 4);
+    return v;
+}
+
+void main() {
+    int rounds = pin_from_stdin();
+    int i;
+    for (i = 0; i < rounds; i = i + 1) {
+        print_int(get_secret(&pin_from_stdin));
+    }
+}
+"""
+
+# ---------------------------------------------------------------------------
+# Sealing / state continuity vehicle (Section IV-C): the secret module
+# persists tries_left through the (attacker-controlled) OS.
+# ---------------------------------------------------------------------------
+
+#: Protected module that seals its state between invocations.  The
+#: host passes blobs in and out; a rollback attacker replays old ones.
+STATEFUL_SECRET_MODULE = """
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+static char blob[128];
+
+// Restore state from a sealed blob (0 bytes = first boot).
+int secret_restore(char *stored, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { blob[i] = stored[i]; }
+    if (n == 0) { return 0; }
+    int out = 0;
+    int got = unseal(blob, n, &out, 4);
+    if (got == 0 - 1) { tries_left = 0; return 0 - 1; }  // forged blob: lock
+    tries_left = out;
+    return 0;
+}
+
+// Try a PIN; seal the new state into the caller's buffer.
+// Returns the secret (or 0); writes the sealed blob through out/out_len.
+int secret_try(int provided_pin, char *out) {
+    int result = 0;
+    if (tries_left > 0) {
+        if (PIN == provided_pin) {
+            tries_left = 3;
+            result = secret;
+        } else {
+            tries_left = tries_left - 1;
+        }
+    }
+    int n = seal(&tries_left, 4, out, 128);
+    return result * 1000 + n;                // pack result and blob size
+}
+"""
+
+#: The same module hardened with the hardware monotonic counter
+#: (Memoir-style state continuity, Section IV-C): sealed state carries
+#: the counter value and stale blobs are refused.  First boot is only
+#: accepted while the counter is still zero.
+STATEFUL_SECRET_MODULE_MONOTONIC = """
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+static char blob[128];
+
+int secret_restore(char *stored, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { blob[i] = stored[i]; }
+    if (n == 0) {
+        if (ctr_read() != 0) { tries_left = 0; return 0 - 3; }
+        return 0;                            // genuine first boot
+    }
+    int state[2];
+    state[0] = 0;
+    state[1] = 0;
+    int got = unseal(blob, n, state, 8);
+    if (got == 0 - 1) { tries_left = 0; return 0 - 1; }
+    if (state[1] != ctr_read()) { tries_left = 0; return 0 - 2; }  // stale!
+    tries_left = state[0];
+    return 0;
+}
+
+int secret_try(int provided_pin, char *out) {
+    int result = 0;
+    if (tries_left > 0) {
+        if (PIN == provided_pin) {
+            tries_left = 3;
+            result = secret;
+        } else {
+            tries_left = tries_left - 1;
+        }
+    }
+    int state[2];
+    state[0] = tries_left;
+    state[1] = ctr_incr();                   // freshness stamp
+    int n = seal(state, 8, out, 128);
+    return result * 1000 + n;
+}
+"""
+
+#: Ice-style state continuity [37] at module level: seal stamps the
+#: *next* counter value but does not bump it; the host persists the
+#: blob and then calls secret_commit(), which bumps the counter.
+#: Recovery accepts counter (committed) or counter+1 (persisted but
+#: uncommitted -- the crash window), completing the increment itself.
+#: Rollback-safe at every crash point, and never bricks.
+STATEFUL_SECRET_MODULE_ICE = """
+static int tries_left = 3;
+static int PIN = 1234;
+static int secret = 666;
+static char blob[128];
+
+int secret_restore(char *stored, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { blob[i] = stored[i]; }
+    if (n == 0) {
+        if (ctr_read() != 0) { tries_left = 0; return -3; }
+        return 0;                            // genuine first boot
+    }
+    int state[2];
+    state[0] = 0;
+    state[1] = 0;
+    int got = unseal(blob, n, state, 8);
+    if (got == -1) { tries_left = 0; return -1; }
+    int ctr = ctr_read();
+    if (state[1] == ctr + 1) {
+        ctr_incr();                          // complete the in-flight update
+        tries_left = state[0];
+        return 0;
+    }
+    if (state[1] == ctr) {
+        tries_left = state[0];
+        return 0;
+    }
+    tries_left = 0;                          // stale: rollback attempt
+    return -2;
+}
+
+int secret_try(int provided_pin, char *out) {
+    int result = 0;
+    if (tries_left > 0) {
+        if (PIN == provided_pin) {
+            tries_left = 3;
+            result = secret;
+        } else { tries_left--; }
+    }
+    int state[2];
+    state[0] = tries_left;
+    state[1] = ctr_read() + 1;               // stamp, but do NOT bump yet
+    int n = seal(state, 8, out, 128);
+    return result * 1000 + n;
+}
+
+int secret_commit() {
+    ctr_incr();                              // host persisted: commit
+    return 0;
+}
+"""
+
+# ---------------------------------------------------------------------------
+# The simulated libc, written in assembly.  Provides the classic
+# return-to-libc target plus the register-restore epilogues and the
+# stack-pivot trampoline that give ROP chains their gadgets.
+# ---------------------------------------------------------------------------
+
+LIBC_ASM = """
+; libc.s -- support routines linked into every victim program.
+.text
+
+.global libc_spawn_shell
+libc_spawn_shell:               ; the return-to-libc target (system())
+    sys 4
+    ret
+
+.global libc_exit
+libc_exit:                      ; exit(r0)
+    sys 3
+    ret
+
+.global libc_write
+libc_write:                     ; write(fd=r0, buf=r1, n=r2)
+    sys 2
+    ret
+
+.global libc_read
+libc_read:                      ; read(fd=r0, buf=r1, n=r2)
+    sys 1
+    ret
+
+.global libc_memcpy
+libc_memcpy:                    ; memcpy(dst=r0, src=r1, n=r2)
+    mov r3, 0
+.Lmemcpy_loop:
+    cmp r3, r2
+    jae .Lmemcpy_done
+    mov r4, r1
+    add r4, r3
+    loadb r5, [r4]
+    mov r4, r0
+    add r4, r3
+    storeb [r4], r5
+    add r3, 1
+    jmp .Lmemcpy_loop
+.Lmemcpy_done:
+    ret
+
+.global libc_strlen
+libc_strlen:                    ; strlen(s=r0) -> r0
+    mov r1, 0
+.Lstrlen_loop:
+    mov r2, r0
+    add r2, r1
+    loadb r3, [r2]
+    cmp r3, 0
+    jz .Lstrlen_done
+    add r1, 1
+    jmp .Lstrlen_loop
+.Lstrlen_done:
+    mov r0, r1
+    ret
+
+; Callee-saved register restore sequences: ordinary function epilogues
+; in real libraries, prime ROP gadget material here (Section III-B).
+.global libc_restore_r0
+libc_restore_r0:
+    pop r0
+    ret
+.global libc_restore_r1
+libc_restore_r1:
+    pop r1
+    ret
+.global libc_restore_r2
+libc_restore_r2:
+    pop r2
+    ret
+.global libc_restore_r3
+libc_restore_r3:
+    pop r3
+    ret
+
+; The "trampoline" of the paper's ROP description: (1) reset SP to an
+; attacker-controlled value, (2) return.
+.global libc_stack_pivot
+libc_stack_pivot:
+    pop sp
+    ret
+
+; Syscall stubs that end in ret: sys-then-return gadgets.
+.global libc_sys_write_gadget
+libc_sys_write_gadget:
+    sys 2
+    ret
+.global libc_sys_shell_gadget
+libc_sys_shell_gadget:
+    sys 4
+    ret
+"""
+
+#: All victim sources keyed by a short name (used by the analysis
+#: corpus and the experiment harnesses).
+VICTIMS = {
+    "fig1_safe": FIG1_SERVER_SAFE,
+    "fig1_vulnerable": FIG1_SERVER_VULNERABLE,
+    "fig1_wide_open": FIG1_SERVER_WIDE_OPEN,
+    "data_only": DATA_ONLY_VICTIM,
+    "arbitrary_write": ARBITRARY_WRITE_VICTIM,
+    "funcptr": FUNCPTR_VICTIM,
+    "heartbleed": HEARTBLEED_VICTIM,
+    "leak_then_smash": LEAK_THEN_SMASH_VICTIM,
+    "rop_exfil": ROP_EXFIL_VICTIM,
+    "rop_pivot": ROP_PIVOT_VICTIM,
+    "temporal": TEMPORAL_VICTIM,
+}

@@ -1,0 +1,60 @@
+"""Software Fault Isolation (Section IV-A's second mechanism)."""
+
+from repro.sfi.rewriter import (
+    DATA_BASE_SYMBOL,
+    EXIT_SYMBOL,
+    SANDBOX_MASK,
+    SFIRewriter,
+    TEXT_BASE_SYMBOL,
+    sfi_rewrite,
+)
+
+#: The trusted host-side springboard: saves the host stack pointer in
+#: a trusted cell, switches to the sandbox stack, and enters the
+#: sandbox at the requested address; ``__sfi_exit`` is the only way
+#: control returns (the rewriter routes every sandbox ``ret`` through
+#: it, and it restores the host context).
+SFI_RUNTIME_ASM = """
+; sfi_runtime.s -- trusted springboard for one SFI sandbox.
+.text
+.global sfi_invoke
+sfi_invoke:                 ; sfi_invoke(entry, arg) -> sandbox result
+    mov r6, __sfi_saved_sp
+    store [r6], sp          ; save host context in trusted memory
+    load r7, [sp+4]         ; entry address (chosen by the host)
+    load r0, [sp+8]         ; argument, passed to the sandbox in r0
+    mov r1, __sfi_stack_top
+    mov sp, r1              ; switch to the sandboxed stack
+    push r0                 ; argument, per the stack convention too
+    mov r1, __sfi_exit
+    push r1                 ; the entry's eventual ret exits here
+    jmp r7
+
+.global __sfi_exit
+__sfi_exit:                 ; every sandbox return funnels here
+    mov r6, __sfi_saved_sp
+    load sp, [r6]           ; back on the host stack (r0 = result)
+    ret
+
+.data
+__sfi_saved_sp: .word 0
+"""
+
+
+def sfi_runtime_object():
+    """Assemble a fresh trusted-runtime object (objects are mutable)."""
+    from repro.asm import assemble
+
+    return assemble(SFI_RUNTIME_ASM, "sfi_runtime")
+
+
+__all__ = [
+    "DATA_BASE_SYMBOL",
+    "EXIT_SYMBOL",
+    "SANDBOX_MASK",
+    "SFIRewriter",
+    "TEXT_BASE_SYMBOL",
+    "sfi_rewrite",
+    "SFI_RUNTIME_ASM",
+    "sfi_runtime_object",
+]

@@ -1,0 +1,205 @@
+"""Tests for the static analyzer and fuzzer."""
+
+import pytest
+
+from repro.analysis import (
+    CORPUS,
+    analyze_source,
+    compare_detection,
+    evaluate_on_corpus,
+    fuzz_campaign,
+)
+from repro.mitigations import NONE, TESTING
+
+
+class TestStaticAnalyzerRules:
+    def test_r1_constant_overflow(self):
+        findings = analyze_source("""
+void main() { char b[8]; read(0, b, 16); }
+""")
+        assert any(f.rule == "R1" for f in findings)
+        assert all(f.confidence == "definite" for f in findings)
+
+    def test_r1_exact_size_clean(self):
+        assert not analyze_source("void main() { char b[8]; read(0, b, 8); }")
+
+    def test_r2_variable_length_possible(self):
+        findings = analyze_source("""
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() { char b[8]; int n = read_int(); read(0, b, n); }
+""")
+        r2 = [f for f in findings if f.rule == "R2"]
+        assert r2 and r2[0].confidence == "possible"
+
+    def test_r3_unguarded_index(self):
+        findings = analyze_source("""
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() { int t[8]; int i = read_int(); t[i] = 1; }
+""")
+        assert any(f.rule == "R3" for f in findings)
+
+    def test_r3_guard_suppresses(self):
+        findings = analyze_source("""
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() { int t[8]; int i = read_int(); if (i < 8) { t[i] = 1; } }
+""")
+        assert not any(f.rule == "R3" for f in findings)
+
+    def test_r3_loop_condition_counts_as_guard(self):
+        findings = analyze_source("""
+void main() { int t[8]; int i; for (i = 0; i < 8; i = i + 1) { t[i] = 1; } }
+""")
+        assert not findings
+
+    def test_r3_wrong_bound_guard_still_flagged(self):
+        findings = analyze_source("""
+void main() { int t[8]; int i; for (i = 0; i <= 8; i = i + 1) { t[i] = 1; } }
+""")
+        assert any(f.rule == "R3" for f in findings)
+
+    def test_r3_guard_scope_ends(self):
+        findings = analyze_source("""
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() {
+    int t[8];
+    int i = read_int();
+    if (i < 8) { t[i] = 1; }
+    t[i] = 2;
+}
+""")
+        assert any(f.rule == "R3" for f in findings)
+
+    def test_r4_constant_oob(self):
+        findings = analyze_source("void main() { int t[4]; t[4] = 1; }")
+        assert any(f.rule == "R4" for f in findings)
+
+    def test_r4_constant_in_bounds(self):
+        assert not analyze_source("void main() { int t[4]; t[3] = 1; }")
+
+    def test_r5_escaping_local(self):
+        findings = analyze_source("""
+int *f() { int x = 1; return &x; }
+void main() { f(); }
+""")
+        assert any(f.rule == "R5" for f in findings)
+
+    def test_r5_global_ok(self):
+        assert not analyze_source("""
+static int cell;
+int *f() { return &cell; }
+void main() { f(); }
+""")
+
+    def test_findings_carry_lines(self):
+        findings = analyze_source("void main() {\n char b[8];\n read(0, b, 16);\n}")
+        assert findings[0].line == 3
+
+    ALIASED = """
+void fill(char *p, int n) {{
+    int i;
+    for (i = 0; i < n; i = i + 1) {{ p[i] = 'x'; }}
+}}
+void main() {{
+    char buf[8];
+    fill(buf, {length});
+    write(1, buf, 8);
+}}
+"""
+
+    def test_r6_catches_aliased_overflow(self):
+        findings = analyze_source(self.ALIASED.format(length=32),
+                                  interprocedural=True)
+        assert any(f.rule == "R6" for f in findings)
+
+    def test_r6_not_without_interprocedural(self):
+        assert not analyze_source(self.ALIASED.format(length=32))
+
+    def test_r6_in_bounds_clean(self):
+        assert not analyze_source(self.ALIASED.format(length=8),
+                                  interprocedural=True)
+
+    def test_r6_constant_bound_in_callee(self):
+        source = """
+void fill(char *p) {
+    int i;
+    for (i = 0; i < 32; i = i + 1) { p[i] = 'x'; }
+}
+void main() {
+    char buf[8];
+    fill(buf);
+}
+"""
+        findings = analyze_source(source, interprocedural=True)
+        assert any(f.rule == "R6" for f in findings)
+
+    def test_r6_nonconstant_caller_arg_stays_silent(self):
+        source = """
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void fill(char *p, int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { p[i] = 'x'; }
+}
+void main() {
+    char buf[8];
+    fill(buf, read_int());
+}
+"""
+        findings = analyze_source(source, interprocedural=True)
+        assert not any(f.rule == "R6" for f in findings)
+
+
+class TestCorpusEvaluation:
+    def test_every_entry_behaves_as_labelled(self):
+        evaluation = evaluate_on_corpus()
+        for row in evaluation["rows"]:
+            expected = row["expected"]
+            if expected == "hit":
+                assert row["vulnerable"] and row["flagged_any"], row["name"]
+            elif expected == "clean":
+                assert not row["vulnerable"] and not row["flagged_any"], row["name"]
+            elif expected == "false-positive":
+                assert not row["vulnerable"] and row["flagged_any"], row["name"]
+            elif expected == "miss":
+                assert row["vulnerable"] and not row["flagged_any"], row["name"]
+
+    def test_tradeoff_shape(self):
+        """All-findings: FPs exist; definite-only: perfect precision,
+        reduced recall -- the Section III-C2 tradeoff."""
+        evaluation = evaluate_on_corpus()
+        assert evaluation["all_findings"]["fp"] >= 1
+        assert evaluation["all_findings"]["fn"] >= 1
+        assert evaluation["definite_only"]["precision"] == 1.0
+        assert (evaluation["definite_only"]["recall"]
+                < evaluation["all_findings"]["recall"])
+
+    def test_corpus_compiles_and_runs(self):
+        """Every corpus program must at least build (unsafe mode)."""
+        from repro.minic import compile_source
+
+        for entry in CORPUS:
+            compile_source(entry.source, entry.name)
+
+
+class TestFuzzer:
+    def test_plain_misses_silent_corruption(self):
+        report = fuzz_campaign("data_only", NONE, runs=80, seed=5)
+        assert report.silent_class > 0
+        assert report.detected_silent == 0
+
+    def test_asan_catches_silent_corruption(self):
+        report = fuzz_campaign("data_only", TESTING, runs=80, seed=5)
+        assert report.silent_class > 0
+        assert report.detected_silent == report.silent_class
+        assert "RedZoneFault" in report.faults
+
+    def test_comparison_shape(self):
+        comparison = compare_detection(runs=60, seed=9)
+        assert comparison["asan_rate"] >= comparison["plain_rate"]
+        assert comparison["asan_silent_rate"] == 1.0
+        assert comparison["plain_silent_rate"] == 0.0
+
+    def test_deterministic_by_seed(self):
+        first = fuzz_campaign("data_only", NONE, runs=30, seed=3)
+        second = fuzz_campaign("data_only", NONE, runs=30, seed=3)
+        assert first.detected == second.detected
+        assert first.triggering == second.triggering

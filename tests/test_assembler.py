@@ -1,0 +1,199 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import AssemblerError
+from repro.isa import decode, decode_all
+from repro.link.objfile import DATA, TEXT
+
+
+class TestLabels:
+    def test_label_and_reference(self):
+        obj = assemble("""
+.text
+start:
+    jmp start
+""")
+        assert obj.symbols["start"].offset == 0
+        assert obj.text.relocations[0].symbol == "start"
+
+    def test_label_same_line_as_instruction(self):
+        obj = assemble(".text\nentry: nop\n")
+        assert obj.symbols["entry"].offset == 0
+        assert obj.text.size == 1
+
+    def test_multiple_labels_same_address(self):
+        obj = assemble(".text\na:\nb: nop\n")
+        assert obj.symbols["a"].offset == obj.symbols["b"].offset == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble(".text\nx: nop\nx: nop\n")
+
+    def test_text_labels_are_func_kind(self):
+        obj = assemble(".text\nfn: nop\n.LX: nop\n.data\nvar: .word 1\n")
+        assert obj.symbols["fn"].kind == "func"
+        assert obj.symbols[".LX"].kind == "label"  # CFI-excluded
+        assert obj.symbols["var"].kind == "object"
+
+
+class TestDirectives:
+    def test_byte_word_ascii_space(self):
+        obj = assemble("""
+.data
+bytes: .byte 1, 2, 0xff
+word:  .word 0x11223344, -1
+msg:   .ascii "hi"
+msgz:  .asciiz "ok"
+gap:   .space 4, 0xaa
+""")
+        data = bytes(obj.data.data)
+        assert data[0:3] == bytes([1, 2, 0xFF])
+        assert data[3:7] == bytes([0x44, 0x33, 0x22, 0x11])
+        assert data[7:11] == bytes([0xFF] * 4)
+        assert data[11:13] == b"hi"
+        assert data[13:16] == b"ok\x00"
+        assert data[16:20] == b"\xaa" * 4
+
+    def test_word_with_symbol_emits_relocation(self):
+        obj = assemble("""
+.text
+fn: ret
+.data
+table: .word fn, fn+4
+""")
+        relocs = obj.data.relocations
+        assert len(relocs) == 2
+        assert relocs[0].symbol == "fn" and relocs[0].addend == 0
+        assert relocs[1].symbol == "fn" and relocs[1].addend == 4
+
+    def test_align(self):
+        obj = assemble(".data\n.byte 1\n.align 4\nx: .word 2\n")
+        assert obj.symbols["x"].offset == 4
+
+    def test_string_escapes(self):
+        obj = assemble(r'.data' + '\n' + r's: .ascii "a\n\t\0\x41\\"')
+        assert bytes(obj.data.data) == b"a\n\t\x00A\\"
+
+    def test_global_and_entry_markers(self):
+        obj = assemble("""
+.text
+.global fn
+.entry ep
+fn: ret
+ep: ret
+""")
+        assert obj.symbols["fn"].is_global
+        assert obj.symbols["ep"].is_global
+        assert obj.entry_points == ["ep"]
+        assert obj.protected  # .entry implies protection
+
+    def test_kernel_marker(self):
+        obj = assemble(".text\nmain: ret\n.kernel\n")
+        assert obj.kernel
+
+    def test_global_undefined_rejected(self):
+        with pytest.raises(AssemblerError, match="undefined"):
+            assemble(".text\n.global nothing\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown directive"):
+            assemble(".frobnicate 3\n")
+
+
+class TestInstructions:
+    def test_every_operand_form_roundtrips(self):
+        source = """
+.text
+all:
+    nop
+    halt
+    mov r0, r1
+    mov r2, 0x1234
+    mov r3, -1
+    load r0, [bp-0x10]
+    store [sp+4], r1
+    loadb r2, [r3]
+    storeb [r4], r5
+    push bp
+    pop sp
+    add r0, r1
+    add r0, 4
+    sub r1, r2
+    sub r1, 8
+    mul r0, r1
+    div r0, r1
+    mod r0, r1
+    and r0, r1
+    or r0, r1
+    xor r0, r1
+    not r0
+    shl r0, 2
+    shr r0, 31
+    cmp r0, r1
+    cmp r0, 0
+    jmp all
+    jmp r0
+    jz all
+    jnz all
+    jl all
+    jg all
+    jle all
+    jge all
+    jb all
+    jae all
+    call all
+    call r1
+    ret
+    sys 3
+    lea r0, [bp+8]
+    chk r0, 16
+"""
+        obj = assemble(source)
+        # The whole blob must decode cleanly end to end.
+        decoded = decode_all(bytes(obj.text.data))
+        assert decoded[0][1].mnemonic == "nop"
+        assert decoded[-1][1].mnemonic == "chk"
+
+    def test_char_immediate(self):
+        obj = assemble(".text\nmov r0, 'A'\n")
+        insn, _ = decode(bytes(obj.text.data))
+        assert insn.operands[1] == 0x41
+
+    def test_symbol_in_mov_and_cmp(self):
+        obj = assemble("""
+.text
+fn: mov r0, target
+    cmp r0, target
+target: ret
+""")
+        assert len(obj.text.relocations) == 2
+        # Reloc offsets point at the imm32 within each instruction.
+        assert obj.text.relocations[0].offset == 2
+        assert obj.text.relocations[1].offset == 8
+
+    def test_instructions_outside_text_rejected(self):
+        with pytest.raises(AssemblerError, match="must be in .text"):
+            assemble(".data\nnop\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble(".text\nfoo r0\n")
+
+    def test_bad_operands_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\nmov 5, r0\n")
+        with pytest.raises(AssemblerError):
+            assemble(".text\npush 5\n")
+        with pytest.raises(AssemblerError):
+            assemble(".text\nstore r0, [r1]\n")  # wrong operand order
+
+    def test_comments_ignored(self):
+        obj = assemble(".text\nnop ; trailing comment\n; full line\n")
+        assert obj.text.size == 1
+
+    def test_negative_displacement(self):
+        obj = assemble(".text\nload r0, [bp-0x18]\n")
+        insn, _ = decode(bytes(obj.text.data))
+        assert insn.operands[1].disp == -0x18

@@ -1,0 +1,155 @@
+"""Tests for the I/O-attacker suite against selected postures.
+
+The full sweep lives in the E4 benchmark; here each attack is pinned
+against the postures where the paper's narrative makes a specific
+prediction.
+"""
+
+import pytest
+
+from repro.attacks import io_attacks
+from repro.attacks.base import Outcome
+from repro.mitigations import (
+    ASLR,
+    CANARY,
+    DEP,
+    DEPLOYED,
+    HARDENED,
+    NONE,
+)
+
+
+class TestStackSmashInjection:
+    def test_succeeds_unmitigated(self):
+        assert io_attacks.attack_stack_smash_injection(NONE).succeeded
+
+    def test_canary_detects(self):
+        result = io_attacks.attack_stack_smash_injection(CANARY)
+        assert result.outcome is Outcome.DETECTED
+
+    def test_dep_blocks_injected_code(self):
+        result = io_attacks.attack_stack_smash_injection(DEP)
+        assert result.outcome is Outcome.DETECTED
+
+    def test_aslr_derails(self):
+        result = io_attacks.attack_stack_smash_injection(ASLR, seed=11)
+        assert not result.succeeded
+
+
+class TestCodeReuse:
+    def test_ret2libc_defeats_dep(self):
+        assert io_attacks.attack_ret2libc(DEP).succeeded
+
+    def test_rop_defeats_dep(self):
+        assert io_attacks.attack_rop_shell(DEP).succeeded
+
+    def test_rop_exfiltration_defeats_dep(self):
+        result = io_attacks.attack_rop_exfiltrate(DEP)
+        assert result.succeeded
+        assert b"MK-7F3A55E90C2" in result.evidence["leak"]
+
+    def test_rop_pivot_defeats_dep_with_tight_overflow(self):
+        """The paper's trampoline: SP is reset into attacker-controlled
+        data, so the chain does not need to fit in the overflow."""
+        result = io_attacks.attack_rop_pivot(DEP)
+        assert result.succeeded
+
+    def test_rop_pivot_blocked_by_canary(self):
+        from repro.attacks.base import Outcome
+
+        assert io_attacks.attack_rop_pivot(CANARY).outcome is Outcome.DETECTED
+
+    def test_rop_pivot_blocked_by_shadow_stack(self):
+        from repro.attacks.base import Outcome
+        from repro.mitigations import MitigationConfig
+
+        result = io_attacks.attack_rop_pivot(MitigationConfig(shadow_stack=True))
+        assert result.outcome is Outcome.DETECTED
+
+    def test_canary_blocks_both(self):
+        assert not io_attacks.attack_ret2libc(CANARY).succeeded
+        assert not io_attacks.attack_rop_shell(CANARY).succeeded
+
+    def test_aslr_blocks_blind_reuse(self):
+        assert not io_attacks.attack_ret2libc(ASLR, seed=13).succeeded
+
+
+class TestCodePointerOverwrite:
+    def test_funcptr_to_libc_evades_canary_and_dep(self):
+        from repro.mitigations import CANARY_DEP
+
+        assert io_attacks.attack_funcptr_to_libc(CANARY_DEP).succeeded
+
+    def test_funcptr_to_injected_blocked_by_dep(self):
+        result = io_attacks.attack_funcptr_to_injected(DEP)
+        assert result.outcome is Outcome.DETECTED
+
+    def test_funcptr_to_injected_works_without_dep(self):
+        assert io_attacks.attack_funcptr_to_injected(NONE).succeeded
+
+    def test_cfi_blocks_non_function_target(self):
+        from repro.mitigations import MitigationConfig
+
+        result = io_attacks.attack_funcptr_to_injected(
+            MitigationConfig(cfi=True))
+        assert result.outcome is Outcome.DETECTED
+
+    def test_coarse_cfi_misses_function_entry_target(self):
+        """The known limitation: a hijack aimed at a *legitimate
+        function entry* passes coarse CFI."""
+        from repro.mitigations import MitigationConfig
+
+        result = io_attacks.attack_funcptr_to_libc(MitigationConfig(cfi=True))
+        assert result.succeeded
+
+
+class TestCodeCorruption:
+    def test_succeeds_unmitigated(self):
+        assert io_attacks.attack_code_corruption(NONE).succeeded
+
+    def test_dep_blocks_text_write(self):
+        result = io_attacks.attack_code_corruption(DEP)
+        assert result.outcome is Outcome.DETECTED
+
+
+class TestDataOnly:
+    @pytest.mark.parametrize("config", [NONE, CANARY, DEP, DEPLOYED, HARDENED],
+                             ids=lambda c: c.describe())
+    def test_survives_every_posture(self, config):
+        assert io_attacks.attack_data_only(config).succeeded
+
+
+class TestInfoLeak:
+    @pytest.mark.parametrize("config", [NONE, CANARY, DEP, DEPLOYED, HARDENED],
+                             ids=lambda c: c.describe())
+    def test_heartbleed_survives_every_posture(self, config):
+        result = io_attacks.attack_heartbleed(config)
+        assert result.succeeded
+        assert b"KEY-19A7F3C055E" in result.evidence["leak"]
+
+    def test_leak_then_smash_beats_deployed_triple(self):
+        """[5]: canary + DEP + ASLR together fall to a leak."""
+        result = io_attacks.attack_leak_then_smash(DEPLOYED, seed=21)
+        assert result.succeeded
+
+    def test_leak_then_smash_blocked_by_shadow_stack(self):
+        result = io_attacks.attack_leak_then_smash(HARDENED, seed=21)
+        assert result.outcome is Outcome.DETECTED
+
+    def test_leak_reveals_actual_canary(self):
+        """The leaked word really is the loaded canary value."""
+        from repro.attacks.payloads import p32, u32
+        from repro.attacks.study import locate_overflow
+        from repro.programs import build_victim
+
+        study = build_victim("leak_then_smash", CANARY)
+        site = locate_overflow(study, read_occurrence=4,
+                               feed=p32(1) + p32(16) + p32(28) + b"y" * 16)
+        offset = site.offset_to_return
+
+        victim = build_victim("leak_then_smash", CANARY, seed=33)
+        true_canary = victim.machine.memory.read_word(victim.image.canary_cell)
+        victim.feed(p32(1) + p32(0) + p32(offset + 4))
+        result = victim.run()
+        leaked = result.output[-(offset + 4):]
+        assert u32(leaked, offset - 8) == true_canary

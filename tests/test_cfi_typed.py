@@ -1,0 +1,162 @@
+"""Tests for typed (fine-grained) CFI: the land instruction, machine
+enforcement, compiler pads, and the precision ladder."""
+
+import pytest
+
+from repro.errors import CFIFault
+from repro.isa import build, decode, encode
+from repro.machine import Machine, MachineConfig, RunStatus
+from repro.minic import CompileOptions, compile_to_asm
+from repro.minic.codegen import type_tag
+from repro.minic.types import CHAR, FuncType, INT, PointerType
+from repro.mitigations import MitigationConfig
+from tests.conftest import run_c
+
+TYPED = MitigationConfig(cfi_typed=True)
+
+
+class TestLandInstruction:
+    def test_encode_decode(self):
+        insn = build.land(42)
+        decoded, length = decode(encode(insn))
+        assert decoded == insn and length == 2
+
+    def test_executes_as_nop(self, bare_machine):
+        from repro.isa import encode_many
+
+        bare_machine.memory.write_bytes(
+            0x1000, encode_many([build.land(7), build.halt()]))
+        result = bare_machine.run()
+        assert result.status is RunStatus.HALTED
+
+    def test_assembler_accepts(self):
+        from repro.asm import assemble
+
+        obj = assemble(".text\nfn: land 9\nret\n")
+        assert bytes(obj.text.data)[0] == 0x29
+        assert bytes(obj.text.data)[1] == 9
+
+
+class TestTypeTags:
+    def test_stable(self):
+        ft = FuncType(INT, (INT,))
+        assert type_tag(ft) == type_tag(FuncType(INT, (INT,)))
+
+    def test_distinguishes_signatures(self):
+        assert type_tag(FuncType(INT, (INT,))) != type_tag(FuncType(INT, ()))
+        assert type_tag(FuncType(INT, (INT,))) != type_tag(
+            FuncType(INT, (PointerType(CHAR),)))
+
+    def test_range(self):
+        for ft in (FuncType(INT, ()), FuncType(INT, (INT, INT))):
+            assert 1 <= type_tag(ft) <= 255
+
+
+class TestMachineEnforcement:
+    def _machine(self):
+        machine = Machine(MachineConfig(cfi=True, cfi_mode="typed"))
+        machine.memory.map_region(0x1000, 0x1000, 7)
+        machine.cpu.sp = 0x1F00
+        return machine
+
+    def test_matching_pad_allowed(self):
+        from repro.isa import encode_many
+        from repro.isa.registers import R1, R7
+
+        machine = self._machine()
+        machine.memory.write_bytes(0x1100, encode_many([
+            build.land(33), build.halt(),
+        ]))
+        machine.memory.write_bytes(0x1000, encode_many([
+            build.mov_ri(R7, 33), build.mov_ri(R1, 0x1100), build.call_reg(R1),
+        ]))
+        machine.cpu.ip = 0x1000
+        assert machine.run().status is RunStatus.HALTED
+
+    def test_wrong_tag_faults(self):
+        from repro.isa import encode_many
+        from repro.isa.registers import R1, R7
+
+        machine = self._machine()
+        machine.memory.write_bytes(0x1100, encode_many([
+            build.land(33), build.halt(),
+        ]))
+        machine.memory.write_bytes(0x1000, encode_many([
+            build.mov_ri(R7, 34), build.mov_ri(R1, 0x1100), build.call_reg(R1),
+        ]))
+        machine.cpu.ip = 0x1000
+        result = machine.run()
+        assert isinstance(result.fault, CFIFault)
+        assert "tag" in str(result.fault)
+
+    def test_missing_pad_faults(self):
+        from repro.isa import encode_many
+        from repro.isa.registers import R1, R7
+
+        machine = self._machine()
+        machine.memory.write_bytes(0x1100, encode_many([build.halt()]))
+        machine.memory.write_bytes(0x1000, encode_many([
+            build.mov_ri(R7, 33), build.mov_ri(R1, 0x1100), build.call_reg(R1),
+        ]))
+        machine.cpu.ip = 0x1000
+        result = machine.run()
+        assert isinstance(result.fault, CFIFault)
+        assert "no landing pad" in str(result.fault)
+
+    def test_unmapped_target_is_cfi_fault(self):
+        from repro.isa import encode_many
+        from repro.isa.registers import R1
+
+        machine = self._machine()
+        machine.memory.write_bytes(0x1000, encode_many([
+            build.mov_ri(R1, 0x70000000), build.call_reg(R1),
+        ]))
+        machine.cpu.ip = 0x1000
+        assert isinstance(machine.run().fault, CFIFault)
+
+
+class TestCompilerIntegration:
+    def test_pads_emitted(self):
+        asm = compile_to_asm("int f(int x) { return x; }", "m",
+                             CompileOptions(cfi_landing_pads=True))
+        assert "land" in asm
+
+    def test_callsite_tag_emitted(self):
+        asm = compile_to_asm("""
+int f(int x) { return x; }
+void main() { int (*p)(int); p = &f; p(1); }
+""", "m", CompileOptions(cfi_landing_pads=True))
+        expected = type_tag(FuncType(INT, (INT,)))
+        assert f"mov r7, {expected}" in asm
+
+    def test_legitimate_indirect_calls_work(self):
+        result = run_c("""
+int dbl(int x) { return 2 * x; }
+int apply(int (*f)(int), int x) { return f(x); }
+void main() { print_int(apply(&dbl, 7)); }
+""", config=TYPED)
+        assert result.status is RunStatus.EXITED
+        assert result.output == b"14\n"
+
+    def test_direct_calls_unaffected(self):
+        result = run_c("""
+int f() { return 5; }
+void main() { print_int(f()); }
+""", config=TYPED)
+        assert result.output == b"5\n"
+
+
+class TestPrecisionLadder:
+    def test_ladder_shape(self):
+        from repro.experiments.cfi_exp import cfi_table
+
+        rows = {row["attack"]: row for row in cfi_table()}
+        inject = rows["hijack -> injected bytes"]
+        wrong_type = rows["hijack -> libc function (wrong type)"]
+        same_type = rows["hijack -> same-type function"]
+        # Monotone precision: each level blocks strictly more.
+        assert inject["no cfi"] == "success"
+        assert inject["coarse cfi"] == "detected"
+        assert wrong_type["coarse cfi"] == "success"     # the coarse gap
+        assert wrong_type["typed cfi"] == "detected"
+        assert same_type["typed cfi"] == "success"       # the typed residue

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+HELLO = """
+void main() {
+    char buf[8];
+    int n = read(0, buf, 8);
+    write(1, buf, n);
+}
+"""
+
+VULNERABLE = """
+void main() {
+    char buf[16];
+    read(0, buf, 64);
+}
+"""
+
+
+@pytest.fixture
+def hello_file(tmp_path):
+    path = tmp_path / "hello.c"
+    path.write_text(HELLO)
+    return str(path)
+
+
+@pytest.fixture
+def vulnerable_file(tmp_path):
+    path = tmp_path / "vuln.c"
+    path.write_text(VULNERABLE)
+    return str(path)
+
+
+class TestRun:
+    def test_run_echo(self, hello_file, capsys):
+        code = main(["run", hello_file, "--stdin", "ping"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "ping" in captured.out
+        assert "exited" in captured.err
+
+    def test_run_hex_input(self, hello_file, capsys):
+        main(["run", hello_file, "--stdin-hex", "41424344"])
+        assert "ABCD" in capsys.readouterr().out
+
+    def test_run_crash_reports_fault(self, vulnerable_file, capsys):
+        code = main(["run", vulnerable_file, "--stdin", "A" * 40])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "fault" in captured.err
+
+    def test_run_with_canary_detects(self, vulnerable_file, capsys):
+        main(["run", vulnerable_file, "--mitigations", "canary",
+              "--stdin", "A" * 40])
+        assert "canary" in capsys.readouterr().err.lower()
+
+    def test_run_optimized(self, hello_file, capsys):
+        code = main(["run", hello_file, "--stdin", "x", "--optimize"])
+        assert code == 0
+
+
+class TestListings:
+    def test_asm_output(self, hello_file, capsys):
+        assert main(["asm", hello_file]) == 0
+        out = capsys.readouterr().out
+        assert "push bp" in out and ".text" in out
+
+    def test_asm_with_mitigations(self, hello_file, capsys):
+        main(["asm", hello_file, "--mitigations", "canary"])
+        assert "__canary" in capsys.readouterr().out
+
+    def test_disasm_output(self, hello_file, capsys):
+        assert main(["disasm", hello_file]) == 0
+        out = capsys.readouterr().out
+        assert "0x00000000" in out and "push bp" in out
+
+
+class TestDebug:
+    def test_debug_breakpoint_report(self, hello_file, capsys):
+        code = main(["debug", hello_file, "-b", "main", "--stdin", "x"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "breakpoint" in out
+        assert "backtrace:" in out
+        assert "registers:" in out
+
+
+class TestParser:
+    def test_unknown_posture_rejected(self, hello_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", hello_file,
+                                       "--mitigations", "bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

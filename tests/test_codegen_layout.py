@@ -1,0 +1,152 @@
+"""Structural tests for the code generator's frame layout and calling
+convention -- the exact geometry Figure 1 (and every attack) relies on."""
+
+import pytest
+
+from repro.attacks.study import locate_overflow, run_until_syscall
+from repro.isa.registers import BP, SP
+from repro.machine import syscalls
+from repro.minic import CompileOptions, compile_to_asm
+from tests.conftest import c_program
+
+
+def stop_at_read(source: str, stdin: bytes = b"", options=None, config=None):
+    from repro.mitigations import NONE
+
+    program = c_program(source, config or NONE, options)
+    program.feed(stdin or b"\x00" * 64)
+    machine = run_until_syscall(program, syscalls.SYS_READ)
+    return program, machine
+
+
+class TestFrameGeometry:
+    def test_locals_in_declaration_order_below_bp(self):
+        """First-declared local sits nearest BP; arrays below scalars
+        declared before them (the data-only attack's prerequisite)."""
+        source = """
+void main() {
+    int first = 0;
+    char buf[16];
+    read(0, buf, 16);
+    print_int(first);
+}
+"""
+        program, machine = stop_at_read(source)
+        bp = machine.cpu.regs[BP]
+        buf_addr = machine.cpu.regs[1]
+        assert bp - 4 - 16 == buf_addr  # first at bp-4, buf below it
+
+    def test_canary_shifts_locals_down_one_word(self):
+        source = """
+void main() {
+    char buf[16];
+    read(0, buf, 16);
+}
+"""
+        plain_program, plain_machine = stop_at_read(source)
+        plain_offset = plain_machine.cpu.regs[BP] - plain_machine.cpu.regs[1]
+
+        canary_options = CompileOptions(stack_canaries=True)
+        from repro.mitigations import CANARY
+
+        canary_program, canary_machine = stop_at_read(
+            source, options=canary_options, config=CANARY)
+        canary_offset = canary_machine.cpu.regs[BP] - canary_machine.cpu.regs[1]
+        assert canary_offset == plain_offset + 4
+
+    def test_canary_slot_holds_loaded_value(self):
+        from repro.mitigations import CANARY
+
+        source = """
+void main() {
+    char buf[16];
+    read(0, buf, 16);
+}
+"""
+        program, machine = stop_at_read(
+            source, options=CompileOptions(stack_canaries=True), config=CANARY)
+        bp = machine.cpu.regs[BP]
+        slot = machine.memory.read_word(bp - 4)
+        cell = machine.memory.read_word(program.image.canary_cell)
+        assert slot == cell != 0
+
+    def test_args_at_bp_plus_8_and_up(self):
+        source = """
+void callee(int a, int b, int c) {
+    char sink[4];
+    read(0, sink, a + b + c - 60);   // forces all three to be loaded
+}
+void main() { callee(10, 20, 30); }
+"""
+        program, machine = stop_at_read(source)
+        bp = machine.cpu.regs[BP]
+        assert machine.memory.read_word(bp + 8) == 10
+        assert machine.memory.read_word(bp + 12) == 20
+        assert machine.memory.read_word(bp + 16) == 30
+
+    def test_return_address_above_saved_bp(self):
+        source = """
+void inner() {
+    char buf[4];
+    read(0, buf, 4);
+}
+void main() { inner(); }
+"""
+        program, machine = stop_at_read(source)
+        bp = machine.cpu.regs[BP]
+        saved_bp = machine.memory.read_word(bp)
+        return_addr = machine.memory.read_word(bp + 4)
+        text = program.image.segment_named("text")
+        stack_lo, stack_hi = program.image.stack_range
+        assert stack_lo <= saved_bp < stack_hi
+        assert text.addr <= return_addr < text.end
+
+    def test_asan_redzones_surround_arrays(self):
+        from repro.mitigations import TESTING
+
+        source = """
+void main() {
+    char buf[16];
+    read(0, buf, 16);
+}
+"""
+        program, machine = stop_at_read(
+            source, options=CompileOptions(asan=True), config=TESTING)
+        buf_addr = machine.cpu.regs[1]
+        assert (buf_addr - 1) & 0xFFFFFFFF in machine._redzones  # below
+        assert (buf_addr + 16) & 0xFFFFFFFF in machine._redzones  # above
+        assert buf_addr not in machine._redzones  # payload clean
+
+
+class TestCallingConvention:
+    def test_args_pushed_right_to_left(self):
+        asm = compile_to_asm("""
+int f(int a, int b) { return a; }
+void main() { f(1, 2); }
+""", "m")
+        # In main's body, the constant 2 (second arg) is pushed first.
+        body = asm[asm.index("main:"):]
+        first_push = body.index("mov r0, 2")
+        second_push = body.index("mov r0, 1")
+        assert first_push < second_push
+
+    def test_caller_cleans_arguments(self):
+        asm = compile_to_asm("""
+int f(int a, int b, int c) { return a; }
+void main() { f(1, 2, 3); }
+""", "m")
+        assert "add sp, 12" in asm
+
+    def test_return_value_in_r0(self):
+        from tests.conftest import run_c
+
+        result = run_c("int main() { return 99; }")
+        assert result.exit_code == 99
+
+    def test_prologue_epilogue_shape(self):
+        asm = compile_to_asm("void f() { int x; x = 1; }", "m")
+        body = asm[asm.index("f:"):]
+        assert body.index("push bp") < body.index("mov bp, sp")
+        # ".Lret_f" also contains "ret": anchor the instruction itself.
+        assert (body.index("mov sp, bp") < body.index("pop bp")
+                < body.index("\n    ret"))

@@ -1,0 +1,208 @@
+"""Instruction-semantics tests: each opcode against a bare machine."""
+
+import pytest
+
+from repro.errors import BoundsFault, DivisionFault, InvalidInstructionFault
+from repro.isa import BP, Mem, R0, R1, R2, SP, build, encode_many, to_unsigned
+from repro.machine import Machine, MachineConfig, RunStatus
+
+
+def execute(machine: Machine, instructions, steps=None):
+    """Write instructions at 0x1000 and step through them."""
+    machine.memory.write_bytes(0x1000, encode_many(instructions))
+    machine.cpu.ip = 0x1000
+    for _ in range(steps if steps is not None else len(instructions)):
+        machine.step()
+    return machine
+
+
+class TestDataMovement:
+    def test_mov_ri_rr(self, bare_machine):
+        execute(bare_machine, [build.mov_ri(R0, 123), build.mov_rr(R1, R0)])
+        assert bare_machine.cpu.regs[R1] == 123
+
+    def test_load_store_word(self, bare_machine):
+        bare_machine.cpu.regs[R2] = 0x00200000
+        execute(bare_machine, [
+            build.mov_ri(R0, 0xCAFEBABE),
+            build.store(R0, Mem(R2, 8)),
+            build.load(R1, Mem(R2, 8)),
+        ])
+        assert bare_machine.cpu.regs[R1] == 0xCAFEBABE
+
+    def test_loadb_zero_extends(self, bare_machine):
+        bare_machine.cpu.regs[R2] = 0x00200000
+        bare_machine.memory.write_word(0x00200000, 0xFFFFFFEE)
+        execute(bare_machine, [build.loadb(R0, Mem(R2, 0))])
+        assert bare_machine.cpu.regs[R0] == 0xEE
+
+    def test_storeb_writes_one_byte(self, bare_machine):
+        bare_machine.cpu.regs[R2] = 0x00200000
+        bare_machine.memory.write_word(0x00200000, 0x11111111)
+        bare_machine.cpu.regs[R0] = 0xABCD
+        execute(bare_machine, [build.storeb(R0, Mem(R2, 0))])
+        assert bare_machine.memory.read_word(0x00200000) == 0x111111CD
+
+    def test_lea_computes_without_access(self, bare_machine):
+        bare_machine.cpu.regs[BP] = 0xBFFF0000  # unmapped: lea must not touch it
+        execute(bare_machine, [build.lea(R0, Mem(BP, -0x10))])
+        assert bare_machine.cpu.regs[R0] == 0xBFFEFFF0
+
+    def test_push_pop(self, bare_machine):
+        sp0 = bare_machine.cpu.sp
+        execute(bare_machine, [
+            build.mov_ri(R0, 77), build.push(R0), build.pop(R1),
+        ])
+        assert bare_machine.cpu.regs[R1] == 77
+        assert bare_machine.cpu.sp == sp0
+
+    def test_stack_grows_down(self, bare_machine):
+        sp0 = bare_machine.cpu.sp
+        execute(bare_machine, [build.push(R0)])
+        assert bare_machine.cpu.sp == sp0 - 4
+
+    def test_pop_sp_pivots_the_stack(self, bare_machine):
+        """POP SP is encodable and works: the ROP trampoline primitive."""
+        bare_machine.memory.write_word(bare_machine.cpu.sp - 4, 0x00205000)
+        bare_machine.cpu.sp -= 4
+        execute(bare_machine, [build.pop(SP)])
+        assert bare_machine.cpu.sp == 0x00205000
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("builder,a,b,expected", [
+        (build.add_rr, 2, 3, 5),
+        (build.sub_rr, 2, 3, to_unsigned(-1)),
+        (build.mul_rr, 7, 6, 42),
+        (build.and_rr, 0b1100, 0b1010, 0b1000),
+        (build.or_rr, 0b1100, 0b1010, 0b1110),
+        (build.xor_rr, 0b1100, 0b1010, 0b0110),
+    ])
+    def test_binary_ops(self, bare_machine, builder, a, b, expected):
+        bare_machine.cpu.regs[R0] = a
+        bare_machine.cpu.regs[R1] = b
+        execute(bare_machine, [builder(R0, R1)])
+        assert bare_machine.cpu.regs[R0] == expected
+
+    def test_add_wraps_32_bits(self, bare_machine):
+        bare_machine.cpu.regs[R0] = 0xFFFFFFFF
+        bare_machine.cpu.regs[R1] = 2
+        execute(bare_machine, [build.add_rr(R0, R1)])
+        assert bare_machine.cpu.regs[R0] == 1
+
+    def test_div_truncates_toward_zero(self, bare_machine):
+        bare_machine.cpu.regs[R0] = to_unsigned(-7)
+        bare_machine.cpu.regs[R1] = 2
+        execute(bare_machine, [build.div_rr(R0, R1)])
+        assert bare_machine.cpu.regs[R0] == to_unsigned(-3)  # C semantics
+
+    def test_mod_sign_follows_dividend(self, bare_machine):
+        bare_machine.cpu.regs[R0] = to_unsigned(-7)
+        bare_machine.cpu.regs[R1] = 2
+        execute(bare_machine, [build.mod_rr(R0, R1)])
+        assert bare_machine.cpu.regs[R0] == to_unsigned(-1)
+
+    def test_division_by_zero_faults(self, bare_machine):
+        with pytest.raises(DivisionFault):
+            execute(bare_machine, [build.div_rr(R0, R1)])
+
+    def test_not_shl_shr(self, bare_machine):
+        bare_machine.cpu.regs[R0] = 0xF0
+        execute(bare_machine, [build.shl(R0, 4)])
+        assert bare_machine.cpu.regs[R0] == 0xF00
+        execute(bare_machine, [build.shr(R0, 8)])
+        assert bare_machine.cpu.regs[R0] == 0xF
+        execute(bare_machine, [build.not_r(R0)])
+        assert bare_machine.cpu.regs[R0] == 0xFFFFFFF0
+
+
+class TestControlFlow:
+    def test_jmp_abs(self, bare_machine):
+        execute(bare_machine, [build.jmp_abs(0x2000)], steps=1)
+        assert bare_machine.cpu.ip == 0x2000
+
+    def test_conditional_signed_vs_unsigned(self, bare_machine):
+        # -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned.
+        bare_machine.cpu.regs[R0] = to_unsigned(-1)
+        bare_machine.cpu.regs[R1] = 1
+        execute(bare_machine, [
+            build.cmp_rr(R0, R1), build.jl(0x3000),
+        ], steps=2)
+        assert bare_machine.cpu.ip == 0x3000  # signed: taken
+
+        bare_machine.cpu.ip = 0x1000
+        execute(bare_machine, [
+            build.cmp_rr(R0, R1), build.jb(0x3000), build.nop(),
+        ], steps=2)
+        assert bare_machine.cpu.ip != 0x3000  # unsigned: not below
+
+    @pytest.mark.parametrize("a,b,mnewhere", [
+        (5, 5, {"jz": True, "jnz": False, "jle": True, "jge": True,
+                "jl": False, "jg": False, "jb": False, "jae": True}),
+        (3, 5, {"jz": False, "jnz": True, "jl": True, "jle": True,
+                "jg": False, "jge": False, "jb": True, "jae": False}),
+    ])
+    def test_branch_predicates(self, bare_machine, a, b, mnewhere):
+        for mnemonic, taken in mnewhere.items():
+            bare_machine.cpu.regs[R0] = a
+            bare_machine.cpu.regs[R1] = b
+            builder = getattr(build, mnemonic)
+            bare_machine.cpu.ip = 0x1000
+            execute(bare_machine, [build.cmp_rr(R0, R1), builder(0x4000)], steps=2)
+            assert (bare_machine.cpu.ip == 0x4000) == taken, mnemonic
+
+    def test_call_pushes_return_address(self, bare_machine):
+        execute(bare_machine, [build.call_abs(0x2000)], steps=1)
+        assert bare_machine.cpu.ip == 0x2000
+        # Return address = address after the 5-byte call.
+        assert bare_machine.memory.read_word(bare_machine.cpu.sp) == 0x1005
+
+    def test_ret_pops_into_ip(self, bare_machine):
+        """The mechanism stack smashing abuses: whatever word sits at
+        SP becomes the next instruction pointer."""
+        bare_machine.memory.write_word(bare_machine.cpu.sp - 4, 0xDEAD0000)
+        bare_machine.cpu.sp -= 4
+        execute(bare_machine, [build.ret()], steps=1)
+        assert bare_machine.cpu.ip == 0xDEAD0000
+
+    def test_indirect_call(self, bare_machine):
+        bare_machine.cpu.regs[R2] = 0x2000
+        execute(bare_machine, [build.call_reg(R2)], steps=1)
+        assert bare_machine.cpu.ip == 0x2000
+
+    def test_chk_passes_in_bounds(self, bare_machine):
+        bare_machine.cpu.regs[R0] = 15
+        execute(bare_machine, [build.chk(R0, 16)])
+
+    def test_chk_faults_out_of_bounds(self, bare_machine):
+        bare_machine.cpu.regs[R0] = 16
+        with pytest.raises(BoundsFault):
+            execute(bare_machine, [build.chk(R0, 16)])
+
+    def test_chk_is_unsigned(self, bare_machine):
+        # A negative index is a huge unsigned value: must fault.
+        bare_machine.cpu.regs[R0] = to_unsigned(-1)
+        with pytest.raises(BoundsFault):
+            execute(bare_machine, [build.chk(R0, 16)])
+
+
+class TestFetch:
+    def test_invalid_opcode_faults(self, bare_machine):
+        bare_machine.memory.write_bytes(0x1000, b"\xff")
+        with pytest.raises(InvalidInstructionFault):
+            bare_machine.step()
+
+    def test_halt_stops_run(self, bare_machine):
+        bare_machine.memory.write_bytes(0x1000, encode_many([build.halt()]))
+        result = bare_machine.run()
+        assert result.status is RunStatus.HALTED
+
+    def test_data_executes_as_code_when_rwx(self, bare_machine):
+        """Without DEP there is no code/data distinction: bytes written
+        as data run as instructions (direct code injection)."""
+        payload = encode_many([build.mov_ri(R0, 99), build.halt()])
+        bare_machine.memory.write_bytes(0x00200100, payload)  # "data" area
+        bare_machine.cpu.ip = 0x00200100
+        result = bare_machine.run()
+        assert result.status is RunStatus.HALTED
+        assert bare_machine.cpu.regs[R0] == 99

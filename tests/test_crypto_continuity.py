@@ -1,0 +1,219 @@
+"""Tests for the PMA crypto, attestation, sealing, and continuity."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    AttestationError,
+    ContinuityLivenessError,
+    RollbackError,
+    SealingError,
+)
+from repro.pma import crypto
+from repro.pma.attestation import ProvisioningAuthority, RemoteVerifier
+from repro.pma.continuity import (
+    IceStyleScheme,
+    MemoirStyleScheme,
+    SimulatedCrash,
+)
+from repro.pma.sealing import SealedStorage
+
+
+class TestCrypto:
+    def test_measure_deterministic(self):
+        assert crypto.measure(b"code") == crypto.measure(b"code")
+        assert crypto.measure(b"code") != crypto.measure(b"code2")
+
+    def test_key_derivation_binds_both_inputs(self):
+        m = crypto.measure(b"code")
+        assert (crypto.derive_module_key(b"k1", m)
+                != crypto.derive_module_key(b"k2", m))
+        assert (crypto.derive_module_key(b"k1", m)
+                != crypto.derive_module_key(b"k1", crypto.measure(b"other")))
+
+    @given(st.binary(max_size=200), st.binary(min_size=16, max_size=16))
+    def test_seal_open_roundtrip(self, plaintext, iv):
+        key = b"\x11" * 32
+        blob = crypto.seal_blob(key, iv, plaintext)
+        assert crypto.open_blob(key, blob) == plaintext
+
+    @given(st.binary(max_size=64), st.integers(min_value=0))
+    def test_bitflip_detected(self, plaintext, position):
+        key = b"\x11" * 32
+        blob = bytearray(crypto.seal_blob(key, b"\x01" * 16, plaintext))
+        blob[position % len(blob)] ^= 0x80
+        with pytest.raises(SealingError):
+            crypto.open_blob(key, bytes(blob))
+
+    def test_wrong_key_rejected(self):
+        blob = crypto.seal_blob(b"\x11" * 32, b"\x01" * 16, b"data")
+        with pytest.raises(SealingError):
+            crypto.open_blob(b"\x22" * 32, blob)
+
+    def test_aad_binds_context(self):
+        key = b"\x11" * 32
+        blob = crypto.seal_blob(key, b"\x01" * 16, b"data", aad=b"ctr=1")
+        assert crypto.open_blob(key, blob, aad=b"ctr=1") == b"data"
+        with pytest.raises(SealingError):
+            crypto.open_blob(key, blob, aad=b"ctr=2")
+
+    def test_ciphertext_hides_plaintext(self):
+        blob = crypto.seal_blob(b"\x11" * 32, b"\x01" * 16, b"SECRET-PIN-1234")
+        assert b"SECRET-PIN-1234" not in blob
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(SealingError):
+            crypto.open_blob(b"\x11" * 32, b"short")
+
+    def test_bad_iv_length_rejected(self):
+        with pytest.raises(SealingError):
+            crypto.seal_blob(b"\x11" * 32, b"short", b"data")
+
+
+class TestAttestationProtocol:
+    def setup_method(self):
+        self.authority = ProvisioningAuthority(b"\x05" * 32)
+        self.code = b"genuine module code"
+        self.module_key = self.authority.expected_module_key(self.code)
+
+    def _report(self, key, nonce):
+        return crypto.mac(key, b"attest" + nonce)
+
+    def test_genuine_report_verifies(self):
+        verifier = RemoteVerifier(self.module_key)
+        nonce = verifier.challenge()
+        assert verifier.verify(nonce, self._report(self.module_key, nonce))
+
+    def test_tampered_module_fails(self):
+        verifier = RemoteVerifier(self.module_key)
+        nonce = verifier.challenge()
+        bad_key = self.authority.expected_module_key(b"tampered code")
+        assert not verifier.verify(nonce, self._report(bad_key, nonce))
+
+    def test_unknown_nonce_rejected(self):
+        verifier = RemoteVerifier(self.module_key)
+        nonce = b"\x00" * 16
+        assert not verifier.verify(nonce, self._report(self.module_key, nonce))
+
+    def test_nonce_single_use(self):
+        verifier = RemoteVerifier(self.module_key)
+        nonce = verifier.challenge()
+        report = self._report(self.module_key, nonce)
+        assert verifier.verify(nonce, report)
+        assert not verifier.verify(nonce, report)
+
+    def test_require_raises(self):
+        verifier = RemoteVerifier(self.module_key)
+        nonce = verifier.challenge()
+        with pytest.raises(AttestationError):
+            verifier.require(nonce, b"\x00" * 32)
+
+
+class TestSealedStorage:
+    def test_int_record_roundtrip(self):
+        storage = SealedStorage(b"\x0a" * 32)
+        blob = storage.seal_ints(3, 17)
+        assert storage.unseal_ints(blob, 2) == (3, 17)
+
+    def test_wrong_count_rejected(self):
+        storage = SealedStorage(b"\x0a" * 32)
+        blob = storage.seal_ints(3)
+        with pytest.raises(SealingError):
+            storage.unseal_ints(blob, 2)
+
+    def test_distinct_ivs_distinct_blobs(self):
+        storage = SealedStorage(b"\x0a" * 32)
+        assert storage.seal(b"x") != storage.seal(b"x")
+
+
+@pytest.mark.parametrize("scheme_cls", [MemoirStyleScheme, IceStyleScheme])
+class TestContinuityCommon:
+    def make(self, scheme_cls):
+        return scheme_cls(SealedStorage(b"\x0c" * 32))
+
+    def test_clean_update_recovers_latest(self, scheme_cls):
+        scheme = self.make(scheme_cls)
+        scheme.update(1)
+        scheme.update(2)
+        assert scheme.recover() == 2
+
+    def test_replay_rejected(self, scheme_cls):
+        scheme = self.make(scheme_cls)
+        scheme.update(1)
+        scheme.update(2)
+        scheme.disk.replay(0)
+        with pytest.raises(RollbackError):
+            scheme.recover()
+
+    def test_forged_blob_rejected(self, scheme_cls):
+        scheme = self.make(scheme_cls)
+        scheme.update(1)
+        scheme.disk.store(b"\x00" * 80)
+        with pytest.raises(RollbackError):
+            scheme.recover()
+
+    def test_first_boot_empty_disk(self, scheme_cls):
+        scheme = self.make(scheme_cls)
+        with pytest.raises(RollbackError):
+            scheme.recover()
+
+    def test_wiped_disk_after_use_is_not_first_boot(self, scheme_cls):
+        scheme = self.make(scheme_cls)
+        scheme.update(1)
+        scheme.disk.blob = None
+        with pytest.raises(ContinuityLivenessError):
+            scheme.recover()
+
+
+class TestContinuityDivergence:
+    """Where the two schemes differ: the crash window."""
+
+    def test_memoir_deadlocks_on_crash_between_increment_and_write(self):
+        scheme = MemoirStyleScheme(SealedStorage(b"\x0c" * 32))
+        scheme.update(1)
+        with pytest.raises(SimulatedCrash):
+            scheme.update(2, crash_after="increment")
+        with pytest.raises(RollbackError):
+            scheme.recover()  # the stored state is now forever stale
+
+    def test_ice_survives_every_crash_point(self):
+        for crash_after in ("write", "increment"):
+            scheme = IceStyleScheme(SealedStorage(b"\x0c" * 32))
+            scheme.update(1)
+            with pytest.raises(SimulatedCrash):
+                scheme.update(2, crash_after=crash_after)
+            assert scheme.recover() == 2
+
+    def test_ice_recovery_completes_the_increment(self):
+        scheme = IceStyleScheme(SealedStorage(b"\x0c" * 32))
+        scheme.update(1)
+        with pytest.raises(SimulatedCrash):
+            scheme.update(2, crash_after="write")
+        before = scheme.counter.read()
+        scheme.recover()
+        assert scheme.counter.read() == before + 1
+        # And the replayed *old* state is still rejected afterwards.
+        scheme.disk.replay(0)
+        with pytest.raises(RollbackError):
+            scheme.recover()
+
+    @given(st.lists(st.sampled_from([None, "write", "increment"]), min_size=1,
+                    max_size=8))
+    def test_ice_liveness_invariant(self, crash_plan):
+        """Property: whatever interleaving of updates and crashes
+        happens, Ice-style recovery always succeeds and never yields a
+        state older than the last *completed* update."""
+        scheme = IceStyleScheme(SealedStorage(b"\x0c" * 32))
+        scheme.update(0)
+        last_completed = 0
+        last_attempted = 0
+        for step, crash_after in enumerate(crash_plan, start=1):
+            try:
+                scheme.update(step, crash_after=crash_after)
+                last_completed = step
+            except SimulatedCrash:
+                pass
+            last_attempted = step
+            recovered = scheme.recover()
+            assert recovered >= last_completed
+            assert recovered <= last_attempted

@@ -1,0 +1,142 @@
+"""Tests for the debugger: breakpoints, watchpoints, backtrace."""
+
+import pytest
+
+from repro.machine.debugger import Debugger, StopReason
+from repro.programs import build_fig1, build_victim
+from tests.conftest import c_program
+
+
+@pytest.fixture
+def debugger():
+    program = build_fig1()
+    program.feed(b"request-bytes!!!")
+    return Debugger(program)
+
+
+class TestBreakpoints:
+    def test_stops_at_symbol(self, debugger):
+        debugger.add_breakpoint("process")
+        event = debugger.cont()
+        assert event.reason is StopReason.BREAKPOINT
+        assert event.address == debugger.resolve("process")
+
+    def test_resume_after_breakpoint(self, debugger):
+        debugger.add_breakpoint("get_request")
+        event = debugger.cont()
+        assert event.reason is StopReason.BREAKPOINT
+        debugger.step()  # step off the breakpoint address
+        event = debugger.cont()
+        assert event.reason is StopReason.EXITED
+
+    def test_remove_breakpoint(self, debugger):
+        debugger.add_breakpoint("process")
+        debugger.remove_breakpoint("process")
+        assert debugger.cont().reason is StopReason.EXITED
+
+    def test_multiple_breakpoints_in_order(self, debugger):
+        debugger.add_breakpoint("process")
+        debugger.add_breakpoint("get_request")
+        first = debugger.cont()
+        assert first.address == debugger.resolve("process")
+        debugger.step()
+        second = debugger.cont()
+        assert second.address == debugger.resolve("get_request")
+
+
+class TestWatchpoints:
+    def test_watch_fires_on_write(self):
+        program = c_program("""
+static int counter = 0;
+void bump() { counter = counter + 1; }
+void main() { bump(); bump(); }
+""")
+        debugger = Debugger(program)
+        debugger.add_watchpoint("test:counter", label="counter")
+        event = debugger.cont()
+        assert event.reason is StopReason.WATCHPOINT
+        assert "counter" in event.detail
+
+    def test_watch_sees_overflow_clobber_return_address(self):
+        """The canonical use: watch process()'s return-address slot and
+        catch the overflow red-handed inside the read."""
+        from repro.attacks.study import locate_overflow
+
+        study = build_fig1()
+        site = locate_overflow(study, frames_up=1)
+
+        program = build_fig1()
+        program.feed(b"A" * 32)
+        debugger = Debugger(program)
+        debugger.add_watchpoint(site.return_addr_slot, label="ret-slot")
+        # First change: the call instruction legitimately pushing the
+        # return address.  Second change: the overflow clobbering it.
+        first = debugger.cont()
+        assert first.reason is StopReason.WATCHPOINT
+        second = debugger.cont()
+        assert second.reason is StopReason.WATCHPOINT
+        assert "41414141" in second.detail
+
+
+class TestInspection:
+    def test_backtrace_shows_call_chain(self, debugger):
+        debugger.add_breakpoint("get_request")
+        debugger.cont()
+        # Enter the function so the frame is set up.
+        for _ in range(2):
+            debugger.step()
+        names = [frame.function.split("+")[0] for frame in debugger.backtrace()]
+        assert names[0] == "get_request"
+        assert "process" in names
+        assert "main" in names
+
+    def test_symbolize(self, debugger):
+        process = debugger.resolve("process")
+        assert debugger.symbolize(process) == "process"
+        assert debugger.symbolize(process + 2) == "process+0x2"
+
+    def test_registers_snapshot(self, debugger):
+        state = debugger.registers()
+        assert state["ip"] == debugger.program.image.entry
+        assert state["sp"] == debugger.program.image.initial_sp
+
+    def test_disassemble_around(self, debugger):
+        listing = debugger.disassemble_around("process", count=3)
+        assert "push bp" in listing
+        assert "process" in listing
+
+    def test_current_ip_marked(self, debugger):
+        listing = debugger.disassemble_around(debugger.machine.cpu.ip, count=1)
+        assert listing.startswith(" -> ")
+
+    def test_dump_annotates_code_pointers(self, debugger):
+        debugger.add_breakpoint("get_request")
+        debugger.cont()
+        for _ in range(2):
+            debugger.step()
+        bp = debugger.machine.cpu.regs[9]
+        dump = debugger.dump(bp, words=2)
+        # The return-address slot points into process().
+        assert "process" in dump
+
+    def test_dump_handles_unmapped(self, debugger):
+        assert "<unmapped>" in debugger.dump(0x70000000, words=1)
+
+
+class TestEndConditions:
+    def test_exit_event(self, debugger):
+        assert debugger.cont().reason is StopReason.EXITED
+
+    def test_fault_event(self):
+        program = build_fig1()
+        program.feed(b"A" * 32)
+        debugger = Debugger(program)
+        event = debugger.cont()
+        assert event.reason is StopReason.FAULTED
+        assert event.fault is not None
+
+    def test_limit_event(self):
+        program = c_program("void main() { while (1) { } }")
+        debugger = Debugger(program)
+        event = debugger.cont(max_instructions=50)
+        assert event.reason is StopReason.LIMIT

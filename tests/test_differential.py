@@ -1,0 +1,194 @@
+"""Differential testing: generated MinC programs vs a Python oracle.
+
+Hypothesis generates small expression trees and straight-line programs;
+each is compiled, run on the machine, and compared against direct
+Python evaluation with C semantics.  This is the deepest correctness
+net over the whole pipeline (parser -> sema -> codegen -> assembler ->
+linker -> loader -> CPU).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import RunStatus
+from tests.conftest import run_c
+
+
+def _wrap(value: int) -> int:
+    """C int semantics: wrap to signed 32-bit."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _c_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return _wrap(-q if (a < 0) != (b < 0) else q)
+
+
+def _c_mod(a: int, b: int) -> int:
+    r = abs(a) % abs(b)
+    return _wrap(-r if a < 0 else r)
+
+
+# --- expression trees -------------------------------------------------------
+
+_SAFE_BINOPS = ["+", "-", "*", "&", "|", "^", "<", ">", "<=", ">=", "==", "!="]
+
+
+@st.composite
+def expr_trees(draw, depth=3):
+    """An (expression-text, python-value) pair."""
+    if depth == 0 or draw(st.booleans()):
+        value = draw(st.integers(-500, 500))
+        return (f"({value})", value)
+    op = draw(st.sampled_from(_SAFE_BINOPS + ["/", "%"]))
+    left_text, left_value = draw(expr_trees(depth=depth - 1))
+    right_text, right_value = draw(expr_trees(depth=depth - 1))
+    if op in ("/", "%") and right_value == 0:
+        op = "+"
+    if op == "+":
+        value = _wrap(left_value + right_value)
+    elif op == "-":
+        value = _wrap(left_value - right_value)
+    elif op == "*":
+        value = _wrap(left_value * right_value)
+    elif op == "/":
+        value = _c_div(left_value, right_value)
+    elif op == "%":
+        value = _c_mod(left_value, right_value)
+    elif op == "&":
+        value = _wrap((left_value & 0xFFFFFFFF) & (right_value & 0xFFFFFFFF))
+    elif op == "|":
+        value = _wrap((left_value & 0xFFFFFFFF) | (right_value & 0xFFFFFFFF))
+    elif op == "^":
+        value = _wrap((left_value & 0xFFFFFFFF) ^ (right_value & 0xFFFFFFFF))
+    else:
+        value = int({
+            "<": left_value < right_value,
+            ">": left_value > right_value,
+            "<=": left_value <= right_value,
+            ">=": left_value >= right_value,
+            "==": left_value == right_value,
+            "!=": left_value != right_value,
+        }[op])
+    return (f"({left_text} {op} {right_text})", value)
+
+
+class TestExpressionDifferential:
+    @settings(max_examples=80, deadline=None)
+    @given(expr_trees())
+    def test_expression_matches_oracle(self, tree):
+        text, expected = tree
+        result = run_c(f"void main() {{ print_int({text}); }}")
+        assert result.status is RunStatus.EXITED
+        assert int(result.output) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(expr_trees(), st.booleans())
+    def test_optimizer_agrees(self, tree, use_canary):
+        """The peephole optimizer and the canary pass must not change
+        expression values."""
+        from repro.minic import CompileOptions
+
+        text, expected = tree
+        options = CompileOptions(optimize=True, stack_canaries=use_canary)
+        from repro.mitigations import CANARY, NONE
+
+        result = run_c(f"void main() {{ print_int({text}); }}",
+                       config=CANARY if use_canary else NONE, options=options)
+        assert int(result.output) == expected
+
+
+# --- straight-line variable programs ------------------------------------------
+
+
+@st.composite
+def variable_programs(draw, steps=6):
+    """A program mutating three variables; oracle runs the same steps."""
+    env = {"a": draw(st.integers(-100, 100)),
+           "b": draw(st.integers(-100, 100)),
+           "c": draw(st.integers(-100, 100))}
+    lines = [f"    int {name} = {value};" for name, value in env.items()]
+    for _ in range(steps):
+        target = draw(st.sampled_from(list(env)))
+        source_a = draw(st.sampled_from(list(env)))
+        source_b = draw(st.sampled_from(list(env)))
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        lines.append(f"    {target} = {source_a} {op} {source_b};")
+        env[target] = _wrap({
+            "+": env[source_a] + env[source_b],
+            "-": env[source_a] - env[source_b],
+            "*": env[source_a] * env[source_b],
+        }[op])
+    lines.append("    print_int(a); print_int(b); print_int(c);")
+    body = "\n".join(lines)
+    return (f"void main() {{\n{body}\n}}", [env["a"], env["b"], env["c"]])
+
+
+class TestProgramDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(variable_programs())
+    def test_program_matches_oracle(self, pair):
+        source, expected = pair
+        result = run_c(source)
+        assert result.status is RunStatus.EXITED
+        assert [int(x) for x in result.output.split()] == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(variable_programs())
+    def test_optimizer_preserves_programs(self, pair):
+        from repro.minic import CompileOptions
+
+        source, expected = pair
+        result = run_c(source, options=CompileOptions(optimize=True))
+        assert [int(x) for x in result.output.split()] == expected
+
+
+# --- array/loop programs ---------------------------------------------------------
+
+
+@st.composite
+def array_programs(draw):
+    """Fill an array with a pattern, fold it, compare against Python."""
+    size = draw(st.integers(2, 12))
+    scale = draw(st.integers(-5, 5))
+    offset = draw(st.integers(-10, 10))
+    values = [_wrap(scale * i + offset) for i in range(size)]
+    source = f"""
+void main() {{
+    int a[{size}];
+    int i;
+    for (i = 0; i < {size}; i++) {{
+        a[i] = {scale} * i + {offset};
+    }}
+    int total = 0;
+    for (i = 0; i < {size}; i++) {{
+        total += a[i];
+    }}
+    print_int(total);
+}}
+"""
+    return (source, _wrap(sum(values)))
+
+
+class TestArrayDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(array_programs())
+    def test_array_fold_matches_oracle(self, pair):
+        source, expected = pair
+        result = run_c(source)
+        assert int(result.output) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(array_programs())
+    def test_bounds_checked_build_agrees(self, pair):
+        """Safe-mode bounds checks must be semantics-preserving on
+        in-bounds programs."""
+        from repro.minic import CompileOptions
+
+        source, expected = pair
+        result = run_c(source, options=CompileOptions(bounds_checks=True))
+        assert result.status is RunStatus.EXITED
+        assert int(result.output) == expected

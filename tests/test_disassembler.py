@@ -1,0 +1,58 @@
+"""Tests for the linear-sweep disassembler."""
+
+from repro.asm import assemble, disassemble, disassemble_text
+from repro.isa import build, encode_many
+
+
+class TestDisassembler:
+    def test_roundtrip_with_assembler(self):
+        obj = assemble("""
+.text
+fn:
+    push bp
+    mov bp, sp
+    sub sp, 0x18
+    call fn
+    ret
+""")
+        text = disassemble_text(bytes(obj.text.data))
+        assert "push bp" in text
+        assert "mov bp, sp" in text
+        assert "sub sp, 0x18" in text
+        assert "ret" in text
+
+    def test_addresses_and_bytes_shown(self):
+        lines = disassemble(encode_many([build.ret()]), base_address=0x8048000)
+        assert lines[0].address == 0x8048000
+        assert lines[0].raw == b"\x25"
+        rendered = lines[0].render()
+        assert rendered.startswith("0x08048000")
+        assert "25" in rendered
+
+    def test_symbols_injected(self):
+        blob = encode_many([build.nop(), build.ret()])
+        lines = disassemble(blob, 0x100, symbols={0x101: "after_nop"})
+        texts = [line.text for line in lines]
+        assert "after_nop:" in texts
+
+    def test_tolerant_mode_resyncs(self):
+        blob = b"\xff" + encode_many([build.ret()])
+        lines = disassemble(blob, 0)
+        assert lines[0].text == ".byte 0xff"
+        assert lines[1].text == "ret"
+
+    def test_strict_mode_raises(self):
+        import pytest
+        from repro.errors import DecodeError
+
+        with pytest.raises(DecodeError):
+            disassemble(b"\xff", tolerant=False)
+
+    def test_misaligned_view_differs(self):
+        """The figure-1 property: same bytes, different meaning at
+        different offsets (fuel for unintended gadgets)."""
+        blob = encode_many([build.mov_ri(0, 0x25)])
+        aligned = disassemble(blob)
+        misaligned = disassemble(blob[2:])
+        assert aligned[0].text.startswith("mov")
+        assert any(line.text == "ret" for line in misaligned)

@@ -1,0 +1,184 @@
+"""Integration tests: each experiment regenerates its paper artefact
+with the claimed shape (small parameterisations of the benchmarks)."""
+
+import pytest
+
+from repro.experiments import (
+    analysis_exp,
+    aslr,
+    attestation_exp,
+    fig1,
+    fig4_exp,
+    matrix,
+    modules_exp,
+    overhead,
+    securecomp_exp,
+)
+
+
+class TestE1Fig1:
+    @pytest.fixture(scope="class")
+    def artifacts(self):
+        return fig1.generate_fig1()
+
+    def test_all_three_parts_present(self, artifacts):
+        rendered = artifacts.render()
+        assert "(a) Program source code" in rendered
+        assert "(b) Machine code" in rendered
+        assert "(c) Run-time machine state" in rendered
+
+    def test_listing_shows_frame_management(self, artifacts):
+        assert "push bp" in artifacts.process_listing
+        assert "mov bp, sp" in artifacts.process_listing
+        assert "sub sp, 0x10" in artifacts.process_listing
+
+    def test_snapshot_shows_activation_records(self, artifacts):
+        snapshot = artifacts.stack_snapshot
+        assert "get_request() record" in snapshot
+        assert "process() record" in snapshot
+        assert "saved return address" in snapshot
+        assert "buf[0..3]" in snapshot
+
+    def test_text_base_matches_paper(self, artifacts):
+        assert "0x08048" in artifacts.process_listing
+
+
+class TestE4Matrix:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        presets = [p for p in matrix.MATRIX_PRESETS
+                   if p[0] in ("none", "canary", "dep", "deployed", "hardened")]
+        return matrix.run_matrix(tuple(presets))
+
+    def test_summary_claims_hold(self, cells):
+        summary = matrix.matrix_summary(cells)
+        for claim, holds in summary.items():
+            if "aslr" in claim:
+                continue
+            assert holds, claim
+
+    def test_everything_exploited_unmitigated(self, cells):
+        for cell in cells:
+            if cell.preset == "none":
+                assert cell.result.succeeded, cell.attack
+
+    def test_render_shape(self, cells):
+        rendered = matrix.render_matrix(cells)
+        assert "EXPLOITED" in rendered
+        assert "detected" in rendered
+
+
+class TestE5Overhead:
+    def test_ordering(self):
+        rows = {row.posture: row for row in overhead.overhead_table()}
+        assert rows["none"].overhead_pct == 0.0
+        assert 0 < rows["canaries"].overhead_pct
+        assert (rows["canaries"].overhead_pct
+                < rows["safe-language (bounds checks)"].overhead_pct)
+
+    def test_scaling_shape(self):
+        rows = overhead.scaling_table(access_counts=(64, 512))
+        assert rows[0]["canary_extra"] == rows[1]["canary_extra"]  # flat
+        assert rows[1]["bounds_extra"] == 8 * rows[0]["bounds_extra"]  # linear
+        assert rows[0]["bounds_extra"] == 64  # exactly one chk per access
+
+    def test_boundary_crossing_ordering(self):
+        rows = overhead.boundary_crossing_table()
+        plain, insecure, secure = (r["instructions_per_call"] for r in rows)
+        assert plain <= insecure < secure
+
+
+class TestE6ASLR:
+    def test_sweep_shape(self):
+        points = aslr.sweep(bits_list=(0, 2, 4), trials=12)
+        assert points[0].blind_rate == 1.0
+        assert points[-1].blind_rate < points[0].blind_rate
+        for point in points:
+            assert point.leak_rate == 1.0  # [5]: leaks derandomise
+
+
+class TestE7Analysis:
+    def test_safe_language_closes_all_vehicles(self):
+        rows = analysis_exp.safe_language_report()
+        for row in rows:
+            assert ("rejected" in row["safe_mode"]
+                    or "bounds" in row["safe_mode"].lower()
+                    or "BoundsFault" in row["safe_mode"]), row
+
+
+class TestE8E9Modules:
+    def test_lockout(self):
+        report = modules_exp.io_attacker_lockout(guess_budget=10)
+        assert report["locked_out"]
+
+    def test_scraper_table_shape(self):
+        rows = modules_exp.scraper_table()
+        outcomes = {row["scenario"]: row["outcome"] for row in rows}
+        assert outcomes["plain program, module malware"] == "success"
+        assert outcomes["plain program, kernel malware"] == "success"
+        assert outcomes["protected module, kernel malware"] == "detected"
+        assert outcomes["secure-compiled module, kernel malware"] == "detected"
+
+    def test_functionality_preserved(self):
+        report = modules_exp.functionality_preserved()
+        assert report["correct_pin_served"] and report["wrong_pins_refused"]
+
+    def test_census_denies_only_module_pages(self):
+        rows = modules_exp.sweep_census()
+        plain = [r for r in rows if r["program"] == "plain"]
+        protected = [r for r in rows if r["program"] == "protected"]
+        assert all(r["secrets_found"] != "-" for r in plain)
+        assert all(r["secrets_found"] == "-" for r in protected)
+        assert all(r["denied_kib"] > 0 for r in protected)
+
+
+class TestE10Fig4:
+    def test_scenarios(self):
+        rows = {r["scenario"]: r["outcome"] for r in fig4_exp.scenario_table()}
+        assert rows["honest client, secure compile"] == "works"
+        assert "ProtectionFault" in rows["honest client, insecure compile"]
+        assert rows["fig4 attacker, insecure compile"].startswith("success")
+        assert rows["fig4 attacker, secure compile"].startswith("detected")
+
+
+class TestE11Attestation:
+    def test_attestation_claims(self):
+        report = attestation_exp.attestation_report()
+        assert report["genuine_module_verifies"]
+        assert not report["tampered_module_verifies"]
+        assert not report["nonce_replay_accepted"]
+
+    def test_sealing_claims(self):
+        report = attestation_exp.sealing_report()
+        assert all(report.values())
+
+    def test_rollback_table(self):
+        rows = {r["module"]: r for r in attestation_exp.rollback_table()}
+        assert rows["plain sealing"]["rollback"] == "success"
+        assert rows["monotonic counter"]["rollback"] == "detected"
+        assert rows["plain sealing"]["crash_liveness"] == "recovers"
+        assert "BRICKED" in rows["monotonic counter"]["crash_liveness"]
+
+
+class TestE12Ablation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row["build"]: row for row in securecomp_exp.ablation_table()}
+
+    def test_full_scheme_stops_everything(self, rows):
+        full = rows["full secure compilation"]
+        assert full["fig4_attack"].startswith("detected")
+        assert full["stack_residue"] == "clean"
+        assert full["register_residue"] == "clean"
+        assert full["reentrancy"] == "detected"
+
+    def test_each_component_maps_to_its_attack(self, rows):
+        assert rows["without pointer checks"]["fig4_attack"].startswith("EXPLOITED")
+        assert rows["without private stack"]["stack_residue"] == "LEAKED"
+        assert rows["without register scrubbing"]["register_residue"] == "LEAKED"
+        assert rows["without reentrancy guard"]["reentrancy"] != "detected"
+
+    def test_removed_component_does_not_regress_others(self, rows):
+        assert rows["without pointer checks"]["stack_residue"] == "clean"
+        assert rows["without private stack"]["fig4_attack"].startswith("detected")
+        assert rows["without register scrubbing"]["fig4_attack"].startswith("detected")

@@ -1,0 +1,152 @@
+"""Tests for ROP gadget discovery and chain building."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.attacks.gadgets import (
+    GadgetCatalog,
+    build_exfiltration_chain,
+    build_shell_chain,
+    find_gadgets,
+)
+from repro.isa import R0, R1, build, encode_many
+from repro.isa.registers import SP
+from repro.machine import syscalls
+from repro.programs import build_victim
+
+
+class TestFindGadgets:
+    def test_every_gadget_ends_in_ret(self):
+        program = build_victim("fig1_wide_open")
+        catalog = GadgetCatalog.from_image_segments(program.image.segments)
+        assert catalog.gadgets
+        for gadget in catalog.gadgets:
+            assert gadget.instructions[-1].mnemonic == "ret"
+
+    def test_no_flow_breakers_mid_gadget(self):
+        program = build_victim("fig1_wide_open")
+        catalog = GadgetCatalog.from_image_segments(program.image.segments)
+        for gadget in catalog.gadgets:
+            for insn in gadget.instructions[:-1]:
+                assert insn.mnemonic not in ("jmp", "call", "halt", "ret",
+                                             "jz", "jnz")
+
+    def test_intended_gadgets_found(self):
+        blob = encode_many([build.pop(R0), build.ret()])
+        gadgets = find_gadgets(blob, 0x1000)
+        pops = [g for g in gadgets if g.instructions[0].mnemonic == "pop"]
+        assert pops and pops[0].address == 0x1000
+        assert pops[0].intended
+
+    def test_unintended_gadgets_exist(self):
+        """An immediate containing the ret byte (0x25) yields a gadget
+        at a misaligned offset the compiler never emitted."""
+        blob = encode_many([
+            build.mov_ri(R0, 0x25),   # imm bytes contain 0x25
+            build.halt(),
+        ])
+        gadgets = find_gadgets(blob, 0)
+        assert any(not g.intended for g in gadgets)
+
+    def test_real_program_has_unintended_gadgets(self):
+        program = build_victim("fig1_wide_open")
+        catalog = GadgetCatalog.from_image_segments(program.image.segments)
+        census = catalog.census()
+        assert census["unintended"] > 0
+        assert census["intended"] > 0
+        assert census["total"] == census["intended"] + census["unintended"]
+
+    def test_gadget_address_decodes_to_its_instructions(self):
+        from repro.isa.encoding import decode
+
+        program = build_victim("fig1_wide_open")
+        text = program.image.segment_named("text")
+        catalog = GadgetCatalog.from_image_segments([text])
+        for gadget in catalog.gadgets[:50]:
+            offset = gadget.address - text.addr
+            insn, _ = decode(text.data, offset)
+            assert insn == gadget.instructions[0]
+
+    @given(st.binary(max_size=128))
+    def test_never_crashes_on_arbitrary_bytes(self, blob):
+        for gadget in find_gadgets(blob, 0):
+            assert gadget.instructions[-1].mnemonic == "ret"
+
+
+class TestCatalog:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        program = build_victim("rop_exfil")
+        return GadgetCatalog.from_image_segments(program.image.segments)
+
+    def test_pop_gadgets_from_libc(self, catalog):
+        for reg in (0, 1, 2, 3):
+            gadget = catalog.pop_register(reg)
+            assert gadget is not None
+            assert gadget.instructions[0].operands == (reg,)
+
+    def test_syscall_gadgets(self, catalog):
+        assert catalog.syscall_gadget(syscalls.SYS_WRITE) is not None
+        assert catalog.syscall_gadget(syscalls.SYS_SPAWN_SHELL) is not None
+
+    def test_stack_pivot_trampoline(self, catalog):
+        """The paper's ROP 'trampoline': pop sp; ret."""
+        pivot = catalog.stack_pivot()
+        assert pivot is not None
+        assert pivot.instructions[0].operands == (SP,)
+
+    def test_find_by_mnemonics(self, catalog):
+        assert catalog.find("pop", "ret") is not None
+        assert catalog.find("halt", "ret") is None
+
+    def test_shell_chain_shape(self, catalog):
+        chain = build_shell_chain(catalog)
+        assert chain is not None and len(chain) == 2
+
+    def test_exfiltration_chain_shape(self, catalog):
+        chain = build_exfiltration_chain(catalog, 0x08100000, 16)
+        assert chain is not None
+        assert 1 in chain and 16 in chain and 0x08100000 in chain
+
+    def test_chain_missing_gadgets_returns_none(self):
+        empty = GadgetCatalog([])
+        assert build_shell_chain(empty) is None
+        assert build_exfiltration_chain(empty, 0, 4) is None
+
+
+class TestPayloadHelpers:
+    def test_smash_layout_plain(self):
+        from repro.attacks.payloads import p32, smash
+
+        payload = smash(20, 0xDEADBEEF, 0x11111111)
+        assert len(payload) == 28
+        assert payload[20:24] == p32(0xDEADBEEF)
+        assert payload[24:28] == p32(0x11111111)
+
+    def test_smash_layout_with_canary_and_bp(self):
+        from repro.attacks.payloads import p32, smash
+
+        payload = smash(24, 0xAAAA, canary=0xC0FFEE, saved_bp=0xBFFF0000)
+        assert payload[16:20] == p32(0xC0FFEE)      # canary at offset-8
+        assert payload[20:24] == p32(0xBFFF0000)    # saved bp at offset-4
+        assert payload[24:28] == p32(0xAAAA)        # return slot at offset
+
+    def test_smash_with_prefix(self):
+        from repro.attacks.payloads import smash
+
+        payload = smash(16, 0x1, prefix=b"\x90\x90")
+        assert payload.startswith(b"\x90\x90")
+        assert len(payload) == 20
+
+    def test_cyclic_unique_tags(self):
+        from repro.attacks.payloads import cyclic, cyclic_find, u32
+
+        pattern = cyclic(64)
+        assert len(pattern) == 64
+        assert cyclic_find(u32(pattern, 12)) == 12
+
+    def test_cyclic_find_rejects_garbage(self):
+        from repro.attacks.payloads import cyclic_find
+
+        with pytest.raises(ValueError):
+            cyclic_find(0xFFFFFFFF)

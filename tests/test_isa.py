@@ -1,0 +1,186 @@
+"""Tests for the VN32 ISA layer: registers, builders, encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError, EncodingError
+from repro.isa import (
+    BP,
+    Instruction,
+    Mem,
+    OPCODE_TABLE,
+    R0,
+    R1,
+    RET_OPCODE,
+    SP,
+    build,
+    decode,
+    decode_all,
+    encode,
+    encode_many,
+    register_name,
+    register_number,
+    to_signed,
+    to_unsigned,
+)
+from repro.isa import build as b
+from repro.isa.opcodes import FORMAT_LENGTHS, OperandFormat
+
+
+class TestRegisters:
+    def test_names_roundtrip(self):
+        for number in range(10):
+            assert register_number(register_name(number)) == number
+
+    def test_sp_bp_are_general_registers(self):
+        # POP SP must be encodable: stack pivots depend on it.
+        assert register_number("sp") == SP == 8
+        assert register_number("bp") == BP == 9
+
+    def test_case_insensitive(self):
+        assert register_number("R3") == 3
+
+    def test_unknown_register(self):
+        with pytest.raises(ValueError):
+            register_number("r9")
+        with pytest.raises(ValueError):
+            register_name(10)
+
+
+class TestSignedness:
+    def test_to_signed(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x80000000) == -(1 << 31)
+        assert to_signed(0x7FFFFFFF) == (1 << 31) - 1
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+        assert to_unsigned(1 << 32) == 0
+
+    @given(st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    def test_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+
+class TestBuilders:
+    def test_reg_range_checked(self):
+        with pytest.raises(EncodingError):
+            build.mov_rr(10, 0)
+        with pytest.raises(EncodingError):
+            build.push(-1)
+
+    def test_imm8_range_checked(self):
+        with pytest.raises(EncodingError):
+            build.sys(256)
+        with pytest.raises(EncodingError):
+            build.shl(0, -1)
+
+    def test_imm32_wraps_negative(self):
+        insn = build.mov_ri(0, -1)
+        assert insn.operands[1] == 0xFFFFFFFF
+
+    def test_ret_is_single_byte(self):
+        assert encode(build.ret()) == bytes([RET_OPCODE])
+        assert len(encode(build.ret())) == 1
+
+    def test_variable_lengths(self):
+        # The ISA is variable-length like the paper's x86 example.
+        lengths = {len(encode(insn)) for insn in (
+            build.ret(), build.push(0), build.sys(1),
+            build.mov_ri(0, 5), build.jmp_abs(0), build.load(0, Mem(BP, -4)),
+        )}
+        assert lengths == {1, 2, 5, 6}
+
+
+def _sample_instruction(spec):
+    """A representative instruction for each opcode."""
+    fmt = spec.fmt
+    if fmt is OperandFormat.NONE:
+        return Instruction(spec.opcode, ())
+    if fmt is OperandFormat.REG:
+        return Instruction(spec.opcode, (3,))
+    if fmt is OperandFormat.REGREG:
+        return Instruction(spec.opcode, (2, 9))
+    if fmt is OperandFormat.REGIMM32:
+        return Instruction(spec.opcode, (1, 0xDEADBEEF))
+    if fmt is OperandFormat.REGIMM8:
+        return Instruction(spec.opcode, (4, 17))
+    if fmt is OperandFormat.REGMEM:
+        return Instruction(spec.opcode, (5, Mem(8, -0x18)))
+    if fmt is OperandFormat.IMM32:
+        return Instruction(spec.opcode, (0x08048000,))
+    if fmt is OperandFormat.IMM8:
+        return Instruction(spec.opcode, (3,))
+    raise AssertionError(fmt)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("spec", OPCODE_TABLE, ids=lambda s: f"{s.mnemonic}_{s.opcode:02x}")
+    def test_roundtrip_every_opcode(self, spec):
+        insn = _sample_instruction(spec)
+        blob = encode(insn)
+        assert len(blob) == FORMAT_LENGTHS[spec.fmt]
+        decoded, length = decode(blob)
+        assert length == len(blob)
+        assert decoded == insn
+
+    def test_little_endian_imm(self):
+        blob = encode(build.mov_ri(0, 0x11223344))
+        assert blob[2:6] == bytes([0x44, 0x33, 0x22, 0x11])
+
+    def test_invalid_opcode_raises(self):
+        with pytest.raises(DecodeError):
+            decode(bytes([0xFF]))
+
+    def test_invalid_register_nibble_raises(self):
+        # REGREG with register 0xA..0xF is invalid.
+        with pytest.raises(DecodeError):
+            decode(bytes([0x02, 0xAB]))
+
+    def test_truncated_instruction_raises(self):
+        blob = encode(build.mov_ri(0, 5))
+        with pytest.raises(DecodeError):
+            decode(blob[:3])
+
+    def test_decode_offset_beyond_end(self):
+        with pytest.raises(DecodeError):
+            decode(b"", 0)
+
+    def test_encode_many_and_decode_all(self):
+        instructions = [build.push(BP), build.mov_rr(BP, SP), build.ret()]
+        blob = encode_many(instructions)
+        decoded = decode_all(blob, base_address=0x1000)
+        assert [insn for _, insn in decoded] == instructions
+        assert [addr for addr, _ in decoded] == [0x1000, 0x1002, 0x1004]
+
+    def test_misaligned_decode_differs(self):
+        """Decoding at the wrong offset yields different instructions --
+        the property that creates unintended ROP gadgets."""
+        blob = encode(build.mov_ri(0, RET_OPCODE))  # imm contains 0x25
+        decoded, _ = decode(blob, 2)  # first imm byte
+        assert decoded.mnemonic == "ret"
+
+    @given(st.binary(min_size=1, max_size=16))
+    def test_decode_never_crashes_unexpectedly(self, blob):
+        """Arbitrary bytes either decode or raise DecodeError."""
+        try:
+            insn, length = decode(blob)
+        except DecodeError:
+            return
+        assert 1 <= length <= 6
+        assert encode(insn) == blob[:length]
+
+
+class TestFormatting:
+    def test_store_operand_order(self):
+        text = str(build.store(R1, Mem(BP, -8)))
+        assert text == "store [bp-0x8], r1"
+
+    def test_load_operand_order(self):
+        assert str(build.load(R0, Mem(SP, 4))) == "load r0, [sp+0x4]"
+
+    def test_mem_zero_disp(self):
+        assert str(Mem(R0)) == "[r0]"
+
+    def test_regimm(self):
+        assert str(build.cmp_ri(R0, 0)) == "cmp r0, 0x0"

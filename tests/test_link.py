@@ -1,0 +1,224 @@
+"""Tests for the linker and loader."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import LinkError
+from repro.link import LayoutPlan, link, load
+from repro.machine.memory import PAGE_SIZE, PERM_RW, PERM_RWX, PERM_RX
+from repro.mitigations import ASLR, DEP, MitigationConfig, NONE
+
+SIMPLE_MAIN = """
+.text
+.global main
+main:
+    mov r0, 0
+    sys 3
+"""
+
+
+class TestLinker:
+    def test_entry_is_crt0(self):
+        image = link([assemble(SIMPLE_MAIN, "m")])
+        assert image.entry == image.symbols["_start"]
+        assert image.entry == LayoutPlan().text_base
+
+    def test_crt0_calls_main_and_exits(self):
+        program = load([assemble(SIMPLE_MAIN, "m")])
+        result = program.run()
+        assert result.exit_code == 0
+
+    def test_main_return_value_becomes_exit_code(self):
+        program = load([assemble("""
+.text
+.global main
+main:
+    mov r0, 17
+    ret
+""", "m")])
+        assert program.run().exit_code == 17
+
+    def test_cross_module_symbols(self):
+        helper = assemble("""
+.text
+.global helper
+helper:
+    mov r0, 9
+    ret
+""", "helper")
+        main = assemble("""
+.text
+.global main
+main:
+    call helper
+    ret
+""", "main")
+        program = load([main, helper])
+        assert program.run().exit_code == 9
+
+    def test_local_symbols_stay_private(self):
+        a = assemble(".text\n.global main\nmain: call mine\nret\nmine: mov r0, 1\nret\n", "a")
+        b = assemble(".text\nmine: mov r0, 2\nret\n", "b")
+        program = load([a, b])
+        # main's call resolves to a's local `mine`, not b's.
+        assert program.run().exit_code == 1
+
+    def test_undefined_symbol_rejected(self):
+        obj = assemble(".text\n.global main\nmain: call missing\n", "m")
+        with pytest.raises(LinkError, match="missing"):
+            link([obj])
+
+    def test_duplicate_globals_rejected(self):
+        a = assemble(".text\n.global f\nf: ret\n", "a")
+        b = assemble(".text\n.global f\nf: ret\n", "b")
+        with pytest.raises(LinkError, match="duplicate global"):
+            link([a, b], add_crt0=False)
+
+    def test_duplicate_object_names_rejected(self):
+        a = assemble(".text\n.global main\nmain: ret\n", "same")
+        b = assemble(".text\nother: ret\n", "same")
+        with pytest.raises(LinkError, match="duplicate object names"):
+            link([a, b])
+
+    def test_no_main_rejected(self):
+        obj = assemble(".text\nfn: ret\n", "m")
+        with pytest.raises(LinkError):
+            link([obj])
+
+    def test_overlapping_segments_rejected(self):
+        obj = assemble(SIMPLE_MAIN + ".data\nblob: .space 64\n", "m")
+        plan = LayoutPlan(text_base=0x08048000, data_base=0x08048004)
+        with pytest.raises(LinkError, match="overlaps"):
+            link([obj], plan)
+
+    def test_data_relocation(self):
+        obj = assemble("""
+.text
+.global main
+main:
+    mov r1, cell
+    load r0, [r1]
+    ret
+.data
+cell: .word 1234
+""", "m")
+        program = load([obj])
+        assert program.run().exit_code == 1234
+
+    def test_object_layout_recorded(self):
+        image = link([assemble(SIMPLE_MAIN, "m")])
+        text_range = image.object_layout["m"][".text"]
+        assert text_range[1] - text_range[0] == 8  # mov(6) + sys(2)
+
+    def test_memory_map_matches_figure1(self):
+        """Text low (0x08048000, the paper's value), stack high."""
+        image = link([assemble(SIMPLE_MAIN, "m")])
+        plan = LayoutPlan()
+        assert image.segment_named("text").addr == plan.text_base == 0x08048000
+        stack_lo, stack_hi = image.stack_range
+        assert stack_lo == plan.stack_base
+        assert image.initial_sp < stack_hi
+        assert image.initial_sp > stack_lo
+
+    def test_function_addresses_exclude_internal_labels(self):
+        obj = assemble(".text\n.global main\nmain: nop\n.Lloop: jmp .Lloop\n", "m")
+        image = link([obj])
+        assert image.symbols["m:main"] in image.function_addresses
+        assert image.symbols["m:.Lloop"] not in image.function_addresses
+
+
+class TestProtectedAndKernelLayout:
+    def test_protected_module_segments(self):
+        module = assemble("""
+.text
+.entry enter
+enter:
+    mov r0, 5
+    ret
+.data
+value: .word 7
+""", "mod")
+        main = assemble(".text\n.global main\nmain: call enter\nret\n", "main")
+        program = load([main, module])
+        image = program.image
+        spec = image.protected_modules[0]
+        assert spec.name == "mod"
+        assert spec.text_start == LayoutPlan().module_base
+        assert spec.data_start % PAGE_SIZE == 0
+        assert spec.entry_points == {"enter": spec.text_start}
+        # The machine registered it.
+        assert program.machine.pma.modules[0].name == "mod"
+        assert program.run().exit_code == 5
+
+    def test_kernel_region_registered(self):
+        kernel = assemble(".text\nkmain: ret\n.kernel\n", "kmod")
+        main = assemble(SIMPLE_MAIN, "main")
+        program = load([main, kernel])
+        start, end = program.machine.kernel_regions[0]
+        assert start == LayoutPlan().kernel_base
+        assert end > start
+
+
+class TestLoader:
+    def test_dep_sets_wx_permissions(self):
+        program = load([assemble(SIMPLE_MAIN, "m")], DEP)
+        memory = program.machine.memory
+        text = program.image.segment_named("text")
+        stack_lo, _ = program.image.stack_range
+        assert memory.perms_at(text.addr) == PERM_RX
+        assert memory.perms_at(stack_lo) == PERM_RW
+
+    def test_no_dep_maps_rwx(self):
+        program = load([assemble(SIMPLE_MAIN, "m")], NONE)
+        memory = program.machine.memory
+        text = program.image.segment_named("text")
+        stack_lo, _ = program.image.stack_range
+        assert memory.perms_at(text.addr) == PERM_RWX
+        assert memory.perms_at(stack_lo) == PERM_RWX
+
+    def test_aslr_changes_layout_with_seed(self):
+        addresses = set()
+        for seed in range(6):
+            program = load([assemble(SIMPLE_MAIN, "m")], ASLR, seed=seed)
+            addresses.add(program.image.segment_named("text").addr)
+        assert len(addresses) > 1
+
+    def test_aslr_deterministic_per_seed(self):
+        first = load([assemble(SIMPLE_MAIN, "m")], ASLR, seed=3)
+        second = load([assemble(SIMPLE_MAIN, "m")], ASLR, seed=3)
+        assert (first.image.segment_named("text").addr
+                == second.image.segment_named("text").addr)
+
+    def test_aslr_zero_bits_means_fixed(self):
+        first = load([assemble(SIMPLE_MAIN, "m")], NONE, seed=1)
+        second = load([assemble(SIMPLE_MAIN, "m")], NONE, seed=2)
+        assert (first.image.segment_named("text").addr
+                == second.image.segment_named("text").addr)
+
+    def test_aslr_program_still_works(self):
+        for seed in range(4):
+            program = load([assemble(SIMPLE_MAIN, "m")], ASLR, seed=seed)
+            assert program.run().exit_code == 0
+
+    def test_canary_cell_randomised_when_enabled(self):
+        config = MitigationConfig(stack_canaries=True)
+        values = set()
+        for seed in range(4):
+            program = load([assemble(SIMPLE_MAIN, "m")], config, seed=seed)
+            values.add(program.machine.memory.read_word(program.image.canary_cell))
+        assert len(values) > 1
+        assert 0 not in values
+
+    def test_canary_cell_zero_when_disabled(self):
+        program = load([assemble(SIMPLE_MAIN, "m")], NONE, seed=5)
+        assert program.machine.memory.read_word(program.image.canary_cell) == 0
+
+    def test_cfi_targets_populated(self):
+        program = load([assemble(SIMPLE_MAIN, "m")],
+                       MitigationConfig(cfi=True))
+        assert program.image.symbols["m:main"] in program.machine.indirect_targets
+
+    def test_initial_registers(self):
+        program = load([assemble(SIMPLE_MAIN, "m")])
+        assert program.machine.cpu.ip == program.image.entry
+        assert program.machine.cpu.sp == program.image.initial_sp

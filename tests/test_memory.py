@@ -1,0 +1,116 @@
+"""Tests for the paged memory substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryFault
+from repro.machine.memory import (
+    Memory,
+    PAGE_SIZE,
+    PERM_R,
+    PERM_RW,
+    PERM_RWX,
+    PERM_RX,
+    PERM_W,
+    PERM_X,
+    perms_to_str,
+)
+
+
+@pytest.fixture
+def memory():
+    mem = Memory()
+    mem.map_region(0x1000, 2 * PAGE_SIZE, PERM_RW)
+    return mem
+
+
+class TestMapping:
+    def test_unmapped_read_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.read_byte(0x100000)
+
+    def test_unmapped_write_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.write_byte(0x100000, 1)
+
+    def test_is_mapped(self, memory):
+        assert memory.is_mapped(0x1000)
+        assert memory.is_mapped(0x1000 + 2 * PAGE_SIZE - 1)
+        assert not memory.is_mapped(0x1000 + 2 * PAGE_SIZE)
+
+    def test_map_partial_page_maps_whole_page(self):
+        mem = Memory()
+        mem.map_region(0x1FF0, 0x20, PERM_RW)  # straddles a page boundary
+        assert mem.is_mapped(0x1000)
+        assert mem.is_mapped(0x2000)
+
+    def test_map_zero_size_is_noop(self):
+        mem = Memory()
+        mem.map_region(0x1000, 0, PERM_RW)
+        assert not mem.is_mapped(0x1000)
+
+    def test_remap_preserves_contents(self, memory):
+        memory.write_word(0x1000, 0xCAFEBABE)
+        memory.map_region(0x1000, PAGE_SIZE, PERM_RX)
+        assert memory.read_word(0x1000) == 0xCAFEBABE
+        assert memory.perms_at(0x1000) == PERM_RX
+
+    def test_set_perms_unmapped_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.set_perms(0x900000, 4, PERM_R)
+
+    def test_mapped_regions_coalesce(self):
+        mem = Memory()
+        mem.map_region(0x1000, PAGE_SIZE, PERM_RW)
+        mem.map_region(0x2000, PAGE_SIZE, PERM_RW)
+        mem.map_region(0x5000, PAGE_SIZE, PERM_RW)
+        assert mem.mapped_regions() == [(0x1000, 0x3000), (0x5000, 0x6000)]
+
+
+class TestAccess:
+    def test_word_roundtrip_little_endian(self, memory):
+        memory.write_word(0x1000, 0x11223344)
+        assert memory.read_bytes(0x1000, 4) == bytes([0x44, 0x33, 0x22, 0x11])
+        assert memory.read_word(0x1000) == 0x11223344
+
+    def test_cross_page_access(self, memory):
+        addr = 0x1000 + PAGE_SIZE - 2
+        memory.write_word(addr, 0xAABBCCDD)
+        assert memory.read_word(addr) == 0xAABBCCDD
+
+    def test_byte_access(self, memory):
+        memory.write_byte(0x1003, 0x1FF)  # truncated to 8 bits
+        assert memory.read_byte(0x1003) == 0xFF
+
+    def test_iter_words(self, memory):
+        memory.write_word(0x1000, 1)
+        memory.write_word(0x1004, 2)
+        words = list(memory.iter_words(0x1000, 0x1008))
+        assert words == [(0x1000, 1), (0x1004, 2)]
+
+    @given(st.integers(min_value=0, max_value=PAGE_SIZE - 64),
+           st.binary(min_size=1, max_size=64))
+    def test_roundtrip_random(self, offset, data):
+        mem = Memory()
+        mem.map_region(0x4000, PAGE_SIZE, PERM_RW)
+        mem.write_bytes(0x4000 + offset, data)
+        assert mem.read_bytes(0x4000 + offset, len(data)) == data
+
+
+class TestPermissions:
+    def test_range_perms_intersects(self):
+        mem = Memory()
+        mem.map_region(0x1000, PAGE_SIZE, PERM_RWX)
+        mem.map_region(0x2000, PAGE_SIZE, PERM_R)
+        assert mem.range_perms(0x1000, 8) == PERM_RWX
+        # A range spanning both pages has only the common permissions.
+        assert mem.range_perms(0x1FFC, 8) == PERM_R
+
+    def test_range_perms_unmapped_faults(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.range_perms(0x1000 + 2 * PAGE_SIZE - 4, 8)
+
+    def test_perms_to_str(self):
+        assert perms_to_str(PERM_RX) == "r-x"
+        assert perms_to_str(PERM_W) == "-w-"
+        assert perms_to_str(0) == "---"

@@ -1,0 +1,341 @@
+"""End-to-end MinC semantics: compile, run, check observable behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import RunStatus
+from tests.conftest import run_c
+
+
+def outputs(source: str, stdin: bytes = b"") -> list[int]:
+    result = run_c(source, stdin)
+    assert result.status is RunStatus.EXITED, (result.status, result.fault)
+    return [int(line) for line in result.output.split()]
+
+
+def expr_value(expression: str, preamble: str = "") -> int:
+    source = f"{preamble}\nvoid main() {{ print_int({expression}); }}"
+    return outputs(source)[0]
+
+
+class TestExpressions:
+    @pytest.mark.parametrize("expression,expected", [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 - 3 - 2", 5),
+        ("7 / 2", 3),
+        ("-7 / 2", -3),       # C truncation toward zero
+        ("7 % 3", 1),
+        ("-7 % 3", -1),       # sign follows the dividend
+        ("1 << 4", 16),
+        ("256 >> 4", 16),
+        ("0xF0 & 0x3C", 0x30),
+        ("0xF0 | 0x0F", 0xFF),
+        ("0xFF ^ 0x0F", 0xF0),
+        ("~0", -1),
+        ("-(5)", -5),
+        ("!0", 1),
+        ("!7", 0),
+        ("1 < 2", 1),
+        ("2 < 1", 0),
+        ("2 <= 2", 1),
+        ("3 > 2", 1),
+        ("3 >= 4", 0),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("-1 < 0", 1),          # signed comparison
+        ("1 && 2", 1),
+        ("1 && 0", 0),
+        ("0 || 3", 1),
+        ("0 || 0", 0),
+        ("'A'", 65),
+    ])
+    def test_constant_expressions(self, expression, expected):
+        assert expr_value(expression) == expected
+
+    def test_wraparound_arithmetic(self):
+        assert expr_value("2147483647 + 1") == -2147483648
+
+    def test_short_circuit_and(self):
+        # boom() would exit(9); && must not evaluate it.
+        assert outputs("""
+int boom() { exit(9); return 0; }
+void main() { print_int(0 && boom()); print_int(1); }
+""") == [0, 1]
+
+    def test_short_circuit_or(self):
+        assert outputs("""
+int boom() { exit(9); return 0; }
+void main() { print_int(1 || boom()); print_int(1); }
+""") == [1, 1]
+
+    def test_assignment_is_expression(self):
+        assert outputs("""
+void main() {
+    int a;
+    int b;
+    a = b = 21;
+    print_int(a + b);
+}
+""") == [42]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000),
+           st.sampled_from(["+", "-", "*"]))
+    def test_arithmetic_matches_python(self, a, b, op):
+        expected = {"+": a + b, "-": a - b, "*": a * b}[op]
+        assert expr_value(f"({a}) {op} ({b})") == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_comparisons_match_python(self, a, b):
+        assert expr_value(f"({a}) < ({b})") == int(a < b)
+        assert expr_value(f"({a}) == ({b})") == int(a == b)
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+int classify(int x) {
+    if (x < 0) return -1;
+    else if (x == 0) return 0;
+    else return 1;
+}
+void main() {
+    print_int(classify(-5));
+    print_int(classify(0));
+    print_int(classify(9));
+}
+"""
+        assert outputs(source) == [-1, 0, 1]
+
+    def test_while_loop(self):
+        assert outputs("""
+void main() {
+    int total = 0;
+    int i = 1;
+    while (i <= 10) { total = total + i; i = i + 1; }
+    print_int(total);
+}
+""") == [55]
+
+    def test_for_loop_with_break_continue(self):
+        assert outputs("""
+void main() {
+    int total = 0;
+    int i;
+    for (i = 0; i < 100; i = i + 1) {
+        if (i % 2 == 0) continue;
+        if (i > 10) break;
+        total = total + i;
+    }
+    print_int(total);
+}
+""") == [1 + 3 + 5 + 7 + 9]
+
+    def test_nested_loops(self):
+        assert outputs("""
+void main() {
+    int count = 0;
+    int i;
+    for (i = 0; i < 4; i = i + 1) {
+        int j;
+        for (j = 0; j < i; j = j + 1) {
+            count = count + 1;
+        }
+    }
+    print_int(count);
+}
+""") == [6]
+
+    def test_recursion(self):
+        assert outputs("""
+int fact(int n) {
+    if (n <= 1) return 1;
+    return n * fact(n - 1);
+}
+void main() { print_int(fact(7)); }
+""") == [5040]
+
+    def test_mutual_recursion(self):
+        assert outputs("""
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+void main() { print_int(is_even(10)); print_int(is_odd(10)); }
+""") == [1, 0]
+
+
+class TestDataAndPointers:
+    def test_global_init_and_update(self):
+        assert outputs("""
+static int counter = 5;
+void bump() { counter = counter + 1; }
+void main() { bump(); bump(); print_int(counter); }
+""") == [7]
+
+    def test_global_array_initialiser(self):
+        assert outputs("""
+int table[] = {10, 20, 30};
+void main() { print_int(table[0] + table[1] + table[2]); }
+""") == [60]
+
+    def test_local_array_roundtrip(self):
+        assert outputs("""
+void main() {
+    int squares[8];
+    int i;
+    for (i = 0; i < 8; i = i + 1) { squares[i] = i * i; }
+    int total = 0;
+    for (i = 0; i < 8; i = i + 1) { total = total + squares[i]; }
+    print_int(total);
+}
+""") == [sum(i * i for i in range(8))]
+
+    def test_char_array_and_bytes(self):
+        result = run_c("""
+void main() {
+    char buf[4];
+    buf[0] = 'o';
+    buf[1] = 'k';
+    buf[2] = '!';
+    buf[3] = 10;
+    write(1, buf, 4);
+}
+""")
+        assert result.output == b"ok!\n"
+
+    def test_char_truncation(self):
+        assert outputs("""
+void main() {
+    char c;
+    c = 300;
+    print_int(c);
+}
+""") == [300 & 0xFF]
+
+    def test_pointer_deref_and_write(self):
+        assert outputs("""
+void main() {
+    int x = 1;
+    int *p = &x;
+    *p = 99;
+    print_int(x);
+    print_int(*p);
+}
+""") == [99, 99]
+
+    def test_pointer_arithmetic_scales(self):
+        assert outputs("""
+void main() {
+    int arr[4];
+    arr[0] = 10; arr[1] = 20; arr[2] = 30; arr[3] = 40;
+    int *p = arr;
+    print_int(*(p + 2));
+    print_int(*(2 + p));
+}
+""") == [30, 30]
+
+    def test_char_pointer_arithmetic_unscaled(self):
+        result = run_c("""
+void main() {
+    char s[4];
+    s[0] = 'a'; s[1] = 'b'; s[2] = 'c'; s[3] = 0;
+    char *p = s;
+    write(1, p + 1, 2);
+}
+""")
+        assert result.output == b"bc"
+
+    def test_string_literal(self):
+        result = run_c("""
+void main() {
+    write(1, "hello", 5);
+}
+""")
+        assert result.output == b"hello"
+
+    def test_pass_array_to_function(self):
+        assert outputs("""
+int total(int arr[], int n) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i = i + 1) { acc = acc + arr[i]; }
+    return acc;
+}
+void main() {
+    int values[3];
+    values[0] = 7; values[1] = 8; values[2] = 9;
+    print_int(total(values, 3));
+}
+""") == [24]
+
+    def test_out_param_via_pointer(self):
+        assert outputs("""
+void put(int *slot, int value) { *slot = value; }
+void main() {
+    int x = 0;
+    put(&x, 123);
+    print_int(x);
+}
+""") == [123]
+
+
+class TestFunctionPointers:
+    def test_direct_assignment_and_call(self):
+        assert outputs("""
+int twice(int x) { return 2 * x; }
+int thrice(int x) { return 3 * x; }
+void main() {
+    int (*f)(int);
+    f = twice;
+    print_int(f(10));
+    f = &thrice;
+    print_int(f(10));
+}
+""") == [20, 30]
+
+    def test_callback_parameter(self):
+        assert outputs("""
+int add(int a, int b) { return a + b; }
+int fold(int (*op)(int, int), int seed, int n) {
+    int i;
+    for (i = 1; i <= n; i = i + 1) { seed = op(seed, i); }
+    return seed;
+}
+void main() { print_int(fold(&add, 0, 5)); }
+""") == [15]
+
+    def test_funcptr_in_global(self):
+        assert outputs("""
+int one() { return 1; }
+static int (*handler)();
+void main() {
+    handler = one;
+    print_int(handler());
+}
+""") == [1]
+
+
+class TestIO:
+    def test_read_echo(self):
+        result = run_c("""
+void main() {
+    char buf[8];
+    int n = read(0, buf, 8);
+    write(1, buf, n);
+}
+""", stdin=b"ping")
+        assert result.output == b"ping"
+
+    def test_exit_code(self):
+        result = run_c("void main() { exit(3); }")
+        assert result.exit_code == 3
+
+    def test_main_fallthrough_exits_zero(self):
+        result = run_c("void main() { }")
+        assert result.exit_code == 0
+
+    def test_main_return_value(self):
+        result = run_c("int main() { return 12; }")
+        assert result.exit_code == 12

@@ -1,0 +1,220 @@
+"""Tests for the MinC language extensions: ++/--, compound assignment,
+the ternary operator, do-while -- including compiling the paper's
+Figure 2 code verbatim."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.machine import RunStatus
+from repro.minic import compile_to_asm, parse
+from repro.minic.sema import analyze
+from tests.conftest import run_c
+
+
+def outputs(source: str, stdin: bytes = b"") -> list[int]:
+    result = run_c(source, stdin)
+    assert result.status is RunStatus.EXITED, (result.status, result.fault)
+    return [int(line) for line in result.output.split()]
+
+
+class TestIncrementDecrement:
+    def test_postfix_returns_old_value(self):
+        assert outputs("""
+void main() {
+    int x = 5;
+    print_int(x++);
+    print_int(x);
+}
+""") == [5, 6]
+
+    def test_prefix_returns_new_value(self):
+        assert outputs("""
+void main() {
+    int x = 5;
+    print_int(++x);
+    print_int(--x);
+}
+""") == [6, 5]
+
+    def test_postfix_on_global(self):
+        assert outputs("""
+static int counter = 10;
+void main() {
+    counter--;
+    counter--;
+    print_int(counter);
+}
+""") == [8]
+
+    def test_postfix_on_array_element(self):
+        assert outputs("""
+void main() {
+    int a[2];
+    a[1] = 7;
+    print_int(a[1]++);
+    print_int(a[1]);
+}
+""") == [7, 8]
+
+    def test_pointer_increment_scales(self):
+        assert outputs("""
+void main() {
+    int a[3];
+    a[0] = 1; a[1] = 2; a[2] = 3;
+    int *p = a;
+    p++;
+    print_int(*p);
+    print_int(*p++);
+    print_int(*p);
+}
+""") == [2, 2, 3]
+
+    def test_char_increment_wraps_byte(self):
+        assert outputs("""
+void main() {
+    char c;
+    c = 255;
+    c++;
+    print_int(c);
+}
+""") == [0]
+
+    def test_needs_lvalue(self):
+        with pytest.raises(CompileError, match="lvalue"):
+            analyze(parse("void main() { 5++; }"))
+
+    def test_loop_idiom(self):
+        assert outputs("""
+void main() {
+    int total = 0;
+    int i;
+    for (i = 0; i < 5; i++) { total += i; }
+    print_int(total);
+}
+""") == [10]
+
+
+class TestCompoundAssignment:
+    @pytest.mark.parametrize("op,expected", [
+        ("x += 3", 13), ("x -= 3", 7), ("x *= 3", 30),
+        ("x /= 3", 3), ("x %= 3", 1),
+    ])
+    def test_operators(self, op, expected):
+        assert outputs(f"""
+void main() {{
+    int x = 10;
+    {op};
+    print_int(x);
+}}
+""") == [expected]
+
+    def test_result_is_expression(self):
+        assert outputs("""
+void main() {
+    int x = 1;
+    print_int(x += 4);
+}
+""") == [5]
+
+    def test_on_array_element(self):
+        assert outputs("""
+void main() {
+    int a[2];
+    a[0] = 3;
+    a[0] += 4;
+    print_int(a[0]);
+}
+""") == [7]
+
+
+class TestTernary:
+    def test_both_branches(self):
+        assert outputs("""
+int pick(int c) { return c ? 10 : 20; }
+void main() {
+    print_int(pick(1));
+    print_int(pick(0));
+}
+""") == [10, 20]
+
+    def test_only_taken_branch_evaluates(self):
+        assert outputs("""
+int boom() { exit(9); return 0; }
+void main() {
+    print_int(1 ? 7 : boom());
+    print_int(0 ? boom() : 8);
+}
+""") == [7, 8]
+
+    def test_nesting(self):
+        assert outputs("""
+int sign(int x) { return x < 0 ? -1 : (x == 0 ? 0 : 1); }
+void main() {
+    print_int(sign(-9));
+    print_int(sign(0));
+    print_int(sign(9));
+}
+""") == [-1, 0, 1]
+
+    def test_incompatible_branches_rejected(self):
+        with pytest.raises(CompileError, match="incompatible"):
+            analyze(parse("""
+void nothing() { }
+void main() { int x = 1 ? 1 : nothing(); }
+"""))
+
+
+class TestDoWhile:
+    def test_body_runs_at_least_once(self):
+        assert outputs("""
+void main() {
+    int i = 10;
+    int runs = 0;
+    do { runs++; } while (i < 5);
+    print_int(runs);
+}
+""") == [1]
+
+    def test_loops_until_false(self):
+        assert outputs("""
+void main() {
+    int i = 0;
+    do { i++; } while (i < 7);
+    print_int(i);
+}
+""") == [7]
+
+    def test_break_and_continue(self):
+        assert outputs("""
+void main() {
+    int i = 0;
+    int total = 0;
+    do {
+        i++;
+        if (i % 2 == 0) continue;
+        if (i > 9) break;
+        total += i;
+    } while (1);
+    print_int(total);
+}
+""") == [1 + 3 + 5 + 7 + 9]
+
+
+class TestPaperVerbatim:
+    def test_figure2_compiles_verbatim(self):
+        """The exact code of the paper's Figure 2 (including the
+        ``tries_left--``) compiles and behaves as described."""
+        from repro.programs.sources import SECRET_MODULE_FIG2
+
+        assert "tries_left-- ;" in SECRET_MODULE_FIG2  # really verbatim
+        compile_to_asm(SECRET_MODULE_FIG2, "secret")
+
+    def test_figure2_lockout_semantics(self):
+        from repro.attacks.payloads import p32
+        from repro.programs import build_secret_program
+
+        program = build_secret_program()
+        program.feed(p32(5) + p32(1) + p32(2) + p32(3) + p32(1234) + p32(1234))
+        result = program.run()
+        # Three strikes, then even the right PIN is refused.
+        assert [int(x) for x in result.output.split()] == [0, 0, 0, 0, 0]

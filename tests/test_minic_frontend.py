@@ -1,0 +1,285 @@
+"""Tests for the MinC lexer, parser, and semantic analysis."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.minic import ast, parse
+from repro.minic.lexer import tokenize
+from repro.minic.sema import analyze
+from repro.minic.types import ArrayType, CHAR, FuncType, INT, PointerType
+
+
+class TestLexer:
+    def test_keywords_vs_identifiers(self):
+        kinds = [t.kind for t in tokenize("int intx if ifx")]
+        assert kinds == ["kw:int", "ident", "kw:if", "ident", "eof"]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x2A 0")
+        assert [t.value for t in tokens[:-1]] == [42, 42, 0]
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'A' '\n' '\0' '\\'")
+        assert [t.value for t in tokens[:-1]] == [65, 10, 0, 92]
+
+    def test_string_with_escapes(self):
+        token = tokenize(r'"a\n\x41"')[0]
+        assert token.value == "a\nA"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a // line\n b /* block\n more */ c")
+        assert [t.value for t in tokens[:-1]] == ["a", "b", "c"]
+
+    def test_multichar_operators_maximal_munch(self):
+        kinds = [t.kind for t in tokenize("<= < == = && & << <")]
+        assert kinds[:-1] == ["<=", "<", "==", "=", "&&", "&", "<<", "<"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_unterminated_string(self):
+        with pytest.raises(CompileError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_unexpected_character(self):
+        with pytest.raises(CompileError, match="unexpected"):
+            tokenize("a @ b")
+
+
+class TestParser:
+    def test_function_and_params(self):
+        program = parse("int add(int a, int b) { return a + b; }")
+        func = program.functions[0]
+        assert func.name == "add"
+        assert [p.name for p in func.params] == ["a", "b"]
+        assert func.return_type is INT
+
+    def test_prototype(self):
+        program = parse("int get_secret(int pin);")
+        assert program.functions[0].body is None
+
+    def test_pointer_and_array_declarators(self):
+        program = parse("""
+char *p;
+int arr[4];
+char buf[];
+""")
+        types = [g.var_type for g in program.globals]
+        assert types[0] == PointerType(CHAR)
+        assert types[1] == ArrayType(INT, 4)
+        assert types[2] == ArrayType(CHAR, None)
+
+    def test_function_pointer_param(self):
+        program = parse("int f(int (*cb)(int, char*)) { return cb(1, 0); }")
+        param_type = program.functions[0].params[0].var_type
+        assert isinstance(param_type, FuncType)
+        assert param_type.params == (INT, PointerType(CHAR))
+
+    def test_empty_funcptr_params(self):
+        program = parse("int f(int (*get_pin)()) { return get_pin(); }")
+        assert program.functions[0].params[0].var_type == FuncType(INT, ())
+
+    def test_global_initialisers(self):
+        program = parse("""
+static int x = 5;
+static int y = -3;
+char msg[8] = "hi";
+int table[] = {1, 2, 3};
+""")
+        inits = [g.init for g in program.globals]
+        assert inits[0] == 5
+        assert inits[1] == -3
+        assert inits[2] == b"hi\x00"
+        assert inits[3] == [1, 2, 3]
+        assert program.globals[0].static
+        assert not program.globals[2].static
+
+    def test_precedence(self):
+        program = parse("void f() { int x = 1 + 2 * 3; }")
+        decl = program.functions[0].body.statements[0]
+        assert isinstance(decl.init, ast.Binary) and decl.init.op == "+"
+        assert decl.init.right.op == "*"
+
+    def test_unary_chain(self):
+        program = parse("void f(int *p) { int x = -*p; }")
+        init = program.functions[0].body.statements[0].init
+        assert isinstance(init, ast.Unary) and init.op == "-"
+        assert isinstance(init.operand, ast.Deref)
+
+    def test_assignment_right_associative(self):
+        program = parse("void f() { int a; int b; a = b = 1; }")
+        stmt = program.functions[0].body.statements[2]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_for_with_decl(self):
+        program = parse("void f() { for (int i = 0; i < 3; i = i + 1) {} }")
+        loop = program.functions[0].body.statements[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+
+    def test_dangling_else(self):
+        program = parse("void f(int a) { if (a) if (a) a = 1; else a = 2; }")
+        outer = program.functions[0].body.statements[0]
+        assert outer.else_branch is None
+        assert outer.then_branch.else_branch is not None
+
+    def test_call_and_index_postfix(self):
+        program = parse("int g(int x) { return x; } void f(int a[]) { g(a[2]); }")
+        call = program.functions[1].body.statements[0].expr
+        assert isinstance(call, ast.Call)
+        assert isinstance(call.args[0], ast.Index)
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(CompileError, match="line 2"):
+            parse("void f() {\n int x = ; \n}")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(CompileError, match="void"):
+            parse("void x;")
+
+
+def analyze_source(source, safe=False):
+    return analyze(parse(source), safe=safe)
+
+
+class TestSema:
+    def test_undeclared_identifier(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            analyze_source("void f() { x = 1; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(CompileError, match="undeclared function"):
+            analyze_source("void f() { missing(); }")
+
+    def test_builtins_resolve(self):
+        program = analyze_source("void f() { print_int(rand()); }")
+        call = program.functions[0].body.statements[0].expr
+        assert call.mode == "builtin"
+
+    def test_user_function_shadows_builtin(self):
+        program = analyze_source("""
+int rand() { return 4; }
+void f() { print_int(rand()); }
+""")
+        call = program.functions[1].body.statements[0].expr
+        inner = call.args[0]
+        assert inner.mode == "direct"
+
+    def test_arity_checked(self):
+        with pytest.raises(CompileError, match="arguments"):
+            analyze_source("int g(int a) { return a; } void f() { g(1, 2); }")
+        with pytest.raises(CompileError, match="arguments"):
+            analyze_source("void f() { exit(); }")
+
+    def test_redeclaration_rejected(self):
+        with pytest.raises(CompileError, match="redeclaration"):
+            analyze_source("void f() { int a; int a; }")
+
+    def test_shadowing_in_nested_block_allowed(self):
+        analyze_source("void f() { int a; { int a; a = 1; } }")
+
+    def test_redefinition_rejected(self):
+        with pytest.raises(CompileError, match="redefinition"):
+            analyze_source("void f() {} void f() {}")
+
+    def test_prototype_then_definition(self):
+        analyze_source("int g(int x); int g(int x) { return x; }")
+
+    def test_conflicting_prototype(self):
+        with pytest.raises(CompileError, match="conflicting"):
+            analyze_source("int g(int x); char g(int x) { return 0; }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="outside"):
+            analyze_source("void f() { break; }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(CompileError, match="void function"):
+            analyze_source("void f() { return 1; }")
+        with pytest.raises(CompileError, match="without a value"):
+            analyze_source("int f() { return; }")
+
+    def test_array_assignment_rejected(self):
+        with pytest.raises(CompileError, match="array"):
+            analyze_source("void f() { int a[4]; int b[4]; a = b; }")
+
+    def test_deref_requires_pointer(self):
+        with pytest.raises(CompileError, match="dereference"):
+            analyze_source("void f() { int a; int b = *a; }")
+
+    def test_pointer_arithmetic_types(self):
+        program = analyze_source("void f(int *p) { int *q = p + 2; }")
+        init = program.functions[0].body.statements[0].init
+        assert init.type == PointerType(INT)
+
+    def test_pointer_plus_pointer_rejected(self):
+        with pytest.raises(CompileError, match="invalid operands"):
+            analyze_source("void f(int *p, int *q) { int x = p + q; }")
+
+    def test_unsized_local_array_rejected(self):
+        with pytest.raises(CompileError, match="size"):
+            analyze_source("void f() { int a[]; }")
+
+    def test_int_pointer_interchange_allowed_in_unsafe_mode(self):
+        # The C-ish laxity the paper's vulnerable programs rely on.
+        analyze_source("void f(char *p) { int x = p; char *q = x; }")
+
+
+class TestSafeMode:
+    def test_unsized_array_param_rejected(self):
+        with pytest.raises(CompileError, match="unsized array"):
+            analyze_source("void f(char buf[]) {}", safe=True)
+
+    def test_sized_array_param_allowed(self):
+        analyze_source(
+            "void f(char buf[16]) { buf[0] = 1; }", safe=True)
+
+    def test_addrof_rejected(self):
+        with pytest.raises(CompileError, match="taking addresses"):
+            analyze_source("void f() { int a; int *p = &a; }", safe=True)
+
+    def test_addrof_function_allowed(self):
+        analyze_source("""
+int cb() { return 1; }
+void f(int (*g)()) { f(&cb); }
+""", safe=True)
+
+    def test_deref_rejected(self):
+        with pytest.raises(CompileError, match="dereference"):
+            analyze_source("void f(int *p) { int x = *p; }", safe=True)
+
+    def test_array_decay_rejected(self):
+        with pytest.raises(CompileError, match="decay"):
+            analyze_source(
+                "void g(char *p) {} void f() { char b[4]; g(b); }", safe=True)
+
+    def test_indexing_sized_array_allowed(self):
+        analyze_source("void f() { int a[4]; a[2] = 1; }", safe=True)
+
+    def test_indexing_pointer_rejected(self):
+        with pytest.raises(CompileError, match="statically sized"):
+            analyze_source("void f(char *p) { p[0] = 1; }", safe=True)
+
+    def test_read_into_sized_array_allowed(self):
+        program = analyze_source(
+            "void f() { char b[8]; read(0, b, 8); }", safe=True)
+        call = program.functions[0].body.statements[1].expr
+        assert call.clamp_size == 8
+
+    def test_read_into_pointer_rejected(self):
+        with pytest.raises(CompileError, match="statically sized"):
+            analyze_source("void f(char *p) { read(0, p, 8); }", safe=True)
+
+    def test_returning_local_array_rejected(self):
+        # Rejected by the decay rule (the escape check is the backstop).
+        with pytest.raises(CompileError, match="safe mode"):
+            analyze_source("char *f() { char b[4]; return b; }", safe=True)
+
+    def test_passing_smaller_array_rejected(self):
+        with pytest.raises(CompileError, match="at least"):
+            analyze_source(
+                "void g(char b[16]) {} void f() { char s[8]; g(s); }",
+                safe=True)

@@ -1,0 +1,215 @@
+"""Tests for the compiler's mitigation passes and secure-PMA codegen."""
+
+import pytest
+
+from repro.errors import BoundsFault, CanaryFault, RedZoneFault
+from repro.machine import RunStatus
+from repro.minic import CompileOptions, compile_source, compile_to_asm
+from repro.mitigations import CANARY, MitigationConfig, NONE, TESTING
+from tests.conftest import c_program, run_c
+
+OVERFLOWING = """
+void main() {
+    char buf[16];
+    read(0, buf, 64);
+    write(1, buf, 16);
+}
+"""
+
+
+class TestCanaries:
+    def test_emitted_in_prologue_and_epilogue(self):
+        asm = compile_to_asm("void f() { int x; x = 1; }", "m",
+                             CompileOptions(stack_canaries=True))
+        assert "__canary" in asm
+        assert "sys 14" in asm  # __stack_chk_fail
+
+    def test_not_emitted_by_default(self):
+        asm = compile_to_asm("void f() { int x; x = 1; }", "m")
+        assert "__canary" not in asm
+
+    def test_benign_run_unaffected(self):
+        result = run_c(OVERFLOWING, stdin=b"x" * 10, config=CANARY)
+        assert result.status is RunStatus.EXITED
+
+    def test_overflow_detected_before_return_hijack(self):
+        result = run_c(OVERFLOWING, stdin=b"x" * 40, config=CANARY)
+        assert isinstance(result.fault, CanaryFault)
+
+    def test_without_canary_same_overflow_hijacks(self):
+        result = run_c(OVERFLOWING, stdin=b"\x41" * 40, config=NONE)
+        assert result.status is RunStatus.FAULT
+        assert not isinstance(result.fault, CanaryFault)
+
+    def test_overflow_between_locals_not_detected(self):
+        """The canary's blind spot: corruption below the canary."""
+        source = """
+void main() {
+    int sentinel = 7;
+    char buf[16];
+    read(0, buf, 20);
+    print_int(sentinel);
+}
+"""
+        result = run_c(source, stdin=b"A" * 20, config=CANARY)
+        assert result.status is RunStatus.EXITED
+        assert result.output != b"7\n"  # silently corrupted
+
+    def test_canary_value_differs_per_load(self):
+        from repro.programs.builders import build_victim
+
+        values = set()
+        for seed in range(4):
+            program = build_victim("fig1_vulnerable", CANARY, seed=seed)
+            values.add(program.machine.memory.read_word(
+                program.image.canary_cell))
+        assert len(values) == 4
+
+
+class TestBoundsChecks:
+    def test_chk_emitted_in_safe_mode(self):
+        asm = compile_to_asm("void f() { int a[4]; a[1] = 2; }", "m",
+                             CompileOptions(bounds_checks=True))
+        assert "chk r0, 4" in asm
+
+    def test_in_bounds_access_unaffected(self):
+        result = run_c("""
+void main() {
+    int a[4];
+    int i;
+    for (i = 0; i < 4; i = i + 1) { a[i] = i; }
+    print_int(a[3]);
+}
+""", options=CompileOptions(bounds_checks=True))
+        assert result.output == b"3\n"
+
+    def test_out_of_bounds_index_faults(self):
+        result = run_c("""
+int read_int() { int v = 0; read(0, &v, 4); return v; }
+void main() {
+    int a[4];
+    a[2] = 5;
+    print_int(a[2]);
+}
+""".replace("a[2] = 5", "int i = 4; a[i] = 5"),
+            options=CompileOptions(bounds_checks=False))
+        # sanity: without checks this silently corrupts
+        assert result.status is RunStatus.EXITED
+
+        result = run_c("""
+void main() {
+    int a[4];
+    int i = 4;
+    a[i] = 5;
+}
+""", options=CompileOptions(bounds_checks=True))
+        assert isinstance(result.fault, BoundsFault)
+
+    def test_negative_index_faults(self):
+        result = run_c("""
+void main() {
+    int a[4];
+    int i = 0 - 1;
+    a[i] = 5;
+}
+""", options=CompileOptions(bounds_checks=True))
+        assert isinstance(result.fault, BoundsFault)
+
+    def test_read_clamped_to_buffer(self):
+        result = run_c("""
+void main() {
+    char buf[8];
+    read(0, buf, 16);
+}
+""", stdin=b"y" * 16, options=CompileOptions(bounds_checks=True))
+        assert isinstance(result.fault, BoundsFault)
+
+
+class TestASan:
+    def test_poison_unpoison_emitted(self):
+        asm = compile_to_asm("void f() { char b[8]; b[0] = 1; }", "m",
+                             CompileOptions(asan=True))
+        assert "sys 12" in asm and "sys 13" in asm
+
+    def test_adjacent_overflow_detected(self):
+        source = """
+void main() {
+    int sentinel = 7;
+    char buf[16];
+    read(0, buf, 20);
+    print_int(sentinel);
+}
+"""
+        result = run_c(source, stdin=b"A" * 20, config=TESTING)
+        assert isinstance(result.fault, RedZoneFault)
+
+    def test_benign_run_unaffected(self):
+        source = """
+void main() {
+    char buf[16];
+    int i;
+    for (i = 0; i < 16; i = i + 1) { buf[i] = 'a'; }
+    write(1, buf, 16);
+}
+"""
+        result = run_c(source, config=TESTING)
+        assert result.status is RunStatus.EXITED
+        assert result.output == b"a" * 16
+
+    def test_underflow_detected(self):
+        source = """
+void main() {
+    char buf[8];
+    char *p = buf;
+    *(p - 1) = 'x';
+}
+"""
+        result = run_c(source, config=TESTING)
+        assert isinstance(result.fault, RedZoneFault)
+
+    def test_zones_unpoisoned_on_return(self):
+        """After a function returns, its red zones must not linger and
+        poison an unrelated frame reusing the stack."""
+        source = """
+int first() { char a[8]; a[0] = 1; return a[0]; }
+int second() { int x = 5; int y = 6; return x + y; }
+void main() {
+    first();
+    print_int(second());
+}
+"""
+        result = run_c(source, config=TESTING)
+        assert result.status is RunStatus.EXITED
+        assert result.output == b"11\n"
+
+
+class TestSecureModuleCodegen:
+    def test_insecure_module_entries(self):
+        obj = compile_source("""
+static int state = 1;
+int api() { return state; }
+static int internal() { return 2; }
+""", "mod", CompileOptions(protected=True))
+        assert obj.entry_points == ["api"]
+        assert obj.protected
+
+    def test_secure_module_runtime_cells(self):
+        asm = compile_to_asm("""
+int get(int (*cb)()) { return cb(); }
+""", "mod", CompileOptions.secure_module())
+        assert "__priv_stack_top" in asm
+        assert "__saved_sp" in asm
+        assert "__busy" in asm
+        assert "__reentry_mod" in asm
+        assert "__module_start" in asm  # pointer check bounds
+
+    def test_scrubbing_emitted(self):
+        asm = compile_to_asm("int api() { return 5; }", "mod",
+                             CompileOptions.secure_module())
+        for reg in range(1, 8):
+            assert f"mov r{reg}, 0" in asm
+
+    def test_plain_compile_has_no_pma_artifacts(self):
+        asm = compile_to_asm("int api() { return 5; }", "mod")
+        assert "__priv_stack" not in asm
+        assert "__busy" not in asm

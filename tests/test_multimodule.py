@@ -1,0 +1,81 @@
+"""Tests for mutually distrustful protected modules."""
+
+import pytest
+
+from repro.attacks.payloads import p32
+from repro.errors import ProtectionFault
+from repro.experiments.multimodule_exp import build_multimodule, multimodule_report
+from repro.machine import RunStatus
+
+
+class TestMultiModule:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return multimodule_report()
+
+    def test_two_modules_registered(self):
+        program = build_multimodule()
+        names = {module.name for module in program.machine.pma.modules}
+        assert names == {"module_a", "module_b"}
+
+    def test_both_serve_clients(self, report):
+        assert report["a_serves_client"]
+        assert report["b_serves_client"]
+
+    def test_cooperation_through_entry_points(self, report):
+        """A's secure outcall composes with B's secure entry stub."""
+        assert report["a_calls_b_through_entry"]
+
+    def test_key_separation(self, report):
+        assert report["distinct_module_keys"]
+        assert report["b_cannot_unseal_a"]
+
+    def test_mutual_isolation(self, report):
+        assert report["a_probing_b_denied"]
+        assert report["a_reads_own_secret"]
+        assert report["benign_probe_ok"]
+
+    def test_partial_output_before_denial(self, report):
+        """The hostile probe faults only at the B access: everything
+        before it (A's and B's honest service) already happened."""
+        assert report["a_probe_output_before_fault"][:4] == [111, 222, 222, -1]
+
+    def test_main_cannot_probe_either_module(self):
+        program = build_multimodule()
+        # main reads module A's secret directly (not via probe).
+        secret_a = program.image.symbol("module_a:secret_a")
+        program.feed(p32(0))
+        program.run(100_000)
+        with pytest.raises(ProtectionFault):
+            program.machine.current_module = None
+            program.machine.read_word(secret_a)
+
+    def test_b_entered_only_at_entry_points(self):
+        from repro.asm import assemble
+        from repro.minic import compile_source
+        from repro.minic.compiler import options_from_mitigations
+        from repro.mitigations import NONE
+        from repro.link import load
+        from repro.programs import multimodule
+        from repro.programs.builders import libc_object
+
+        module_options = options_from_mitigations(NONE, protected=True,
+                                                  secure=True)
+        b_obj = compile_source(multimodule.MODULE_B, "module_b", module_options)
+        study = load([
+            assemble(".text\n.global main\nmain: mov r0, 0\nsys 3\n", "main"),
+            b_obj, libc_object(),
+        ])
+        entry = study.image.symbol("get_secret_b")
+        hostile = assemble(f"""
+.text
+.global main
+main:
+    mov r0, 0x{entry + 8:x}
+    call r0
+    sys 3
+""", "main")
+        b_obj = compile_source(multimodule.MODULE_B, "module_b", module_options)
+        program = load([hostile, b_obj, libc_object()])
+        result = program.run()
+        assert isinstance(result.fault, ProtectionFault)

@@ -1,0 +1,149 @@
+"""Tests for the peephole optimizer: correctness and effectiveness."""
+
+import pytest
+
+from repro.link import load
+from repro.machine import RunStatus
+from repro.minic import CompileOptions, compile_source, compile_to_asm
+from repro.minic.optimizer import optimize_asm
+
+PLAIN = CompileOptions()
+OPT = CompileOptions(optimize=True)
+
+
+def run_both(source: str, stdin: bytes = b"") -> tuple:
+    """Run a program unoptimized and optimized; return both results."""
+    results = []
+    for options in (PLAIN, OPT):
+        program = load([compile_source(source, "t", options)])
+        program.feed(stdin)
+        results.append(program.run())
+    return tuple(results)
+
+
+class TestPatterns:
+    def test_push_pop_merged(self):
+        text = optimize_asm("    push r0\n    pop r2\n")
+        assert "mov r2, r0" in text
+        assert "push" not in text
+
+    def test_push_pop_same_register_dropped(self):
+        text = optimize_asm("    push r0\n    pop r0\n")
+        assert "push" not in text and "pop" not in text and "mov" not in text
+
+    def test_push_pop_not_merged_across_label(self):
+        text = optimize_asm("    push r0\n.L1:\n    pop r2\n")
+        assert "push r0" in text and "pop r2" in text
+
+    def test_mov_self_dropped(self):
+        text = optimize_asm("    mov r0, r0\n")
+        assert "mov" not in text
+
+    def test_lea_load_fused(self):
+        text = optimize_asm("    lea r0, [bp-0x4]\n    load r0, [r0]\n")
+        assert "load r0, [bp-0x4]" in text
+        assert "lea" not in text
+
+    def test_lea_store_fused_for_scratch(self):
+        text = optimize_asm("    lea r1, [bp-0x8]\n    store [r1], r0\n")
+        assert "store [bp-0x8], r0" in text
+
+    def test_lea_store_not_fused_for_non_scratch(self):
+        original = "    lea r3, [bp-0x8]\n    store [r3], r0\n"
+        assert "lea r3" in optimize_asm(original)
+
+    def test_scratch_imm_forwarded(self):
+        text = optimize_asm("    mov r1, 42\n    mov r0, r1\n")
+        assert "mov r0, 42" in text
+
+    def test_symbolic_imm_not_forwarded(self):
+        original = "    mov r1, __canary\n    mov r0, r1\n"
+        assert "mov r1, __canary" in optimize_asm(original)
+
+    def test_jump_to_next_dropped(self):
+        text = optimize_asm("    jmp .L5\n.L5:\n")
+        assert "jmp" not in text
+
+    def test_cascading_to_fixpoint(self):
+        # push/pop merge exposes a mov-self to drop.
+        text = optimize_asm("    push r0\n    pop r0\n    mov r1, r1\n")
+        assert "push" not in text and "mov" not in text
+
+
+class TestSemanticsPreserved:
+    PROGRAMS = [
+        ("""
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+void main() { print_int(fib(12)); }
+""", b"", b"144\n"),
+        ("""
+void main() {
+    int a[8];
+    int i;
+    for (i = 0; i < 8; i = i + 1) { a[i] = i * 3; }
+    int total = 0;
+    for (i = 0; i < 8; i = i + 1) { total = total + a[i]; }
+    print_int(total);
+}
+""", b"", b"84\n"),
+        ("""
+void main() {
+    char buf[8];
+    int n = read(0, buf, 8);
+    write(1, buf, n);
+}
+""", b"hiya", b"hiya"),
+        ("""
+int pick(int (*f)(int), int x) { return f(x); }
+int dbl(int x) { return 2 * x; }
+void main() { print_int(pick(&dbl, 21)); }
+""", b"", b"42\n"),
+    ]
+
+    @pytest.mark.parametrize("source,stdin,expected",
+                             PROGRAMS, ids=["fib", "arrays", "io", "funcptr"])
+    def test_same_output(self, source, stdin, expected):
+        plain, optimized = run_both(source, stdin)
+        assert plain.status is RunStatus.EXITED
+        assert optimized.status is RunStatus.EXITED
+        assert plain.output == optimized.output == expected
+
+    @pytest.mark.parametrize("source,stdin,expected",
+                             PROGRAMS, ids=["fib", "arrays", "io", "funcptr"])
+    def test_fewer_instructions(self, source, stdin, expected):
+        plain, optimized = run_both(source, stdin)
+        assert optimized.instructions < plain.instructions
+
+    def test_mitigations_compose_with_optimizer(self):
+        from repro.mitigations import CANARY
+        from tests.conftest import run_c
+
+        source = """
+void main() {
+    char buf[16];
+    read(0, buf, 64);
+}
+"""
+        options = CompileOptions(stack_canaries=True, optimize=True)
+        result = run_c(source, stdin=b"A" * 40, config=CANARY, options=options)
+        from repro.errors import CanaryFault
+
+        assert isinstance(result.fault, CanaryFault)
+
+    def test_bounds_checks_survive_optimization(self):
+        from repro.errors import BoundsFault
+        from tests.conftest import run_c
+
+        result = run_c("""
+void main() {
+    int a[4];
+    int i = 9;
+    a[i] = 1;
+}
+""", options=CompileOptions(bounds_checks=True, optimize=True))
+        assert isinstance(result.fault, BoundsFault)
+
+    def test_typical_saving_is_substantial(self):
+        plain, optimized = run_both(self.PROGRAMS[1][0])
+        saving = 1 - optimized.instructions / plain.instructions
+        assert saving > 0.08  # the boilerplate really was substantial

@@ -1,0 +1,211 @@
+"""Tests for the protected-module access-control model (Section IV-A)."""
+
+import pytest
+
+from repro.errors import ProtectionFault
+from repro.machine.access import AccessKind
+from repro.pma.module import PMAController, ProtectedModule
+
+
+def make_module(name="mod", text=(0x1000, 0x1100), data=(0x2000, 0x2100),
+                entries=(0x1000,)):
+    return ProtectedModule(
+        name=name,
+        text_start=text[0], text_end=text[1],
+        data_start=data[0], data_end=data[1],
+        entry_points=frozenset(entries),
+    )
+
+
+@pytest.fixture
+def controller():
+    pma = PMAController(b"\x07" * 32)
+    pma.register(make_module(), b"\x00" * 0x100)
+    return pma
+
+
+class TestDescriptor:
+    def test_entry_point_must_be_in_text(self):
+        with pytest.raises(ValueError, match="entry point"):
+            make_module(entries=(0x2000,))
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError, match="empty text"):
+            make_module(text=(0x1000, 0x1000))
+
+    def test_contains(self):
+        module = make_module()
+        assert module.in_text(0x1000) and module.in_text(0x10FF)
+        assert not module.in_text(0x1100)
+        assert module.in_data(0x2000)
+        assert module.contains(0x20FF)
+        assert not module.contains(0x3000)
+
+    def test_overlap_rejected_at_registration(self, controller):
+        with pytest.raises(ProtectionFault, match="overlaps"):
+            controller.register(
+                make_module("other", text=(0x10F0, 0x1200), data=(0x3000, 0x3100),
+                            entries=(0x10F0,)),
+                b"x",
+            )
+
+
+class TestRuleThree_EntryPoints:
+    """Rule 3: the IP enters a module only at entry points."""
+
+    def test_entry_at_entry_point_allowed(self, controller):
+        module = controller.modules[0]
+        assert controller.check_fetch(None, 0x1000) is module
+
+    def test_entry_mid_code_denied(self, controller):
+        with pytest.raises(ProtectionFault, match="bypassing"):
+            controller.check_fetch(None, 0x1004)
+
+    def test_execution_within_module_allowed(self, controller):
+        module = controller.modules[0]
+        assert controller.check_fetch(module, 0x1050) is module
+
+    def test_leaving_module_allowed(self, controller):
+        module = controller.modules[0]
+        assert controller.check_fetch(module, 0x9000) is None
+
+    def test_outside_to_outside_unaffected(self, controller):
+        assert controller.check_fetch(None, 0x9000) is None
+
+    def test_data_section_never_executable(self, controller):
+        module = controller.modules[0]
+        with pytest.raises(ProtectionFault, match="execute data"):
+            controller.check_fetch(None, 0x2010)
+        with pytest.raises(ProtectionFault, match="execute data"):
+            controller.check_fetch(module, 0x2010)
+
+    def test_cross_module_requires_entry(self):
+        pma = PMAController()
+        first = pma.register(make_module("a"), b"a")
+        pma.register(
+            make_module("b", text=(0x5000, 0x5100), data=(0x6000, 0x6100),
+                        entries=(0x5000,)),
+            b"b",
+        )
+        # From inside a, jumping into b's middle is denied...
+        with pytest.raises(ProtectionFault):
+            pma.check_fetch(first, 0x5010)
+        # ...but b's entry point is fine.
+        assert pma.check_fetch(first, 0x5000).name == "b"
+
+
+class TestRuleOne_OutsideAccess:
+    """Rule 1: outside code cannot touch module memory at all."""
+
+    @pytest.mark.parametrize("kind", [AccessKind.READ, AccessKind.WRITE])
+    @pytest.mark.parametrize("addr", [0x1000, 0x10FF, 0x2000, 0x20FF])
+    def test_outside_denied(self, controller, kind, addr):
+        with pytest.raises(ProtectionFault, match="denied"):
+            controller.check_data_access(None, kind, addr, 4)
+
+    def test_partial_overlap_denied(self, controller):
+        # A read starting before the module but reaching into it.
+        with pytest.raises(ProtectionFault):
+            controller.check_data_access(None, AccessKind.READ, 0x0FFC, 8)
+
+    def test_outside_memory_unaffected(self, controller):
+        controller.check_data_access(None, AccessKind.WRITE, 0x9000, 4)
+
+    def test_other_module_is_outside(self):
+        pma = PMAController()
+        first = pma.register(make_module("a"), b"a")
+        pma.register(
+            make_module("b", text=(0x5000, 0x5100), data=(0x6000, 0x6100),
+                        entries=(0x5000,)),
+            b"b",
+        )
+        with pytest.raises(ProtectionFault):
+            pma.check_data_access(first, AccessKind.READ, 0x6000, 4)
+
+
+class TestRuleTwo_InsideAccess:
+    """Rule 2: inside, data is read/write and code is execute-only."""
+
+    def test_module_reads_and_writes_own_data(self, controller):
+        module = controller.modules[0]
+        controller.check_data_access(module, AccessKind.READ, 0x2000, 4)
+        controller.check_data_access(module, AccessKind.WRITE, 0x2000, 4)
+
+    def test_module_reads_own_text(self, controller):
+        module = controller.modules[0]
+        controller.check_data_access(module, AccessKind.READ, 0x1000, 4)
+
+    def test_module_cannot_write_own_text(self, controller):
+        module = controller.modules[0]
+        with pytest.raises(ProtectionFault, match="code section"):
+            controller.check_data_access(module, AccessKind.WRITE, 0x1000, 4)
+
+    def test_module_accesses_outside_memory(self, controller):
+        """Modules may read/write unprotected memory (e.g. to fetch
+        arguments from the caller's stack)."""
+        module = controller.modules[0]
+        controller.check_data_access(module, AccessKind.READ, 0x9000, 4)
+        controller.check_data_access(module, AccessKind.WRITE, 0x9000, 4)
+
+
+class TestHardwareServices:
+    def test_measurement_and_key_set_at_registration(self, controller):
+        module = controller.modules[0]
+        assert len(module.measurement) == 32
+        assert len(module.module_key) == 32
+
+    def test_different_code_different_key(self):
+        pma = PMAController(b"\x07" * 32)
+        one = pma.register(make_module("a"), b"AAAA")
+        two = pma.register(
+            make_module("b", text=(0x5000, 0x5100), data=(0x6000, 0x6100),
+                        entries=(0x5000,)),
+            b"BBBB",
+        )
+        assert one.module_key != two.module_key
+
+    def test_same_code_same_key_across_controllers(self):
+        first = PMAController(b"\x07" * 32).register(make_module(), b"CODE")
+        second = PMAController(b"\x07" * 32).register(make_module(), b"CODE")
+        assert first.module_key == second.module_key
+
+    def test_different_platform_key_different_module_key(self):
+        first = PMAController(b"\x01" * 32).register(make_module(), b"CODE")
+        second = PMAController(b"\x02" * 32).register(make_module(), b"CODE")
+        assert first.module_key != second.module_key
+
+    def test_counters_keyed_by_measurement(self, controller):
+        module = controller.modules[0]
+        assert controller.counter_read(module) == 0
+        assert controller.counter_increment(module) == 1
+        assert controller.counter_increment(module) == 2
+        assert controller.counter_read(module) == 2
+
+    def test_counter_store_shared_across_boots(self):
+        store: dict = {}
+        first = PMAController(b"\x07" * 32, store)
+        module = first.register(make_module(), b"CODE")
+        first.counter_increment(module)
+        second = PMAController(b"\x07" * 32, store)
+        module_again = second.register(make_module(), b"CODE")
+        assert second.counter_read(module_again) == 1
+
+    def test_tampered_module_gets_fresh_counter(self):
+        store: dict = {}
+        first = PMAController(b"\x07" * 32, store)
+        module = first.register(make_module(), b"CODE")
+        first.counter_increment(module)
+        second = PMAController(b"\x07" * 32, store)
+        tampered = second.register(make_module(), b"EVIL")
+        assert second.counter_read(tampered) == 0
+
+    def test_attest_depends_on_key_and_nonce(self, controller):
+        module = controller.modules[0]
+        one = controller.attest(module, b"n1")
+        two = controller.attest(module, b"n2")
+        assert one != two and len(one) == 32
+
+    def test_seal_unseal_roundtrip(self, controller):
+        module = controller.modules[0]
+        blob = controller.seal(module, b"state", b"\x00" * 16)
+        assert controller.unseal(module, blob) == b"state"

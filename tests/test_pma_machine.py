@@ -1,0 +1,243 @@
+"""Machine-level PMA integration: the access rules enforced on real
+executing code (assembly-built scenarios, complementing the
+controller-level tests in test_pma.py)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.errors import ProtectionFault, SyscallFault
+from repro.link import load
+from repro.machine import RunStatus
+
+#: A module exposing one entry point; data holds a secret word.
+MODULE_ASM = """
+.text
+.entry api
+api:
+    mov r1, secret_cell
+    load r0, [r1]
+    ret
+inner:
+    mov r0, 0x1234
+    ret
+.data
+secret_cell: .word 0xS3C
+"""
+
+
+def make_module(secret=0x53C):
+    return assemble(MODULE_ASM.replace("0xS3C", hex(secret)), "mod")
+
+
+def build(main_source: str, secret=0x53C):
+    return load([assemble(main_source, "main"), make_module(secret)])
+
+
+class TestEntryDiscipline:
+    def test_call_through_entry_works(self):
+        program = build("""
+.text
+.global main
+main:
+    call api
+    sys 3
+""")
+        result = program.run()
+        assert result.exit_code == 0x53C
+
+    def test_call_to_internal_label_faults(self):
+        # `inner` is module-local, so the attacker addresses it
+        # numerically (they have the binary).
+        study = build(".text\n.global main\nmain: sys 3\n")
+        inner = study.image.symbols["mod:inner"]
+        program = load([assemble(f"""
+.text
+.global main
+main:
+    mov r1, 0x{inner:x}
+    call r1
+    sys 3
+""", "main"), make_module()])
+        result = program.run()
+        assert isinstance(result.fault, ProtectionFault)
+
+    def test_jump_into_entry_is_allowed(self):
+        # Tail-calling the entry point is fine; the module's ret then
+        # returns to main's caller (crt0), exiting with the secret.
+        program = build("""
+.text
+.global main
+main:
+    jmp api
+""")
+        result = program.run()
+        assert result.exit_code == 0x53C
+
+    def test_fallthrough_into_module_faults(self):
+        """Execution sliding off the end of outside code into the
+        module's first byte is an entry -- only legal at entry points.
+        Here we jump just before the module and single-step into it."""
+        program = build("""
+.text
+.global main
+main:
+    mov r1, api
+    add r1, 2          ; one instruction past the entry
+    jmp r1
+""")
+        result = program.run()
+        assert isinstance(result.fault, ProtectionFault)
+
+
+class TestDataDiscipline:
+    def test_outside_read_by_address_faults(self):
+        program = build("""
+.text
+.global main
+main:
+    call api            ; learn nothing; just proves the program works
+    sys 3
+""")
+        data_lo, data_hi = program.image.object_layout["mod"][".data"]
+        hostile = load([assemble(f"""
+.text
+.global main
+main:
+    mov r1, 0x{data_lo:x}
+    load r0, [r1]
+    sys 3
+""", "main"), make_module()])
+        result = hostile.run()
+        assert isinstance(result.fault, ProtectionFault)
+
+    def test_outside_write_by_address_faults(self):
+        program = build(".text\n.global main\nmain: sys 3\n")
+        data_lo, _ = program.image.object_layout["mod"][".data"]
+        hostile = load([assemble(f"""
+.text
+.global main
+main:
+    mov r1, 0x{data_lo:x}
+    mov r0, 0x666
+    store [r1], r0
+    sys 3
+""", "main"), make_module()])
+        result = hostile.run()
+        assert isinstance(result.fault, ProtectionFault)
+
+    def test_module_cannot_overwrite_own_code(self):
+        module = assemble("""
+.text
+.entry selfpatch
+selfpatch:
+    mov r1, selfpatch
+    mov r0, 0x25
+    storeb [r1], r0      ; try to patch own first byte
+    ret
+.data
+pad: .word 0
+""", "mod")
+        program = load([assemble(
+            ".text\n.global main\nmain: call selfpatch\nsys 3\n", "main"),
+            module])
+        result = program.run()
+        assert isinstance(result.fault, ProtectionFault)
+        assert "code section" in str(result.fault)
+
+    def test_module_may_write_outside_memory(self):
+        module = assemble("""
+.text
+.entry export
+export:
+    load r2, [sp+4]      ; caller-provided out pointer (its stack)
+    mov r0, 0x777
+    store [r2], r0
+    ret
+.data
+pad: .word 0
+""", "mod")
+        program = load([assemble("""
+.text
+.global main
+main:
+    sub sp, 4
+    mov r1, sp
+    push r1
+    call export
+    add sp, 4
+    pop r0               ; the module wrote through our pointer
+    sys 3
+""", "main"), module])
+        result = program.run()
+        assert result.exit_code == 0x777
+
+
+class TestHardwareServicesOnMachine:
+    def test_attest_from_inside_module(self):
+        module = assemble("""
+.text
+.entry do_attest
+do_attest:
+    mov r0, nonce
+    mov r1, 8
+    mov r2, report
+    sys 7
+    mov r0, report
+    ret
+.data
+nonce:  .ascii "12345678"
+report: .space 32
+""", "mod")
+        program = load([assemble("""
+.text
+.global main
+main:
+    call do_attest       ; r0 = &report (module data!)
+    mov r0, 0
+    sys 3
+""", "main"), module])
+        result = program.run()
+        assert result.status is RunStatus.EXITED
+        # The report was produced with the module's derived key.
+        module_obj = program.machine.pma.modules[0]
+        report_addr = program.image.symbols["mod:report"]
+        report = program.machine.memory.read_bytes(report_addr, 32)
+        from repro.pma import crypto
+        expected = crypto.mac(module_obj.module_key, b"attest" + b"12345678")
+        assert report == expected
+
+    def test_attest_from_outside_faults(self):
+        program = build("""
+.text
+.global main
+main:
+    mov r0, 0
+    mov r1, 0
+    mov r2, 0
+    sys 7
+    sys 3
+""")
+        result = program.run()
+        assert isinstance(result.fault, SyscallFault)
+
+    def test_counter_persists_within_platform(self):
+        module = assemble("""
+.text
+.entry bump
+bump:
+    sys 11               ; ctr_incr -> r0
+    ret
+.data
+pad: .word 0
+""", "mod")
+        main = assemble("""
+.text
+.global main
+main:
+    call bump
+    call bump
+    call bump
+    sys 3                ; exit with the final counter value
+""", "main")
+        program = load([main, module])
+        assert program.run().exit_code == 3

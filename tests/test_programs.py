@@ -1,0 +1,122 @@
+"""Tests for the canonical programs: honest behaviour and bug shape."""
+
+import pytest
+
+from repro.attacks.payloads import p32
+from repro.machine import RunStatus
+from repro.programs import build_fig1, build_secret_program, build_victim
+
+
+class TestFig1:
+    def test_safe_variant_handles_oversized_input(self):
+        program = build_fig1(vulnerable=False)
+        program.feed(b"Z" * 64)
+        result = program.run()
+        assert result.status is RunStatus.EXITED
+        assert result.output == b"Z" * 16  # only 16 bytes ever read
+
+    def test_vulnerable_variant_benign_input(self):
+        program = build_fig1()
+        program.feed(b"hello")
+        result = program.run()
+        assert result.status is RunStatus.EXITED
+
+    def test_vulnerable_variant_overflow_changes_control_flow(self):
+        program = build_fig1()
+        program.feed(b"A" * 32)
+        result = program.run()
+        assert result.status is RunStatus.FAULT
+        # IP ended up where the attacker's bytes sent it.
+        assert program.machine.cpu.ip == 0x41414141
+
+    def test_paper_buffer_contents(self):
+        """The figure shows buf holding 'ABCDEFGHIJKLMNO\\0'."""
+        program = build_fig1()
+        program.feed(b"ABCDEFGHIJKLMNO\x00")
+        result = program.run()
+        assert result.output.startswith(b"ABCDEFGHIJKLMNO\x00")
+
+
+class TestVictims:
+    def test_data_only_honest(self):
+        program = build_victim("data_only")
+        program.feed(b"alice")
+        assert program.run().output == b"0\n"
+
+    def test_funcptr_honest(self):
+        program = build_victim("funcptr")
+        program.feed(b"SAVE10")
+        assert program.run().output == b"90\n"
+
+    def test_heartbleed_honest(self):
+        program = build_victim("heartbleed")
+        program.feed(p32(16) + b"normal request!!")
+        result = program.run()
+        assert result.output == b"normal request!!"
+        assert b"KEY-" not in result.output
+
+    def test_arbitrary_write_honest(self):
+        program = build_victim("arbitrary_write")
+        program.feed(p32(1) + p32(2) + p32(555))   # in-bounds write
+        result = program.run()
+        assert result.exit_code == 7
+        assert b"0\n" in result.output
+
+    def test_temporal_reads_stale_frame(self):
+        program = build_victim("temporal")
+        result = program.run()
+        assert result.status is RunStatus.EXITED
+        # Undefined behaviour concretely: the value is NOT the 41 that
+        # was stored through the dangling pointer's pointee.
+        assert result.output != b"41\n"
+
+    def test_leak_then_smash_honest(self):
+        program = build_victim("leak_then_smash")
+        program.feed(p32(1) + p32(8) + p32(8) + b"request!")
+        assert program.run().output == b"request!"
+
+    def test_rop_exfil_honest(self):
+        program = build_victim("rop_exfil")
+        program.feed(b"ping")
+        assert program.run().output == b"ping"
+
+
+class TestSecretProgram:
+    def test_lockout_behaviour_matches_paper(self):
+        """Wrong, wrong, wrong -> locked; correct PIN afterwards gets
+        nothing (tries_left == 0)."""
+        program = build_secret_program()
+        program.feed(p32(4) + p32(1) + p32(2) + p32(3) + p32(1234))
+        result = program.run()
+        assert [int(x) for x in result.output.split()] == [0, 0, 0, 0]
+
+    def test_correct_pin_resets_counter(self):
+        program = build_secret_program()
+        program.feed(p32(6) + p32(1) + p32(2) + p32(1234)
+                     + p32(1) + p32(2) + p32(1234))
+        result = program.run()
+        assert [int(x) for x in result.output.split()] == [0, 0, 666, 0, 0, 666]
+
+    def test_protected_variant_same_behaviour(self):
+        program = build_secret_program(protected=True, secure=True)
+        program.feed(p32(2) + p32(9) + p32(1234))
+        result = program.run()
+        assert [int(x) for x in result.output.split()] == [0, 666]
+
+    def test_fig4_honest_callback(self):
+        program = build_secret_program(fig4=True, protected=True, secure=True)
+        program.feed(p32(1) + p32(1234))
+        result = program.run()
+        assert [int(x) for x in result.output.split()] == [666]
+
+    def test_fig4_unprotected_works_too(self):
+        program = build_secret_program(fig4=True)
+        program.feed(p32(2) + p32(1) + p32(1234))
+        result = program.run()
+        assert [int(x) for x in result.output.split()] == [0, 666]
+
+    def test_module_statics_in_module_data_when_protected(self):
+        program = build_secret_program(protected=True, secure=True)
+        module = program.machine.pma.modules[0]
+        pin_addr = program.image.symbol("secret:PIN")
+        assert module.in_data(pin_addr)

@@ -1,0 +1,124 @@
+"""Tests for small supporting modules: reporting, mitigation config,
+devices, and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CanaryFault,
+    CompileError,
+    MachineFault,
+    ProtectionFault,
+    ReproError,
+    ToolchainError,
+)
+from repro.experiments.reporting import render_kv, render_table
+from repro.machine.devices import InputChannel, OutputChannel, RandomDevice, ShellDevice
+from repro.mitigations import (
+    CANARY,
+    DEPLOYED,
+    HARDENED,
+    MATRIX_PRESETS,
+    MitigationConfig,
+    NONE,
+)
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        table = render_table(["a", "bbb"], [["x", 1], ["yyyy", 22]])
+        lines = table.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # every row the same width
+
+    def test_table_title(self):
+        assert render_table(["h"], [["v"]], title="T").startswith("T\n")
+
+    def test_table_stringifies(self):
+        table = render_table(["k"], [[None], [3.5], [True]])
+        assert "None" in table and "3.5" in table and "True" in table
+
+    def test_kv_block(self):
+        block = render_kv("title", {"a": 1, "long_key": 2})
+        assert block.splitlines()[0] == "title"
+        assert "long_key : 2" in block
+
+
+class TestMitigationConfig:
+    def test_describe_none(self):
+        assert NONE.describe() == "none"
+
+    def test_describe_composition(self):
+        assert DEPLOYED.describe() == "canary+dep+aslr16"
+        assert "shadowstack" in HARDENED.describe()
+        assert "cfi" in HARDENED.describe()
+
+    def test_describe_typed_cfi(self):
+        assert MitigationConfig(cfi_typed=True).describe() == "cfi-typed"
+
+    def test_with_creates_modified_copy(self):
+        changed = NONE.with_(dep=True)
+        assert changed.dep and not NONE.dep
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            NONE.dep = True
+
+    def test_matrix_presets_shape(self):
+        names = [name for name, _ in MATRIX_PRESETS]
+        assert names[0] == "none"
+        assert "deployed" in names and "hardened" in names
+
+    def test_canary_preset(self):
+        assert CANARY.stack_canaries and not CANARY.dep
+
+
+class TestDevices:
+    def test_input_channel_eof(self):
+        channel = InputChannel()
+        channel.feed(b"abc")
+        assert channel.read(2) == b"ab"
+        assert channel.remaining == 1
+        assert channel.read(10) == b"c"
+        assert channel.read(10) == b""
+
+    def test_output_channel_text(self):
+        channel = OutputChannel()
+        channel.write(b"x\xffy")
+        assert channel.text() == "x\xffy"
+        channel.clear()
+        assert channel.getvalue() == b""
+
+    def test_shell_device_counts(self):
+        shell = ShellDevice()
+        shell.spawn(0x100)
+        shell.spawn(0x200)
+        assert shell.spawned and shell.spawn_count == 2
+        assert shell.spawn_ip == 0x100  # first spawn site retained
+        shell.reset()
+        assert not shell.spawned
+
+    def test_random_device_determinism(self):
+        assert RandomDevice(5).word() == RandomDevice(5).word()
+        assert RandomDevice(5).word() != RandomDevice(6).word()
+
+    def test_random_below(self):
+        device = RandomDevice(1)
+        assert all(0 <= device.below(10) < 10 for _ in range(50))
+
+
+class TestErrorHierarchy:
+    def test_all_faults_are_repro_errors(self):
+        assert issubclass(MachineFault, ReproError)
+        assert issubclass(CanaryFault, MachineFault)
+        assert issubclass(ProtectionFault, MachineFault)
+        assert issubclass(CompileError, ToolchainError)
+        assert issubclass(ToolchainError, ReproError)
+
+    def test_fault_carries_ip(self):
+        fault = ProtectionFault("denied", ip=0x1234)
+        assert "0x00001234" in str(fault)
+        assert fault.ip == 0x1234
+
+    def test_compile_error_location(self):
+        error = CompileError("bad", line=3, col=7)
+        assert "line 3" in str(error) and "col 7" in str(error)

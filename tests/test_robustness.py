@@ -1,0 +1,135 @@
+"""Robustness: hostile inputs must never escape the simulation.
+
+Whatever bytes run on the machine -- random garbage, self-modifying
+code, wild pointers -- the *host* must only ever see a RunResult.  A
+Python-level exception leaking out of Machine.run would let a
+simulated attack crash the experiment harness.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.machine import Machine, MachineConfig, RunStatus
+from repro.machine.memory import PERM_RW, PERM_RWX
+
+
+def fresh_machine(config=None):
+    machine = Machine(config or MachineConfig())
+    machine.memory.map_region(0x1000, 0x2000, PERM_RWX)
+    machine.memory.map_region(0x00200000, 0x10000, PERM_RW)
+    machine.cpu.ip = 0x1000
+    machine.cpu.sp = 0x0020F000
+    return machine
+
+
+class TestRandomCode:
+    @settings(max_examples=120, deadline=None)
+    @given(st.binary(min_size=1, max_size=256))
+    def test_random_bytes_as_program(self, blob):
+        machine = fresh_machine()
+        machine.memory.write_bytes(0x1000, blob)
+        result = machine.run(max_instructions=2_000)
+        assert result.status in (RunStatus.EXITED, RunStatus.HALTED,
+                                 RunStatus.FAULT)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.binary(min_size=1, max_size=128), st.integers(0, 2 ** 32 - 1))
+    def test_random_code_random_sp(self, blob, sp):
+        machine = fresh_machine()
+        machine.memory.write_bytes(0x1000, blob)
+        machine.cpu.sp = sp
+        result = machine.run(max_instructions=2_000)
+        assert result.status in (RunStatus.EXITED, RunStatus.HALTED,
+                                 RunStatus.FAULT)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=128))
+    def test_random_code_with_enforcement(self, blob):
+        machine = fresh_machine(MachineConfig(shadow_stack=True, cfi=True,
+                                              redzones=True))
+        machine.memory.write_bytes(0x1000, blob)
+        machine.poison(0x00200100, 64)
+        result = machine.run(max_instructions=2_000)
+        assert result.status in (RunStatus.EXITED, RunStatus.HALTED,
+                                 RunStatus.FAULT)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_random_code_with_pma(self, blob):
+        from repro.pma.module import PMAController, ProtectedModule
+
+        pma = PMAController()
+        pma.register(ProtectedModule(
+            name="m", text_start=0x2000, text_end=0x2100,
+            data_start=0x00201000, data_end=0x00201100,
+            entry_points=frozenset({0x2000}),
+        ), b"\x25" * 0x100)
+        machine = fresh_machine()
+        machine.pma = pma
+        machine.memory.write_bytes(0x1000, blob)
+        result = machine.run(max_instructions=2_000)
+        assert result.status in (RunStatus.EXITED, RunStatus.HALTED,
+                                 RunStatus.FAULT)
+
+
+class TestHostileInputsToPrograms:
+    @settings(max_examples=30, deadline=None)
+    @given(st.binary(max_size=300))
+    def test_fig1_never_escapes(self, data):
+        from repro.programs import build_fig1
+
+        program = build_fig1(wide_open=True)
+        program.feed(data)
+        result = program.run(200_000)
+        assert result.status in (RunStatus.EXITED, RunStatus.HALTED,
+                                 RunStatus.FAULT)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=64))
+    def test_secret_module_never_escapes(self, data):
+        from repro.programs import build_secret_program
+
+        program = build_secret_program(protected=True, secure=True)
+        program.feed(data)
+        result = program.run(500_000)
+        assert result.status in (RunStatus.EXITED, RunStatus.HALTED,
+                                 RunStatus.FAULT)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=96))
+    def test_heap_victim_never_escapes(self, data):
+        from repro.attacks.heap import build_heap_program
+        from repro.programs import heap as heap_sources
+
+        program = build_heap_program(heap_sources.HEAP_UAF_VICTIM,
+                                     checked_allocator=True)
+        program.feed(data)
+        result = program.run(500_000)
+        assert result.status in (RunStatus.EXITED, RunStatus.HALTED,
+                                 RunStatus.FAULT)
+
+
+class TestToolchainRobustness:
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(max_size=120))
+    def test_compiler_rejects_or_accepts_cleanly(self, source):
+        """Arbitrary text either compiles or raises a ReproError --
+        never an uncontrolled exception."""
+        from repro.minic import compile_source
+
+        try:
+            compile_source(source, "fuzz")
+        except ReproError:
+            pass
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                   max_size=120))
+    def test_assembler_rejects_or_accepts_cleanly(self, source):
+        from repro.asm import assemble
+
+        try:
+            assemble(source, "fuzz")
+        except ReproError:
+            pass

@@ -1,0 +1,63 @@
+"""Tests for the attacker's reconnaissance helpers."""
+
+import pytest
+
+from repro.attacks.study import locate_overflow, run_until_syscall
+from repro.machine import RunStatus, syscalls
+from repro.mitigations import CANARY, NONE
+from repro.programs import build_fig1, build_victim
+
+
+class TestRunUntilSyscall:
+    def test_stops_at_first_read(self):
+        program = build_fig1()
+        program.feed(b"irrelevant")
+        machine = run_until_syscall(program, syscalls.SYS_READ)
+        # We are inside get_request, about to read into process's buf.
+        assert machine.cpu.regs[2] == 32  # the buggy length
+
+    def test_occurrence_counting(self):
+        from repro.attacks.payloads import p32
+
+        program = build_victim("arbitrary_write")
+        program.feed(p32(1) + p32(0) + p32(7))
+        machine = run_until_syscall(program, syscalls.SYS_READ, occurrence=3)
+        assert machine.input.remaining == 4  # two ints consumed
+
+    def test_resume_re_executes_the_syscall(self):
+        program = build_fig1()
+        program.feed(b"RESUME-TEST-1234")
+        run_until_syscall(program, syscalls.SYS_READ)
+        result = program.run()
+        assert result.status is RunStatus.EXITED
+        assert result.output.startswith(b"RESUME-TEST-1234")
+
+    def test_never_reached_raises(self):
+        program = build_fig1()
+        program.feed(b"x" * 16)
+        with pytest.raises(RuntimeError, match="never reached"):
+            run_until_syscall(program, syscalls.SYS_ATTEST)
+
+
+class TestLocateOverflow:
+    def test_fig1_geometry(self):
+        site = locate_overflow(build_fig1(), frames_up=1)
+        # process(): buf[16] directly below saved bp; ret slot 4 above.
+        assert site.saved_bp_addr - site.buffer_addr == 16
+        assert site.offset_to_return == 20
+
+    def test_canary_shifts_geometry(self):
+        site = locate_overflow(build_fig1(CANARY), frames_up=1)
+        # One extra word (the canary) between buf and the saved bp.
+        assert site.offset_to_return == 24
+
+    def test_original_return_points_into_text(self):
+        program = build_fig1()
+        site = locate_overflow(program, frames_up=1)
+        text = program.image.segment_named("text")
+        assert text.addr <= site.original_return < text.end
+
+    def test_frames_up_zero_is_reading_frame(self):
+        program = build_victim("rop_exfil")
+        site = locate_overflow(program)
+        assert site.offset_to_return == 20  # serve()'s own frame
