@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Run the simulator performance suite and record machine-readable numbers.
+
+Entry point for tracking the interpreter's performance trajectory
+across PRs::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+
+Runs the pytest-benchmark simulator suite
+(``benchmarks/test_bench_simulator.py``) and writes
+``BENCH_simulator.json`` at the repository root with the headline
+numbers (instructions/second, compile-pipeline latency).  Each run
+appends to the file's ``history`` list so regressions are visible over
+time; the ``current`` entry always holds the latest run.
+
+Options::
+
+    --output PATH    where to write the JSON (default: BENCH_simulator.json)
+    --quick          fewer benchmark rounds, for a fast smoke reading
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks", "test_bench_simulator.py")
+
+
+def run_suite(quick: bool) -> dict:
+    """Run the simulator benchmarks, returning pytest-benchmark's JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = handle.name
+    try:
+        cmd = [
+            sys.executable, "-m", "pytest", BENCH_FILE,
+            "--benchmark-only", "-q",
+            f"--benchmark-json={raw_path}",
+        ]
+        if quick:
+            cmd += ["--benchmark-min-rounds=2", "--benchmark-warmup=off"]
+        env = dict(os.environ)
+        src = os.path.join(REPO_ROOT, "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        completed = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed (exit {completed.returncode})")
+        with open(raw_path) as fh:
+            return json.load(fh)
+    finally:
+        os.unlink(raw_path)
+
+
+def summarize(raw: dict) -> dict:
+    """Extract the headline numbers from pytest-benchmark output."""
+    summary: dict = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "python": raw.get("machine_info", {}).get("python_version", "unknown"),
+    }
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        name = bench["name"]
+        if name == "test_bench_interpreter_throughput":
+            extra = bench.get("extra_info", {})
+            instructions = extra.get("instructions_per_run")
+            summary["interpreter"] = {
+                "mean_seconds": stats["mean"],
+                "stddev_seconds": stats["stddev"],
+                "rounds": stats["rounds"],
+                "instructions_per_run": instructions,
+                "instructions_per_second": (
+                    instructions / stats["mean"] if instructions else None
+                ),
+            }
+        elif name == "test_bench_compile_pipeline":
+            summary["compile_pipeline"] = {
+                "mean_seconds": stats["mean"],
+                "stddev_seconds": stats["stddev"],
+                "rounds": stats["rounds"],
+            }
+    return summary
+
+
+def write_tracking_file(path: str, summary: dict) -> None:
+    """Append to the tracking file, keeping the latest run as ``current``."""
+    history: list = []
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                previous = json.load(fh)
+            history = previous.get("history", [])
+            if previous.get("current"):
+                history.append(previous["current"])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    with open(path, "w") as fh:
+        json.dump({"current": summary, "history": history}, fh, indent=2)
+        fh.write("\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_simulator.json"),
+        help="tracking file to write (default: BENCH_simulator.json)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer rounds for a fast smoke reading",
+    )
+    args = parser.parse_args()
+
+    raw = run_suite(args.quick)
+    summary = summarize(raw)
+    write_tracking_file(args.output, summary)
+
+    interp = summary.get("interpreter", {})
+    rate = interp.get("instructions_per_second")
+    compile_mean = summary.get("compile_pipeline", {}).get("mean_seconds")
+    print(f"wrote {args.output}")
+    if rate:
+        print(f"interpreter throughput: ~{rate:,.0f} instructions/second")
+    if compile_mean:
+        print(f"compile pipeline latency: {compile_mean * 1000:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,9 +33,12 @@ def test_bench_interpreter_throughput(benchmark):
         return result.instructions
 
     instructions = benchmark(run_once)
-    rate = instructions / benchmark.stats.stats.mean
-    print(f"\nsimulator throughput: ~{rate:,.0f} instructions/second "
-          f"({instructions} instructions per run)")
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = instructions / benchmark.stats.stats.mean
+        benchmark.extra_info["instructions_per_run"] = instructions
+        benchmark.extra_info["instructions_per_second"] = rate
+        print(f"\nsimulator throughput: ~{rate:,.0f} instructions/second "
+              f"({instructions} instructions per run)")
     assert instructions > 100_000
 
 

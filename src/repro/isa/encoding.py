@@ -22,7 +22,13 @@ import struct
 
 from repro.errors import DecodeError, EncodingError
 from repro.isa.instructions import Instruction, Mem, to_signed, to_unsigned
-from repro.isa.opcodes import BY_OPCODE, FORMAT_LENGTHS, OperandFormat
+from repro.isa.opcodes import (
+    BY_OPCODE,
+    FORMAT_LENGTHS,
+    OPCODE_LENGTHS,
+    OPCODE_SPECS,
+    OperandFormat,
+)
 from repro.isa.registers import NUM_REGISTERS
 
 _U32 = struct.Struct("<I")
@@ -94,41 +100,43 @@ def decode(data: bytes, offset: int = 0) -> tuple[Instruction, int]:
     if offset >= len(data):
         raise DecodeError("offset beyond end of data", offset)
     opcode = data[offset]
-    spec = BY_OPCODE.get(opcode)
+    spec = OPCODE_SPECS[opcode]
     if spec is None:
         raise DecodeError(f"invalid opcode 0x{opcode:02x}", offset)
     fmt = spec.fmt
-    length = FORMAT_LENGTHS[fmt]
+    length = OPCODE_LENGTHS[opcode]
     if offset + length > len(data):
         raise DecodeError(
             f"truncated {spec.mnemonic} instruction at offset {offset}", offset
         )
-    body = data[offset + 1 : offset + length]
+    body = offset + 1
     if fmt is OperandFormat.NONE:
         operands: tuple = ()
     elif fmt is OperandFormat.REG:
-        operands = (_check_decoded_reg(body[0], offset),)
+        operands = (_check_decoded_reg(data[body], offset),)
     elif fmt is OperandFormat.REGREG:
+        packed = data[body]
         operands = (
-            _check_decoded_reg(body[0] >> 4, offset),
-            _check_decoded_reg(body[0] & 0x0F, offset),
+            _check_decoded_reg(packed >> 4, offset),
+            _check_decoded_reg(packed & 0x0F, offset),
         )
     elif fmt is OperandFormat.REGIMM32:
         operands = (
-            _check_decoded_reg(body[0], offset),
-            _U32.unpack(body[1:5])[0],
+            _check_decoded_reg(data[body], offset),
+            _U32.unpack_from(data, body + 1)[0],
         )
     elif fmt is OperandFormat.REGIMM8:
-        operands = (_check_decoded_reg(body[0], offset), body[1])
+        operands = (_check_decoded_reg(data[body], offset), data[body + 1])
     elif fmt is OperandFormat.REGMEM:
-        reg = _check_decoded_reg(body[0] >> 4, offset)
-        base = _check_decoded_reg(body[0] & 0x0F, offset)
-        disp = to_signed(_U32.unpack(body[1:5])[0])
+        packed = data[body]
+        reg = _check_decoded_reg(packed >> 4, offset)
+        base = _check_decoded_reg(packed & 0x0F, offset)
+        disp = to_signed(_U32.unpack_from(data, body + 1)[0])
         operands = (reg, Mem(base, disp))
     elif fmt is OperandFormat.IMM32:
-        operands = (_U32.unpack(body[0:4])[0],)
+        operands = (_U32.unpack_from(data, body)[0],)
     elif fmt is OperandFormat.IMM8:
-        operands = (body[0],)
+        operands = (data[body],)
     else:  # pragma: no cover - exhaustive over OperandFormat
         raise AssertionError(f"unhandled format {fmt}")
     return Instruction(opcode, operands), length

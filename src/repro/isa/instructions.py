@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.isa.opcodes import BY_OPCODE, FORMAT_LENGTHS, OperandFormat
+from repro.isa.opcodes import BY_OPCODE, OPCODE_LENGTHS, OPCODE_SPECS, OperandFormat
 from repro.isa.registers import register_name
 
 #: Modulus of the 32-bit machine word.
@@ -94,12 +94,12 @@ class Instruction:
 
     @property
     def fmt(self) -> OperandFormat:
-        return BY_OPCODE[self.opcode].fmt
+        return OPCODE_SPECS[self.opcode].fmt
 
     @property
     def length(self) -> int:
         """Encoded length in bytes."""
-        return FORMAT_LENGTHS[self.fmt]
+        return OPCODE_LENGTHS[self.opcode]
 
     def __str__(self) -> str:
         return format_instruction(self)

@@ -120,6 +120,18 @@ LAND_OPCODE: Final[int] = 0x29
 #: Opcode byte -> spec.
 BY_OPCODE: Final[dict[int, OpcodeSpec]] = {spec.opcode: spec for spec in OPCODE_TABLE}
 
+#: Flat 256-entry opcode byte -> spec (or None for invalid bytes).
+#: The decoder and the interpreter fast path index this directly,
+#: avoiding a dict hash per decoded byte.
+OPCODE_SPECS: Final[tuple[OpcodeSpec | None, ...]] = tuple(
+    BY_OPCODE.get(opcode) for opcode in range(256)
+)
+
+#: Flat 256-entry opcode byte -> encoded length (0 for invalid bytes).
+OPCODE_LENGTHS: Final[tuple[int, ...]] = tuple(
+    FORMAT_LENGTHS[spec.fmt] if spec is not None else 0 for spec in OPCODE_SPECS
+)
+
 #: Mnemonic -> list of encodings (in table order).
 BY_MNEMONIC: Final[dict[str, list[OpcodeSpec]]] = {}
 for _spec in OPCODE_TABLE:

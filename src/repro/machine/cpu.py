@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.errors import DivisionFault
 from repro.isa.instructions import Instruction, Mem, WORD_MASK, to_signed, to_unsigned
-from repro.isa.registers import NUM_REGISTERS, SP
+from repro.isa.registers import NUM_REGISTERS, REGISTER_NAMES, SP
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.machine import Machine
@@ -59,8 +59,6 @@ class CPU:
     def snapshot(self) -> dict[str, int]:
         """A copy of the register file for tracing and register-leak
         experiments (machine-code attackers can read registers)."""
-        from repro.isa.registers import REGISTER_NAMES
-
         state = {name: self.regs[number] for number, name in enumerate(REGISTER_NAMES)}
         state["ip"] = self.ip
         return state
@@ -88,7 +86,7 @@ class CPU:
         handler either leaves ``self.ip`` at ``next_ip`` (already set
         by the machine) or overwrites it for control transfers.
         """
-        _HANDLERS[insn.opcode](self, insn, machine)
+        _DISPATCH[insn.opcode](self, insn, machine)
 
 
 def _mem_addr(cpu: CPU, mem: Mem) -> int:
@@ -311,3 +309,18 @@ _HANDLERS: dict[int, Callable] = {
     0x28: _chk,
     0x29: _nop,  # land: a typed-CFI landing pad, inert when executed
 }
+
+
+def _undefined(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
+    # Decoded instructions always carry a valid opcode; this only fires
+    # for hand-built Instruction objects with a bogus opcode byte.
+    from repro.errors import InvalidInstructionFault
+
+    raise InvalidInstructionFault(f"invalid opcode 0x{insn.opcode:02x}", cpu.ip)
+
+
+#: Flat 256-entry dispatch table indexed by opcode byte -- one list
+#: index instead of a dict hash on the interpreter's hottest line.
+_DISPATCH: list[Callable] = [_undefined] * 256
+for _opcode, _handler in _HANDLERS.items():
+    _DISPATCH[_opcode] = _handler

@@ -21,7 +21,7 @@ The loader switches them on according to a
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import (
     BoundsFault,
@@ -30,6 +30,7 @@ from repro.errors import (
     ExecutionLimitExceeded,
     InvalidInstructionFault,
     MachineFault,
+    MemoryFault,
     PermissionFault,
     RedZoneFault,
     ShadowStackFault,
@@ -37,13 +38,39 @@ from repro.errors import (
 )
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instruction, WORD_MASK
-from repro.isa.opcodes import BY_OPCODE, FORMAT_LENGTHS
+from repro.isa.opcodes import OPCODE_LENGTHS, OPCODE_SPECS
 from repro.machine.access import AccessKind
 from repro.machine.cpu import CPU
 from repro.machine.devices import InputChannel, OutputChannel, RandomDevice, ShellDevice
-from repro.machine.memory import Memory, PERM_R, PERM_W, PERM_X
+from repro.machine.memory import (
+    Memory,
+    PAGE_SIZE,
+    PERM_R,
+    PERM_W,
+    PERM_X,
+    _PAGE_SHIFT,
+)
 from repro.machine.syscalls import HANDLERS
 from repro.pma.module import PMAController
+
+_PAGE_MASK = PAGE_SIZE - 1
+
+#: Permission bit required for each access kind, hoisted out of the
+#: per-access path (building this dict per call was measurable).
+_NEEDED = {
+    AccessKind.FETCH: PERM_X,
+    AccessKind.READ: PERM_R,
+    AccessKind.WRITE: PERM_W,
+}
+
+#: Default for :attr:`MachineConfig.decode_cache`.  The differential
+#: suite flips this module global to run whole experiment pipelines
+#: (which construct their machines internally) without the cache.
+DECODE_CACHE_DEFAULT = True
+
+
+def _decode_cache_default() -> bool:
+    return DECODE_CACHE_DEFAULT
 
 
 class RunStatus(enum.Enum):
@@ -96,6 +123,12 @@ class MachineConfig:
     trace_limit: int = 100_000
     #: Seed for the machine's entropy source.
     rng_seed: int = 0
+    #: Cache decoded instructions per page (invalidated on writes to
+    #: executable pages and on permission/module-table changes).  Off
+    #: reproduces the historical decode-every-step interpreter; the
+    #: differential suite asserts both modes are observationally
+    #: identical.
+    decode_cache: bool = field(default_factory=_decode_cache_default)
 
 
 class Machine:
@@ -125,6 +158,22 @@ class Machine:
         self.indirect_targets: set[int] = set()
         #: Poisoned byte addresses (red zones).
         self._redzones: set[int] = set()
+        #: Page-level index over ``_redzones``: page -> poisoned-byte
+        #: count, so the common access into a poison-free page skips
+        #: the per-byte set scan entirely.
+        self._redzone_pages: dict[int, int] = {}
+        #: Decoded-instruction cache: address -> (Instruction, length).
+        #: Entries are only created for addresses on executable pages
+        #: whose encoding does not cross a page boundary, and the whole
+        #: page's entries die on any write to that page (von-Neumann
+        #: fidelity: self-modifying code and code injection must
+        #: execute the bytes last written, not stale decodes).
+        self._decode_cache: dict[int, tuple[Instruction, int]] = {}
+        #: Invalidation index: page -> addresses cached on that page.
+        self._decode_pages: dict[int, list[int]] = {}
+        self.memory.code_write_listener = self._invalidate_code_page
+        self.memory.perm_change_listener = self.flush_decode_cache
+        self.pma.add_change_listener(self.flush_decode_cache)
         self._shadow_stack: list[int] = []
         #: Observation hooks ``f(machine, syscall_number)`` called
         #: before each syscall -- used by tests and by the attacker's
@@ -143,12 +192,22 @@ class Machine:
 
     def in_kernel(self, ip: int) -> bool:
         """True if ``ip`` lies in a kernel-privileged region."""
-        return any(start <= ip < end for start, end in self.kernel_regions)
+        for start, end in self.kernel_regions:
+            if start <= ip < end:
+                return True
+        return False
 
     @property
     def kernel_mode(self) -> bool:
         """True if the currently executing instruction is kernel code."""
-        return self.in_kernel(self.current_ip)
+        regions = self.kernel_regions
+        if not regions:
+            return False
+        ip = self.current_ip
+        for start, end in regions:
+            if start <= ip < end:
+                return True
+        return False
 
     # -- checked memory access ------------------------------------------------
 
@@ -159,14 +218,26 @@ class Machine:
                 self.pma.check_data_access(
                     self.current_module, kind, addr, size, self.current_ip
                 )
-        if not self.kernel_mode:
+        page = addr >> _PAGE_SHIFT
+        single_page = (addr & _PAGE_MASK) + size <= PAGE_SIZE
+        if single_page:
+            # Fused fast path: one dict probe against the page table,
+            # permission verdict from the hoisted _NEEDED map, and the
+            # kernel-region walk only on the deny path (kernel mode
+            # merely widens what is allowed, never narrows it).
+            perms = self.memory._perms.get(page)
+            if perms is None:
+                raise MemoryFault(
+                    f"access to unmapped address 0x{page << _PAGE_SHIFT:08x}"
+                )
+            if not perms & _NEEDED[kind] and not self.kernel_mode:
+                raise PermissionFault(
+                    f"{kind.value} of 0x{addr:08x} denied by page permissions",
+                    self.current_ip,
+                )
+        elif not self.kernel_mode:
             perms = self.memory.range_perms(addr, size)
-            needed = {
-                AccessKind.FETCH: PERM_X,
-                AccessKind.READ: PERM_R,
-                AccessKind.WRITE: PERM_W,
-            }[kind]
-            if not perms & needed:
+            if not perms & _NEEDED[kind]:
                 raise PermissionFault(
                     f"{kind.value} of 0x{addr:08x} denied by page permissions",
                     self.current_ip,
@@ -175,6 +246,17 @@ class Machine:
             # Kernel code still faults on unmapped memory.
             self.memory.range_perms(addr, size)
         if self.config.redzones and kind is not AccessKind.FETCH and self._redzones:
+            # Page-level short circuit: only scan byte-by-byte when
+            # some touched page actually holds poison.
+            redzone_pages = self._redzone_pages
+            if single_page:
+                if page not in redzone_pages:
+                    return
+            elif not any(
+                ((addr + offset) & WORD_MASK) >> _PAGE_SHIFT in redzone_pages
+                for offset in range(0, size + PAGE_SIZE - 1, PAGE_SIZE)
+            ):
+                return
             for offset in range(size):
                 if (addr + offset) & WORD_MASK in self._redzones:
                     raise RedZoneFault(
@@ -296,12 +378,28 @@ class Machine:
     # -- red zones -----------------------------------------------------------------
 
     def poison(self, addr: int, size: int) -> None:
+        redzones = self._redzones
+        pages = self._redzone_pages
         for offset in range(size):
-            self._redzones.add((addr + offset) & WORD_MASK)
+            byte = (addr + offset) & WORD_MASK
+            if byte not in redzones:
+                redzones.add(byte)
+                page = byte >> _PAGE_SHIFT
+                pages[page] = pages.get(page, 0) + 1
 
     def unpoison(self, addr: int, size: int) -> None:
+        redzones = self._redzones
+        pages = self._redzone_pages
         for offset in range(size):
-            self._redzones.discard((addr + offset) & WORD_MASK)
+            byte = (addr + offset) & WORD_MASK
+            if byte in redzones:
+                redzones.discard(byte)
+                page = byte >> _PAGE_SHIFT
+                count = pages.get(page, 0) - 1
+                if count <= 0:
+                    pages.pop(page, None)
+                else:
+                    pages[page] = count
 
     # -- syscalls -------------------------------------------------------------------
 
@@ -322,6 +420,28 @@ class Machine:
         self._status = RunStatus.EXITED
         self._exit_code = code
 
+    # -- decode cache ------------------------------------------------------------------
+
+    def flush_decode_cache(self) -> None:
+        """Drop every cached decoded instruction and fast-path verdict.
+
+        Called on any permission change (``map_region``/``set_perms``)
+        and on PMA module-table changes; cheap because these events are
+        rare compared to instruction fetches.
+        """
+        self._decode_cache.clear()
+        self._decode_pages.clear()
+        self.memory.unwatch_all()
+
+    def _invalidate_code_page(self, page: int) -> None:
+        """A watched (executable, cached) page was written: kill its
+        cached decodes so the newly written bytes are what executes."""
+        addrs = self._decode_pages.pop(page, None)
+        if addrs:
+            cache = self._decode_cache
+            for addr in addrs:
+                cache.pop(addr, None)
+
     # -- execution ---------------------------------------------------------------------
 
     def fetch_instruction(self, ip: int) -> Instruction:
@@ -332,12 +452,25 @@ class Machine:
         """
         if self.pma.modules:
             self.current_module = self.pma.check_fetch(self.current_module, ip)
+        entry = self._decode_cache.get(ip)
+        if entry is None:
+            entry = self._fetch_slow(ip)
+        return entry[0]
+
+    def _fetch_slow(self, ip: int) -> tuple[Instruction, int]:
+        """Decode-cache miss: full checked fetch + decode, then cache.
+
+        An address is cached only when its page carries PERM_X (so a
+        cache hit implies the fetch would pass the permission check for
+        kernel and non-kernel code alike) and the encoding does not
+        cross a page boundary (so one page watch covers all its bytes).
+        """
         self._check(AccessKind.FETCH, ip, 1)
         opcode = self.memory.read_byte(ip)
-        spec = BY_OPCODE.get(opcode)
+        spec = OPCODE_SPECS[opcode]
         if spec is None:
             raise InvalidInstructionFault(f"invalid opcode 0x{opcode:02x}", ip)
-        length = FORMAT_LENGTHS[spec.fmt]
+        length = OPCODE_LENGTHS[opcode]
         if length > 1:
             self._check(AccessKind.FETCH, ip + 1, length - 1)
         raw = self.memory.read_bytes(ip, length)
@@ -345,17 +478,35 @@ class Machine:
             insn, _ = decode(raw)
         except DecodeError as exc:
             raise InvalidInstructionFault(str(exc), ip) from exc
-        return insn
+        entry = (insn, length)
+        if self.config.decode_cache:
+            masked = ip & WORD_MASK
+            page = masked >> _PAGE_SHIFT
+            if (masked & _PAGE_MASK) + length <= PAGE_SIZE and (
+                self.memory._perms.get(page, 0) & PERM_X
+            ):
+                self._decode_cache[masked] = entry
+                self._decode_pages.setdefault(page, []).append(masked)
+                self.memory.watch_page(page)
+        return entry
 
     def step(self) -> None:
         """Fetch, decode and execute a single instruction."""
-        ip = self.cpu.ip
+        cpu = self.cpu
+        ip = cpu.ip
         self.current_ip = ip
-        insn = self.fetch_instruction(ip)
-        if self.config.trace and len(self.trace) < self.config.trace_limit:
+        if self.pma.modules:
+            self.current_module = self.pma.check_fetch(self.current_module, ip)
+        entry = self._decode_cache.get(ip)
+        if entry is None:
+            entry = self._fetch_slow(ip)
+        insn, length = entry
+        config = self.config
+        if config.trace and len(self.trace) < config.trace_limit:
             self.trace.append((ip, insn))
-        self.cpu.ip = (ip + insn.length) & WORD_MASK
-        self.cpu.execute(insn, self, self.cpu.ip)
+        next_ip = (ip + length) & WORD_MASK
+        cpu.ip = next_ip
+        cpu.execute(insn, self, next_ip)
         self.instructions_executed += 1
 
     def run(self, max_instructions: int = 2_000_000) -> RunResult:
@@ -366,13 +517,14 @@ class Machine:
         """
         self._status = None
         start_count = self.instructions_executed
+        step = self.step
         try:
             while self._status is None:
                 if self.instructions_executed - start_count >= max_instructions:
                     raise ExecutionLimitExceeded(
                         f"exceeded {max_instructions} instructions", self.cpu.ip
                     )
-                self.step()
+                step()
         except MachineFault as fault:
             return self._result(RunStatus.FAULT, fault, start_count)
         return self._result(self._status, None, start_count)

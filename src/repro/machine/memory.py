@@ -15,12 +15,22 @@ This module performs *no* permission checking itself -- it only stores
 bytes and permission bits.  Checked accesses (page permissions, PMA
 rules, red zones) are composed in :class:`repro.machine.machine.Machine`,
 because what is allowed depends on who is executing (Section IV).
+
+The machine's decoded-instruction cache subscribes to two hooks here:
+``code_write_listener`` fires when a write lands on a page the machine
+has marked with :meth:`Memory.watch_page` (a page holding cached
+decoded instructions), and ``perm_change_listener`` fires on any
+mapping or permission change.  Von-Neumann fidelity -- self-modifying
+code and code injection executing exactly the bytes last written --
+depends on these notifications, so every mutating path below reports
+through them.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterator
+from itertools import chain
+from typing import Callable, Iterable, Iterator
 
 from repro.errors import MemoryFault
 from repro.isa.instructions import WORD_MASK
@@ -28,6 +38,9 @@ from repro.isa.instructions import WORD_MASK
 #: Page size in bytes.
 PAGE_SIZE = 0x1000
 _PAGE_SHIFT = 12
+_PAGE_MASK = PAGE_SIZE - 1
+#: Number of pages in the 32-bit address space.
+_NUM_PAGES = 1 << (32 - _PAGE_SHIFT)
 
 #: Permission bits.
 PERM_R = 1
@@ -53,12 +66,56 @@ def perms_to_str(perms: int) -> str:
     )
 
 
+def _pages_covering(addr: int, size: int) -> Iterable[int]:
+    """Page numbers covering ``[addr, addr+size)``, wrapping at 2**32.
+
+    ``addr`` is masked to the 32-bit space first, matching the raw
+    accessors (:meth:`Memory.read_bytes` et al.), so a wrapped address
+    near 2**32 resolves to the pages those accessors actually touch.
+    """
+    addr &= WORD_MASK
+    first = addr >> _PAGE_SHIFT
+    last = ((addr + size - 1) & WORD_MASK) >> _PAGE_SHIFT
+    if first <= last:
+        return range(first, last + 1)
+    # The byte range wraps past the top of the address space.
+    return chain(range(first, _NUM_PAGES), range(0, last + 1))
+
+
 class Memory:
     """Sparse paged byte-addressable memory with per-page permissions."""
 
     def __init__(self) -> None:
         self._pages: dict[int, bytearray] = {}
         self._perms: dict[int, int] = {}
+        #: Pages whose raw contents someone wants to be told about
+        #: (the machine's decode cache).  Kept tiny: only pages that
+        #: currently hold cached decoded instructions are watched.
+        self._watched_pages: set[int] = set()
+        #: Called with the page number when a watched page is written.
+        self.code_write_listener: Callable[[int], None] | None = None
+        #: Called (no arguments) on any map_region/set_perms change.
+        self.perm_change_listener: Callable[[], None] | None = None
+
+    # -- change notification ----------------------------------------------
+
+    def watch_page(self, page: int) -> None:
+        """Ask for ``code_write_listener`` to fire when ``page`` is written."""
+        self._watched_pages.add(page)
+
+    def unwatch_all(self) -> None:
+        self._watched_pages.clear()
+
+    def _notify_code_write(self, page: int) -> None:
+        self._watched_pages.discard(page)
+        listener = self.code_write_listener
+        if listener is not None:
+            listener(page)
+
+    def _notify_perm_change(self) -> None:
+        listener = self.perm_change_listener
+        if listener is not None:
+            listener()
 
     # -- mapping ----------------------------------------------------------
 
@@ -70,21 +127,21 @@ class Memory:
         """
         if size <= 0:
             return
-        first = addr >> _PAGE_SHIFT
-        last = (addr + size - 1) >> _PAGE_SHIFT
-        for page in range(first, last + 1):
-            if page not in self._pages:
-                self._pages[page] = bytearray(PAGE_SIZE)
-            self._perms[page] = perms
+        pages = self._pages
+        page_perms = self._perms
+        for page in _pages_covering(addr, size):
+            if page not in pages:
+                pages[page] = bytearray(PAGE_SIZE)
+            page_perms[page] = perms
+        self._notify_perm_change()
 
     def set_perms(self, addr: int, size: int, perms: int) -> None:
         """Change permissions of already-mapped pages covering a range."""
-        first = addr >> _PAGE_SHIFT
-        last = (addr + size - 1) >> _PAGE_SHIFT
-        for page in range(first, last + 1):
+        for page in _pages_covering(addr, size):
             if page not in self._pages:
                 raise MemoryFault(f"set_perms on unmapped page 0x{page << _PAGE_SHIFT:08x}")
             self._perms[page] = perms
+        self._notify_perm_change()
 
     def is_mapped(self, addr: int) -> bool:
         """Return True if the byte at ``addr`` is mapped."""
@@ -106,11 +163,10 @@ class Memory:
         if size <= 0:
             return 0
         perms = PERM_RWX
-        first = addr >> _PAGE_SHIFT
-        last = (addr + size - 1) >> _PAGE_SHIFT
-        for page in range(first, last + 1):
+        page_perms = self._perms
+        for page in _pages_covering(addr, size):
             try:
-                perms &= self._perms[page]
+                perms &= page_perms[page]
             except KeyError:
                 raise MemoryFault(
                     f"access to unmapped address 0x{(page << _PAGE_SHIFT) & WORD_MASK:08x}"
@@ -139,14 +195,24 @@ class Memory:
     def read_bytes(self, addr: int, size: int) -> bytes:
         """Read ``size`` raw bytes starting at ``addr``."""
         addr &= WORD_MASK
+        page = addr >> _PAGE_SHIFT
+        offset = addr & _PAGE_MASK
+        pages = self._pages
+        if offset + size <= PAGE_SIZE:
+            # Fast path: the whole read lives inside one page.
+            try:
+                data = pages[page]
+            except KeyError:
+                raise MemoryFault(f"read from unmapped address 0x{addr:08x}") from None
+            return bytes(data[offset : offset + size])
         out = bytearray()
         remaining = size
         while remaining > 0:
             page = addr >> _PAGE_SHIFT
-            offset = addr & (PAGE_SIZE - 1)
+            offset = addr & _PAGE_MASK
             chunk = min(remaining, PAGE_SIZE - offset)
             try:
-                data = self._pages[page]
+                data = pages[page]
             except KeyError:
                 raise MemoryFault(f"read from unmapped address 0x{addr:08x}") from None
             out += data[offset : offset + chunk]
@@ -157,38 +223,96 @@ class Memory:
     def write_bytes(self, addr: int, data: bytes) -> None:
         """Write raw bytes starting at ``addr``."""
         addr &= WORD_MASK
+        pages = self._pages
+        watched = self._watched_pages
         offset_in_data = 0
         remaining = len(data)
         while remaining > 0:
             page = addr >> _PAGE_SHIFT
-            offset = addr & (PAGE_SIZE - 1)
+            offset = addr & _PAGE_MASK
             chunk = min(remaining, PAGE_SIZE - offset)
             try:
-                target = self._pages[page]
+                target = pages[page]
             except KeyError:
                 raise MemoryFault(f"write to unmapped address 0x{addr:08x}") from None
             target[offset : offset + chunk] = data[offset_in_data : offset_in_data + chunk]
+            if page in watched:
+                self._notify_code_write(page)
             addr = (addr + chunk) & WORD_MASK
             offset_in_data += chunk
             remaining -= chunk
 
     def read_byte(self, addr: int) -> int:
-        return self.read_bytes(addr, 1)[0]
+        addr &= WORD_MASK
+        try:
+            return self._pages[addr >> _PAGE_SHIFT][addr & _PAGE_MASK]
+        except KeyError:
+            raise MemoryFault(f"read from unmapped address 0x{addr:08x}") from None
 
     def write_byte(self, addr: int, value: int) -> None:
-        self.write_bytes(addr, bytes([value & 0xFF]))
+        addr &= WORD_MASK
+        page = addr >> _PAGE_SHIFT
+        try:
+            self._pages[page][addr & _PAGE_MASK] = value & 0xFF
+        except KeyError:
+            raise MemoryFault(f"write to unmapped address 0x{addr:08x}") from None
+        if page in self._watched_pages:
+            self._notify_code_write(page)
 
     def read_word(self, addr: int) -> int:
         """Read a 32-bit little-endian word."""
+        addr &= WORD_MASK
+        offset = addr & _PAGE_MASK
+        if offset <= PAGE_SIZE - 4:
+            # Fast path: the word lies inside one page.
+            try:
+                return _U32.unpack_from(self._pages[addr >> _PAGE_SHIFT], offset)[0]
+            except KeyError:
+                raise MemoryFault(f"read from unmapped address 0x{addr:08x}") from None
         return _U32.unpack(self.read_bytes(addr, 4))[0]
 
     def write_word(self, addr: int, value: int) -> None:
         """Write a 32-bit little-endian word."""
+        addr &= WORD_MASK
+        offset = addr & _PAGE_MASK
+        if offset <= PAGE_SIZE - 4:
+            page = addr >> _PAGE_SHIFT
+            try:
+                _U32.pack_into(self._pages[page], offset, value & WORD_MASK)
+            except KeyError:
+                raise MemoryFault(f"write to unmapped address 0x{addr:08x}") from None
+            if page in self._watched_pages:
+                self._notify_code_write(page)
+            return
         self.write_bytes(addr, _U32.pack(value & WORD_MASK))
 
     def iter_words(self, start: int, end: int) -> Iterator[tuple[int, int]]:
-        """Yield ``(address, word)`` for word-aligned addresses in range."""
+        """Yield ``(address, word)`` for word-aligned addresses in range.
+
+        The inner loop of the memory-scraping attacks: each page's
+        buffer is snapshot once and unpacked with
+        :meth:`struct.Struct.iter_unpack`, instead of a chunked
+        ``read_bytes`` round-trip per word.
+        """
         addr = start
+        pages = self._pages
         while addr + 4 <= end:
-            yield addr, self.read_word(addr)
-            addr += 4
+            masked = addr & WORD_MASK
+            offset = masked & _PAGE_MASK
+            run = min(end - addr, PAGE_SIZE - offset)
+            if run >= 4:
+                try:
+                    buf = pages[masked >> _PAGE_SHIFT]
+                except KeyError:
+                    raise MemoryFault(
+                        f"read from unmapped address 0x{masked:08x}"
+                    ) from None
+                count = run >> 2
+                chunk = bytes(buf[offset : offset + (count << 2)])
+                for (word,) in _U32.iter_unpack(chunk):
+                    yield addr, word
+                    addr += 4
+            else:
+                # An unaligned word straddling a page boundary.
+                yield addr, self.read_word(addr)
+                addr += 4

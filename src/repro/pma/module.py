@@ -92,6 +92,10 @@ class PMAController:
         counter_store: dict[bytes, int] | None = None,
     ) -> None:
         self.modules: list[ProtectedModule] = []
+        #: Called (no arguments) whenever the module table changes;
+        #: the machine's interpreter caches subscribe here so section
+        #: changes flush any stale fast-path state.
+        self._change_listeners: list = []
         self._platform_key = platform_key
         #: Non-volatile monotonic counters, keyed by module measurement
         #: (so a re-loaded identical module sees its own counter, while
@@ -121,7 +125,13 @@ class PMAController:
         module.measurement = crypto.measure(code)
         module.module_key = crypto.derive_module_key(self._platform_key, module.measurement)
         self.modules.append(module)
+        for listener in self._change_listeners:
+            listener()
         return module
+
+    def add_change_listener(self, listener) -> None:
+        """Subscribe ``listener()`` to module-table changes."""
+        self._change_listeners.append(listener)
 
     # -- queries ------------------------------------------------------------
 
