@@ -17,6 +17,8 @@ Options::
 
     --output PATH    where to write the JSON (default: BENCH_simulator.json)
     --quick          fewer benchmark rounds, for a fast smoke reading
+    --check          exit non-zero if interpreter throughput regressed
+                     more than 10% against the best recorded run
 """
 
 from __future__ import annotations
@@ -90,21 +92,65 @@ def summarize(raw: dict) -> dict:
     return summary
 
 
-def write_tracking_file(path: str, summary: dict) -> None:
+def load_previous(path: str) -> dict | None:
+    """The tracking file's prior contents, or None."""
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+def write_tracking_file(path: str, summary: dict,
+                        previous: dict | None = None) -> None:
     """Append to the tracking file, keeping the latest run as ``current``."""
     history: list = []
-    if os.path.exists(path):
-        try:
-            with open(path) as fh:
-                previous = json.load(fh)
-            history = previous.get("history", [])
-            if previous.get("current"):
-                history.append(previous["current"])
-        except (json.JSONDecodeError, OSError):
-            history = []
+    if previous is None:
+        previous = load_previous(path)
+    if previous:
+        history = previous.get("history", [])
+        if previous.get("current"):
+            history.append(previous["current"])
     with open(path, "w") as fh:
         json.dump({"current": summary, "history": history}, fh, indent=2)
         fh.write("\n")
+
+
+def _rate(entry: dict) -> float | None:
+    return entry.get("interpreter", {}).get("instructions_per_second")
+
+
+def best_recorded_rate(previous: dict | None) -> float | None:
+    """Best interpreter throughput across the prior file's runs."""
+    if not previous:
+        return None
+    entries = list(previous.get("history", []))
+    if previous.get("current"):
+        entries.append(previous["current"])
+    rates = [_rate(entry) for entry in entries]
+    return max((rate for rate in rates if rate), default=None)
+
+
+def check_regression(rate: float | None, baseline: float | None,
+                     threshold: float = 0.10) -> str | None:
+    """Error message if ``rate`` regressed > ``threshold`` vs ``baseline``.
+
+    Returns None when there is nothing to compare or no regression --
+    the first run of a fresh tracking file always passes.
+    """
+    if not rate or not baseline:
+        return None
+    floor = baseline * (1.0 - threshold)
+    if rate < floor:
+        drop = 100.0 * (1.0 - rate / baseline)
+        return (
+            f"REGRESSION: interpreter throughput {rate:,.0f} insns/s is "
+            f"{drop:.1f}% below the best recorded {baseline:,.0f} insns/s "
+            f"(allowed: {threshold:.0%})"
+        )
+    return None
 
 
 def main() -> None:
@@ -118,11 +164,17 @@ def main() -> None:
         "--quick", action="store_true",
         help="fewer rounds for a fast smoke reading",
     )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on a >10%% throughput regression vs the "
+             "best run recorded in the tracking file",
+    )
     args = parser.parse_args()
 
+    previous = load_previous(args.output)
     raw = run_suite(args.quick)
     summary = summarize(raw)
-    write_tracking_file(args.output, summary)
+    write_tracking_file(args.output, summary, previous)
 
     interp = summary.get("interpreter", {})
     rate = interp.get("instructions_per_second")
@@ -132,6 +184,18 @@ def main() -> None:
         print(f"interpreter throughput: ~{rate:,.0f} instructions/second")
     if compile_mean:
         print(f"compile pipeline latency: {compile_mean * 1000:.2f} ms")
+
+    if args.check:
+        baseline = best_recorded_rate(previous)
+        message = check_regression(rate, baseline)
+        if message is not None:
+            print(message, file=sys.stderr)
+            raise SystemExit(1)
+        if baseline:
+            print(f"check: OK ({rate:,.0f} insns/s vs best "
+                  f"{baseline:,.0f}, threshold 10%)")
+        else:
+            print("check: no baseline recorded yet, passing")
 
 
 if __name__ == "__main__":

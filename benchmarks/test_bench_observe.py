@@ -1,0 +1,62 @@
+"""Observability overhead benchmarks.
+
+The repro.observe contract is *zero-cost when detached*: an
+unobserved machine pays one ``is None`` check per step and nothing
+else.  ``test_bench_detached_overhead`` measures exactly that
+configuration (it should track ``test_bench_interpreter_throughput``
+within noise); the attached benchmarks document what full metrics and
+full event tracing cost, so the overhead of observing is a recorded
+number rather than folklore.
+"""
+
+from repro.link import load
+from repro.minic import CompileOptions, compile_source
+from repro.observe import EventTrace, MetricsCollector
+
+_HOT_LOOP = """
+void main() {
+    int acc = 0;
+    int i;
+    for (i = 0; i < 20000; i++) {
+        acc += i;
+    }
+    print_int(acc);
+}
+"""
+
+
+def _build():
+    obj = compile_source(_HOT_LOOP, "hot", CompileOptions(optimize=True))
+    return load([obj])
+
+
+def _throughput(benchmark, attach=None):
+    def run_once():
+        program = _build()
+        if attach is not None:
+            program.machine.attach_observer(attach())
+        result = program.run(10_000_000)
+        assert result.exit_code == 0
+        return result.instructions
+
+    instructions = benchmark(run_once)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = instructions / benchmark.stats.stats.mean
+        benchmark.extra_info["instructions_per_run"] = instructions
+        benchmark.extra_info["instructions_per_second"] = rate
+    assert instructions > 100_000
+
+
+def test_bench_detached_overhead(benchmark):
+    """The unobserved path: must match the plain interpreter numbers."""
+    _throughput(benchmark)
+
+
+def test_bench_metrics_attached(benchmark):
+    """Full metrics (including memory events) attached."""
+    _throughput(benchmark, MetricsCollector)
+
+
+def test_bench_event_trace_attached(benchmark):
+    """Full event trace, memory events included."""
+    _throughput(benchmark, EventTrace)

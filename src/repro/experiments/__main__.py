@@ -2,13 +2,23 @@
 
 Usage::
 
-    python -m repro.experiments            # everything
-    python -m repro.experiments e4 e10     # selected experiment ids
+    python -m repro.experiments                 # everything
+    python -m repro.experiments e4 e10          # selected experiment ids
+    python -m repro.experiments --metrics cfi   # + aggregate metrics
+    python -m repro.experiments --trace-out fig1.json fig1
+                                                # + Chrome trace of the runs
+
+``--trace-out`` / ``--jsonl-out`` / ``--metrics`` attach repro.observe
+collectors to every machine the selected experiments build, then
+export/print what was gathered.  ``fig1`` is an alias for ``e1``
+(``fig4`` for ``e10``).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from contextlib import nullcontext
 
 from repro.experiments import (
     analysis_exp,
@@ -25,11 +35,12 @@ from repro.experiments import (
     securecomp_exp,
     sfi_exp,
 )
-from repro.experiments.reporting import render_kv
+from repro.experiments.reporting import render_kv, render_metrics
 
 
 def run_e1() -> str:
-    return fig1.generate_fig1().render()
+    return (fig1.generate_fig1().render()
+            + "\n\n" + fig1.attack_provenance().render())
 
 
 def run_e4() -> str:
@@ -101,7 +112,9 @@ def run_e12() -> str:
 
 
 def run_cfi() -> str:
-    return cfi_exp.render_cfi(cfi_exp.cfi_table())
+    return (cfi_exp.render_cfi(cfi_exp.cfi_table())
+            + "\n\n" + cfi_exp.render_indirect_transfers(
+                cfi_exp.indirect_transfer_table()))
 
 
 def run_heap() -> str:
@@ -138,17 +151,72 @@ EXPERIMENTS = {
 }
 
 
+#: Friendly names for the experiments people know by figure number.
+ALIASES = {"fig1": "e1", "fig4": "e10"}
+
+
 def main(argv: list[str]) -> int:
-    selected = [arg.lower() for arg in argv] or list(EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run paper-artefact experiments, optionally under "
+                    "the repro.observe event bus.",
+    )
+    parser.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                        help="experiment ids (default: all); "
+                             f"have {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome trace-event JSON of every "
+                             "machine the experiments run")
+    parser.add_argument("--jsonl-out", metavar="FILE",
+                        help="write the raw event stream as JSON lines")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print aggregate execution metrics at the end")
+    options = parser.parse_args(argv)
+
+    selected = [ALIASES.get(arg.lower(), arg.lower())
+                for arg in options.experiments] or list(EXPERIMENTS)
     for key in selected:
         if key not in EXPERIMENTS:
             print(f"unknown experiment {key!r}; have {', '.join(EXPERIMENTS)}")
             return 1
-        title, runner = EXPERIMENTS[key]
-        banner = f"==== {key.upper()} :: {title} "
-        print(banner + "=" * max(0, 78 - len(banner)))
-        print(runner())
-        print()
+
+    from repro.observe import (
+        EventTrace,
+        MetricsCollector,
+        export_chrome_trace,
+        export_jsonl,
+        observe_new_machines,
+    )
+
+    trace = metrics = None
+    factories = []
+    if options.trace_out or options.jsonl_out:
+        trace = EventTrace()
+        factories.append(lambda machine: trace)
+    if options.metrics:
+        metrics = MetricsCollector()
+        factories.append(lambda machine: metrics)
+    scope = observe_new_machines(*factories) if factories else nullcontext()
+
+    with scope:
+        for key in selected:
+            title, runner = EXPERIMENTS[key]
+            banner = f"==== {key.upper()} :: {title} "
+            print(banner + "=" * max(0, 78 - len(banner)))
+            print(runner())
+            print()
+
+    if trace is not None:
+        if options.trace_out:
+            export_chrome_trace(trace, options.trace_out)
+            print(f"[observe] Chrome trace ({len(trace.events)} events, "
+                  f"{trace.dropped} dropped) -> {options.trace_out}")
+        if options.jsonl_out:
+            lines = export_jsonl(trace, options.jsonl_out)
+            print(f"[observe] {lines} JSONL events -> {options.jsonl_out}")
+    if metrics is not None:
+        print(render_metrics(metrics.snapshot(),
+                             title="Aggregate metrics (all machines run)"))
     return 0
 
 

@@ -56,3 +56,43 @@ def render_cfi(rows: list[dict]) -> str:
          for r in rows],
         title="CFI precision ladder on the function-pointer victim",
     )
+
+
+def indirect_transfer_table(seed: int = 0) -> list[dict]:
+    """Count the control transfers each posture actually polices.
+
+    Runs the same-type hijack (the residue attack every CFI flavour
+    must let through) under a :class:`MetricsCollector` per posture.
+    Indirect calls/jumps are the population a CFI check intercepts;
+    the direct ones ride for free -- the table makes that asymmetry,
+    and thus CFI's enforcement surface, concrete.
+    """
+    from repro.observe import MetricsCollector, observe_new_machines
+
+    rows = []
+    for posture_name, config in POSTURES:
+        metrics = MetricsCollector()
+        with observe_new_machines(lambda machine: metrics):
+            result = attack_funcptr_same_type(config, seed=seed)
+        rows.append({
+            "posture": posture_name,
+            "indirect_calls": metrics.control["call_indirect"],
+            "indirect_jumps": metrics.control["jump_indirect"],
+            "direct_calls": metrics.control["call"],
+            "rets": metrics.control["ret"],
+            "instructions": metrics.instructions,
+            "outcome": result.outcome.value,
+        })
+    return rows
+
+
+def render_indirect_transfers(rows: list[dict]) -> str:
+    return render_table(
+        ["posture", "indirect calls", "indirect jumps", "direct calls",
+         "rets", "instructions", "outcome"],
+        [[r["posture"], r["indirect_calls"], r["indirect_jumps"],
+          r["direct_calls"], r["rets"], r["instructions"], r["outcome"]]
+         for r in rows],
+        title="Indirect-transfer census during the same-type hijack "
+              "(what CFI polices)",
+    )

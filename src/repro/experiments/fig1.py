@@ -9,11 +9,19 @@ and return address, the IP and SP.
 This experiment compiles the same program with our toolchain and
 prints the same three artefacts, with the stack snapshot annotated the
 way the figure annotates it.
+
+:func:`attack_provenance` extends the figure with what the paper
+describes in prose: it replays the Section II attack (request longer
+than the buffer) under the repro.observe event bus and reconstructs
+the provenance timeline -- which instruction legitimately pushed
+``process()``'s return address, which instruction overwrote it, where
+the hijacked ``ret`` then went, and the fault that followed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_right
+from dataclasses import dataclass, field
 
 from repro.asm.disassembler import disassemble, render_listing
 from repro.attacks.study import run_until_syscall
@@ -113,4 +121,145 @@ def generate_fig1(config: MitigationConfig = NONE, *,
         process_listing=listing,
         stack_snapshot=snapshot,
         registers={"ip": cpu.ip, "sp": cpu.regs[SP], "bp": cpu.regs[BP]},
+    )
+
+
+# -- attack provenance (repro.observe) ---------------------------------------
+
+
+@dataclass
+class ProvenanceReport:
+    """The reconstructed who-overwrote-the-return-address timeline."""
+
+    return_addr_slot: int
+    original_return: int
+    #: IP of the instruction whose write clobbered the slot (the ``sys``
+    #: instruction driving the vulnerable read), or None if nothing did.
+    clobber_ip: int | None
+    clobber_symbol: str
+    clobber_value: int | None
+    #: Selected events as (seq, kind, ip, description) rows.
+    timeline: list[tuple[int, str, int, str]] = field(default_factory=list)
+    run_status: str = ""
+    fault: str = ""
+
+    def render(self) -> str:
+        from repro.experiments.reporting import render_kv, render_table
+
+        if self.clobber_ip is None:
+            verdict = "return address was never overwritten"
+        else:
+            verdict = (
+                f"instruction at 0x{self.clobber_ip:08x} "
+                f"({self.clobber_symbol}) overwrote the return address "
+                f"with 0x{self.clobber_value:08x}"
+            )
+        summary = render_kv("Attack provenance (event-bus reconstruction)", {
+            "return-address slot": f"0x{self.return_addr_slot:08x}",
+            "legitimate return": f"0x{self.original_return:08x}",
+            "verdict": verdict,
+            "run ended": self.run_status + (f" ({self.fault})" if self.fault
+                                            else ""),
+        })
+        table = render_table(
+            ["seq", "event", "ip", "what happened"],
+            [[seq, kind, f"0x{ip:08x}", what]
+             for seq, kind, ip, what in self.timeline],
+            title="Timeline (event sequence numbers from the trace):",
+        )
+        return summary + "\n\n" + table
+
+
+def _written_slot_value(event, slot: int) -> int | None:
+    """The word a recorded write event left at ``slot`` (None if the
+    write only partially covers the 4-byte slot)."""
+    addr, size = event.data["addr"], event.data["size"]
+    value = event.data["value"]
+    data = (value.to_bytes(size, "little") if isinstance(value, int)
+            else bytes.fromhex(value))
+    offset = slot - addr
+    if offset < 0 or offset + 4 > size:
+        return None
+    return int.from_bytes(data[offset:offset + 4], "little")
+
+
+def attack_provenance(request: bytes = b"A" * 32,
+                      config: MitigationConfig = NONE) -> ProvenanceReport:
+    """Replay the Section II overflow under full event tracing.
+
+    Uses the attacker's own study step (:func:`locate_overflow`) to
+    learn where ``process()``'s return-address slot lives, then runs a
+    fresh instance with an :class:`EventTrace` attached and asks the
+    trace which write clobbered that slot.
+    """
+    from repro.attacks.study import locate_overflow
+    from repro.observe.tracer import EventTrace
+
+    site = locate_overflow(build_fig1(config, vulnerable=True), frames_up=1)
+
+    program = build_fig1(config, vulnerable=True)
+    program.feed(request)
+    trace = EventTrace()
+    program.machine.attach_observer(trace)
+    result = program.run()
+
+    functions = program.image.function_symbols()
+    starts = [addr for addr, _ in functions]
+
+    def symbolize(address: int) -> str:
+        index = bisect_right(starts, address) - 1
+        if index < 0:
+            return f"0x{address:08x}"
+        addr, name = functions[index]
+        offset = address - addr
+        return name if offset == 0 else f"{name}+0x{offset:x}"
+
+    slot = site.return_addr_slot
+    writes = trace.writes_to(slot)
+    clobber = None
+    for event in writes:
+        if _written_slot_value(event, slot) != site.original_return:
+            clobber = event
+    clobber_value = (_written_slot_value(clobber, slot)
+                     if clobber is not None else None)
+
+    timeline: list[tuple[int, str, int, str]] = []
+    for event in writes:
+        value = _written_slot_value(event, slot)
+        if event is clobber:
+            what = (f"CLOBBER: {event.data['size']}-byte write over the "
+                    f"slot, leaving 0x{value:08x}")
+        elif value == site.original_return:
+            what = f"legitimate call push (0x{value:08x})"
+        else:
+            what = f"write leaving 0x{value:08x}" if value is not None \
+                else "partial write over the slot"
+        timeline.append((event.seq, "write", event.ip, what))
+    if clobber is not None:
+        for event in trace.events:
+            if event.seq <= clobber.seq:
+                continue
+            if (event.kind == "ret"
+                    and event.data["target"] == clobber_value):
+                timeline.append((
+                    event.seq, "ret", event.ip,
+                    f"returns to hijacked 0x{event.data['target']:08x} "
+                    f"instead of 0x{site.original_return:08x}",
+                ))
+                break
+    for event in trace.events:
+        if event.kind == "fault":
+            timeline.append((event.seq, "fault", event.ip,
+                             f"{event.data['fault']}: {event.data['detail']}"))
+    timeline.sort()
+
+    return ProvenanceReport(
+        return_addr_slot=slot,
+        original_return=site.original_return,
+        clobber_ip=clobber.ip if clobber is not None else None,
+        clobber_symbol=symbolize(clobber.ip) if clobber is not None else "",
+        clobber_value=clobber_value,
+        timeline=timeline,
+        run_status=result.status.value,
+        fault=result.fault_name() or "",
     )

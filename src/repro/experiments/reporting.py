@@ -36,3 +36,49 @@ def render_kv(title: str, pairs: dict) -> str:
     for key, value in pairs.items():
         lines.append(f"  {str(key).ljust(width)} : {value}")
     return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict, title: str = "Execution metrics") -> str:
+    """Render a :meth:`MetricsCollector.snapshot` dict as text.
+
+    Flat counters become a key/value block; the opcode histogram is a
+    table of the ten most-retired mnemonics.
+    """
+    memory = snapshot["memory"]
+    cache = snapshot["decode_cache"]
+    pairs = {
+        "instructions": snapshot["instructions"],
+        "control": ", ".join(f"{kind}={count}" for kind, count
+                             in snapshot["control"].items()) or "-",
+        "memory": (f"{memory['reads']} reads / {memory['writes']} writes "
+                   f"({memory['bytes_read']}B / {memory['bytes_written']}B, "
+                   f"{memory['pages_touched']} pages)"),
+        "syscalls": ", ".join(f"{number}x{count}" for number, count
+                              in snapshot["syscalls"].items()) or "-",
+        "faults": ", ".join(f"{name}={count}" for name, count
+                            in snapshot["faults"].items()) or "-",
+        "decode cache": (f"{cache['hits']} hits / {cache['misses']} misses, "
+                         f"{cache['invalidated_entries']} invalidated, "
+                         f"{cache['flushes']} flushes"),
+        "pma crossings": snapshot["pma_crossings"],
+        "red-zone checked": snapshot["redzone_checked_accesses"],
+    }
+    top = sorted(snapshot["opcodes"].items(),
+                 key=lambda item: (-item[1], item[0]))[:10]
+    table = render_table(
+        ["mnemonic", "retired"],
+        [[mnemonic, count] for mnemonic, count in top],
+        title="Top opcodes:",
+    )
+    return render_kv(title, pairs) + "\n\n" + table
+
+
+def render_profile(rows: list[dict], title: str = "Guest profile",
+                   top: int = 15) -> str:
+    """Render :meth:`GuestProfiler.flat_profile` rows as a table."""
+    return render_table(
+        ["function", "self", "inclusive", "calls", "self%"],
+        [[row["function"], row["self"], row["inclusive"], row["calls"],
+          f"{row['self_pct']:.1f}"] for row in rows[:top]],
+        title=title,
+    )

@@ -80,6 +80,19 @@ class Image:
             known = ", ".join(sorted(self.symbols)[:20])
             raise KeyError(f"symbol {name!r} not in image (have: {known} ...)") from None
 
+    def function_symbols(self) -> list[tuple[int, str]]:
+        """Function entry symbols as a sorted ``[(address, name)]`` list.
+
+        Globals only (local symbols are qualified ``object:name``),
+        restricted to known function entries.  This is the table the
+        debugger and the guest profiler symbolise against.
+        """
+        return sorted(
+            (addr, name)
+            for name, addr in self.symbols.items()
+            if ":" not in name and addr in self.function_addresses
+        )
+
     def segment_named(self, name: str) -> Segment:
         for segment in self.segments:
             if segment.name == name:

@@ -8,8 +8,11 @@ watch values change.  It is equally the honest developer's tool for
 understanding what the attacks in this package actually do.
 
 Implementation notes: breakpoints are checked before each fetch (no
-code patching, so they work on R-X pages); watchpoints compare the
-watched bytes after every step (precise, simulator-priced).
+code patching, so they work on R-X pages); watchpoints ride the
+repro.observe event bus -- a write-event subscriber marks watches
+whose range a store overlapped, and only those get their bytes
+re-compared after the step.  Machines with no watchpoints stay on the
+unobserved fast path.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from typing import TYPE_CHECKING
 from repro.errors import MachineFault
 from repro.isa.registers import BP, REGISTER_NAMES
 from repro.machine.machine import Machine, RunStatus
+from repro.observe.events import Observer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.link.loader import LoadedProgram
@@ -69,6 +73,22 @@ class _Watch:
     size: int
     label: str
     last: bytes = b""
+    #: Set by the write-event subscriber when a store overlapped this
+    #: range during the last step; cleared once the bytes are compared.
+    dirty: bool = False
+
+
+class _WatchObserver(Observer):
+    """Write-event subscriber that marks overlapped watches dirty."""
+
+    def __init__(self, watches: list[_Watch]):
+        self.watches = watches
+
+    def on_write(self, machine, addr, size, value):
+        end = addr + size
+        for watch in self.watches:
+            if addr < watch.address + watch.size and watch.address < end:
+                watch.dirty = True
 
 
 class Debugger:
@@ -79,12 +99,9 @@ class Debugger:
         self.machine: Machine = program.machine
         self.breakpoints: set[int] = set()
         self._watches: list[_Watch] = []
+        self._watch_observer: _WatchObserver | None = None
         #: Function symbols sorted by address, for symbolisation.
-        self._functions = sorted(
-            (addr, name)
-            for name, addr in program.image.symbols.items()
-            if ":" not in name and addr in program.image.function_addresses
-        )
+        self._functions = program.image.function_symbols()
 
     # -- configuration ------------------------------------------------------
 
@@ -109,6 +126,9 @@ class Debugger:
         watch = _Watch(address, size, label or f"0x{address:08x}")
         watch.last = self._snapshot(watch)
         self._watches.append(watch)
+        if self._watch_observer is None:
+            self._watch_observer = _WatchObserver(self._watches)
+            self.machine.attach_observer(self._watch_observer)
 
     def _snapshot(self, watch: _Watch) -> bytes:
         try:
@@ -158,6 +178,9 @@ class Debugger:
 
     def _check_watches(self) -> StopEvent | None:
         for watch in self._watches:
+            if not watch.dirty:
+                continue
+            watch.dirty = False
             now = self._snapshot(watch)
             if now != watch.last:
                 before, watch.last = watch.last, now

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.errors import (
     BoundsFault,
@@ -51,9 +52,42 @@ from repro.machine.memory import (
     _PAGE_SHIFT,
 )
 from repro.machine.syscalls import HANDLERS
+from repro.observe.events import ObserverHub
+from repro.observe.tracer import InstructionTracer
 from repro.pma.module import PMAController
 
+if False:  # pragma: no cover - typing only
+    from repro.observe.events import Observer
+
 _PAGE_MASK = PAGE_SIZE - 1
+
+#: Control-transfer opcode bytes, mirroring the dispatch table in
+#: :mod:`repro.machine.cpu` (0x19..0x25 is the contiguous transfer
+#: block).  The *observed* step classifies transfers by opcode after
+#: execution, so the fast path and the cpu dispatch need no
+#: instrumentation at all.
+_OP_JMP_ABS, _OP_JMP_REG = 0x19, 0x1A
+_OP_CALL_ABS, _OP_CALL_REG, _OP_RET = 0x23, 0x24, 0x25
+
+#: Factories called with every newly constructed :class:`Machine`;
+#: each returns an :class:`~repro.observe.events.Observer` to attach
+#: (or None).  Normally empty -- zero cost -- and managed through
+#: :func:`repro.observe.observe_new_machines`, which lets the
+#: experiments CLI instrument pipelines that build machines
+#: internally.
+_DEFAULT_OBSERVER_FACTORIES: list = []
+
+#: Instance attributes swapped to their ``_*_observed`` variants while
+#: a subscriber cares about memory events.  With no such subscriber
+#: the class-level accessors run untouched (zero cost).
+_MEMORY_ACCESSORS = (
+    "read_bytes",
+    "write_bytes",
+    "read_word",
+    "write_word",
+    "read_byte",
+    "write_byte",
+)
 
 #: Permission bit required for each access kind, hoisted out of the
 #: per-access path (building this dict per call was measurable).
@@ -92,11 +126,21 @@ class RunResult:
     instructions: int = 0
     output: bytes = b""
     shell_spawned: bool = False
+    #: Wall-clock seconds the :meth:`Machine.run` call took.
+    duration_seconds: float = 0.0
 
     @property
     def crashed(self) -> bool:
         """True if execution ended in a fault (any kind)."""
         return self.status is RunStatus.FAULT
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Simulated-instruction throughput of this run (0.0 when the
+        run was too short for the clock to resolve)."""
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.duration_seconds
 
     def fault_name(self) -> str:
         """Short class name of the fault, or '-' if none."""
@@ -117,9 +161,14 @@ class MachineConfig:
     cfi_mode: str = "coarse"
     #: Enforce ASan-style red zones on data accesses.
     redzones: bool = False
-    #: Record an execution trace (addresses + instructions).
+    #: Record an execution trace (addresses + instructions).  Served
+    #: by an auto-attached
+    #: :class:`~repro.observe.tracer.InstructionTracer` (read it back
+    #: through ``Machine.trace``/``Machine.tracer``); must be set at
+    #: construction time.
     trace: bool = False
-    #: Maximum trace entries retained.
+    #: Maximum trace entries retained; overflow is counted in
+    #: ``Machine.trace_dropped`` instead of being silently discarded.
     trace_limit: int = 100_000
     #: Seed for the machine's entropy source.
     rng_seed: int = 0
@@ -179,10 +228,73 @@ class Machine:
         #: before each syscall -- used by tests and by the attacker's
         #: local "debugger" when studying a binary.
         self.syscall_hooks: list = []
-        self.trace: list[tuple[int, Instruction]] = []
         self.instructions_executed = 0
         self._status: RunStatus | None = None
         self._exit_code: int | None = None
+        #: Event-bus dispatch hub, or None when nothing is attached --
+        #: the single check the fast path pays (see repro.observe).
+        self._observers: ObserverHub | None = None
+        #: The auto-attached legacy tracer (``config.trace``), if any.
+        self.tracer: InstructionTracer | None = None
+        if self.config.trace:
+            self.tracer = InstructionTracer(self.config.trace_limit)
+            self.attach_observer(self.tracer)
+        if _DEFAULT_OBSERVER_FACTORIES:
+            for factory in _DEFAULT_OBSERVER_FACTORIES:
+                observer = factory(self)
+                if observer is not None:
+                    self.attach_observer(observer)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def observers(self) -> tuple:
+        """The attached observers, in attach order."""
+        return self._observers.observers if self._observers else ()
+
+    def attach_observer(self, observer: "Observer") -> "Observer":
+        """Subscribe ``observer`` to this machine's event stream."""
+        attached = list(self.observers)
+        attached.append(observer)
+        self._observers = ObserverHub(attached)
+        self._sync_memory_accessors()
+        return observer
+
+    def detach_observer(self, observer: "Observer") -> None:
+        """Unsubscribe ``observer``; with none left the machine drops
+        back to the zero-cost unobserved fast path."""
+        remaining = [obs for obs in self.observers if obs is not observer]
+        self._observers = ObserverHub(remaining) if remaining else None
+        self._sync_memory_accessors()
+
+    def _sync_memory_accessors(self) -> None:
+        """Swap the checked accessors to their event-emitting variants
+        only while some subscriber wants memory events, so unobserved
+        machines (and observed ones that don't care about memory) keep
+        the unwrapped class methods."""
+        hub = self._observers
+        if hub is not None and hub.wants_memory:
+            for name in _MEMORY_ACCESSORS:
+                self.__dict__[name] = getattr(self, f"_{name}_observed")
+        else:
+            for name in _MEMORY_ACCESSORS:
+                self.__dict__.pop(name, None)
+
+    @property
+    def trace(self) -> list[tuple[int, Instruction]]:
+        """Legacy execution trace: ``(ip, insn)`` pairs.
+
+        Compatibility shim over the auto-attached
+        :class:`~repro.observe.tracer.InstructionTracer`; empty when
+        ``config.trace`` was not set at construction.
+        """
+        return self.tracer.entries if self.tracer is not None else []
+
+    @property
+    def trace_dropped(self) -> int:
+        """Trace entries discarded after ``config.trace_limit`` filled
+        (the legacy list stopped silently; this says by how much)."""
+        return self.tracer.dropped if self.tracer is not None else 0
 
     # -- privilege ----------------------------------------------------------
 
@@ -288,6 +400,70 @@ class Machine:
     def write_byte(self, addr: int, value: int) -> None:
         self._check(AccessKind.WRITE, addr, 1)
         self.memory.write_byte(addr, value)
+
+    # -- observed memory access -------------------------------------------------
+    #
+    # Event-emitting twins of the checked accessors above.  They are
+    # installed as *instance* attributes by _sync_memory_accessors only
+    # while some observer subscribes to read/write events; otherwise
+    # the plain class methods run and the unobserved path pays nothing.
+
+    def _read_bytes_observed(self, addr: int, size: int) -> bytes:
+        self._check(AccessKind.READ, addr, size)
+        data = self.memory.read_bytes(addr, size)
+        hub = self._observers
+        if hub is not None and hub.read:
+            masked = addr & WORD_MASK
+            for observer in hub.read:
+                observer.on_read(self, masked, size, data)
+        return data
+
+    def _write_bytes_observed(self, addr: int, data: bytes) -> None:
+        self._check(AccessKind.WRITE, addr, len(data))
+        self.memory.write_bytes(addr, data)
+        hub = self._observers
+        if hub is not None and hub.write:
+            masked = addr & WORD_MASK
+            for observer in hub.write:
+                observer.on_write(self, masked, len(data), data)
+
+    def _read_word_observed(self, addr: int) -> int:
+        self._check(AccessKind.READ, addr, 4)
+        value = self.memory.read_word(addr)
+        hub = self._observers
+        if hub is not None and hub.read:
+            masked = addr & WORD_MASK
+            for observer in hub.read:
+                observer.on_read(self, masked, 4, value)
+        return value
+
+    def _write_word_observed(self, addr: int, value: int) -> None:
+        self._check(AccessKind.WRITE, addr, 4)
+        self.memory.write_word(addr, value)
+        hub = self._observers
+        if hub is not None and hub.write:
+            masked = addr & WORD_MASK
+            for observer in hub.write:
+                observer.on_write(self, masked, 4, value & WORD_MASK)
+
+    def _read_byte_observed(self, addr: int) -> int:
+        self._check(AccessKind.READ, addr, 1)
+        value = self.memory.read_byte(addr)
+        hub = self._observers
+        if hub is not None and hub.read:
+            masked = addr & WORD_MASK
+            for observer in hub.read:
+                observer.on_read(self, masked, 1, value)
+        return value
+
+    def _write_byte_observed(self, addr: int, value: int) -> None:
+        self._check(AccessKind.WRITE, addr, 1)
+        self.memory.write_byte(addr, value)
+        hub = self._observers
+        if hub is not None and hub.write:
+            masked = addr & WORD_MASK
+            for observer in hub.write:
+                observer.on_write(self, masked, 1, value & 0xFF)
 
     # -- stack helpers ----------------------------------------------------------
 
@@ -409,6 +585,10 @@ class Machine:
             raise SyscallFault(f"invalid syscall number {number}", self.current_ip)
         for hook in self.syscall_hooks:
             hook(self, number)
+        hub = self._observers
+        if hub is not None and hub.syscall:
+            for observer in hub.syscall:
+                observer.on_syscall(self, number)
         handler(self)
 
     # -- termination -------------------------------------------------------------------
@@ -429,9 +609,14 @@ class Machine:
         and on PMA module-table changes; cheap because these events are
         rare compared to instruction fetches.
         """
+        dropped = len(self._decode_cache)
         self._decode_cache.clear()
         self._decode_pages.clear()
         self.memory.unwatch_all()
+        hub = self._observers
+        if hub is not None and hub.decode_invalidate:
+            for observer in hub.decode_invalidate:
+                observer.on_decode_invalidate(self, None, dropped)
 
     def _invalidate_code_page(self, page: int) -> None:
         """A watched (executable, cached) page was written: kill its
@@ -441,6 +626,10 @@ class Machine:
             cache = self._decode_cache
             for addr in addrs:
                 cache.pop(addr, None)
+            hub = self._observers
+            if hub is not None and hub.decode_invalidate:
+                for observer in hub.decode_invalidate:
+                    observer.on_decode_invalidate(self, page, len(addrs))
 
     # -- execution ---------------------------------------------------------------------
 
@@ -465,6 +654,10 @@ class Machine:
         kernel and non-kernel code alike) and the encoding does not
         cross a page boundary (so one page watch covers all its bytes).
         """
+        hub = self._observers
+        if hub is not None and hub.decode_miss:
+            for observer in hub.decode_miss:
+                observer.on_decode_miss(self, ip)
         self._check(AccessKind.FETCH, ip, 1)
         opcode = self.memory.read_byte(ip)
         spec = OPCODE_SPECS[opcode]
@@ -491,7 +684,15 @@ class Machine:
         return entry
 
     def step(self) -> None:
-        """Fetch, decode and execute a single instruction."""
+        """Fetch, decode and execute a single instruction.
+
+        The one ``self._observers`` check below is the entire cost the
+        observability layer (repro.observe) adds to an unobserved
+        machine; everything else about this loop is the PR 1 fast
+        path, unchanged.
+        """
+        if self._observers is not None:
+            return self._step_observed()
         cpu = self.cpu
         ip = cpu.ip
         self.current_ip = ip
@@ -501,13 +702,77 @@ class Machine:
         if entry is None:
             entry = self._fetch_slow(ip)
         insn, length = entry
-        config = self.config
-        if config.trace and len(self.trace) < config.trace_limit:
-            self.trace.append((ip, insn))
         next_ip = (ip + length) & WORD_MASK
         cpu.ip = next_ip
         cpu.execute(insn, self, next_ip)
         self.instructions_executed += 1
+
+    def _step_observed(self) -> None:
+        """One instruction with event emission (observers attached).
+
+        Mirrors :meth:`step` exactly -- the differential suite
+        (tests/test_observe_differential.py) holds both paths to
+        byte-identical behaviour.  Every added branch is behind a
+        subscriber-list check, so event kinds nobody subscribed to
+        stay free even in observed mode.  Control transfers are
+        classified *after* execution by opcode byte, which keeps the
+        cpu dispatch table untouched and naturally records hijacked
+        targets (the observed ``ret`` target is wherever the possibly
+        clobbered return slot pointed).
+        """
+        hub = self._observers
+        cpu = self.cpu
+        ip = cpu.ip
+        self.current_ip = ip
+        try:
+            if self.pma.modules:
+                module_before = self.current_module
+                module = self.pma.check_fetch(module_before, ip)
+                self.current_module = module
+                if module is not module_before:
+                    if module_before is not None and hub.pma_exit:
+                        for observer in hub.pma_exit:
+                            observer.on_pma_exit(self, module_before, ip)
+                    if module is not None and hub.pma_enter:
+                        for observer in hub.pma_enter:
+                            observer.on_pma_enter(self, module, ip)
+            entry = self._decode_cache.get(ip)
+            if entry is None:
+                entry = self._fetch_slow(ip)
+            insn, length = entry
+            next_ip = (ip + length) & WORD_MASK
+            cpu.ip = next_ip
+            cpu.execute(insn, self, next_ip)
+        except MachineFault as fault:
+            if hub.fault:
+                for observer in hub.fault:
+                    observer.on_fault(self, fault, ip)
+            raise
+        self.instructions_executed += 1
+        if hub.insn:
+            for observer in hub.insn:
+                observer.on_instruction(self, ip, insn, length)
+        opcode = insn.opcode
+        if _OP_JMP_ABS <= opcode <= _OP_RET:
+            new_ip = cpu.ip
+            if opcode >= _OP_CALL_ABS:
+                if opcode == _OP_RET:
+                    if hub.ret:
+                        for observer in hub.ret:
+                            observer.on_ret(self, ip, new_ip)
+                elif hub.call:
+                    for observer in hub.call:
+                        observer.on_call(self, ip, new_ip, next_ip,
+                                         opcode == _OP_CALL_REG)
+            elif opcode <= _OP_JMP_REG:
+                if hub.jump:
+                    for observer in hub.jump:
+                        observer.on_jump(self, ip, new_ip,
+                                         opcode == _OP_JMP_REG)
+            elif hub.branch:
+                target = insn.operands[0] & WORD_MASK
+                for observer in hub.branch:
+                    observer.on_branch(self, ip, target, new_ip != next_ip)
 
     def run(self, max_instructions: int = 2_000_000) -> RunResult:
         """Run until exit, halt, fault, or the instruction budget.
@@ -517,20 +782,30 @@ class Machine:
         """
         self._status = None
         start_count = self.instructions_executed
+        started = perf_counter()
         step = self.step
         try:
             while self._status is None:
                 if self.instructions_executed - start_count >= max_instructions:
-                    raise ExecutionLimitExceeded(
+                    limit = ExecutionLimitExceeded(
                         f"exceeded {max_instructions} instructions", self.cpu.ip
                     )
+                    hub = self._observers
+                    if hub is not None and hub.fault:
+                        for observer in hub.fault:
+                            observer.on_fault(self, limit, self.cpu.ip)
+                    raise limit
                 step()
         except MachineFault as fault:
-            return self._result(RunStatus.FAULT, fault, start_count)
-        return self._result(self._status, None, start_count)
+            return self._result(RunStatus.FAULT, fault, start_count, started)
+        return self._result(self._status, None, start_count, started)
 
     def _result(
-        self, status: RunStatus, fault: MachineFault | None, start_count: int
+        self,
+        status: RunStatus,
+        fault: MachineFault | None,
+        start_count: int,
+        started: float,
     ) -> RunResult:
         return RunResult(
             status=status,
@@ -539,4 +814,5 @@ class Machine:
             instructions=self.instructions_executed - start_count,
             output=self.output.getvalue(),
             shell_spawned=self.shell.spawned,
+            duration_seconds=perf_counter() - started,
         )

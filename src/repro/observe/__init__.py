@@ -1,0 +1,80 @@
+"""``repro.observe`` -- zero-cost tracing, metrics and guest profiling.
+
+The observability layer for the VN32 simulator (see DESIGN.md,
+"Observability architecture"):
+
+* :class:`Observer` / :class:`ObserverHub` -- the typed event bus the
+  machine emits into (``Machine.attach_observer``);
+* :class:`InstructionTracer` / :class:`EventTrace` -- bounded trace
+  recorders with explicit ``dropped`` accounting;
+* :class:`MetricsCollector` -- aggregate counters snapshot-able as a
+  plain dict;
+* :class:`GuestProfiler` -- flat/call-graph profiles and hot-page
+  heatmaps over the linker's symbol table;
+* :func:`export_chrome_trace` / :func:`export_jsonl` -- file exporters;
+* :func:`observe_new_machines` -- a scope during which every newly
+  constructed :class:`~repro.machine.machine.Machine` gets observers
+  attached, so whole experiment pipelines (which build machines
+  internally) can be instrumented from the outside.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.observe.events import Event, Observer, ObserverHub
+from repro.observe.export import (
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+)
+from repro.observe.metrics import MetricsCollector
+from repro.observe.profiler import GuestProfiler
+from repro.observe.tracer import DEFAULT_LIMIT, EventTrace, InstructionTracer
+
+__all__ = [
+    "Event",
+    "Observer",
+    "ObserverHub",
+    "InstructionTracer",
+    "EventTrace",
+    "MetricsCollector",
+    "GuestProfiler",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_jsonl",
+    "observe_new_machines",
+    "DEFAULT_LIMIT",
+]
+
+
+@contextmanager
+def observe_new_machines(
+    *factories: Callable[[object], Observer | None],
+) -> Iterator[None]:
+    """Attach observers to every Machine constructed inside the scope.
+
+    Each factory is called with the new machine and returns an observer
+    to attach (or ``None`` to skip).  Passing one *shared* collector
+    from a closure aggregates across every machine a pipeline builds::
+
+        metrics = MetricsCollector()
+        with observe_new_machines(lambda machine: metrics):
+            run_experiment()          # builds machines internally
+        print(metrics.snapshot())
+
+    Machines constructed outside the scope are untouched, so the
+    zero-cost contract holds everywhere else.
+    """
+    # Imported here, not at module top: repro.machine imports
+    # repro.observe.events, so a module-level import would be circular.
+    from repro.machine import machine as machine_module
+
+    for factory in factories:
+        machine_module._DEFAULT_OBSERVER_FACTORIES.append(factory)
+    try:
+        yield
+    finally:
+        for factory in factories:
+            machine_module._DEFAULT_OBSERVER_FACTORIES.remove(factory)

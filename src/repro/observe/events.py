@@ -1,0 +1,190 @@
+"""The machine's typed event bus: observers and their dispatch hub.
+
+The paper's central methodological move is treating *observations of
+machine execution* -- an overwritten return address, a module boundary
+crossing, a scraped page -- as first-class objects.  This module gives
+the simulator a typed event vocabulary for exactly those observations:
+
+=====================  ====================================================
+event                  fired when
+=====================  ====================================================
+instruction retired    one instruction finished executing
+memory read/write      a *checked* data access completed (the accesses the
+                       paper's policies adjudicate; raw loader pokes are
+                       not program behaviour and are not events)
+call / ret             a procedure was entered / returned from (including
+                       hijacked returns -- the profiler tolerates them)
+jump / branch          an unconditional / conditional transfer executed
+syscall                a platform service is about to run
+fault                  execution ended in a machine fault
+PMA enter / exit       the IP crossed a protected-module boundary
+decode miss            the decoded-instruction cache had to decode bytes
+decode invalidate      cached decodes were dropped (write / perm / PMA)
+=====================  ====================================================
+
+**Zero-cost contract.**  A machine with no observers attached executes
+on exactly the pre-observability fast path: ``Machine.step`` pays one
+``self._observers is None`` check and nothing else, and the memory
+accessors are not wrapped at all (they are swapped per-instance only
+while a subscriber cares about memory events).  The differential suite
+(``tests/test_observe_differential.py``) proves a fully observed run
+is byte-identical to an unobserved one; the overhead benchmark
+(``benchmarks/test_bench_observe.py``) prices both paths.
+
+Subscribers subclass :class:`Observer` and override only the hooks
+they need; :class:`ObserverHub` snapshots *which* hooks each observer
+overrides at attach time, so the machine never calls a no-op hook in
+its observed loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (machine imports us)
+    from repro.errors import MachineFault
+    from repro.isa.instructions import Instruction
+    from repro.machine.machine import Machine
+    from repro.pma.module import ProtectedModule
+
+
+class Observer:
+    """Base class for event subscribers.  Every hook is a no-op here;
+    subclasses override the ones they care about and the hub only
+    routes events to overriding subscribers."""
+
+    # -- instruction stream -------------------------------------------------
+
+    def on_instruction(self, machine: "Machine", ip: int,
+                       insn: "Instruction", length: int) -> None:
+        """One instruction retired (executed without faulting)."""
+
+    # -- data accesses ------------------------------------------------------
+
+    def on_read(self, machine: "Machine", addr: int, size: int,
+                value: int | bytes) -> None:
+        """A checked read completed.  ``value`` is an int for word/byte
+        reads and ``bytes`` for block reads."""
+
+    def on_write(self, machine: "Machine", addr: int, size: int,
+                 value: int | bytes) -> None:
+        """A checked write completed (same value convention as reads)."""
+
+    # -- control flow -------------------------------------------------------
+
+    def on_call(self, machine: "Machine", site: int, target: int,
+                return_addr: int, indirect: bool) -> None:
+        """A ``call`` transferred to ``target``."""
+
+    def on_ret(self, machine: "Machine", site: int, target: int) -> None:
+        """A ``ret`` popped ``target`` (hijacked or not)."""
+
+    def on_jump(self, machine: "Machine", site: int, target: int,
+                indirect: bool) -> None:
+        """An unconditional ``jmp`` executed."""
+
+    def on_branch(self, machine: "Machine", site: int, target: int,
+                  taken: bool) -> None:
+        """A conditional branch executed (taken or fallen through)."""
+
+    # -- platform -----------------------------------------------------------
+
+    def on_syscall(self, machine: "Machine", number: int) -> None:
+        """A syscall is about to run (same timing as ``syscall_hooks``)."""
+
+    def on_fault(self, machine: "Machine", fault: "MachineFault",
+                 ip: int) -> None:
+        """Execution faulted at ``ip``; the fault is re-raised after."""
+
+    # -- protected-module boundary ------------------------------------------
+
+    def on_pma_enter(self, machine: "Machine",
+                     module: "ProtectedModule", ip: int) -> None:
+        """The IP entered a protected module through an entry point."""
+
+    def on_pma_exit(self, machine: "Machine",
+                    module: "ProtectedModule", ip: int) -> None:
+        """The IP left a protected module."""
+
+    # -- decode cache -------------------------------------------------------
+
+    def on_decode_miss(self, machine: "Machine", ip: int) -> None:
+        """The decoded-instruction cache missed at ``ip``."""
+
+    def on_decode_invalidate(self, machine: "Machine", page: int | None,
+                             count: int) -> None:
+        """Cached decodes were dropped: ``count`` entries on ``page``,
+        or everything when ``page`` is None (a wholesale flush)."""
+
+
+#: hook method name -> hub slot holding the subscribers for that hook.
+HOOKS: dict[str, str] = {
+    "on_instruction": "insn",
+    "on_read": "read",
+    "on_write": "write",
+    "on_call": "call",
+    "on_ret": "ret",
+    "on_jump": "jump",
+    "on_branch": "branch",
+    "on_syscall": "syscall",
+    "on_fault": "fault",
+    "on_pma_enter": "pma_enter",
+    "on_pma_exit": "pma_exit",
+    "on_decode_miss": "decode_miss",
+    "on_decode_invalidate": "decode_invalidate",
+}
+
+
+class ObserverHub:
+    """Per-event dispatch lists for a machine's attached observers.
+
+    Built fresh on every attach/detach (rare) so the emit paths are a
+    plain truthiness check plus a tuple walk (hot, when observed).
+    An empty slot means "nobody overrides this hook" and costs the
+    emitter a single falsy check.
+    """
+
+    __slots__ = ("observers",) + tuple(HOOKS.values())
+
+    def __init__(self, observers: list[Observer]):
+        self.observers: tuple[Observer, ...] = tuple(observers)
+        for method_name, slot in HOOKS.items():
+            base = getattr(Observer, method_name)
+            subscribed = []
+            for observer in observers:
+                # Unwrap bound methods so both class-level overrides and
+                # instance-level re-pointing (EventTrace's
+                # include_memory=False) are classified correctly.
+                method = getattr(observer, method_name)
+                if getattr(method, "__func__", method) is not base:
+                    subscribed.append(observer)
+            setattr(self, slot, tuple(subscribed))
+
+    @property
+    def wants_memory(self) -> bool:
+        """True if any subscriber cares about read/write events (the
+        machine only wraps its memory accessors in that case)."""
+        return bool(self.read or self.write)
+
+
+@dataclass
+class Event:
+    """One recorded observation (the generic tracer's unit).
+
+    ``seq`` is a per-trace monotonic sequence number that doubles as
+    the pseudo-timestamp in exports: the simulator has no wall clock
+    of its own, and instruction order is the meaningful axis.
+    """
+
+    kind: str
+    seq: int
+    ip: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A flat JSON-friendly dict (JSONL export / tests)."""
+        out: dict[str, Any] = {"kind": self.kind, "seq": self.seq,
+                               "ip": self.ip}
+        out.update(self.data)
+        return out

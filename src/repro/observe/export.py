@@ -1,0 +1,108 @@
+"""Exporters for recorded event streams.
+
+Two machine-readable formats plus helpers:
+
+* **Chrome trace-event JSON** (``chrome://tracing`` / Perfetto): calls
+  become ``B``/``E`` duration slices, everything else becomes instant
+  events.  The simulator has no wall clock, so one event-sequence step
+  is one microsecond of trace time -- the horizontal axis reads as
+  "execution order", which is the honest unit for a simulator.
+* **JSONL**: one flat JSON object per event, for ad-hoc querying.
+
+Both accept an optional ``symbols`` map (``address -> name``) so call
+slices are named after guest functions instead of raw addresses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.observe.events import Event
+    from repro.observe.tracer import EventTrace
+
+
+def _name(address: int, symbols: dict[int, str] | None) -> str:
+    if symbols and address in symbols:
+        return symbols[address]
+    return f"0x{address:08x}"
+
+
+def chrome_trace_events(events: list["Event"],
+                        symbols: dict[int, str] | None = None,
+                        pid: int = 1) -> list[dict]:
+    """Convert recorded events to Chrome trace-event dicts.
+
+    Calls open a ``B`` slice named after the callee; rets close the
+    innermost open slice (``E``).  Hijacked control flow can leave
+    slices unbalanced -- viewers tolerate that, and the imbalance is
+    itself the interesting observation.  Faults, syscalls, PMA
+    crossings, decode-cache events and memory writes become instant
+    (``i``) events.
+    """
+    out: list[dict] = []
+    depth = 0
+    for event in events:
+        base = {"pid": pid, "tid": 1, "ts": event.seq}
+        if event.kind == "call":
+            out.append({**base, "ph": "B",
+                        "name": _name(event.data["target"], symbols),
+                        "cat": "call",
+                        "args": {"site": f"0x{event.ip:08x}",
+                                 "indirect": event.data["indirect"]}})
+            depth += 1
+        elif event.kind == "ret":
+            if depth > 0:
+                out.append({**base, "ph": "E", "cat": "call",
+                            "args": {"target":
+                                     f"0x{event.data['target']:08x}"}})
+                depth -= 1
+            else:
+                # A ret with no matching call in the recording window:
+                # show it as an instant so hijacks stay visible.
+                out.append({**base, "ph": "i", "s": "t", "cat": "control",
+                            "name": "ret (unmatched)",
+                            "args": {"target":
+                                     f"0x{event.data['target']:08x}"}})
+        elif event.kind in ("fault", "syscall", "pma_enter", "pma_exit",
+                            "decode_miss", "decode_invalidate", "write"):
+            args = {key: (f"0x{value:08x}" if key in ("addr", "target")
+                          and isinstance(value, int) else value)
+                    for key, value in event.data.items()}
+            args["ip"] = f"0x{event.ip:08x}"
+            out.append({**base, "ph": "i", "s": "t", "cat": event.kind,
+                        "name": event.kind, "args": args})
+    return out
+
+
+def export_chrome_trace(trace: "EventTrace", destination: str | IO[str],
+                        symbols: dict[int, str] | None = None) -> dict:
+    """Write ``{"traceEvents": [...]}`` JSON; returns the document."""
+    document = {
+        "traceEvents": chrome_trace_events(trace.events, symbols),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.observe",
+            "recorded_events": len(trace.events),
+            "dropped_events": trace.dropped,
+        },
+    }
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(document, handle)
+    else:
+        json.dump(document, destination)
+    return document
+
+
+def export_jsonl(trace: "EventTrace", destination: str | IO[str]) -> int:
+    """Write one JSON object per event; returns the line count."""
+    lines = [json.dumps(event.to_dict()) for event in trace.events]
+    payload = "\n".join(lines) + ("\n" if lines else "")
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            handle.write(payload)
+    else:
+        destination.write(payload)
+    return len(lines)

@@ -1,0 +1,132 @@
+"""The metrics registry: cheap aggregate counters over the event bus.
+
+Where the tracers keep the *sequence* of events, the collector keeps
+only aggregates: per-opcode retirement histograms, control-transfer
+counts (split direct/indirect -- the quantity CFI polices), checked
+memory traffic and the pages it touched, syscalls by number, faults by
+type, decode-cache behaviour, and red-zone-checked accesses.  One
+collector may be attached to many machines (an experiment pipeline
+builds machines internally); counts simply aggregate.
+
+``snapshot()`` returns a plain nested dict so reports, JSON exports
+and tests need no knowledge of this class.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.observe.events import Observer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.machine import Machine
+
+_PAGE_SHIFT = 12
+
+
+class MetricsCollector(Observer):
+    """Aggregate execution metrics, snapshot-able as a plain dict."""
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.opcodes: Counter[str] = Counter()
+        self.control: Counter[str] = Counter()
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.pages_touched: set[int] = set()
+        self.code_pages: set[int] = set()
+        self.syscalls: Counter[int] = Counter()
+        self.faults: Counter[str] = Counter()
+        self.decode_misses = 0
+        self.decode_invalidated_entries = 0
+        self.decode_flushes = 0
+        self.pma_crossings = 0
+        self.redzone_checked_accesses = 0
+
+    # -- hooks ---------------------------------------------------------------
+
+    def on_instruction(self, machine, ip, insn, length):
+        self.instructions += 1
+        self.opcodes[insn.mnemonic] += 1
+        self.code_pages.add(ip >> _PAGE_SHIFT)
+
+    def on_read(self, machine, addr, size, value):
+        self.reads += 1
+        self.bytes_read += size
+        self.pages_touched.add(addr >> _PAGE_SHIFT)
+        if machine.config.redzones:
+            self.redzone_checked_accesses += 1
+
+    def on_write(self, machine, addr, size, value):
+        self.writes += 1
+        self.bytes_written += size
+        self.pages_touched.add(addr >> _PAGE_SHIFT)
+        if machine.config.redzones:
+            self.redzone_checked_accesses += 1
+
+    def on_call(self, machine, site, target, return_addr, indirect):
+        self.control["call_indirect" if indirect else "call"] += 1
+
+    def on_ret(self, machine, site, target):
+        self.control["ret"] += 1
+
+    def on_jump(self, machine, site, target, indirect):
+        self.control["jump_indirect" if indirect else "jump"] += 1
+
+    def on_branch(self, machine, site, target, taken):
+        self.control["branch_taken" if taken else "branch_not_taken"] += 1
+
+    def on_syscall(self, machine, number):
+        self.syscalls[number] += 1
+
+    def on_fault(self, machine, fault, ip):
+        self.faults[type(fault).__name__] += 1
+
+    def on_decode_miss(self, machine, ip):
+        self.decode_misses += 1
+
+    def on_decode_invalidate(self, machine, page, count):
+        self.decode_invalidated_entries += count
+        if page is None:
+            self.decode_flushes += 1
+
+    def on_pma_enter(self, machine, module, ip):
+        self.pma_crossings += 1
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def indirect_transfers(self) -> int:
+        """Indirect calls + indirect jumps: the population CFI polices."""
+        return self.control["call_indirect"] + self.control["jump_indirect"]
+
+    def snapshot(self) -> dict:
+        """All counters as a plain nested dict (stable, JSON-friendly)."""
+        hits = max(0, self.instructions - self.decode_misses)
+        return {
+            "instructions": self.instructions,
+            "opcodes": dict(sorted(self.opcodes.items())),
+            "control": dict(sorted(self.control.items())),
+            "memory": {
+                "reads": self.reads,
+                "writes": self.writes,
+                "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written,
+                "pages_touched": len(self.pages_touched),
+                "code_pages": len(self.code_pages),
+            },
+            "syscalls": {number: count for number, count
+                         in sorted(self.syscalls.items())},
+            "faults": dict(sorted(self.faults.items())),
+            "decode_cache": {
+                "hits": hits,
+                "misses": self.decode_misses,
+                "invalidated_entries": self.decode_invalidated_entries,
+                "flushes": self.decode_flushes,
+            },
+            "pma_crossings": self.pma_crossings,
+            "redzone_checked_accesses": self.redzone_checked_accesses,
+        }

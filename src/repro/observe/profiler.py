@@ -1,0 +1,155 @@
+"""Guest profiler: flat / call-graph profiles and hot-page heatmaps.
+
+Consumes call/ret and instruction-retired events and attributes work
+to *guest* functions using the linker's symbol table
+(:meth:`repro.link.image.Image.function_symbols`).  Because
+attribution is by the retired IP (not by trusting the call stack), the
+profiler stays truthful under the paper's adversarial control flow: a
+ROP chain shows up as instructions attributed to whatever functions
+the gadgets live in, and a hijacked ``ret`` simply unwinds whatever
+frame alignment remains.
+
+Three products:
+
+* **flat profile** -- self instruction counts and call counts per
+  function;
+* **call graph** -- (caller, callee) edge counts plus inclusive
+  instruction counts per function;
+* **hot-page heatmap** -- instruction and data-access counts per page,
+  the spatial view the scraping experiments reason about.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.observe.events import Observer
+
+if TYPE_CHECKING:  # pragma: no cover - avoid observe -> link -> machine cycle
+    from repro.link.image import Image
+    from repro.link.loader import LoadedProgram
+
+_PAGE_SHIFT = 12
+
+
+class GuestProfiler(Observer):
+    """Profiles guest execution against a function symbol table.
+
+    ``functions`` is a sorted list of ``(address, name)`` function
+    entries; build one from an image with :meth:`from_image` or
+    directly from a loaded program with :meth:`for_program`.
+    """
+
+    def __init__(self, functions: list[tuple[int, str]] | None = None):
+        self._functions = sorted(functions or [])
+        self._starts = [addr for addr, _ in self._functions]
+        self._names = [name for _, name in self._functions]
+        #: function -> retired instructions attributed to it.
+        self.self_counts: Counter[str] = Counter()
+        #: function -> times it was called.
+        self.call_counts: Counter[str] = Counter()
+        #: (caller, callee) -> call count.
+        self.edges: Counter[tuple[str, str]] = Counter()
+        #: function -> instructions retired while it was on the stack.
+        self.inclusive_counts: Counter[str] = Counter()
+        #: page -> retired instructions fetched from it.
+        self.code_page_counts: Counter[int] = Counter()
+        #: page -> checked data accesses into it.
+        self.data_page_counts: Counter[int] = Counter()
+        self.total_instructions = 0
+        #: live shadow frames: (callee name, total_instructions at entry).
+        self._stack: list[tuple[str, int]] = []
+
+    @classmethod
+    def from_image(cls, image: "Image") -> "GuestProfiler":
+        return cls(image.function_symbols())
+
+    @classmethod
+    def for_program(cls, program: "LoadedProgram") -> "GuestProfiler":
+        return cls.from_image(program.image)
+
+    # -- symbolisation -------------------------------------------------------
+
+    def symbolize(self, address: int) -> str:
+        """Name of the function containing ``address`` (nearest
+        preceding entry), or the hex address outside all of them."""
+        index = bisect_right(self._starts, address) - 1
+        if index < 0:
+            return f"0x{address:08x}"
+        return self._names[index]
+
+    # -- hooks ---------------------------------------------------------------
+
+    def on_instruction(self, machine, ip, insn, length):
+        self.total_instructions += 1
+        self.self_counts[self.symbolize(ip)] += 1
+        self.code_page_counts[ip >> _PAGE_SHIFT] += 1
+
+    def on_read(self, machine, addr, size, value):
+        self.data_page_counts[addr >> _PAGE_SHIFT] += 1
+
+    def on_write(self, machine, addr, size, value):
+        self.data_page_counts[addr >> _PAGE_SHIFT] += 1
+
+    def on_call(self, machine, site, target, return_addr, indirect):
+        callee = self.symbolize(target)
+        self.call_counts[callee] += 1
+        self.edges[(self.symbolize(site), callee)] += 1
+        self._stack.append((callee, self.total_instructions))
+
+    def on_ret(self, machine, site, target):
+        if self._stack:
+            callee, entered_at = self._stack.pop()
+            self.inclusive_counts[callee] += (
+                self.total_instructions - entered_at
+            )
+
+    # -- reports -------------------------------------------------------------
+
+    def _drain_stack(self) -> None:
+        """Charge still-open frames (program ended mid-call, or control
+        flow never returned) their inclusive time."""
+        while self._stack:
+            callee, entered_at = self._stack.pop()
+            self.inclusive_counts[callee] += (
+                self.total_instructions - entered_at
+            )
+
+    def flat_profile(self) -> list[dict]:
+        """Rows sorted by self-instruction count, descending."""
+        self._drain_stack()
+        rows = []
+        for function, self_count in self.self_counts.most_common():
+            rows.append({
+                "function": function,
+                "self": self_count,
+                "inclusive": max(self.inclusive_counts[function], self_count),
+                "calls": self.call_counts[function],
+                "self_pct": 100.0 * self_count / self.total_instructions
+                if self.total_instructions else 0.0,
+            })
+        return rows
+
+    def call_graph(self) -> list[dict]:
+        """Edge rows sorted by call count, descending."""
+        return [
+            {"caller": caller, "callee": callee, "calls": count}
+            for (caller, callee), count in self.edges.most_common()
+        ]
+
+    def hot_pages(self, top: int = 10) -> list[dict]:
+        """The most-touched pages, merging code and data heat."""
+        pages = set(self.code_page_counts) | set(self.data_page_counts)
+        rows = [
+            {
+                "page": page << _PAGE_SHIFT,
+                "fetches": self.code_page_counts[page],
+                "accesses": self.data_page_counts[page],
+            }
+            for page in pages
+        ]
+        rows.sort(key=lambda row: row["fetches"] + row["accesses"],
+                  reverse=True)
+        return rows[:top]

@@ -1,0 +1,86 @@
+"""Unit tests for the benchmark regression gate (run_benchmarks --check)."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.run_benchmarks import (
+    best_recorded_rate,
+    check_regression,
+    load_previous,
+    write_tracking_file,
+)
+
+
+def entry(rate: float) -> dict:
+    return {"interpreter": {"instructions_per_second": rate}}
+
+
+class TestBestRecordedRate:
+    def test_none_without_file(self):
+        assert best_recorded_rate(None) is None
+
+    def test_picks_best_across_history_and_current(self):
+        previous = {
+            "current": entry(500_000.0),
+            "history": [entry(100_000.0), entry(650_000.0)],
+        }
+        assert best_recorded_rate(previous) == 650_000.0
+
+    def test_skips_entries_without_interpreter_numbers(self):
+        previous = {"current": {"compile_pipeline": {}},
+                    "history": [entry(50_000.0)]}
+        assert best_recorded_rate(previous) == 50_000.0
+
+
+class TestCheckRegression:
+    def test_passes_with_no_baseline(self):
+        assert check_regression(100_000.0, None) is None
+
+    def test_passes_with_no_rate(self):
+        assert check_regression(None, 100_000.0) is None
+
+    def test_passes_within_threshold(self):
+        assert check_regression(91_000.0, 100_000.0) is None
+
+    def test_fails_beyond_threshold(self):
+        message = check_regression(89_000.0, 100_000.0)
+        assert message is not None
+        assert "REGRESSION" in message
+        assert "11.0%" in message
+
+    def test_improvement_passes(self):
+        assert check_regression(150_000.0, 100_000.0) is None
+
+    def test_custom_threshold(self):
+        assert check_regression(89_000.0, 100_000.0, threshold=0.2) is None
+        assert check_regression(79_000.0, 100_000.0, threshold=0.2)
+
+
+class TestTrackingFile:
+    def test_round_trip_appends_history(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_tracking_file(path, entry(1.0))
+        write_tracking_file(path, entry(2.0))
+        data = load_previous(path)
+        assert data["current"] == entry(2.0)
+        assert data["history"] == [entry(1.0)]
+
+    def test_load_previous_handles_corruption(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{not json")
+        assert load_previous(str(path)) is None
+
+    def test_gate_against_written_file(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_tracking_file(path, entry(666_000.0))
+        previous = load_previous(path)
+        baseline = best_recorded_rate(previous)
+        assert check_regression(640_000.0, baseline) is None
+        assert check_regression(500_000.0, baseline) is not None
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_tracking_file(path, entry(3.0))
+        with open(path) as fh:
+            assert json.load(fh)["current"] == entry(3.0)
