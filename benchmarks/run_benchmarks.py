@@ -17,8 +17,9 @@ Options::
 
     --output PATH    where to write the JSON (default: BENCH_simulator.json)
     --quick          fewer benchmark rounds, for a fast smoke reading
-    --check          exit non-zero if interpreter throughput regressed
-                     more than 10% against the best recorded run
+    --check          exit non-zero if interpreter or block-translation
+                     throughput regressed more than 10% against the
+                     best recorded run
 """
 
 from __future__ import annotations
@@ -61,6 +62,13 @@ def run_suite(quick: bool) -> dict:
         os.unlink(raw_path)
 
 
+#: Throughput benchmarks and the tracking-file section each lands in.
+THROUGHPUT_SECTIONS = {
+    "test_bench_interpreter_throughput": "interpreter",
+    "test_bench_block_throughput": "block",
+}
+
+
 def summarize(raw: dict) -> dict:
     """Extract the headline numbers from pytest-benchmark output."""
     summary: dict = {
@@ -71,10 +79,10 @@ def summarize(raw: dict) -> dict:
     for bench in raw.get("benchmarks", []):
         stats = bench["stats"]
         name = bench["name"]
-        if name == "test_bench_interpreter_throughput":
+        if name in THROUGHPUT_SECTIONS:
             extra = bench.get("extra_info", {})
             instructions = extra.get("instructions_per_run")
-            summary["interpreter"] = {
+            summary[THROUGHPUT_SECTIONS[name]] = {
                 "mean_seconds": stats["mean"],
                 "stddev_seconds": stats["stddev"],
                 "rounds": stats["rounds"],
@@ -118,27 +126,30 @@ def write_tracking_file(path: str, summary: dict,
         fh.write("\n")
 
 
-def _rate(entry: dict) -> float | None:
-    return entry.get("interpreter", {}).get("instructions_per_second")
+def _rate(entry: dict, section: str = "interpreter") -> float | None:
+    return entry.get(section, {}).get("instructions_per_second")
 
 
-def best_recorded_rate(previous: dict | None) -> float | None:
-    """Best interpreter throughput across the prior file's runs."""
+def best_recorded_rate(previous: dict | None,
+                       section: str = "interpreter") -> float | None:
+    """Best throughput for ``section`` across the prior file's runs."""
     if not previous:
         return None
     entries = list(previous.get("history", []))
     if previous.get("current"):
         entries.append(previous["current"])
-    rates = [_rate(entry) for entry in entries]
+    rates = [_rate(entry, section) for entry in entries]
     return max((rate for rate in rates if rate), default=None)
 
 
 def check_regression(rate: float | None, baseline: float | None,
-                     threshold: float = 0.10) -> str | None:
+                     threshold: float = 0.10,
+                     section: str = "interpreter") -> str | None:
     """Error message if ``rate`` regressed > ``threshold`` vs ``baseline``.
 
     Returns None when there is nothing to compare or no regression --
-    the first run of a fresh tracking file always passes.
+    the first run of a fresh tracking file (or the first run after a
+    new section appears) always passes.
     """
     if not rate or not baseline:
         return None
@@ -146,7 +157,7 @@ def check_regression(rate: float | None, baseline: float | None,
     if rate < floor:
         drop = 100.0 * (1.0 - rate / baseline)
         return (
-            f"REGRESSION: interpreter throughput {rate:,.0f} insns/s is "
+            f"REGRESSION: {section} throughput {rate:,.0f} insns/s is "
             f"{drop:.1f}% below the best recorded {baseline:,.0f} insns/s "
             f"(allowed: {threshold:.0%})"
         )
@@ -176,26 +187,32 @@ def main() -> None:
     summary = summarize(raw)
     write_tracking_file(args.output, summary, previous)
 
-    interp = summary.get("interpreter", {})
-    rate = interp.get("instructions_per_second")
     compile_mean = summary.get("compile_pipeline", {}).get("mean_seconds")
     print(f"wrote {args.output}")
-    if rate:
-        print(f"interpreter throughput: ~{rate:,.0f} instructions/second")
+    for section in ("interpreter", "block"):
+        rate = summary.get(section, {}).get("instructions_per_second")
+        if rate:
+            print(f"{section} throughput: ~{rate:,.0f} instructions/second")
     if compile_mean:
         print(f"compile pipeline latency: {compile_mean * 1000:.2f} ms")
 
     if args.check:
-        baseline = best_recorded_rate(previous)
-        message = check_regression(rate, baseline)
-        if message is not None:
-            print(message, file=sys.stderr)
+        failed = False
+        for section in ("interpreter", "block"):
+            rate = summary.get(section, {}).get("instructions_per_second")
+            baseline = best_recorded_rate(previous, section)
+            message = check_regression(rate, baseline, section=section)
+            if message is not None:
+                print(message, file=sys.stderr)
+                failed = True
+            elif baseline:
+                print(f"check: {section} OK ({rate:,.0f} insns/s vs best "
+                      f"{baseline:,.0f}, threshold 10%)")
+            else:
+                print(f"check: {section} has no baseline recorded yet, "
+                      "passing")
+        if failed:
             raise SystemExit(1)
-        if baseline:
-            print(f"check: OK ({rate:,.0f} insns/s vs best "
-                  f"{baseline:,.0f}, threshold 10%)")
-        else:
-            print("check: no baseline recorded yet, passing")
 
 
 if __name__ == "__main__":

@@ -3,6 +3,12 @@
 Not a paper artefact: these wall-clock numbers characterise the
 simulator so experiment runtimes are interpretable, and guard against
 performance regressions in the fetch/decode/execute pipeline.
+
+Two throughput legs: ``interpreter`` pins ``block_cache=False`` so its
+history stays comparable with runs recorded before the basic-block
+translation cache existed; ``block`` measures the default dispatch
+path (superblock closures, tests/test_differential_blocks.py proves it
+observationally identical).
 """
 
 from repro.link import load
@@ -25,9 +31,10 @@ def _build():
     return load([obj])
 
 
-def test_bench_interpreter_throughput(benchmark):
+def _bench_throughput(benchmark, label, block_cache):
     def run_once():
         program = _build()
+        program.machine.config.block_cache = block_cache
         result = program.run(10_000_000)
         assert result.exit_code == 0
         return result.instructions
@@ -37,9 +44,17 @@ def test_bench_interpreter_throughput(benchmark):
         rate = instructions / benchmark.stats.stats.mean
         benchmark.extra_info["instructions_per_run"] = instructions
         benchmark.extra_info["instructions_per_second"] = rate
-        print(f"\nsimulator throughput: ~{rate:,.0f} instructions/second "
+        print(f"\n{label} throughput: ~{rate:,.0f} instructions/second "
               f"({instructions} instructions per run)")
     assert instructions > 100_000
+
+
+def test_bench_interpreter_throughput(benchmark):
+    _bench_throughput(benchmark, "interpreter", block_cache=False)
+
+
+def test_bench_block_throughput(benchmark):
+    _bench_throughput(benchmark, "block-translation", block_cache=True)
 
 
 def test_bench_compile_pipeline(benchmark):

@@ -17,6 +17,7 @@ export/print what was gathered.  ``fig1`` is an alias for ``e1``
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import nullcontext
 
@@ -43,8 +44,8 @@ def run_e1() -> str:
             + "\n\n" + fig1.attack_provenance().render())
 
 
-def run_e4() -> str:
-    return matrix.render_matrix(matrix.run_matrix())
+def run_e4(jobs: int | None = None) -> str:
+    return matrix.render_matrix(matrix.run_matrix(jobs=jobs))
 
 
 def run_e5() -> str:
@@ -171,6 +172,13 @@ def main(argv: list[str]) -> int:
                         help="write the raw event stream as JSON lines")
     parser.add_argument("--metrics", action="store_true",
                         help="print aggregate execution metrics at the end")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count(),
+                        metavar="N",
+                        help="worker processes for the attack matrix (e4); "
+                             "1 forces the sequential in-process path "
+                             "(default: cpu count; observed runs via "
+                             "--trace-out/--jsonl-out/--metrics are always "
+                             "sequential)")
     options = parser.parse_args(argv)
 
     selected = [ALIASES.get(arg.lower(), arg.lower())
@@ -203,7 +211,10 @@ def main(argv: list[str]) -> int:
             title, runner = EXPERIMENTS[key]
             banner = f"==== {key.upper()} :: {title} "
             print(banner + "=" * max(0, 78 - len(banner)))
-            print(runner())
+            if key == "e4":
+                print(run_e4(jobs=options.jobs))
+            else:
+                print(runner())
             print()
 
     if trace is not None:

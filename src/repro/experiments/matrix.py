@@ -18,6 +18,7 @@ quantitative:
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.attacks import io_attacks
@@ -64,17 +65,57 @@ class MatrixCell:
     result: AttackResult
 
 
+def _run_cell(task: tuple) -> MatrixCell:
+    """Run one (attack, preset) cell.  Module-level so it pickles.
+
+    The parent's interpreter-cache defaults ride along in the task so
+    worker processes execute down the same machine path (the
+    differential suites flip those module globals and expect whole
+    pipelines -- parallel or not -- to honour them).
+    """
+    (attack_fn, attack_name, preset_name, preset, seed,
+     decode_default, block_default) = task
+    import repro.machine.machine as machine_module
+
+    machine_module.DECODE_CACHE_DEFAULT = decode_default
+    machine_module.BLOCK_CACHE_DEFAULT = block_default
+    return MatrixCell(attack_name, preset_name, attack_fn(preset, seed=seed))
+
+
 def run_matrix(
     presets: tuple[tuple[str, MitigationConfig], ...] = MATRIX_PRESETS,
     seed: int = 7,
+    jobs: int | None = None,
 ) -> list[MatrixCell]:
-    """Run the full battery; one cell per (attack, preset)."""
-    cells = []
-    for attack_fn, attack_name in UNIQUE_ATTACKS:
-        for preset_name, preset in presets:
-            result = attack_fn(preset, seed=seed)
-            cells.append(MatrixCell(attack_name, preset_name, result))
-    return cells
+    """Run the full battery; one cell per (attack, preset).
+
+    Each cell is an independent machine, so with ``jobs`` > 1 the
+    cells fan out over a :class:`ProcessPoolExecutor`.  ``jobs=None``
+    or ``1`` keeps the sequential in-process path (deterministic
+    debugging, and required when ``observe_new_machines`` factories
+    are active -- observers cannot cross process boundaries, so the
+    pool is skipped for them regardless of ``jobs``).  Cell order and
+    content are identical either way: every cell is seeded
+    explicitly, so the table does not depend on scheduling.
+    """
+    import repro.machine.machine as machine_module
+
+    tasks = [
+        (attack_fn, attack_name, preset_name, preset, seed,
+         machine_module.DECODE_CACHE_DEFAULT,
+         machine_module.BLOCK_CACHE_DEFAULT)
+        for attack_fn, attack_name in UNIQUE_ATTACKS
+        for preset_name, preset in presets
+    ]
+    sequential = (
+        jobs is None or jobs <= 1
+        or machine_module._DEFAULT_OBSERVER_FACTORIES
+    )
+    if sequential:
+        return [_run_cell(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_cell, tasks))
 
 
 def render_matrix(cells: list[MatrixCell]) -> str:

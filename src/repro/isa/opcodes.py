@@ -148,3 +148,22 @@ UNCONDITIONAL_FLOW: Final[frozenset[str]] = frozenset({"jmp", "call", "ret", "ha
 CONDITIONAL_BRANCHES: Final[frozenset[str]] = frozenset(
     {"jz", "jnz", "jl", "jg", "jle", "jge", "jb", "jae"}
 )
+
+#: Opcode bytes that (may) transfer control: jumps, conditional
+#: branches, calls and returns.  Derived from the mnemonic sets above
+#: so the table stays the single source of truth.
+TRANSFER_OPCODES: Final[frozenset[int]] = frozenset(
+    spec.opcode
+    for spec in OPCODE_TABLE
+    if spec.mnemonic in CONDITIONAL_BRANCHES
+    or spec.mnemonic in ("jmp", "call", "ret")
+)
+
+#: Opcode bytes that end a basic block for the block translator:
+#: every control transfer, plus ``halt`` (stops the run loop) and
+#: ``sys`` (syscall handlers may halt/exit the machine, attach
+#: observers, or rewrite memory -- the translator re-dispatches after
+#: each one rather than speculating through it).
+BLOCK_END_OPCODES: Final[frozenset[int]] = TRANSFER_OPCODES | frozenset(
+    spec.opcode for spec in OPCODE_TABLE if spec.mnemonic in ("halt", "sys")
+)

@@ -1,0 +1,432 @@
+"""Basic-block translation: fuse decoded instructions into closures.
+
+PR 1's decode cache removed the per-instruction *decode* cost but kept
+the per-instruction *dispatch* cost: every retired instruction still
+pays ``Machine.step`` -> cache probe -> ``cpu.execute`` -> handler.
+This module removes that too.  On a block-cache miss the machine calls
+:func:`compile_block`, which decodes forward from the miss address to
+the next control transfer (or page boundary / PMA entry point /
+:data:`MAX_BLOCK_INSNS`) and compiles the whole run into one Python
+function: registers aliased to a local, flags threaded through locals,
+immediates and effective-address arithmetic baked in as literals, the
+instruction counter bumped once per block, and ``cpu.ip`` committed
+once at the block end.
+
+Fidelity rules (the attacker model makes these load-bearing -- an
+exploit's machine state is part of the semantics):
+
+* **Fetch checks per block, not per instruction.**  A block is only
+  built on a PERM_X page and dies on any ``set_perms``/``map_region``
+  (the machine's permission-change listener flushes the block cache),
+  so a cached block implies every per-instruction fetch-permission
+  check would pass -- the same invariant the decode cache relies on.
+* **Exact fault states.**  Every site that can fault records the
+  retired-instruction count (``n``) and the interpreter's fault-time
+  IP (``eip``: the instruction's own address for pre-execute PMA
+  faults, the *next* address for execute-phase faults, matching
+  ``step()`` setting ``cpu.ip = next_ip`` before ``cpu.execute``).
+  The shared ``except`` handler writes flags/IP/count back before
+  re-raising, so a fault mid-block leaves the machine byte-identical
+  to the interpreter faulting on the same instruction.
+* **Memory accesses stay policy-checked.**  On machines with no PMA
+  modules and no red zones, loads/stores inline the single-page
+  permission fast path (mirroring ``Machine._check``) and fall back to
+  the machine's checked accessor for anything unusual -- page
+  straddles, permission denials (which kernel mode may still allow),
+  unmapped pages, and writes to watched code pages -- so every fault
+  message, kernel-mode bypass, and invalidation notification is the
+  interpreter's own.  With PMA or red zones active the generated code
+  always calls the checked accessors.
+* **Self-modifying code.**  A store onto a watched code page
+  invalidates that page's blocks mid-flight -- including, possibly,
+  the block doing the writing.  Such writes take the slow path (the
+  watched-page test is part of the inline fast path), and after each
+  one the block compares the machine's block epoch: if any block died,
+  the function writes back exact architectural state and returns, and
+  the dispatch loop re-translates from the bytes just written
+  (tests/test_differential_blocks.py holds this to the interpreter's
+  behaviour byte for byte).
+* **PMA.**  When protected modules exist at translation time the block
+  embeds the interpreter's per-instruction ``check_fetch`` (module
+  tracking, entry-point rule, no-execute-data rule); module-table
+  changes flush the block cache, so the embedded checks can never be
+  stale.  Blocks additionally never extend *across* a module entry
+  point, keeping block heads aligned with legitimate entry addresses.
+
+Observed machines never execute blocks at all -- ``Machine.run`` falls
+back to the per-instruction path whenever observers are attached (or
+``MachineConfig.block_cache`` is off), so the event stream keeps its
+per-instruction exactness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from repro.errors import DecodeError, MachineFault
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction, WORD_MASK
+from repro.isa.opcodes import BLOCK_END_OPCODES, OPCODE_LENGTHS
+from repro.machine.cpu import c_div, c_mod
+from repro.machine.memory import PAGE_SIZE, PERM_X, _PAGE_SHIFT, _U32
+
+_PAGE_MASK = PAGE_SIZE - 1
+
+#: Cacheability limit: the longest run of instructions fused into one
+#: block.  Long enough to swallow any realistic straight-line run on a
+#: 4 KiB page, small enough to keep translation latency negligible.
+MAX_BLOCK_INSNS = 64
+
+_M = WORD_MASK  # 4294967295
+_SIGN = 0x80000000
+
+#: Condition expressions for the conditional branches, over the local
+#: flag variables of the generated function (same predicates as the
+#: interpreter's dispatch table in repro.machine.cpu).
+_BRANCH_CONDITIONS = {
+    0x1B: "zf",                  # jz
+    0x1C: "not zf",              # jnz
+    0x1D: "lt",                  # jl
+    0x1E: "not lt and not zf",   # jg
+    0x1F: "lt or zf",            # jle
+    0x20: "not lt",              # jge
+    0x21: "ult",                 # jb
+    0x22: "not ult",             # jae
+}
+
+_ARITH_RR = {0x0A: "+", 0x0C: "-", 0x0E: "*"}
+_ARITH_RI = {0x0B: "+", 0x0D: "-"}
+_LOGIC_RR = {0x11: "&", 0x12: "|", 0x13: "^"}
+
+#: Opcodes that touch guest memory through the machine's checked
+#: accessors: load, store, loadb, storeb, push, pop.
+_MEMORY_OPCODES = frozenset({0x04, 0x05, 0x06, 0x07, 0x08, 0x09})
+
+#: The subset that writes (and can therefore invalidate blocks,
+#: including the one executing).
+_STORE_OPCODES = frozenset({0x05, 0x07, 0x08})
+
+
+class CompiledBlock(NamedTuple):
+    """One translated basic block, keyed by its head address."""
+
+    #: The generated function; called as ``fn(machine, machine.cpu)``.
+    fn: Callable
+    #: Masked address of the first instruction (the cache key).
+    head: int
+    #: Page the whole block lives on (the invalidation-index key).
+    page: int
+    #: Instructions retired by one complete execution of the block.
+    count: int
+    #: The generated Python source, kept for debugging and tests.
+    source: str
+
+
+def compile_block(machine, head: int) -> CompiledBlock | None:
+    """Translate the basic block starting at ``head``, or None.
+
+    Returns None when the head is not on an executable page or its
+    first instruction cannot be decoded -- the caller falls back to the
+    interpreter, which reproduces the exact fault.
+    """
+    memory = machine.memory
+    masked = head & WORD_MASK
+    page = masked >> _PAGE_SHIFT
+    if not memory.page_perms(page) & PERM_X:
+        return None
+    pma_active = bool(machine.pma.modules)
+    entry_points: frozenset[int] = frozenset()
+    if pma_active:
+        entry_points = frozenset().union(
+            *(module.entry_points for module in machine.pma.modules)
+        )
+    insns: list[tuple[int, Instruction, int]] = []
+    addr = masked
+    while len(insns) < MAX_BLOCK_INSNS:
+        if addr >> _PAGE_SHIFT != page:
+            break  # next instruction starts on another page
+        if insns and addr in entry_points:
+            break  # never extend across a PMA entry point
+        opcode = memory.read_byte(addr)
+        length = OPCODE_LENGTHS[opcode]
+        if length == 0 or (addr & _PAGE_MASK) + length > PAGE_SIZE:
+            break  # invalid or page-straddling encoding: interpreter's job
+        try:
+            insn, _ = decode(memory.read_bytes(addr, length))
+        except DecodeError:
+            break
+        insns.append((addr, insn, length))
+        addr = (addr + length) & WORD_MASK
+        if insn.opcode in BLOCK_END_OPCODES:
+            break
+    if not insns:
+        return None
+    inline_mem = not pma_active and not machine.config.redzones
+    source = _emit(insns, masked, pma_active, inline_mem)
+    namespace = {
+        "_MF": MachineFault,
+        "_div": c_div,
+        "_mod": c_mod,
+        "_u32": _U32,
+    }
+    exec(compile(source, f"<block 0x{masked:08x}>", "exec"), namespace)
+    return CompiledBlock(namespace["_block"], masked, page, len(insns), source)
+
+
+def _emit(insns: list[tuple[int, Instruction, int]], head: int,
+          pma_active: bool, inline_mem: bool) -> str:
+    """Generate the Python source of the block function."""
+    last_index = len(insns) - 1
+    uses_epoch = any(
+        insn.opcode in _STORE_OPCODES and k != last_index
+        for k, (_, insn, _) in enumerate(insns)
+    )
+    uses_mem = inline_mem and any(
+        insn.opcode in _MEMORY_OPCODES for _, insn, _ in insns
+    )
+    lines = [
+        "def _block(m, cpu):",
+        "    regs = cpu.regs",
+        "    zf = cpu.zf; lt = cpu.lt; ult = cpu.ult",
+        f"    n = 0; eip = {head}",
+    ]
+    if uses_epoch:
+        lines.append("    _e = m._block_epoch")
+    if uses_mem:
+        # Stable aliases: these containers are mutated, never replaced.
+        lines.append("    _mem = m.memory._pages; _pg = m.memory._perms")
+        lines.append("    _wp = m.memory._watched_pages")
+    if pma_active:
+        lines.append("    _cf = m.pma.check_fetch")
+    lines.append("    try:")
+    emit = lines.append
+    for k, (ip, insn, length) in enumerate(insns):
+        nxt = (ip + length) & _M
+        op = insn.opcode
+        ops = insn.operands
+        last = k == last_index
+
+        if pma_active:
+            # Pre-execute module check: a PMA fault here leaves the
+            # interpreter's cpu.ip at the *instruction's* address.
+            emit(f"        m.current_ip = {ip}; n = {k}; eip = {ip}")
+            emit(f"        m.current_module = _cf(m.current_module, {ip})")
+
+        #: Execute-phase fault markers: the interpreter has already
+        #: advanced cpu.ip to next_ip when a handler faults.
+        markers = f"m.current_ip = {ip}; n = {k}; eip = {nxt}"
+
+        def flags() -> None:
+            emit("        zf = _t == 0; lt = _t > 2147483647")
+
+        def writeback() -> None:
+            emit("        cpu.zf = zf; cpu.lt = lt; cpu.ult = ult")
+            emit(f"        m.current_ip = {ip}")
+
+        def slow_write(call: str, pad: str = "        ") -> None:
+            # The checked-accessor path for a store: exact faults,
+            # kernel-mode bypass, watched-page invalidation -- and,
+            # since the write may have killed this very block, an
+            # epoch check that bails out with exact state and lets
+            # the dispatcher re-translate the just-written bytes.
+            emit(pad + markers)
+            emit(pad + call)
+            if uses_epoch and not last:
+                emit(pad + "if m._block_epoch != _e:")
+                emit(pad + "    cpu.zf = zf; cpu.lt = lt; cpu.ult = ult")
+                emit(pad + f"    cpu.ip = {nxt}")
+                emit(pad + f"    m.instructions_executed += {k + 1}")
+                emit(pad + "    return")
+
+        if op in (0x00, 0x29):  # nop / land
+            if not pma_active:
+                emit("        pass")
+        elif op == 0x02:  # mov rr
+            emit(f"        regs[{ops[0]}] = regs[{ops[1]}]")
+        elif op == 0x03:  # mov ri
+            emit(f"        regs[{ops[0]}] = {ops[1] & _M}")
+        elif op == 0x04:  # load
+            reg, mem = ops
+            emit(f"        _a = (regs[{mem.base}] + {mem.disp}) & 4294967295")
+            if inline_mem:
+                emit("        _o = _a & 4095")
+                emit("        if _o <= 4092 and _pg.get(_a >> 12, 0) & 1:")
+                emit(f"            regs[{reg}] = "
+                     "_u32.unpack_from(_mem[_a >> 12], _o)[0]")
+                emit("        else:")
+                emit(f"            {markers}")
+                emit(f"            regs[{reg}] = m.read_word(_a)")
+            else:
+                emit(f"        {markers}")
+                emit(f"        regs[{reg}] = m.read_word(_a)")
+        elif op == 0x05:  # store
+            reg, mem = ops
+            emit(f"        _a = (regs[{mem.base}] + {mem.disp}) & 4294967295")
+            if inline_mem:
+                emit("        _o = _a & 4095; _pn = _a >> 12")
+                emit("        if _o <= 4092 and _pg.get(_pn, 0) & 2 "
+                     "and _pn not in _wp:")
+                emit(f"            _u32.pack_into(_mem[_pn], _o, regs[{reg}])")
+                emit("        else:")
+                slow_write(f"m.write_word(_a, regs[{reg}])", "            ")
+            else:
+                slow_write(f"m.write_word(_a, regs[{reg}])")
+        elif op == 0x06:  # loadb
+            reg, mem = ops
+            emit(f"        _a = (regs[{mem.base}] + {mem.disp}) & 4294967295")
+            if inline_mem:
+                emit("        if _pg.get(_a >> 12, 0) & 1:")
+                emit(f"            regs[{reg}] = _mem[_a >> 12][_a & 4095]")
+                emit("        else:")
+                emit(f"            {markers}")
+                emit(f"            regs[{reg}] = m.read_byte(_a)")
+            else:
+                emit(f"        {markers}")
+                emit(f"        regs[{reg}] = m.read_byte(_a)")
+        elif op == 0x07:  # storeb
+            reg, mem = ops
+            emit(f"        _a = (regs[{mem.base}] + {mem.disp}) & 4294967295")
+            if inline_mem:
+                emit("        _pn = _a >> 12")
+                emit("        if _pg.get(_pn, 0) & 2 and _pn not in _wp:")
+                emit(f"            _mem[_pn][_a & 4095] = regs[{reg}] & 255")
+                emit("        else:")
+                slow_write(f"m.write_byte(_a, regs[{reg}] & 255)",
+                           "            ")
+            else:
+                slow_write(f"m.write_byte(_a, regs[{reg}] & 255)")
+        elif op == 0x08:  # push: value read before SP moves (like the
+            # interpreter); SP stays decremented if the write faults.
+            emit(f"        _v = regs[{ops[0]}]")
+            emit("        _sp = (regs[8] - 4) & 4294967295")
+            emit("        regs[8] = _sp")
+            if inline_mem:
+                emit("        _o = _sp & 4095; _pn = _sp >> 12")
+                emit("        if _o <= 4092 and _pg.get(_pn, 0) & 2 "
+                     "and _pn not in _wp:")
+                emit("            _u32.pack_into(_mem[_pn], _o, _v)")
+                emit("        else:")
+                slow_write("m.write_word(_sp, _v)", "            ")
+            else:
+                slow_write("m.write_word(_sp, _v)")
+        elif op == 0x09:  # pop: SP unchanged if the read faults
+            emit("        _sp = regs[8]")
+            if inline_mem:
+                emit("        _o = _sp & 4095")
+                emit("        if _o <= 4092 and _pg.get(_sp >> 12, 0) & 1:")
+                emit("            _v = _u32.unpack_from(_mem[_sp >> 12], "
+                     "_o)[0]")
+                emit("        else:")
+                emit(f"            {markers}")
+                emit("            _v = m.read_word(_sp)")
+            else:
+                emit(f"        {markers}")
+                emit("        _v = m.read_word(_sp)")
+            emit("        regs[8] = (_sp + 4) & 4294967295")
+            emit(f"        regs[{ops[0]}] = _v")
+        elif op in _ARITH_RR:
+            emit(f"        _t = (regs[{ops[0]}] {_ARITH_RR[op]} "
+                 f"regs[{ops[1]}]) & 4294967295")
+            emit(f"        regs[{ops[0]}] = _t")
+            flags()
+        elif op in _ARITH_RI:
+            emit(f"        _t = (regs[{ops[0]}] {_ARITH_RI[op]} "
+                 f"{ops[1] & _M}) & 4294967295")
+            emit(f"        regs[{ops[0]}] = _t")
+            flags()
+        elif op in (0x0F, 0x10):  # div / mod (DivisionFault possible)
+            helper = "_div" if op == 0x0F else "_mod"
+            emit(f"        {markers}")
+            emit(f"        _t = {helper}(regs[{ops[0]}], regs[{ops[1]}])")
+            emit(f"        regs[{ops[0]}] = _t")
+            flags()
+        elif op in _LOGIC_RR:  # operands are masked, result stays masked
+            emit(f"        _t = regs[{ops[0]}] {_LOGIC_RR[op]} regs[{ops[1]}]")
+            emit(f"        regs[{ops[0]}] = _t")
+            flags()
+        elif op == 0x14:  # not
+            emit(f"        _t = regs[{ops[0]}] ^ 4294967295")
+            emit(f"        regs[{ops[0]}] = _t")
+            flags()
+        elif op == 0x15:  # shl
+            emit(f"        _t = (regs[{ops[0]}] << {ops[1] & 31})"
+                 " & 4294967295")
+            emit(f"        regs[{ops[0]}] = _t")
+            flags()
+        elif op == 0x16:  # shr
+            emit(f"        _t = regs[{ops[0]}] >> {ops[1] & 31}")
+            emit(f"        regs[{ops[0]}] = _t")
+            flags()
+        elif op == 0x17:  # cmp rr (signed compare via sign-bit flip)
+            emit(f"        _a = regs[{ops[0]}]; _b = regs[{ops[1]}]")
+            emit("        zf = _a == _b; "
+                 "lt = (_a ^ 2147483648) < (_b ^ 2147483648); ult = _a < _b")
+        elif op == 0x18:  # cmp ri
+            imm = ops[1] & _M
+            emit(f"        _a = regs[{ops[0]}]")
+            emit(f"        zf = _a == {imm}; "
+                 f"lt = (_a ^ 2147483648) < {imm ^ _SIGN}; ult = _a < {imm}")
+        elif op == 0x27:  # lea
+            reg, mem = ops
+            emit(f"        regs[{reg}] = (regs[{mem.base}] + {mem.disp})"
+                 " & 4294967295")
+        elif op == 0x28:  # chk
+            emit(f"        {markers}")
+            emit(f"        m.bounds_check(regs[{ops[0]}], {ops[1] & _M})")
+        elif op == 0x19:  # jmp imm (terminator)
+            writeback()
+            emit(f"        cpu.ip = {ops[0] & _M}")
+        elif op in _BRANCH_CONDITIONS:  # jcc (terminator)
+            writeback()
+            emit(f"        cpu.ip = {ops[0] & _M} "
+                 f"if {_BRANCH_CONDITIONS[op]} else {nxt}")
+        elif op == 0x1A:  # jmp reg (terminator, CFI check may fault)
+            writeback()
+            emit(f"        n = {k}; eip = {nxt}")
+            emit(f"        _t = regs[{ops[0]}]")
+            emit("        m.check_indirect_target(_t)")
+            emit("        cpu.ip = _t")
+        elif op == 0x23:  # call imm (terminator, stack push may fault)
+            writeback()
+            emit(f"        n = {k}; eip = {nxt}")
+            emit(f"        m.push_return_address({nxt})")
+            emit(f"        cpu.ip = {ops[0] & _M}")
+        elif op == 0x24:  # call reg (terminator)
+            writeback()
+            emit(f"        n = {k}; eip = {nxt}")
+            emit(f"        _t = regs[{ops[0]}]")
+            emit("        m.check_indirect_target(_t)")
+            emit(f"        m.push_return_address({nxt})")
+            emit("        cpu.ip = _t")
+        elif op == 0x25:  # ret (terminator, pop/shadow check may fault)
+            writeback()
+            emit(f"        n = {k}; eip = {nxt}")
+            emit("        cpu.ip = m.pop_return_address()")
+        elif op == 0x01:  # halt (terminator)
+            writeback()
+            emit(f"        cpu.ip = {nxt}")
+            emit("        m.halt()")
+        elif op == 0x26:  # sys (terminator; the handler must see the
+            # same committed state the interpreter gives it)
+            writeback()
+            emit(f"        n = {k}; eip = {nxt}")
+            emit(f"        cpu.ip = {nxt}")
+            emit(f"        m.do_syscall({ops[0]})")
+        else:  # pragma: no cover - decode() only yields table opcodes
+            raise AssertionError(f"untranslatable opcode 0x{op:02x}")
+
+    last_ip, last_insn, last_length = insns[last_index]
+    if last_insn.opcode not in BLOCK_END_OPCODES:
+        # Fall-through end (page boundary / entry point / size limit).
+        emit("        cpu.zf = zf; cpu.lt = lt; cpu.ult = ult")
+        emit(f"        m.current_ip = {last_ip}")
+        emit(f"        cpu.ip = {(last_ip + last_length) & _M}")
+    lines += [
+        "    except _MF:",
+        "        cpu.zf = zf; cpu.lt = lt; cpu.ult = ult",
+        "        cpu.ip = eip",
+        "        m.instructions_executed += n",
+        "        raise",
+        f"    m.instructions_executed += {len(insns)}",
+    ]
+    return "\n".join(lines) + "\n"

@@ -186,6 +186,14 @@ def _c_mod(a: int, b: int) -> int:
     return to_unsigned(remainder)
 
 
+#: Public names for the division helpers: the block translator
+#: (repro.machine.blocks) embeds direct calls to these in generated
+#: code so div/mod keep the exact C-style truncation semantics and
+#: DivisionFault behaviour of the interpreter.
+c_div = _c_div
+c_mod = _c_mod
+
+
 def _not(cpu: CPU, insn: Instruction, machine: "Machine") -> None:
     (reg,) = insn.operands
     result = (~cpu.regs[reg]) & WORD_MASK

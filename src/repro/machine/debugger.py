@@ -139,7 +139,13 @@ class Debugger:
     # -- execution -----------------------------------------------------------
 
     def step(self) -> StopEvent:
-        """Execute exactly one instruction."""
+        """Execute exactly one instruction.
+
+        Always the per-instruction interpreter path: ``Machine.step``
+        never dispatches through translated superblocks, so stepping
+        stays instruction-granular regardless of
+        ``MachineConfig.block_cache``.
+        """
         try:
             self.machine.step()
         except MachineFault as fault:

@@ -21,6 +21,7 @@ The loader switches them on according to a
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -41,6 +42,7 @@ from repro.isa.encoding import decode
 from repro.isa.instructions import Instruction, WORD_MASK
 from repro.isa.opcodes import OPCODE_LENGTHS, OPCODE_SPECS
 from repro.machine.access import AccessKind
+from repro.machine.blocks import CompiledBlock, compile_block
 from repro.machine.cpu import CPU
 from repro.machine.devices import InputChannel, OutputChannel, RandomDevice, ShellDevice
 from repro.machine.memory import (
@@ -102,9 +104,31 @@ _NEEDED = {
 #: (which construct their machines internally) without the cache.
 DECODE_CACHE_DEFAULT = True
 
+#: Default for :attr:`MachineConfig.block_cache`, flipped the same way
+#: by the block-mode differential suite.
+BLOCK_CACHE_DEFAULT = True
+
+
+def _env_override(name: str) -> bool | None:
+    """Tri-state environment switch: None when unset, else its truth.
+
+    Lets CI run the whole suite down a chosen execution path
+    (``REPRO_BLOCK_CACHE=0 pytest ...``) without touching any test.
+    """
+    value = os.environ.get(name)
+    if value is None:
+        return None
+    return value.strip().lower() not in ("0", "false", "no", "off", "")
+
 
 def _decode_cache_default() -> bool:
-    return DECODE_CACHE_DEFAULT
+    env = _env_override("REPRO_DECODE_CACHE")
+    return DECODE_CACHE_DEFAULT if env is None else env
+
+
+def _block_cache_default() -> bool:
+    env = _env_override("REPRO_BLOCK_CACHE")
+    return BLOCK_CACHE_DEFAULT if env is None else env
 
 
 class RunStatus(enum.Enum):
@@ -178,6 +202,12 @@ class MachineConfig:
     #: differential suite asserts both modes are observationally
     #: identical.
     decode_cache: bool = field(default_factory=_decode_cache_default)
+    #: Translate straight-line instruction runs into fused superblock
+    #: closures dispatched block-at-a-time by :meth:`Machine.run`
+    #: (see :mod:`repro.machine.blocks`).  Shares the decode cache's
+    #: write/perm/PMA invalidation machinery; observed machines and
+    #: :meth:`Machine.step` always use the per-instruction path.
+    block_cache: bool = field(default_factory=_block_cache_default)
 
 
 class Machine:
@@ -220,6 +250,17 @@ class Machine:
         self._decode_cache: dict[int, tuple[Instruction, int]] = {}
         #: Invalidation index: page -> addresses cached on that page.
         self._decode_pages: dict[int, list[int]] = {}
+        #: Translated-block cache: head address -> CompiledBlock (see
+        #: repro.machine.blocks).  Invalidation rides the same
+        #: page-watch machinery as the decode cache above.
+        self._block_cache: dict[int, CompiledBlock] = {}
+        #: Invalidation index: page -> block head addresses on it.
+        self._block_pages: dict[int, list[int]] = {}
+        #: Bumped whenever any block is invalidated; a running block
+        #: compares it after every store so self-modifying code that
+        #: overwrites the block's own tail aborts back to the
+        #: dispatcher instead of executing stale decodes.
+        self._block_epoch = 0
         self.memory.code_write_listener = self._invalidate_code_page
         self.memory.perm_change_listener = self.flush_decode_cache
         self.pma.add_change_listener(self.flush_decode_cache)
@@ -603,15 +644,19 @@ class Machine:
     # -- decode cache ------------------------------------------------------------------
 
     def flush_decode_cache(self) -> None:
-        """Drop every cached decoded instruction and fast-path verdict.
+        """Drop every cached decoded instruction and translated block.
 
         Called on any permission change (``map_region``/``set_perms``)
         and on PMA module-table changes; cheap because these events are
         rare compared to instruction fetches.
         """
-        dropped = len(self._decode_cache)
+        dropped = len(self._decode_cache) + len(self._block_cache)
         self._decode_cache.clear()
         self._decode_pages.clear()
+        if self._block_cache:
+            self._block_cache.clear()
+            self._block_pages.clear()
+            self._block_epoch += 1
         self.memory.unwatch_all()
         hub = self._observers
         if hub is not None and hub.decode_invalidate:
@@ -620,16 +665,35 @@ class Machine:
 
     def _invalidate_code_page(self, page: int) -> None:
         """A watched (executable, cached) page was written: kill its
-        cached decodes so the newly written bytes are what executes."""
+        cached decodes and translated blocks so the newly written
+        bytes are what executes."""
+        dropped = 0
         addrs = self._decode_pages.pop(page, None)
         if addrs:
             cache = self._decode_cache
             for addr in addrs:
                 cache.pop(addr, None)
+            dropped += len(addrs)
+        heads = self._block_pages.pop(page, None)
+        if heads:
+            blocks = self._block_cache
+            for head in heads:
+                blocks.pop(head, None)
+            dropped += len(heads)
+            self._block_epoch += 1
+        if dropped:
             hub = self._observers
             if hub is not None and hub.decode_invalidate:
                 for observer in hub.decode_invalidate:
-                    observer.on_decode_invalidate(self, page, len(addrs))
+                    observer.on_decode_invalidate(self, page, dropped)
+
+    def block_cache_stats(self) -> dict[str, int]:
+        """Counters for tests and diagnostics (not a stable API)."""
+        return {
+            "blocks": len(self._block_cache),
+            "pages": len(self._block_pages),
+            "epoch": self._block_epoch,
+        }
 
     # -- execution ---------------------------------------------------------------------
 
@@ -676,7 +740,7 @@ class Machine:
             masked = ip & WORD_MASK
             page = masked >> _PAGE_SHIFT
             if (masked & _PAGE_MASK) + length <= PAGE_SIZE and (
-                self.memory._perms.get(page, 0) & PERM_X
+                self.memory.page_perms(page) & PERM_X
             ):
                 self._decode_cache[masked] = entry
                 self._decode_pages.setdefault(page, []).append(masked)
@@ -779,26 +843,86 @@ class Machine:
 
         Never raises on machine faults -- they are part of the
         experiment outcome and are returned in the result.
+
+        Unobserved machines with ``config.block_cache`` dispatch
+        block-at-a-time through translated superblocks; observed
+        machines (and ``block_cache=False``) run the per-instruction
+        loop, whose behaviour the differential suites hold the block
+        path to exactly.
         """
         self._status = None
         start_count = self.instructions_executed
         started = perf_counter()
-        step = self.step
         try:
-            while self._status is None:
-                if self.instructions_executed - start_count >= max_instructions:
-                    limit = ExecutionLimitExceeded(
-                        f"exceeded {max_instructions} instructions", self.cpu.ip
-                    )
-                    hub = self._observers
-                    if hub is not None and hub.fault:
-                        for observer in hub.fault:
-                            observer.on_fault(self, limit, self.cpu.ip)
-                    raise limit
-                step()
+            if self._observers is None and self.config.block_cache:
+                self._run_blocks(max_instructions, start_count)
+            else:
+                self._run_steps(max_instructions, start_count)
         except MachineFault as fault:
             return self._result(RunStatus.FAULT, fault, start_count, started)
         return self._result(self._status, None, start_count, started)
+
+    def _run_steps(self, max_instructions: int, start_count: int) -> None:
+        """The per-instruction run loop (observed machines, and
+        ``block_cache=False``)."""
+        step = self.step
+        while self._status is None:
+            if self.instructions_executed - start_count >= max_instructions:
+                limit = ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions", self.cpu.ip
+                )
+                hub = self._observers
+                if hub is not None and hub.fault:
+                    for observer in hub.fault:
+                        observer.on_fault(self, limit, self.cpu.ip)
+                raise limit
+            step()
+
+    def _run_blocks(self, max_instructions: int, start_count: int) -> None:
+        """Block-at-a-time dispatch through the translated-block cache.
+
+        Falls back to :meth:`step` for addresses that cannot be
+        translated (non-executable page, undecodable bytes) so faults
+        reproduce exactly, and for blocks longer than the remaining
+        instruction budget so :class:`ExecutionLimitExceeded` fires at
+        the identical instruction count and IP as the interpreter.
+        Re-checks for observers each dispatch: a syscall handler or
+        hook attaching one mid-run demotes the rest of the run to the
+        per-instruction loop.
+        """
+        cpu = self.cpu
+        blocks = self._block_cache
+        while self._status is None:
+            if self._observers is not None or not self.config.block_cache:
+                return self._run_steps(max_instructions, start_count)
+            remaining = max_instructions - (
+                self.instructions_executed - start_count
+            )
+            if remaining <= 0:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions", cpu.ip
+                )
+            entry = blocks.get(cpu.ip)
+            if entry is None:
+                entry = self._translate_block(cpu.ip)
+                if entry is None:
+                    self.step()
+                    continue
+            if entry.count > remaining:
+                self.step()
+                continue
+            entry.fn(self, cpu)
+
+    def _translate_block(self, head: int) -> CompiledBlock | None:
+        """Translate and cache the block at ``head`` (None if the
+        interpreter must handle that address)."""
+        block = compile_block(self, head)
+        if block is None:
+            return None
+        self._block_cache[block.head] = block
+        self._block_pages.setdefault(block.page, []).append(block.head)
+        self.memory.watch_page(block.page)
+        return block
 
     def _result(
         self,

@@ -147,6 +147,16 @@ class Memory:
         """Return True if the byte at ``addr`` is mapped."""
         return ((addr & WORD_MASK) >> _PAGE_SHIFT) in self._pages
 
+    def page_perms(self, page: int) -> int:
+        """Return the permission bits of ``page`` (0 when unmapped).
+
+        The page-number twin of :meth:`perms_at`, for callers that
+        already work in page units (the machine's decode cache and
+        block translator); unmapped pages read as no-permissions
+        rather than faulting.
+        """
+        return self._perms.get(page, 0)
+
     def perms_at(self, addr: int) -> int:
         """Return the permission bits of the page containing ``addr``.
 

@@ -115,7 +115,9 @@ class Observer:
     def on_decode_invalidate(self, machine: "Machine", page: int | None,
                              count: int) -> None:
         """Cached decodes were dropped: ``count`` entries on ``page``,
-        or everything when ``page`` is None (a wholesale flush)."""
+        or everything when ``page`` is None (a wholesale flush).
+        ``count`` totals both tiers -- per-instruction decodes and
+        translated basic blocks rooted on the page."""
 
 
 #: hook method name -> hub slot holding the subscribers for that hook.

@@ -57,6 +57,31 @@ class TestCheckRegression:
         assert check_regression(79_000.0, 100_000.0, threshold=0.2)
 
 
+class TestBlockSection:
+    """The block-translation leg is gated independently."""
+
+    def test_block_rate_tracked_separately(self):
+        previous = {
+            "current": {"interpreter": {"instructions_per_second": 800_000.0},
+                        "block": {"instructions_per_second": 3_000_000.0}},
+            "history": [entry(900_000.0)],
+        }
+        assert best_recorded_rate(previous) == 900_000.0
+        assert best_recorded_rate(previous, "block") == 3_000_000.0
+
+    def test_no_block_baseline_in_old_history(self):
+        # Tracking files written before the block cache existed have
+        # interpreter-only entries; the block gate must pass then.
+        previous = {"current": entry(800_000.0), "history": [entry(700_000.0)]}
+        assert best_recorded_rate(previous, "block") is None
+        assert check_regression(3_000_000.0, None, section="block") is None
+
+    def test_message_names_the_section(self):
+        message = check_regression(1_000_000.0, 3_000_000.0, section="block")
+        assert message is not None
+        assert "block throughput" in message
+
+
 class TestTrackingFile:
     def test_round_trip_appends_history(self, tmp_path):
         path = str(tmp_path / "bench.json")

@@ -116,10 +116,16 @@ class TestPermFlip:
 
 
 class TestCacheMechanics:
-    """White-box checks on population and page-granular invalidation."""
+    """White-box checks on population and page-granular invalidation.
+
+    Pinned to ``block_cache=False``: these tests populate the decode
+    cache by running, and block-mode runs dispatch through translated
+    blocks without per-instruction decode caching (the block cache has
+    its own white-box suite in tests/test_block_cache.py).
+    """
 
     def test_cache_populates_and_write_invalidates_page(self):
-        machine = rwx_machine()
+        machine = rwx_machine(block_cache=False)
         machine.memory.write_bytes(
             0x1000, encode_many([build.mov_ri(R0, 4), build.sys(3)])
         )
@@ -130,7 +136,7 @@ class TestCacheMechanics:
         assert (0x1000 >> 12) not in machine._decode_pages
 
     def test_word_write_invalidates(self):
-        machine = rwx_machine()
+        machine = rwx_machine(block_cache=False)
         machine.memory.write_bytes(
             0x1000, encode_many([build.mov_ri(R0, 4), build.sys(3)])
         )
@@ -140,7 +146,7 @@ class TestCacheMechanics:
         assert 0x1000 not in machine._decode_cache
 
     def test_writes_to_other_pages_keep_cache(self):
-        machine = rwx_machine()
+        machine = rwx_machine(block_cache=False)
         machine.memory.write_bytes(
             0x1000, encode_many([build.mov_ri(R0, 4), build.sys(3)])
         )
@@ -150,7 +156,7 @@ class TestCacheMechanics:
         assert 0x1000 in machine._decode_cache
 
     def test_disabled_cache_stays_empty(self):
-        machine = rwx_machine(decode_cache=False)
+        machine = rwx_machine(decode_cache=False, block_cache=False)
         machine.memory.write_bytes(
             0x1000, encode_many([build.mov_ri(R0, 4), build.sys(3)])
         )
@@ -160,7 +166,7 @@ class TestCacheMechanics:
     def test_pma_registration_flushes(self):
         from repro.pma.module import ProtectedModule
 
-        machine = rwx_machine()
+        machine = rwx_machine(block_cache=False)
         machine.memory.write_bytes(
             0x1000, encode_many([build.mov_ri(R0, 4), build.sys(3)])
         )
