@@ -68,6 +68,16 @@ THROUGHPUT_SECTIONS = {
     "test_bench_block_throughput": "block",
 }
 
+#: Campaign trial benchmarks (measured in trials/second, not insns/s).
+TRIAL_SECTIONS = {
+    "test_bench_snapshot_restore_trials": "snapshot",
+    "test_bench_cold_rebuild_trials": "snapshot_cold",
+}
+
+#: Snapshot-restore trials must beat cold rebuilds by at least this
+#: factor for ``--check`` to pass (the layer's reason to exist).
+MIN_SNAPSHOT_SPEEDUP = 20.0
+
 
 def summarize(raw: dict) -> dict:
     """Extract the headline numbers from pytest-benchmark output."""
@@ -91,12 +101,28 @@ def summarize(raw: dict) -> dict:
                     instructions / stats["mean"] if instructions else None
                 ),
             }
+        elif name in TRIAL_SECTIONS:
+            extra = bench.get("extra_info", {})
+            trials = extra.get("trials_per_run")
+            summary[TRIAL_SECTIONS[name]] = {
+                "mean_seconds": stats["mean"],
+                "stddev_seconds": stats["stddev"],
+                "rounds": stats["rounds"],
+                "trials_per_run": trials,
+                "trials_per_second": (
+                    trials / stats["mean"] if trials else None
+                ),
+            }
         elif name == "test_bench_compile_pipeline":
             summary["compile_pipeline"] = {
                 "mean_seconds": stats["mean"],
                 "stddev_seconds": stats["stddev"],
                 "rounds": stats["rounds"],
             }
+    warm = summary.get("snapshot", {}).get("trials_per_second")
+    cold = summary.get("snapshot_cold", {}).get("trials_per_second")
+    if warm and cold:
+        summary["snapshot"]["speedup_vs_cold"] = warm / cold
     return summary
 
 
@@ -127,7 +153,9 @@ def write_tracking_file(path: str, summary: dict,
 
 
 def _rate(entry: dict, section: str = "interpreter") -> float | None:
-    return entry.get(section, {}).get("instructions_per_second")
+    data = entry.get(section, {})
+    return (data.get("instructions_per_second")
+            or data.get("trials_per_second"))
 
 
 def best_recorded_rate(previous: dict | None,
@@ -153,12 +181,13 @@ def check_regression(rate: float | None, baseline: float | None,
     """
     if not rate or not baseline:
         return None
+    unit = "trials/s" if section in ("snapshot", "snapshot_cold") else "insns/s"
     floor = baseline * (1.0 - threshold)
     if rate < floor:
         drop = 100.0 * (1.0 - rate / baseline)
         return (
-            f"REGRESSION: {section} throughput {rate:,.0f} insns/s is "
-            f"{drop:.1f}% below the best recorded {baseline:,.0f} insns/s "
+            f"REGRESSION: {section} throughput {rate:,.0f} {unit} is "
+            f"{drop:.1f}% below the best recorded {baseline:,.0f} {unit} "
             f"(allowed: {threshold:.0%})"
         )
     return None
@@ -195,22 +224,39 @@ def main() -> None:
             print(f"{section} throughput: ~{rate:,.0f} instructions/second")
     if compile_mean:
         print(f"compile pipeline latency: {compile_mean * 1000:.2f} ms")
+    speedup = summary.get("snapshot", {}).get("speedup_vs_cold")
+    for section in ("snapshot", "snapshot_cold"):
+        rate = summary.get(section, {}).get("trials_per_second")
+        if rate:
+            print(f"{section} campaign: ~{rate:,.0f} trials/second")
+    if speedup:
+        print(f"snapshot restore vs cold rebuild: {speedup:.1f}x")
 
     if args.check:
         failed = False
-        for section in ("interpreter", "block"):
-            rate = summary.get(section, {}).get("instructions_per_second")
+        for section in ("interpreter", "block", "snapshot"):
+            rate = _rate(summary, section)
             baseline = best_recorded_rate(previous, section)
             message = check_regression(rate, baseline, section=section)
+            unit = "trials/s" if section == "snapshot" else "insns/s"
             if message is not None:
                 print(message, file=sys.stderr)
                 failed = True
             elif baseline:
-                print(f"check: {section} OK ({rate:,.0f} insns/s vs best "
+                print(f"check: {section} OK ({rate:,.0f} {unit} vs best "
                       f"{baseline:,.0f}, threshold 10%)")
             else:
                 print(f"check: {section} has no baseline recorded yet, "
                       "passing")
+        if speedup is not None:
+            if speedup < MIN_SNAPSHOT_SPEEDUP:
+                print(f"REGRESSION: snapshot trials only {speedup:.1f}x "
+                      f"faster than cold rebuilds (floor: "
+                      f"{MIN_SNAPSHOT_SPEEDUP:.0f}x)", file=sys.stderr)
+                failed = True
+            else:
+                print(f"check: snapshot speedup OK ({speedup:.1f}x >= "
+                      f"{MIN_SNAPSHOT_SPEEDUP:.0f}x vs cold rebuild)")
         if failed:
             raise SystemExit(1)
 

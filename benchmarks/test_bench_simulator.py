@@ -9,6 +9,11 @@ history stays comparable with runs recorded before the basic-block
 translation cache existed; ``block`` measures the default dispatch
 path (superblock closures, tests/test_differential_blocks.py proves it
 observationally identical).
+
+The ``snapshot`` pair prices repeated-trial campaigns: one warm
+copy-on-write restore per trial versus a full compile+link+load
+rebuild per trial, on the same return-to-libc guess workload
+(tests/test_snapshot.py proves the restored trials byte-identical).
 """
 
 from repro.link import load
@@ -61,3 +66,66 @@ def test_bench_compile_pipeline(benchmark):
     """Compile+assemble+link+load latency for a small program."""
     program = benchmark(_build)
     assert program.image.entry
+
+
+# -- snapshot campaigns ------------------------------------------------------
+
+#: Warm trials per benchmark round (amortises timer overhead; the
+#: per-trial rate is reported either way).
+_TRIALS_PER_ROUND = 25
+
+
+def _campaign_pieces():
+    """The return-to-libc ASLR-guess campaign the experiments run."""
+    from repro.attacks.study import locate_overflow
+    from repro.experiments.campaign_exp import Fig1Factory, Ret2LibcGuessTrial
+    from repro.mitigations.config import MitigationConfig
+    from repro.programs.builders import build_fig1
+
+    config = MitigationConfig(aslr_bits=4)
+    local = build_fig1(config.with_(aslr_bits=0), wide_open=True)
+    site = locate_overflow(local, frames_up=1)
+    trial = Ret2LibcGuessTrial(
+        site.offset_to_return,
+        local.symbol("libc_spawn_shell"),
+        local.symbol("libc_exit"),
+        bits=4,
+        base_seed=1,
+    )
+    return Fig1Factory(config, 1), trial
+
+
+def _bench_trials(benchmark, label, run_round, trials_per_round):
+    count = benchmark(run_round)
+    assert count == trials_per_round
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = trials_per_round / benchmark.stats.stats.mean
+        benchmark.extra_info["trials_per_run"] = trials_per_round
+        benchmark.extra_info["trials_per_second"] = rate
+        print(f"\n{label}: ~{rate:,.0f} trials/second")
+
+
+def test_bench_snapshot_restore_trials(benchmark):
+    """Steady-state campaign trials: restore the warm snapshot, run."""
+    from repro.campaign import CampaignSession
+
+    factory, trial = _campaign_pieces()
+    session = CampaignSession(factory, trial)
+    session.run_trial(0)  # translate the victim's blocks once
+
+    def run_round():
+        return len(session.run_batch(range(_TRIALS_PER_ROUND)))
+
+    _bench_trials(benchmark, "snapshot-restore trials", run_round,
+                  _TRIALS_PER_ROUND)
+
+
+def test_bench_cold_rebuild_trials(benchmark):
+    """The pre-campaign cost model: rebuild the victim every trial."""
+    factory, trial = _campaign_pieces()
+
+    def run_round():
+        trial(factory(), 0)
+        return 1
+
+    _bench_trials(benchmark, "cold-rebuild trials", run_round, 1)

@@ -1,0 +1,15 @@
+"""Snapshot-driven trial campaigns (the repeated-experiment engine)."""
+
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    CampaignSession,
+    ComposedTrial,
+)
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "CampaignSession",
+    "ComposedTrial",
+]

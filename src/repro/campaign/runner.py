@@ -1,0 +1,220 @@
+"""Fork-server-style trial campaigns over machine snapshots.
+
+The paper's two attacker models are *measured* through repeated trial
+campaigns -- an ASLR entropy sweep, a PIN brute force against Figure
+2's ``tries_left`` module, the attack x countermeasure matrix.  Before
+this module every trial paid the full compile + link + load + cold
+start cost.  A :class:`CampaignRunner` instead does what AFL-class
+fuzzers call a fork server: build the victim *once*, take one
+copy-on-write :meth:`~repro.machine.machine.Machine.snapshot`, then
+per trial restore (O(dirty pages)), mutate the input, run, and extract
+a verdict.  The PR 3 superblock cache stays warm across restores, so
+trial N+1 starts with trial N's hot code.
+
+Three picklable callables describe a campaign:
+
+* ``factory()`` builds the warm target -- a
+  :class:`~repro.link.loader.LoadedProgram` or a bare
+  :class:`~repro.machine.machine.Machine`;
+* ``mutator(target, index)`` injects trial ``index``'s input (stdin
+  bytes, a PIN guess, a payload);
+* ``verdict(target, result, index)`` reduces the finished
+  :class:`~repro.machine.machine.RunResult` to whatever the campaign
+  records (must pickle for the parallel path).
+
+For trials that need mid-run interaction (a leak read back before the
+smash payload goes in), pass a single ``trial(target, index)``
+callable instead; the runner still owns the restore.
+
+With ``jobs > 1`` trials fan out over a ``ProcessPoolExecutor``, one
+warm snapshot per worker (the e4 matrix plumbing): the initializer
+builds the target and snapshot once per process, and index batches
+stream through it.  Results are index-ordered and identical to the
+sequential path -- every trial derives its randomness from its index,
+never from scheduling.  Like the matrix, the pool is skipped while
+``observe_new_machines`` factories are active (observers cannot cross
+process boundaries).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable
+
+
+def _machine_of(target):
+    """The Machine inside a factory product (LoadedProgram or Machine)."""
+    return getattr(target, "machine", target)
+
+
+@dataclass(frozen=True)
+class ComposedTrial:
+    """``mutator`` + run + ``verdict`` composed as one trial callable."""
+
+    mutator: Callable
+    verdict: Callable
+    max_instructions: int = 2_000_000
+
+    def __call__(self, target, index: int):
+        self.mutator(target, index)
+        result = _machine_of(target).run(self.max_instructions)
+        return self.verdict(target, result, index)
+
+
+class CampaignSession:
+    """One warm worker: a built target plus its baseline snapshot.
+
+    Every trial restores the baseline first, so trials are independent
+    by construction -- including state the *guest* believes is durable
+    (Figure 2's ``tries_left`` lockout), which is exactly the rollback
+    attack snapshot/restore models.
+    """
+
+    def __init__(self, factory: Callable, trial: Callable) -> None:
+        self.target = factory()
+        self.machine = _machine_of(self.target)
+        self.baseline = self.machine.snapshot()
+        self.trial = trial
+        #: Total dirty pages rewound across all restores (reset cost).
+        self.restored_pages = 0
+
+    def run_trial(self, index: int):
+        self.restored_pages += self.machine.restore(self.baseline)
+        return self.trial(self.target, index)
+
+    def run_batch(self, indices) -> list:
+        run_trial = self.run_trial
+        return [run_trial(index) for index in indices]
+
+
+#: Per-worker-process warm session (parallel path), set by _worker_init.
+_WORKER_SESSION: CampaignSession | None = None
+
+
+def _worker_init(factory, trial, decode_default, block_default) -> None:
+    """Pool initializer: build one warm session for this process.
+
+    The parent's interpreter-cache defaults ride along so workers
+    execute down the same machine path (the differential suites flip
+    those module globals and expect whole pipelines to honour them).
+    """
+    import repro.machine.machine as machine_module
+
+    machine_module.DECODE_CACHE_DEFAULT = decode_default
+    machine_module.BLOCK_CACHE_DEFAULT = block_default
+    global _WORKER_SESSION
+    _WORKER_SESSION = CampaignSession(factory, trial)
+
+
+def _worker_batch(indices) -> tuple[list, int]:
+    session = _WORKER_SESSION
+    before = session.restored_pages
+    verdicts = session.run_batch(indices)
+    return verdicts, session.restored_pages - before
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run` call."""
+
+    verdicts: list
+    trials: int
+    workers: int
+    duration_seconds: float
+    #: Dirty pages rewound across all restores (the total reset cost;
+    #: 0 for cold runs, which rebuild instead of restoring).
+    restored_pages: int
+    #: "snapshot" (restore-per-trial) or "cold" (rebuild-per-trial).
+    mode: str = "snapshot"
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return self.trials / self.duration_seconds
+
+
+class CampaignRunner:
+    """Run many mutated trials against one warm machine image."""
+
+    def __init__(
+        self,
+        factory: Callable,
+        mutator: Callable | None = None,
+        verdict: Callable | None = None,
+        *,
+        trial: Callable | None = None,
+        max_instructions: int = 2_000_000,
+        jobs: int | None = None,
+    ) -> None:
+        if trial is None:
+            if mutator is None or verdict is None:
+                raise ValueError(
+                    "CampaignRunner needs mutator+verdict, or a trial callable"
+                )
+            trial = ComposedTrial(mutator, verdict, max_instructions)
+        self.factory = factory
+        self.trial = trial
+        self.jobs = jobs
+
+    def _chunks(self, trials: int, workers: int) -> list[range]:
+        """Contiguous index ranges, one per worker (locality + order)."""
+        base, extra = divmod(trials, workers)
+        chunks, start = [], 0
+        for worker in range(workers):
+            count = base + (1 if worker < extra else 0)
+            if count:
+                chunks.append(range(start, start + count))
+                start += count
+        return chunks
+
+    def run(self, trials: int) -> CampaignResult:
+        """Execute ``trials`` snapshot/restore trials (index order)."""
+        import repro.machine.machine as machine_module
+
+        jobs = self.jobs or 1
+        started = perf_counter()
+        sequential = (
+            jobs <= 1 or trials <= 1
+            or machine_module._DEFAULT_OBSERVER_FACTORIES
+        )
+        if sequential:
+            session = CampaignSession(self.factory, self.trial)
+            verdicts = session.run_batch(range(trials))
+            return CampaignResult(
+                verdicts, trials, 1, perf_counter() - started,
+                session.restored_pages,
+            )
+        chunks = self._chunks(trials, min(jobs, trials))
+        with ProcessPoolExecutor(
+            max_workers=len(chunks),
+            initializer=_worker_init,
+            initargs=(self.factory, self.trial,
+                      machine_module.DECODE_CACHE_DEFAULT,
+                      machine_module.BLOCK_CACHE_DEFAULT),
+        ) as pool:
+            batches = list(pool.map(_worker_batch, chunks))
+        verdicts = [v for batch, _ in batches for v in batch]
+        pages = sum(pages for _, pages in batches)
+        return CampaignResult(
+            verdicts, trials, len(chunks), perf_counter() - started, pages,
+        )
+
+    def run_cold(self, trials: int) -> CampaignResult:
+        """The comparison baseline: rebuild the target for every trial.
+
+        What every repeated-trial experiment did before snapshots --
+        full compile + link + load per trial.  Used by the benchmark
+        suite and the differential tests to prove restore-based trials
+        byte-identical (and much faster) than fresh-machine trials.
+        """
+        started = perf_counter()
+        verdicts = []
+        for index in range(trials):
+            target = self.factory()
+            verdicts.append(self.trial(target, index))
+        return CampaignResult(
+            verdicts, trials, 1, perf_counter() - started, 0, mode="cold",
+        )

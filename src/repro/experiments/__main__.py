@@ -25,6 +25,7 @@ from repro.experiments import (
     analysis_exp,
     aslr,
     attestation_exp,
+    campaign_exp,
     cfi_exp,
     fig1,
     heap_exp,
@@ -57,9 +58,19 @@ def run_e5() -> str:
     ])
 
 
-def run_e6() -> str:
-    comparison = aslr.partial_overwrite_comparison(trials=48)
-    return (aslr.render_sweep(aslr.sweep(trials=16))
+def run_campaign(jobs: int | None = None, seed: int | None = None) -> str:
+    return campaign_exp.run_campaign(jobs=jobs, seed=seed)
+
+
+def run_e6(seed: int | None = None) -> str:
+    import random
+
+    # Two independent streams so the sweep's draws don't shift the
+    # comparison's when trial counts change.
+    sweep_rng = random.Random(seed) if seed is not None else None
+    cmp_rng = random.Random(seed + 1) if seed is not None else None
+    comparison = aslr.partial_overwrite_comparison(trials=48, rng=cmp_rng)
+    return (aslr.render_sweep(aslr.sweep(trials=16, rng=sweep_rng))
             + "\n\n" + render_kv(
                 "E6b: eroding ASLR with a partial overwrite (16-bit ASLR)",
                 {
@@ -138,6 +149,8 @@ def run_sfi() -> str:
 EXPERIMENTS = {
     "e1": ("Figure 1: source / machine code / run-time state", run_e1),
     "e4": ("attack x countermeasure matrix", run_e4),
+    "campaign": ("snapshot campaigns: ASLR guesses / PIN rollback / matrix",
+                 run_campaign),
     "cfi": ("extension: coarse vs typed CFI precision", run_cfi),
     "heap": ("extension: heap attacks vs defences", run_heap),
     "multi": ("extension: mutually distrustful modules", run_multimodule),
@@ -179,6 +192,11 @@ def main(argv: list[str]) -> int:
                              "(default: cpu count; observed runs via "
                              "--trace-out/--jsonl-out/--metrics are always "
                              "sequential)")
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
+                        help="base seed for the randomised experiments "
+                             "(e6 sweep seeds, campaign trial streams); "
+                             "default keeps each experiment's recorded "
+                             "deterministic seeds")
     options = parser.parse_args(argv)
 
     selected = [ALIASES.get(arg.lower(), arg.lower())
@@ -213,6 +231,10 @@ def main(argv: list[str]) -> int:
             print(banner + "=" * max(0, 78 - len(banner)))
             if key == "e4":
                 print(run_e4(jobs=options.jobs))
+            elif key == "campaign":
+                print(run_campaign(jobs=options.jobs, seed=options.seed))
+            elif key == "e6":
+                print(run_e6(seed=options.seed))
             else:
                 print(runner())
             print()

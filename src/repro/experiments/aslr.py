@@ -10,11 +10,26 @@ bypass [5]).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.attacks.io_attacks import attack_leak_then_smash, attack_ret2libc
 from repro.experiments.reporting import render_table
 from repro.mitigations.config import MitigationConfig
+
+
+def _trial_seeds(trials: int, base_seed: int,
+                 rng: random.Random | None) -> list[int]:
+    """Victim load seeds for ``trials`` runs.
+
+    With an explicit ``rng`` the seeds are drawn from it (the CLI's
+    ``--seed`` builds one, making the whole sweep one reproducible
+    random stream); otherwise the legacy deterministic ladder
+    ``base_seed + trial`` is kept so recorded results stay comparable.
+    """
+    if rng is None:
+        return [base_seed + trial for trial in range(trials)]
+    return [rng.randrange(2 ** 31) for _ in range(trials)]
 
 
 @dataclass
@@ -39,15 +54,15 @@ class SweepPoint:
 
 
 def sweep(bits_list=(0, 1, 2, 3, 4, 6), trials: int = 32,
-          base_seed: int = 100) -> list[SweepPoint]:
+          base_seed: int = 100,
+          rng: random.Random | None = None) -> list[SweepPoint]:
     """Run both attacks at each entropy level over fresh victim seeds."""
     points = []
     for bits in bits_list:
         config = MitigationConfig(aslr_bits=bits) if bits else MitigationConfig()
         blind = 0
         with_leak = 0
-        for trial in range(trials):
-            seed = base_seed + trial
+        for seed in _trial_seeds(trials, base_seed, rng):
             if attack_ret2libc(config, seed=seed).succeeded:
                 blind += 1
             if attack_leak_then_smash(config, seed=seed).succeeded:
@@ -57,7 +72,8 @@ def sweep(bits_list=(0, 1, 2, 3, 4, 6), trials: int = 32,
 
 
 def partial_overwrite_comparison(trials: int = 48, bits: int = 16,
-                                 base_seed: int = 500) -> dict:
+                                 base_seed: int = 500,
+                                 rng: random.Random | None = None) -> dict:
     """Full-address guess vs 2-byte partial overwrite under page ASLR.
 
     The partial overwrite only needs the shift's bits 12..15 to be
@@ -68,8 +84,7 @@ def partial_overwrite_comparison(trials: int = 48, bits: int = 16,
     config = MitigationConfig(aslr_bits=bits)
     full = 0
     partial = 0
-    for trial in range(trials):
-        seed = base_seed + trial
+    for seed in _trial_seeds(trials, base_seed, rng):
         if attack_ret2libc(config, seed=seed).succeeded:
             full += 1
         if attack_partial_overwrite(config, seed=seed).succeeded:

@@ -63,6 +63,11 @@ def render_metrics(snapshot: dict, title: str = "Execution metrics") -> str:
         "pma crossings": snapshot["pma_crossings"],
         "red-zone checked": snapshot["redzone_checked_accesses"],
     }
+    snapshots = snapshot.get("snapshots")
+    if snapshots and snapshots.get("taken"):
+        pairs["snapshots"] = (
+            f"{snapshots['taken']} taken / {snapshots['restored']} restored "
+            f"({snapshots['dirty_pages_restored']} dirty pages rewound)")
     top = sorted(snapshot["opcodes"].items(),
                  key=lambda item: (-item[1], item[0]))[:10]
     table = render_table(

@@ -33,8 +33,10 @@ exploit's machine state is part of the semantics):
   permission fast path (mirroring ``Machine._check``) and fall back to
   the machine's checked accessor for anything unusual -- page
   straddles, permission denials (which kernel mode may still allow),
-  unmapped pages, and writes to watched code pages -- so every fault
-  message, kernel-mode bypass, and invalidation notification is the
+  unmapped pages, writes to watched code pages, and writes to
+  snapshot-frozen pages (whose copy-on-write break must run before
+  bytes move) -- so every fault message, kernel-mode bypass,
+  copy-on-write break, and invalidation notification is the
   interpreter's own.  With PMA or red zones active the generated code
   always calls the checked accessors.
 * **Self-modifying code.**  A store onto a watched code page
@@ -196,6 +198,9 @@ def _emit(insns: list[tuple[int, Instruction, int]], head: int,
         # Stable aliases: these containers are mutated, never replaced.
         lines.append("    _mem = m.memory._pages; _pg = m.memory._perms")
         lines.append("    _wp = m.memory._watched_pages")
+        # Snapshot-frozen pages must not be written in place: the
+        # slow path below performs the copy-on-write break.
+        lines.append("    _cw = m.memory._cow_pages")
     if pma_active:
         lines.append("    _cf = m.pma.check_fetch")
     lines.append("    try:")
@@ -265,7 +270,7 @@ def _emit(insns: list[tuple[int, Instruction, int]], head: int,
             if inline_mem:
                 emit("        _o = _a & 4095; _pn = _a >> 12")
                 emit("        if _o <= 4092 and _pg.get(_pn, 0) & 2 "
-                     "and _pn not in _wp:")
+                     "and _pn not in _wp and _pn not in _cw:")
                 emit(f"            _u32.pack_into(_mem[_pn], _o, regs[{reg}])")
                 emit("        else:")
                 slow_write(f"m.write_word(_a, regs[{reg}])", "            ")
@@ -288,7 +293,8 @@ def _emit(insns: list[tuple[int, Instruction, int]], head: int,
             emit(f"        _a = (regs[{mem.base}] + {mem.disp}) & 4294967295")
             if inline_mem:
                 emit("        _pn = _a >> 12")
-                emit("        if _pg.get(_pn, 0) & 2 and _pn not in _wp:")
+                emit("        if _pg.get(_pn, 0) & 2 and _pn not in _wp "
+                     "and _pn not in _cw:")
                 emit(f"            _mem[_pn][_a & 4095] = regs[{reg}] & 255")
                 emit("        else:")
                 slow_write(f"m.write_byte(_a, regs[{reg}] & 255)",
@@ -303,7 +309,7 @@ def _emit(insns: list[tuple[int, Instruction, int]], head: int,
             if inline_mem:
                 emit("        _o = _sp & 4095; _pn = _sp >> 12")
                 emit("        if _o <= 4092 and _pg.get(_pn, 0) & 2 "
-                     "and _pn not in _wp:")
+                     "and _pn not in _wp and _pn not in _cw:")
                 emit("            _u32.pack_into(_mem[_pn], _o, _v)")
                 emit("        else:")
                 slow_write("m.write_word(_sp, _v)", "            ")

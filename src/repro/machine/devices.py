@@ -42,6 +42,15 @@ class InputChannel:
         """Bytes fed but not yet consumed."""
         return len(self._buffer) - self._consumed
 
+    def save_state(self) -> tuple:
+        """Buffer + cursor, for machine snapshots."""
+        return (bytes(self._buffer), self._consumed)
+
+    def restore_state(self, state: tuple) -> None:
+        data, consumed = state
+        self._buffer[:] = data
+        self._consumed = consumed
+
 
 class OutputChannel:
     """Byte stream collecting ``sys write`` output -- what the attacker sees."""
@@ -63,6 +72,12 @@ class OutputChannel:
     def clear(self) -> None:
         self._buffer.clear()
 
+    def save_state(self) -> bytes:
+        return bytes(self._buffer)
+
+    def restore_state(self, state: bytes) -> None:
+        self._buffer[:] = state
+
 
 class ShellDevice:
     """Records whether (and where) a shell was spawned."""
@@ -82,6 +97,12 @@ class ShellDevice:
         self.spawned = False
         self.spawn_ip = None
         self.spawn_count = 0
+
+    def save_state(self) -> tuple:
+        return (self.spawned, self.spawn_ip, self.spawn_count)
+
+    def restore_state(self, state: tuple) -> None:
+        self.spawned, self.spawn_ip, self.spawn_count = state
 
 
 class RandomDevice:
@@ -108,3 +129,11 @@ class RandomDevice:
 
     def bytes(self, size: int) -> bytes:
         return self._rng.randbytes(size)
+
+    def save_state(self) -> object:
+        """The generator's full internal state (snapshot support), so
+        a restored trial replays the identical entropy stream."""
+        return self._rng.getstate()
+
+    def restore_state(self, state) -> None:
+        self._rng.setstate(state)

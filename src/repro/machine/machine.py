@@ -47,6 +47,7 @@ from repro.machine.cpu import CPU
 from repro.machine.devices import InputChannel, OutputChannel, RandomDevice, ShellDevice
 from repro.machine.memory import (
     Memory,
+    MemorySnapshot,
     PAGE_SIZE,
     PERM_R,
     PERM_W,
@@ -169,6 +170,45 @@ class RunResult:
     def fault_name(self) -> str:
         """Short class name of the fault, or '-' if none."""
         return type(self.fault).__name__ if self.fault else "-"
+
+
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Frozen machine state, produced by :meth:`Machine.snapshot`.
+
+    Everything is an immutable copy except ``memory``, whose page
+    objects are shared copy-on-write with the live machine (see
+    :class:`~repro.machine.memory.MemorySnapshot`), and
+    ``current_module``, which references the registered
+    :class:`~repro.pma.module.ProtectedModule` object itself (restore
+    re-installs the module table, so the reference stays valid).
+    """
+
+    memory: MemorySnapshot
+    regs: tuple
+    ip: int
+    zf: bool
+    lt: bool
+    ult: bool
+    current_ip: int
+    current_module: object
+    kernel_regions: tuple
+    indirect_targets: frozenset
+    redzones: frozenset
+    shadow_stack: tuple
+    instructions_executed: int
+    status: "RunStatus | None"
+    exit_code: int | None
+    input_state: tuple
+    output_state: bytes
+    shell_state: tuple
+    rng_state: object
+    pma_state: tuple
+
+    @property
+    def pages(self) -> int:
+        """Pages frozen in the snapshot's page table."""
+        return self.memory.page_count
 
 
 @dataclass
@@ -694,6 +734,108 @@ class Machine:
             "pages": len(self._block_pages),
             "epoch": self._block_epoch,
         }
+
+    # -- snapshot / restore ------------------------------------------------------------
+
+    def snapshot(self) -> MachineSnapshot:
+        """Freeze the complete machine state as a campaign reset point.
+
+        The page table freezes copy-on-write (no bytes are copied
+        until someone writes), so taking a snapshot is O(pages) set
+        bookkeeping; registers, flags, device cursors, the RNG stream
+        and PMA state are tiny and copied outright.  Restoring the
+        result with :meth:`restore` rewinds the machine to this exact
+        point without recompiling or reloading anything.
+        """
+        cpu = self.cpu
+        snap = MachineSnapshot(
+            memory=self.memory.snapshot(),
+            regs=tuple(cpu.regs),
+            ip=cpu.ip,
+            zf=cpu.zf,
+            lt=cpu.lt,
+            ult=cpu.ult,
+            current_ip=self.current_ip,
+            current_module=self.current_module,
+            kernel_regions=tuple(self.kernel_regions),
+            indirect_targets=frozenset(self.indirect_targets),
+            redzones=frozenset(self._redzones),
+            shadow_stack=tuple(self._shadow_stack),
+            instructions_executed=self.instructions_executed,
+            status=self._status,
+            exit_code=self._exit_code,
+            input_state=self.input.save_state(),
+            output_state=self.output.save_state(),
+            shell_state=self.shell.save_state(),
+            rng_state=self.rng.save_state(),
+            pma_state=self.pma.save_state(),
+        )
+        hub = self._observers
+        if hub is not None and hub.snapshot_taken:
+            for observer in hub.snapshot_taken:
+                observer.on_snapshot_taken(self, snap.pages)
+        return snap
+
+    def restore(self, snap: MachineSnapshot) -> int:
+        """Rewind the machine to ``snap``; returns the dirty-page count.
+
+        O(pages written since the snapshot): only dirty pages are
+        swapped back to their frozen contents.  Decoded-instruction and
+        translated-block caches survive for every page that stayed
+        clean -- trial N+1 starts with trial N's hot superblocks --
+        while entries on rewound pages are invalidated through the same
+        per-page machinery a guest write uses (a permission or
+        module-table difference falls back to the wholesale flush).
+        Devices (input cursor, output buffer, shell flag, RNG stream),
+        PMA counters and CPU state all return to their snapshot values,
+        so a restored trial is indistinguishable from a fresh machine
+        that executed the same prefix.  Note the PMA monotonic counters
+        rewind too: snapshot/restore deliberately models the *rollback
+        attack* a real platform's non-volatile counters exist to
+        resist (Section IV-C).
+        """
+        changed, perms_changed = self.memory.restore(snap.memory)
+        pma_changed = self.pma.restore_state(snap.pma_state)
+        if perms_changed:
+            self.flush_decode_cache()
+        elif not pma_changed:
+            # The common campaign path: invalidate only what the
+            # rewind actually changed, keeping clean pages' decodes
+            # and superblocks warm.  (A PMA change already flushed
+            # everything through the module-table listener.)
+            watched = self.memory._watched_pages
+            for page in changed:
+                watched.discard(page)
+                self._invalidate_code_page(page)
+        cpu = self.cpu
+        cpu.regs[:] = snap.regs
+        cpu.ip = snap.ip
+        cpu.zf = snap.zf
+        cpu.lt = snap.lt
+        cpu.ult = snap.ult
+        self.current_ip = snap.current_ip
+        self.current_module = snap.current_module
+        self.kernel_regions = list(snap.kernel_regions)
+        self.indirect_targets = set(snap.indirect_targets)
+        self._redzones = set(snap.redzones)
+        redzone_pages: dict[int, int] = {}
+        for byte in snap.redzones:
+            page = byte >> _PAGE_SHIFT
+            redzone_pages[page] = redzone_pages.get(page, 0) + 1
+        self._redzone_pages = redzone_pages
+        self._shadow_stack = list(snap.shadow_stack)
+        self.instructions_executed = snap.instructions_executed
+        self._status = snap.status
+        self._exit_code = snap.exit_code
+        self.input.restore_state(snap.input_state)
+        self.output.restore_state(snap.output_state)
+        self.shell.restore_state(snap.shell_state)
+        self.rng.restore_state(snap.rng_state)
+        hub = self._observers
+        if hub is not None and hub.snapshot_restored:
+            for observer in hub.snapshot_restored:
+                observer.on_snapshot_restored(self, len(changed))
+        return len(changed)
 
     # -- execution ---------------------------------------------------------------------
 

@@ -24,6 +24,19 @@ mapping or permission change.  Von-Neumann fidelity -- self-modifying
 code and code injection executing exactly the bytes last written --
 depends on these notifications, so every mutating path below reports
 through them.
+
+**Copy-on-write snapshots.**  :meth:`Memory.snapshot` freezes the page
+table the way a fork server freezes its parent image: every currently
+mapped page becomes *shared* between the live table and the snapshot
+(same ``bytearray`` object, recorded in ``_cow_pages``), and the first
+subsequent write to a shared page copies it (:meth:`_cow_break`) and
+marks it dirty.  :meth:`Memory.restore` then rewinds in O(dirty pages)
+by re-installing the shared objects -- it never copies clean pages, so
+a trial that touches a handful of stack/data pages resets in
+microseconds regardless of image size.  Frozen page objects are never
+mutated, which is what makes *multiple* outstanding snapshots sound:
+restoring a snapshot other than the most recent one falls back to an
+identity diff over the (sparse) page table.
 """
 
 from __future__ import annotations
@@ -82,6 +95,28 @@ def _pages_covering(addr: int, size: int) -> Iterable[int]:
     return chain(range(first, _NUM_PAGES), range(0, last + 1))
 
 
+class MemorySnapshot:
+    """A frozen page table: shared page objects + a permission copy.
+
+    Produced by :meth:`Memory.snapshot`; opaque to everyone else.  The
+    ``bytearray`` objects in ``pages`` are shared with the live table
+    (and with any other snapshot taken while they stayed clean) and are
+    never mutated -- the live side copies before writing.
+    """
+
+    __slots__ = ("epoch", "pages", "perms")
+
+    def __init__(self, epoch: int, pages: dict[int, bytearray],
+                 perms: dict[int, int]) -> None:
+        self.epoch = epoch
+        self.pages = pages
+        self.perms = perms
+
+    @property
+    def page_count(self) -> int:
+        return len(self.pages)
+
+
 class Memory:
     """Sparse paged byte-addressable memory with per-page permissions."""
 
@@ -92,6 +127,18 @@ class Memory:
         #: (the machine's decode cache).  Kept tiny: only pages that
         #: currently hold cached decoded instructions are watched.
         self._watched_pages: set[int] = set()
+        #: Pages shared with a live :class:`MemorySnapshot`; the first
+        #: write to one must copy it (:meth:`_cow_break`).  Mutated in
+        #: place, never replaced: the block translator holds aliases.
+        self._cow_pages: set[int] = set()
+        #: Pages copied or created since the last snapshot()/restore()
+        #: -- exactly what a restore of the current snapshot must undo.
+        self._dirty_pages: set[int] = set()
+        #: Monotonic snapshot-id generator (never reused, so stale
+        #: snapshots can always be told apart from the current one).
+        self._snap_counter = 0
+        #: Id of the snapshot ``_dirty_pages`` is relative to.
+        self._snap_epoch = 0
         #: Called with the page number when a watched page is written.
         self.code_write_listener: Callable[[int], None] | None = None
         #: Called (no arguments) on any map_region/set_perms change.
@@ -117,6 +164,71 @@ class Memory:
         if listener is not None:
             listener()
 
+    # -- copy-on-write snapshots -------------------------------------------
+
+    def _cow_break(self, page: int) -> None:
+        """First write to a snapshot-shared page: replace the shared
+        ``bytearray`` with a private copy and mark the page dirty.  The
+        shared object stays untouched inside every snapshot holding it."""
+        self._pages[page] = bytearray(self._pages[page])
+        self._cow_pages.discard(page)
+        self._dirty_pages.add(page)
+
+    def snapshot(self) -> MemorySnapshot:
+        """Freeze the current page table into a restorable snapshot.
+
+        O(pages) bookkeeping, zero copying: every mapped page becomes
+        shared and the dirty set restarts empty."""
+        pages = self._pages
+        self._cow_pages.update(pages)
+        self._dirty_pages.clear()
+        self._snap_counter += 1
+        self._snap_epoch = self._snap_counter
+        return MemorySnapshot(self._snap_epoch, dict(pages), dict(self._perms))
+
+    def restore(self, snap: MemorySnapshot) -> tuple[list[int], bool]:
+        """Rewind contents and permissions to ``snap``.
+
+        Returns ``(changed_pages, perms_changed)`` so the machine
+        wrapper (:meth:`Machine.restore`) can invalidate exactly the
+        decode/block cache entries that now describe stale bytes --
+        this raw layer deliberately does not fire the write/perm
+        listeners itself.  O(dirty pages) when ``snap`` is the most
+        recent snapshot or restore point; an identity diff over the
+        sparse page table otherwise."""
+        pages = self._pages
+        frozen = snap.pages
+        if snap.epoch == self._snap_epoch:
+            changed = sorted(self._dirty_pages)
+        else:
+            stale = {page for page, buf in pages.items()
+                     if frozen.get(page) is not buf}
+            stale.update(frozen.keys() - pages.keys())
+            changed = sorted(stale)
+        cow = self._cow_pages
+        for page in changed:
+            shared = frozen.get(page)
+            if shared is None:
+                # Mapped after the snapshot: unmap it again.
+                del pages[page]
+                cow.discard(page)
+                self._watched_pages.discard(page)
+            else:
+                pages[page] = shared
+                cow.add(page)
+        perms_changed = self._perms != snap.perms
+        if perms_changed:
+            self._perms.clear()
+            self._perms.update(snap.perms)
+        self._dirty_pages.clear()
+        self._snap_epoch = snap.epoch
+        return changed, perms_changed
+
+    @property
+    def dirty_page_count(self) -> int:
+        """Pages copied or created since the last snapshot/restore."""
+        return len(self._dirty_pages)
+
     # -- mapping ----------------------------------------------------------
 
     def map_region(self, addr: int, size: int, perms: int = PERM_RW) -> None:
@@ -129,9 +241,11 @@ class Memory:
             return
         pages = self._pages
         page_perms = self._perms
+        dirty = self._dirty_pages
         for page in _pages_covering(addr, size):
             if page not in pages:
                 pages[page] = bytearray(PAGE_SIZE)
+                dirty.add(page)
             page_perms[page] = perms
         self._notify_perm_change()
 
@@ -235,12 +349,15 @@ class Memory:
         addr &= WORD_MASK
         pages = self._pages
         watched = self._watched_pages
+        cow = self._cow_pages
         offset_in_data = 0
         remaining = len(data)
         while remaining > 0:
             page = addr >> _PAGE_SHIFT
             offset = addr & _PAGE_MASK
             chunk = min(remaining, PAGE_SIZE - offset)
+            if page in cow:
+                self._cow_break(page)
             try:
                 target = pages[page]
             except KeyError:
@@ -262,6 +379,8 @@ class Memory:
     def write_byte(self, addr: int, value: int) -> None:
         addr &= WORD_MASK
         page = addr >> _PAGE_SHIFT
+        if page in self._cow_pages:
+            self._cow_break(page)
         try:
             self._pages[page][addr & _PAGE_MASK] = value & 0xFF
         except KeyError:
@@ -287,6 +406,8 @@ class Memory:
         offset = addr & _PAGE_MASK
         if offset <= PAGE_SIZE - 4:
             page = addr >> _PAGE_SHIFT
+            if page in self._cow_pages:
+                self._cow_break(page)
             try:
                 _U32.pack_into(self._pages[page], offset, value & WORD_MASK)
             except KeyError:

@@ -20,6 +20,8 @@ fault                  execution ended in a machine fault
 PMA enter / exit       the IP crossed a protected-module boundary
 decode miss            the decoded-instruction cache had to decode bytes
 decode invalidate      cached decodes were dropped (write / perm / PMA)
+snapshot taken         the machine froze a copy-on-write reset point
+snapshot restored      a snapshot was re-installed (campaign trial reset)
 =====================  ====================================================
 
 **Zero-cost contract.**  A machine with no observers attached executes
@@ -119,6 +121,18 @@ class Observer:
         ``count`` totals both tiers -- per-instruction decodes and
         translated basic blocks rooted on the page."""
 
+    # -- snapshot / restore --------------------------------------------------
+
+    def on_snapshot_taken(self, machine: "Machine", pages: int) -> None:
+        """The machine froze a copy-on-write snapshot of ``pages``
+        pages (a campaign reset point)."""
+
+    def on_snapshot_restored(self, machine: "Machine",
+                             dirty_pages: int) -> None:
+        """A snapshot was re-installed; ``dirty_pages`` pages had been
+        written since it was taken and were rewound (the campaign's
+        per-trial reset cost)."""
+
 
 #: hook method name -> hub slot holding the subscribers for that hook.
 HOOKS: dict[str, str] = {
@@ -135,6 +149,8 @@ HOOKS: dict[str, str] = {
     "on_pma_exit": "pma_exit",
     "on_decode_miss": "decode_miss",
     "on_decode_invalidate": "decode_invalidate",
+    "on_snapshot_taken": "snapshot_taken",
+    "on_snapshot_restored": "snapshot_restored",
 }
 
 

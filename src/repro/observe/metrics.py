@@ -45,6 +45,9 @@ class MetricsCollector(Observer):
         self.decode_flushes = 0
         self.pma_crossings = 0
         self.redzone_checked_accesses = 0
+        self.snapshots_taken = 0
+        self.snapshots_restored = 0
+        self.snapshot_dirty_pages = 0
 
     # -- hooks ---------------------------------------------------------------
 
@@ -96,6 +99,13 @@ class MetricsCollector(Observer):
     def on_pma_enter(self, machine, module, ip):
         self.pma_crossings += 1
 
+    def on_snapshot_taken(self, machine, pages):
+        self.snapshots_taken += 1
+
+    def on_snapshot_restored(self, machine, dirty_pages):
+        self.snapshots_restored += 1
+        self.snapshot_dirty_pages += dirty_pages
+
     # -- derived -------------------------------------------------------------
 
     @property
@@ -129,4 +139,9 @@ class MetricsCollector(Observer):
             },
             "pma_crossings": self.pma_crossings,
             "redzone_checked_accesses": self.redzone_checked_accesses,
+            "snapshots": {
+                "taken": self.snapshots_taken,
+                "restored": self.snapshots_restored,
+                "dirty_pages_restored": self.snapshot_dirty_pages,
+            },
         }

@@ -122,6 +122,13 @@ class EventTrace(Observer):
         self._record("decode_invalidate", machine.current_ip,
                      page=page, count=count)
 
+    def on_snapshot_taken(self, machine, pages):
+        self._record("snapshot_taken", machine.current_ip, pages=pages)
+
+    def on_snapshot_restored(self, machine, dirty_pages):
+        self._record("snapshot_restored", machine.current_ip,
+                     dirty_pages=dirty_pages)
+
     # -- queries -------------------------------------------------------------
 
     def writes_to(self, addr: int, size: int = 4) -> list[Event]:

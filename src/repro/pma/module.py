@@ -133,6 +133,35 @@ class PMAController:
         """Subscribe ``listener()`` to module-table changes."""
         self._change_listeners.append(listener)
 
+    # -- snapshot support ----------------------------------------------------
+
+    def save_state(self) -> tuple:
+        """Module table + counters, for machine snapshots."""
+        return (tuple(self.modules), dict(self._counters))
+
+    def restore_state(self, state: tuple) -> bool:
+        """Re-install a saved state; True if the module table changed.
+
+        A changed table fires the change listeners (flushing the
+        machine's caches).  The monotonic counters are restored too:
+        machine-level snapshot/restore deliberately rolls back the
+        *whole* platform, NVRAM included -- the attack the paper's
+        state-continuity schemes (Section IV-C) assume a real
+        monotonic counter survives.  Model durable counters by passing
+        a shared ``counter_store`` across machines instead.
+        """
+        modules, counters = state
+        changed = len(modules) != len(self.modules) or any(
+            saved is not live for saved, live in zip(modules, self.modules)
+        )
+        if changed:
+            self.modules[:] = modules
+            for listener in self._change_listeners:
+                listener()
+        self._counters.clear()
+        self._counters.update(counters)
+        return changed
+
     # -- queries ------------------------------------------------------------
 
     def module_at_text(self, addr: int) -> ProtectedModule | None:

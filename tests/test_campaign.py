@@ -1,0 +1,167 @@
+"""The campaign runner: parity, rollback semantics, and observability.
+
+The snapshot campaign must be a pure performance layer: its verdicts
+have to match trial-by-trial rebuilds (``run_cold``) and survive the
+process-pool fan-out unchanged.  The Figure 2 suite then checks the
+*security* content -- a snapshot attacker brute-forces the PIN that an
+in-run attacker is locked out of -- and the observe-layer tests pin
+down the snapshot events and metrics.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSession, ComposedTrial
+from repro.experiments.campaign_exp import (
+    Fig1Factory,
+    PinGuessTrial,
+    Ret2LibcGuessTrial,
+    SecretFactory,
+    aslr_guess_campaign,
+    matrix_campaign,
+    pin_bruteforce_campaign,
+)
+from repro.mitigations.config import MitigationConfig
+
+
+def _guess_runner(bits: int = 2, jobs: int | None = None) -> CampaignRunner:
+    from repro.attacks.study import locate_overflow
+    from repro.programs.builders import build_fig1
+
+    config = MitigationConfig(aslr_bits=bits)
+    local = build_fig1(config.with_(aslr_bits=0), wide_open=True)
+    site = locate_overflow(local, frames_up=1)
+    trial = Ret2LibcGuessTrial(
+        site.offset_to_return,
+        local.symbol("libc_spawn_shell"),
+        local.symbol("libc_exit"),
+        bits,
+        base_seed=42,
+    )
+    return CampaignRunner(Fig1Factory(config, 42), trial=trial, jobs=jobs)
+
+
+class TestRunnerParity:
+    def test_snapshot_equals_cold_rebuild(self):
+        runner = _guess_runner()
+        warm = runner.run(10)
+        cold = runner.run_cold(10)
+        assert warm.verdicts == cold.verdicts
+        assert warm.mode == "snapshot" and cold.mode == "cold"
+        assert warm.restored_pages > 0 and cold.restored_pages == 0
+
+    def test_parallel_equals_sequential(self):
+        sequential = _guess_runner(jobs=1).run(10)
+        parallel = _guess_runner(jobs=2).run(10)
+        assert parallel.verdicts == sequential.verdicts
+        assert sequential.workers == 1
+        assert parallel.workers == 2
+
+    def test_parallel_respects_observer_factories(self):
+        from repro.observe import MetricsCollector, observe_new_machines
+
+        with observe_new_machines(lambda machine: MetricsCollector()):
+            result = _guess_runner(jobs=2).run(4)
+        assert result.workers == 1  # observers force in-process trials
+
+    def test_composed_trial_from_mutator_and_verdict(self):
+        def mutator(target, index):
+            target.machine.input.feed(struct.pack("<II", 1, 1000 + index))
+
+        def verdict(target, result, index):
+            return target.machine.output.getvalue()
+
+        runner = CampaignRunner(SecretFactory(), mutator, verdict,
+                                max_instructions=500_000)
+        result = runner.run(3)
+        assert result.verdicts == [b"0\n"] * 3  # wrong PINs, fresh lockouts
+
+    def test_runner_requires_trial_or_pair(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(SecretFactory())
+
+
+class TestRollbackAttack:
+    def test_snapshot_attacker_defeats_lockout(self):
+        # tries_left locks the in-run attacker out after 3 guesses...
+        report = pin_bruteforce_campaign(pin_space=8, first_pin=1230,
+                                         lockout_budget=10)
+        assert report["in_run_locked_out"]
+        # ...but rolling the module state back between guesses finds
+        # the PIN (Section IV-C's motivation for hardware counters).
+        assert report["rollback_found_pin"] == 1234
+
+    def test_each_trial_sees_fresh_tries_left(self):
+        session = CampaignSession(SecretFactory(), PinGuessTrial(1000))
+        # Ten consecutive wrong guesses: without the per-trial rewind,
+        # guesses 4..10 would hit a locked module and leak no decrement
+        # behaviour; with it, every trial answers "0" from a live one.
+        for index in range(10):
+            assert session.run_trial(index) is None
+        # The lockout is really rewound, not merely untriggered: the
+        # right PIN still works on trial 11.
+        assert session.run_trial(234) == 1234
+
+
+class TestExperimentPorts:
+    def test_guess_sweep_statistics(self):
+        points = aslr_guess_campaign(bits_list=(0, 2), trials=16,
+                                     base_seed=7)
+        by_bits = {point.bits: point for point in points}
+        assert by_bits[0].rate == 1.0      # no ASLR: every guess right
+        assert by_bits[2].rate < 1.0       # entropy makes guesses miss
+        assert by_bits[2].expected_rate == 0.25
+
+    def test_matrix_campaign_row_verdicts(self):
+        rows = {row["preset"]: row for row in matrix_campaign(trials=4)}
+        assert rows["none"]["success"] == 4
+        assert rows["dep"]["success"] == 4      # code reuse beats DEP
+        assert rows["deployed"]["success"] == 0
+        assert rows["deployed"]["detected"] == 4  # canary catches it
+
+
+class TestSnapshotObservability:
+    def test_metrics_count_snapshot_events(self):
+        from repro.observe import MetricsCollector
+        from repro.programs.builders import build_fig1
+
+        metrics = MetricsCollector()
+        target = build_fig1(MitigationConfig(), seed=1)
+        target.machine.attach_observer(metrics)
+        snap = target.machine.snapshot()
+        writable = next(addr for addr, size
+                        in target.machine.memory.mapped_regions()
+                        if target.machine.memory.perms_at(addr) & 2)
+        target.machine.memory.write_bytes(writable, b"dirty")
+        target.machine.restore(snap)
+        target.machine.restore(snap)
+        counters = metrics.snapshot()["snapshots"]
+        assert counters["taken"] == 1
+        assert counters["restored"] == 2
+        assert counters["dirty_pages_restored"] >= 1
+
+    def test_event_trace_records_snapshot_events(self):
+        from repro.observe import EventTrace
+        from repro.programs.builders import build_fig1
+
+        trace = EventTrace(include_memory=False)
+        target = build_fig1(MitigationConfig(), seed=1)
+        target.machine.attach_observer(trace)
+        snap = target.machine.snapshot()
+        target.machine.restore(snap)
+        kinds = [event.kind for event in trace.events]
+        assert "snapshot_taken" in kinds
+        assert "snapshot_restored" in kinds
+
+
+class TestCLI:
+    def test_campaign_registered_with_seed_threading(self):
+        from repro.experiments.__main__ import EXPERIMENTS, run_e6
+
+        assert "campaign" in EXPERIMENTS
+        # --seed makes e6 reproducible: same seed, same rendered sweep.
+        assert run_e6(seed=3) == run_e6(seed=3)
