@@ -74,6 +74,12 @@ TRIAL_SECTIONS = {
     "test_bench_cold_rebuild_trials": "snapshot_cold",
 }
 
+#: Fuzzing benchmarks (measured in coverage-instrumented executions
+#: per second through the warm snapshot fork-server).
+FUZZ_SECTIONS = {
+    "test_bench_greybox_execs": "fuzz",
+}
+
 #: Snapshot-restore trials must beat cold rebuilds by at least this
 #: factor for ``--check`` to pass (the layer's reason to exist).
 MIN_SNAPSHOT_SPEEDUP = 20.0
@@ -111,6 +117,18 @@ def summarize(raw: dict) -> dict:
                 "trials_per_run": trials,
                 "trials_per_second": (
                     trials / stats["mean"] if trials else None
+                ),
+            }
+        elif name in FUZZ_SECTIONS:
+            extra = bench.get("extra_info", {})
+            execs = extra.get("execs_per_run")
+            summary[FUZZ_SECTIONS[name]] = {
+                "mean_seconds": stats["mean"],
+                "stddev_seconds": stats["stddev"],
+                "rounds": stats["rounds"],
+                "execs_per_run": execs,
+                "execs_per_second": (
+                    execs / stats["mean"] if execs else None
                 ),
             }
         elif name == "test_bench_compile_pipeline":
@@ -155,7 +173,16 @@ def write_tracking_file(path: str, summary: dict,
 def _rate(entry: dict, section: str = "interpreter") -> float | None:
     data = entry.get(section, {})
     return (data.get("instructions_per_second")
-            or data.get("trials_per_second"))
+            or data.get("trials_per_second")
+            or data.get("execs_per_second"))
+
+
+def _unit(section: str) -> str:
+    if section in ("snapshot", "snapshot_cold"):
+        return "trials/s"
+    if section == "fuzz":
+        return "execs/s"
+    return "insns/s"
 
 
 def best_recorded_rate(previous: dict | None,
@@ -181,7 +208,7 @@ def check_regression(rate: float | None, baseline: float | None,
     """
     if not rate or not baseline:
         return None
-    unit = "trials/s" if section in ("snapshot", "snapshot_cold") else "insns/s"
+    unit = _unit(section)
     floor = baseline * (1.0 - threshold)
     if rate < floor:
         drop = 100.0 * (1.0 - rate / baseline)
@@ -231,14 +258,17 @@ def main() -> None:
             print(f"{section} campaign: ~{rate:,.0f} trials/second")
     if speedup:
         print(f"snapshot restore vs cold rebuild: {speedup:.1f}x")
+    fuzz_rate = summary.get("fuzz", {}).get("execs_per_second")
+    if fuzz_rate:
+        print(f"greybox fork-server: ~{fuzz_rate:,.0f} execs/second")
 
     if args.check:
         failed = False
-        for section in ("interpreter", "block", "snapshot"):
+        for section in ("interpreter", "block", "snapshot", "fuzz"):
             rate = _rate(summary, section)
             baseline = best_recorded_rate(previous, section)
             message = check_regression(rate, baseline, section=section)
-            unit = "trials/s" if section == "snapshot" else "insns/s"
+            unit = _unit(section)
             if message is not None:
                 print(message, file=sys.stderr)
                 failed = True

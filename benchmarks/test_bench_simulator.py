@@ -14,6 +14,11 @@ The ``snapshot`` pair prices repeated-trial campaigns: one warm
 copy-on-write restore per trial versus a full compile+link+load
 rebuild per trial, on the same return-to-libc guess workload
 (tests/test_snapshot.py proves the restored trials byte-identical).
+
+The ``fuzz`` section prices the greybox fuzzer's inner loop: one
+coverage-instrumented execution through the warm snapshot fork-server
+(restore + feed + observed run + bitmap read-out) on the staged
+Figure 1 victim, reported in executions/second.
 """
 
 from repro.link import load
@@ -129,3 +134,51 @@ def test_bench_cold_rebuild_trials(benchmark):
         return 1
 
     _bench_trials(benchmark, "cold-rebuild trials", run_round, 1)
+
+
+# -- greybox fuzzing ---------------------------------------------------------
+
+#: Fuzz executions per benchmark round (same amortisation story as the
+#: campaign trials above).
+_EXECS_PER_ROUND = 50
+
+
+def test_bench_greybox_execs(benchmark):
+    """Instrumented fork-server executions: the greybox inner loop.
+
+    Uses a fixed mutation batch (pre-generated from the fuzzer's RNG)
+    so every round executes the same inputs -- the number prices
+    restore + coverage-observed execution + bitmap read-out, not
+    mutation luck.
+    """
+    from repro.analysis.greybox import (
+        GreyboxFuzzer,
+        SnapshotExecutor,
+        VictimFactory,
+        outcome_of,
+    )
+    from repro.mitigations.config import TESTING
+    from repro.observe.coverage import CoverageObserver
+
+    factory = VictimFactory("fig1_staged", TESTING)
+    observer = CoverageObserver()
+    executor = SnapshotExecutor(factory, observer=observer)
+    fuzzer = GreyboxFuzzer(factory, seed=1)
+    inputs = [fuzzer._havoc_one(b"GET " + bytes(12))
+              for _ in range(_EXECS_PER_ROUND)]
+    executor.run(inputs[0])     # warm the caches once
+
+    def run_round():
+        count = 0
+        for data in inputs:
+            outcome_of(observer, executor.run(data))
+            count += 1
+        return count
+
+    count = benchmark(run_round)
+    assert count == _EXECS_PER_ROUND
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = _EXECS_PER_ROUND / benchmark.stats.stats.mean
+        benchmark.extra_info["execs_per_run"] = _EXECS_PER_ROUND
+        benchmark.extra_info["execs_per_second"] = rate
+        print(f"\ngreybox fork-server: ~{rate:,.0f} execs/second")

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Figure 1 hands-on: coverage-guided fuzzing finds what blindness can't.
+
+The staged Figure 1 server hides the classic 16-byte-buffer overflow
+behind a byte-at-a-time method check::
+
+    read(0, method, 4);
+    if (method[0] == 'G')
+      if (method[1] == 'E')
+        if (method[2] == 'T')
+          handle_request(0);      // read(fd, buf, 64) into char buf[16]
+
+A blind random fuzzer only reaches ``handle_request`` when three
+random bytes spell "GET" -- about one input in 16 million.  A
+coverage-guided fuzzer watches which branch edges each input lights
+up: 'G' alone is a new edge, so the input is kept and mutated; 'GE'
+is another; the gate falls one comparison at a time, and then the
+length-extension stage walks the payload into buf's red zone.
+
+1. Blind random fuzzing burns its whole budget and finds nothing.
+2. The greybox loop (same fork-server, same budget) finds the
+   overflow, dedups the crash, and minimizes the reproducer.
+3. The coverage curve shows the gate falling edge by edge.
+
+Run:  PYTHONPATH=src python examples/greybox_fig1.py
+"""
+
+from repro.analysis.fuzzer import fuzz_campaign
+from repro.analysis.greybox import (
+    GreyboxFuzzer,
+    SnapshotExecutor,
+    VictimFactory,
+)
+from repro.experiments.fuzz_exp import render_curve
+from repro.mitigations.config import TESTING
+
+BUDGET = 3000
+SEED = 7
+
+
+def main() -> None:
+    factory = VictimFactory("fig1_staged", TESTING)
+
+    print(f"=== blind random fuzzing: {BUDGET} executions ===")
+    blind = fuzz_campaign("fig1_staged", TESTING, runs=BUDGET, seed=SEED,
+                          executor=SnapshotExecutor(factory))
+    first = blind.first_detected_exec
+    print(f"  first detection   : {first if first else 'never'}")
+    print(f"  faults seen       : {blind.faults or '{}'}")
+    print(f"  wall clock        : {blind.duration_seconds:.1f}s")
+
+    print("\n=== greybox, same fork-server, same budget ===")
+    fuzzer = GreyboxFuzzer(factory, seed=SEED, program="fig1_staged",
+                           config="TESTING")
+    report = fuzzer.run(BUDGET, stop_on_first_crash=True)
+    print(f"  first detection   : exec {report.first_detected_exec} "
+          f"({report.first_detected_seconds:.1f}s)")
+    print(f"  edges discovered  : {report.edges}")
+    print(f"  corpus size       : {report.corpus_size}")
+    print(f"  throughput        : {report.execs_per_second:,.0f} execs/s "
+          f"(warm snapshot restores, "
+          f"{report.restored_pages} pages rewound total)")
+    for crash in report.crashes:
+        print(f"  crash bucket      : {crash.site.fault} at "
+              f"0x{crash.site.ip:x} (stack hash "
+              f"0x{crash.site.call_hash:08x})")
+        print(f"  reproducer        : {crash.reproducer!r} "
+              f"(minimized from {len(crash.input)} bytes)")
+
+    print()
+    print(render_curve(report))
+    print("\nEvery kept prefix is a solved comparison: coverage feedback"
+          "\nturns a 2^-24 lottery into a short greedy search -- which is"
+          "\nwhy run-time checks (the red zone that makes this overflow"
+          "\n*visible*) pay off most when paired with strong testing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,18 @@ testing with run-time checks (Section III-C2)."""
 
 from repro.analysis.corpus import CORPUS, CorpusEntry
 from repro.analysis.fuzzer import FuzzReport, compare_detection, fuzz_campaign
+from repro.analysis.greybox import (
+    CoverageTrial,
+    CrashRecord,
+    ExecOutcome,
+    GreyboxFuzzer,
+    GreyboxReport,
+    InstrumentedFactory,
+    SnapshotExecutor,
+    SourceFactory,
+    VictimFactory,
+    minimize_input,
+)
 from repro.analysis.static_analyzer import (
     Finding,
     StaticAnalyzer,
@@ -16,6 +28,16 @@ __all__ = [
     "FuzzReport",
     "compare_detection",
     "fuzz_campaign",
+    "GreyboxFuzzer",
+    "GreyboxReport",
+    "SnapshotExecutor",
+    "ExecOutcome",
+    "CrashRecord",
+    "CoverageTrial",
+    "InstrumentedFactory",
+    "VictimFactory",
+    "SourceFactory",
+    "minimize_input",
     "Finding",
     "StaticAnalyzer",
     "analyze_source",

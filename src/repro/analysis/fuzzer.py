@@ -8,18 +8,21 @@ ASan-style red zones turn every such access into an immediate fault.
 
 :func:`fuzz_campaign` measures exactly that: the fraction of randomly
 generated inputs whose memory-safety violation is *detected*, for a
-plain build vs an instrumented build of the same program.
+plain build vs an instrumented build of the same program.  It is the
+*blind* baseline the coverage-guided loop in
+:mod:`repro.analysis.greybox` is compared against; both share the same
+:class:`~repro.analysis.greybox.SnapshotExecutor` fork-server, so the
+comparison isolates the search strategy, not the harness.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 
-from repro.errors import RedZoneFault
 from repro.machine.machine import RunStatus
 from repro.mitigations.config import MitigationConfig, NONE, TESTING
-from repro.programs.builders import build_victim
 
 
 @dataclass
@@ -46,6 +49,9 @@ class FuzzReport:
     detected_smashing: int = 0
     #: Faults by type name.
     faults: dict = field(default_factory=dict)
+    #: 1-based index of the first faulting execution (None: never).
+    first_detected_exec: int | None = None
+    duration_seconds: float = 0.0
 
     @property
     def detection_rate(self) -> float:
@@ -57,7 +63,11 @@ class FuzzReport:
 
 
 def _random_input(rng: random.Random, max_len: int = 64) -> bytes:
-    return rng.randbytes(rng.randrange(0, max_len))
+    # randrange upper bound is exclusive; +1 so the boundary-length
+    # input (exactly max_len bytes) is actually generated.  The old
+    # `randrange(0, max_len)` capped campaigns at max_len - 1 bytes --
+    # precisely the frame-smashing lengths the experiment measures.
+    return rng.randbytes(rng.randrange(0, max_len + 1))
 
 
 def fuzz_campaign(
@@ -68,23 +78,39 @@ def fuzz_campaign(
     seed: int = 1,
     triggers_at: int = 17,
     smashes_at: int = 21,
+    max_len: int = 64,
+    executor=None,
 ) -> FuzzReport:
-    """Fuzz one victim with random inputs.
+    """Fuzz one victim with blind random inputs.
 
     ``triggers_at`` is the smallest input length that overflows the
     buffer; ``smashes_at`` the smallest that reaches the saved frame
     registers (ground truth for the victim used).  The interesting
     comparison is ``config=NONE`` (silent corruption) vs
     ``config=TESTING`` (ASan red zones).
+
+    The victim is built **once** and every input runs through a
+    snapshot/restore :class:`~repro.analysis.greybox.SnapshotExecutor`
+    (pass ``executor`` to reuse an already-warm one); the campaign no
+    longer pays a full compile + link + load per input.
     """
+    # Imported here, not at module top: greybox imports this module's
+    # sibling packages and keeping fuzzer.py import-light preserves the
+    # legacy `from repro.analysis.fuzzer import ...` startup cost.
+    from repro.analysis.greybox import SnapshotExecutor, VictimFactory
+
     rng = random.Random(seed)
     report = FuzzReport(program_name, config.describe())
+    if executor is None:
+        executor = SnapshotExecutor(VictimFactory(program_name, config))
+    started = perf_counter()
     for _ in range(runs):
-        data = _random_input(rng)
-        program = build_victim(program_name, config)
-        program.feed(data)
-        result = program.run()
+        data = _random_input(rng, max_len)
+        result = executor.run(data)
         report.runs += 1
+        detected = result.status is RunStatus.FAULT
+        if detected and report.first_detected_exec is None:
+            report.first_detected_exec = report.runs
         if len(data) < triggers_at:
             continue
         report.triggering += 1
@@ -93,7 +119,7 @@ def fuzz_campaign(
             report.silent_class += 1
         else:
             report.smashing_class += 1
-        if result.status is RunStatus.FAULT:
+        if detected:
             report.detected += 1
             if silent:
                 report.detected_silent += 1
@@ -101,6 +127,7 @@ def fuzz_campaign(
                 report.detected_smashing += 1
             fault_name = type(result.fault).__name__
             report.faults[fault_name] = report.faults.get(fault_name, 0) + 1
+    report.duration_seconds = perf_counter() - started
     return report
 
 
@@ -110,6 +137,7 @@ def compare_detection(
     runs: int = 150,
     seed: int = 1,
     triggers_at: int = 17,
+    smashes_at: int = 21,
 ) -> dict:
     """Plain vs ASan detection rates on the same inputs.
 
@@ -119,9 +147,9 @@ def compare_detection(
     :class:`~repro.errors.RedZoneFault`.
     """
     plain = fuzz_campaign(program_name, NONE, runs=runs, seed=seed,
-                          triggers_at=triggers_at)
+                          triggers_at=triggers_at, smashes_at=smashes_at)
     checked = fuzz_campaign(program_name, TESTING, runs=runs, seed=seed,
-                            triggers_at=triggers_at)
+                            triggers_at=triggers_at, smashes_at=smashes_at)
     return {
         "program": program_name,
         "plain": plain,

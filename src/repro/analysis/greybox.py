@@ -1,0 +1,566 @@
+"""Coverage-guided greybox fuzzing on the snapshot fork-server.
+
+Section III-C2 argues that testing for memory-safety bugs "is made
+significantly more effective with the use of run-time checks"; the
+blind fuzzer in :mod:`repro.analysis.fuzzer` measures the *checks*
+half of that claim.  This module supplies the *testing* half at
+modern strength: an AFL-style greybox loop that
+
+* derives **edge coverage** from the PR 2 observe bus
+  (:class:`~repro.observe.coverage.CoverageObserver` hashes every
+  branch/jump/call/ret into a fixed-size bitmap -- no guest
+  instrumentation, and the observed run stays byte-identical to an
+  unobserved one);
+* executes every input through the PR 4 **snapshot fork-server**
+  (:class:`SnapshotExecutor`: build the victim once, copy-on-write
+  restore per input) instead of re-running the compile + link + load
+  pipeline, and can fan mutation batches out over
+  :class:`~repro.campaign.CampaignRunner` workers (``jobs > 1``);
+* maintains a **corpus queue** seeded-RNG mutation engine:
+  deterministic stages (length extensions, then a walking byte cycle
+  that solves single-byte comparisons such as a ``"GET"`` method
+  check) followed by stacked havoc/splice stages, keeping any input
+  that lights up a never-seen coverage bucket;
+* **triages crashes** by deduplicating on ``(fault type, faulting PC,
+  call-stack hash)`` and minimizing each unique crasher with a
+  chunked trimming pass.
+
+The whole loop is deterministic for a fixed ``seed``: mutation
+batches are generated up front from a private RNG, executed (in
+process or across workers -- same outcomes either way, each trial
+starts from the same restored snapshot), and integrated in input
+order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable
+
+from repro.campaign import CampaignRunner
+from repro.machine.machine import RunResult
+from repro.minic import compile_source
+from repro.minic.compiler import options_from_mitigations
+from repro.mitigations.config import MitigationConfig, NONE
+from repro.observe.coverage import (
+    MAP_SIZE,
+    CoverageObserver,
+    CrashSite,
+    has_new_bits,
+)
+from repro.programs.builders import build_victim, libc_object
+
+#: Faults that count as the fuzzer *detecting* a bug.  An execution
+#: budget overrun is a hang, not a detection.
+_NON_DETECTIONS = frozenset({"ExecutionLimitExceeded"})
+
+#: Default per-input instruction budget.  The victims run a few
+#: hundred instructions; a tight budget turns accidental infinite
+#: loops into cheap hangs instead of stalls.
+DEFAULT_MAX_INSTRUCTIONS = 200_000
+
+#: Default seed corpus: the empty input plus a small all-zero block
+#: for the deterministic byte-cycle stage to chew on.
+DEFAULT_SEEDS: tuple[bytes, ...] = (b"", bytes(8))
+
+
+# ---------------------------------------------------------------------------
+# Picklable factories (shared with the blind fuzzer and the campaign
+# runner's worker processes).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VictimFactory:
+    """Builds one of the named :data:`repro.programs.sources.VICTIMS`."""
+
+    name: str
+    config: MitigationConfig = NONE
+    seed: int = 0
+
+    def __call__(self):
+        return build_victim(self.name, self.config, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class SourceFactory:
+    """Builds a victim from MinC source (the labelled corpus entries)."""
+
+    source: str
+    name: str
+    config: MitigationConfig = NONE
+    seed: int = 0
+
+    def __call__(self):
+        from repro.link import load
+
+        options = options_from_mitigations(self.config)
+        obj = compile_source(self.source, self.name, options)
+        return load([obj, libc_object()], self.config, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class InstrumentedFactory:
+    """Wraps a target factory to attach a fresh coverage observer
+    before the campaign session takes its baseline snapshot."""
+
+    base: Callable
+
+    def __call__(self):
+        target = self.base()
+        machine = getattr(target, "machine", target)
+        machine.attach_observer(CoverageObserver())
+        return target
+
+
+def _coverage_observer(machine) -> CoverageObserver:
+    for observer in machine.observers:
+        if isinstance(observer, CoverageObserver):
+            return observer
+    raise ValueError("machine has no CoverageObserver attached")
+
+
+# ---------------------------------------------------------------------------
+# Execution: the snapshot fork-server
+# ---------------------------------------------------------------------------
+
+
+class SnapshotExecutor:
+    """Warm fork-server execution: build once, CoW-restore per input.
+
+    The one executor both fuzzers share (satisfying the paper's
+    experiment shape *and* the performance budget): the legacy blind
+    :func:`repro.analysis.fuzzer.fuzz_campaign` runs it unobserved
+    (superblock dispatch, block caches warm across restores) while the
+    greybox loop attaches a :class:`CoverageObserver` and pays the
+    per-instruction observed path for its feedback.
+    """
+
+    def __init__(
+        self,
+        factory: Callable,
+        *,
+        observer: CoverageObserver | None = None,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+    ) -> None:
+        self.target = factory()
+        self.machine = getattr(self.target, "machine", self.target)
+        self.observer = observer
+        if observer is not None:
+            self.machine.attach_observer(observer)
+        self.baseline = self.machine.snapshot()
+        self.max_instructions = max_instructions
+        #: Total inputs executed through this executor.
+        self.execs = 0
+        #: Total dirty pages rewound across all restores.
+        self.restored_pages = 0
+
+    def run(self, data: bytes) -> RunResult:
+        """Restore the baseline snapshot, feed ``data``, run."""
+        self.restored_pages += self.machine.restore(self.baseline)
+        if self.observer is not None:
+            self.observer.begin_run()
+        self.machine.input.feed(data)
+        self.execs += 1
+        return self.machine.run(self.max_instructions)
+
+
+@dataclass(frozen=True)
+class ExecOutcome:
+    """Picklable digest of one fuzz execution (what crosses worker
+    process boundaries in ``jobs > 1`` campaigns)."""
+
+    status: str
+    fault: str | None
+    edges: tuple[tuple[int, int], ...]
+    crash_site: CrashSite | None
+    instructions: int
+
+    @property
+    def is_detection(self) -> bool:
+        """True when the run died on a real fault (not a hang)."""
+        return self.fault is not None and self.fault not in _NON_DETECTIONS
+
+
+def outcome_of(observer: CoverageObserver, result: RunResult) -> ExecOutcome:
+    return ExecOutcome(
+        status=result.status.value,
+        fault=type(result.fault).__name__ if result.fault else None,
+        edges=observer.edge_items(),
+        crash_site=observer.crash_site,
+        instructions=result.instructions,
+    )
+
+
+@dataclass(frozen=True)
+class CoverageTrial:
+    """Campaign trial: feed one mutated input, return its digest.
+
+    Used with :class:`InstrumentedFactory` under a
+    :class:`~repro.campaign.CampaignRunner` -- the session restores
+    the snapshot, this callable does the rest of
+    :meth:`SnapshotExecutor.run`.
+    """
+
+    max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+
+    def __call__(self, target, data: bytes) -> ExecOutcome:
+        machine = getattr(target, "machine", target)
+        observer = _coverage_observer(machine)
+        observer.begin_run()
+        machine.input.feed(data)
+        result = machine.run(self.max_instructions)
+        return outcome_of(observer, result)
+
+
+# ---------------------------------------------------------------------------
+# Crash triage
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrashRecord:
+    """One deduplicated crash bucket and its best-known reproducer."""
+
+    site: CrashSite
+    input: bytes
+    found_at_exec: int
+    found_at_seconds: float
+    minimized: bytes | None = None
+
+    @property
+    def reproducer(self) -> bytes:
+        """The minimized input when available, else the original."""
+        return self.minimized if self.minimized is not None else self.input
+
+
+def minimize_input(
+    run_outcome: Callable[[bytes], ExecOutcome],
+    data: bytes,
+    site: CrashSite,
+    *,
+    budget: int = 256,
+) -> tuple[bytes, int]:
+    """Chunked trimming: drop the largest chunks that keep ``site``.
+
+    Returns ``(minimized, execs_used)``.  Greedy ddmin-style passes
+    with halving chunk sizes; every candidate must reproduce the exact
+    crash signature (fault type, PC and call-stack hash), so the
+    minimized input stays in the same triage bucket.
+    """
+    current = data
+    used = 0
+    chunk = max(len(current) // 2, 1)
+    while chunk >= 1 and used < budget and current:
+        pos = 0
+        while pos < len(current) and used < budget:
+            candidate = current[:pos] + current[pos + chunk:]
+            used += 1
+            if run_outcome(candidate).crash_site == site:
+                current = candidate
+            else:
+                pos += chunk
+        chunk //= 2
+    return current, used
+
+
+# ---------------------------------------------------------------------------
+# The greybox fuzzer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class QueueEntry:
+    """One corpus member: an input that reached new coverage."""
+
+    data: bytes
+    found_at_exec: int
+    det_done: bool = False
+
+
+@dataclass
+class GreyboxReport:
+    """Outcome of one :meth:`GreyboxFuzzer.run` campaign."""
+
+    program: str
+    config: str
+    execs: int = 0
+    duration_seconds: float = 0.0
+    #: Distinct coverage-map cells ever hit.
+    edges: int = 0
+    corpus_size: int = 0
+    crashes: list[CrashRecord] = field(default_factory=list)
+    first_detected_exec: int | None = None
+    first_detected_seconds: float | None = None
+    #: ``(execs, edges)`` milestones, appended whenever coverage grew.
+    coverage_curve: list[tuple[int, int]] = field(default_factory=list)
+    #: Extra executions spent minimizing crashers (not in ``execs``).
+    minimization_execs: int = 0
+    #: Dirty pages rewound across all fork-server restores.
+    restored_pages: int = 0
+
+    @property
+    def unique_crashes(self) -> int:
+        return len(self.crashes)
+
+    @property
+    def detected(self) -> bool:
+        return self.first_detected_exec is not None
+
+    @property
+    def execs_per_second(self) -> float:
+        if self.duration_seconds <= 0.0:
+            return 0.0
+        return self.execs / self.duration_seconds
+
+
+class GreyboxFuzzer:
+    """AFL-style coverage-guided fuzzing of one victim build.
+
+    ``factory`` builds the target (picklable for ``jobs > 1``); the
+    fuzzer owns a warm :class:`SnapshotExecutor` (sequential path and
+    crash minimization) and, with ``jobs``, a persistent
+    :class:`~repro.campaign.CampaignRunner` pool whose workers each
+    hold their own warm instrumented snapshot.
+    """
+
+    #: Mutants per havoc batch (also the parallel fan-out unit).
+    batch_size = 64
+    #: Deterministic byte-cycle positions per corpus entry.
+    det_byte_limit = 16
+    #: Entries longer than this skip the byte-cycle stage entirely.
+    det_cycle_max_len = 32
+    #: Block sizes tried by the deterministic length-extension stage.
+    length_extensions = (1, 2, 4, 8, 16, 32, 64)
+
+    def __init__(
+        self,
+        factory: Callable,
+        *,
+        seed: int = 0,
+        seeds: tuple[bytes, ...] = DEFAULT_SEEDS,
+        max_len: int = 96,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        jobs: int | None = None,
+        program: str = "?",
+        config: str = "?",
+    ) -> None:
+        self.factory = factory
+        self.rng = random.Random(seed)
+        self.seeds = tuple(seeds)
+        self.max_len = max_len
+        self.max_instructions = max_instructions
+        self.jobs = jobs
+        self.program = program
+        self.config = config
+        self._executor: SnapshotExecutor | None = None
+        self._observer: CoverageObserver | None = None
+        # Campaign state (reset per run()).
+        self.queue: list[QueueEntry] = []
+        self._virgin = bytearray(MAP_SIZE)
+        self._covered: set[int] = set()
+        self._det_stack: list = []
+        self._cursor = 0
+
+    # -- execution plumbing --------------------------------------------------
+
+    def _local_executor(self) -> SnapshotExecutor:
+        if self._executor is None:
+            self._observer = CoverageObserver()
+            self._executor = SnapshotExecutor(
+                self.factory, observer=self._observer,
+                max_instructions=self.max_instructions,
+            )
+        return self._executor
+
+    def _execute(self, batch: list[bytes], runner) -> list[ExecOutcome]:
+        if runner is not None:
+            return runner.run_items(batch).verdicts
+        executor = self._local_executor()
+        outcomes = []
+        for data in batch:
+            result = executor.run(data)
+            outcomes.append(outcome_of(self._observer, result))
+        return outcomes
+
+    # -- mutation stages -----------------------------------------------------
+
+    def _deterministic(self, data: bytes):
+        """Deterministic stage: length extensions, then a walking byte
+        cycle.  Extensions find length-triggered overflows in a
+        handful of executions; the cycle tries every value at each of
+        the first :attr:`det_byte_limit` positions, which solves
+        single-byte comparison gates one letter at a time (the classic
+        coverage-guided win over blind randomness)."""
+        for block in self.length_extensions:
+            if len(data) + block <= self.max_len:
+                yield data + b"A" * block
+        if len(data) > self.det_cycle_max_len:
+            return
+        for pos in range(min(len(data), self.det_byte_limit)):
+            head, orig, tail = data[:pos], data[pos], data[pos + 1:]
+            for value in range(256):
+                if value != orig:
+                    yield head + bytes((value,)) + tail
+
+    def _havoc_one(self, data: bytes) -> bytes:
+        rng = self.rng
+        out = bytearray(data)
+        for _ in range(1 << rng.randint(0, 3)):
+            op = rng.randrange(8)
+            if op == 0 and out:
+                bit = rng.randrange(len(out) * 8)
+                out[bit >> 3] ^= 1 << (bit & 7)
+            elif op == 1 and out:
+                out[rng.randrange(len(out))] = rng.randrange(256)
+            elif op == 2 and out:
+                pos = rng.randrange(len(out))
+                out[pos] = (out[pos] + rng.randint(-16, 16)) & 0xFF
+            elif op == 3 and out:
+                pos = rng.randrange(len(out))
+                size = min(rng.randint(1, 8), len(out) - pos)
+                del out[pos:pos + size]
+            elif op == 4:
+                pos = rng.randrange(len(out) + 1)
+                block = bytes((rng.randrange(256),)) * rng.randint(1, 16)
+                out[pos:pos] = block
+            elif op == 5 and out:
+                pos = rng.randrange(len(out))
+                size = min(rng.randint(1, 16), len(out) - pos)
+                out[pos:pos] = out[pos:pos + size]
+            elif op == 6 and self.queue:
+                other = self.queue[rng.randrange(len(self.queue))].data
+                if other:
+                    cut = rng.randrange(len(other) + 1)
+                    out[rng.randrange(len(out) + 1):] = other[cut:]
+            else:
+                out += rng.randbytes(rng.randint(1, 16))
+        return bytes(out[:self.max_len])
+
+    def _next_batch(self) -> list[bytes]:
+        """The next mutation batch: pending deterministic work first
+        (newest corpus entry on top), then havoc over the queue."""
+        while self._det_stack:
+            generator = self._det_stack[-1]
+            batch = []
+            for mutant in generator:
+                batch.append(mutant)
+                if len(batch) >= self.batch_size * 4:
+                    return batch
+            self._det_stack.pop()
+            if batch:
+                return batch
+        if self.queue:
+            entry = self.queue[self._cursor % len(self.queue)]
+            self._cursor += 1
+            base = entry.data
+        else:
+            base = self.seeds[self._cursor % len(self.seeds)]
+            self._cursor += 1
+        return [self._havoc_one(base) for _ in range(self.batch_size)]
+
+    # -- corpus integration --------------------------------------------------
+
+    def _add_to_queue(self, data: bytes, execs: int) -> None:
+        entry = QueueEntry(data, execs)
+        self.queue.append(entry)
+        self._det_stack.append(self._deterministic(data))
+
+    def _integrate(
+        self, data: bytes, outcome: ExecOutcome, execs: int,
+        elapsed: float, report: GreyboxReport,
+        crashes: dict[CrashSite, CrashRecord], force_add: bool = False,
+    ) -> None:
+        for idx, _ in outcome.edges:
+            self._covered.add(idx)
+        new_coverage = has_new_bits(self._virgin, outcome.edges)
+        if new_coverage or force_add:
+            self._add_to_queue(data, execs)
+            report.coverage_curve.append((execs, len(self._covered)))
+        if outcome.is_detection:
+            if report.first_detected_exec is None:
+                report.first_detected_exec = execs
+                report.first_detected_seconds = elapsed
+            site = outcome.crash_site
+            if site is not None and site not in crashes:
+                crashes[site] = CrashRecord(site, data, execs, elapsed)
+
+    # -- the campaign --------------------------------------------------------
+
+    def run(
+        self,
+        max_execs: int = 2000,
+        *,
+        stop_on_first_crash: bool = False,
+        minimize: bool = True,
+        minimize_budget: int = 256,
+    ) -> GreyboxReport:
+        """Fuzz for up to ``max_execs`` executions.
+
+        ``stop_on_first_crash`` ends the campaign after the batch that
+        produced the first detection (execs-to-first-detection is
+        exact either way -- it is the input's position in the stream,
+        not the point the loop noticed it).
+        """
+        report = GreyboxReport(self.program, self.config)
+        crashes: dict[CrashSite, CrashRecord] = {}
+        self.queue = []
+        self._virgin = bytearray(MAP_SIZE)
+        self._covered = set()
+        self._det_stack = []
+        self._cursor = 0
+        started = perf_counter()
+
+        runner = None
+        if self.jobs and self.jobs > 1:
+            runner = CampaignRunner(
+                InstrumentedFactory(self.factory),
+                trial=CoverageTrial(self.max_instructions),
+                jobs=self.jobs,
+            ).__enter__()
+        try:
+            # Seed corpus first: every seed joins the queue.
+            batch = [data for data in dict.fromkeys(self.seeds)]
+            force_add = True
+            while report.execs < max_execs and batch:
+                batch = batch[:max_execs - report.execs]
+                outcomes = self._execute(batch, runner)
+                for data, outcome in zip(batch, outcomes):
+                    report.execs += 1
+                    self._integrate(
+                        data, outcome, report.execs,
+                        perf_counter() - started, report, crashes,
+                        force_add=force_add,
+                    )
+                force_add = False
+                if stop_on_first_crash and report.first_detected_exec:
+                    break
+                batch = self._next_batch()
+        finally:
+            if runner is not None:
+                runner.close()
+
+        if minimize and crashes:
+            executor = self._local_executor()
+
+            def run_outcome(data: bytes) -> ExecOutcome:
+                return outcome_of(self._observer, executor.run(data))
+
+            for record in crashes.values():
+                record.minimized, used = minimize_input(
+                    run_outcome, record.input, record.site,
+                    budget=minimize_budget,
+                )
+                report.minimization_execs += used
+
+        report.duration_seconds = perf_counter() - started
+        report.edges = len(self._covered)
+        report.corpus_size = len(self.queue)
+        report.crashes = sorted(
+            crashes.values(), key=lambda record: record.found_at_exec
+        )
+        if self._executor is not None:
+            report.restored_pages = self._executor.restored_pages
+        return report

@@ -115,6 +115,15 @@ def _worker_batch(indices) -> tuple[list, int]:
     return verdicts, session.restored_pages - before
 
 
+def _worker_items(items) -> tuple[list, int]:
+    """Like :func:`_worker_batch`, but over explicit trial items (the
+    greybox fuzzer ships mutated inputs instead of index ranges)."""
+    session = _WORKER_SESSION
+    before = session.restored_pages
+    verdicts = [session.run_trial(item) for item in items]
+    return verdicts, session.restored_pages - before
+
+
 @dataclass
 class CampaignResult:
     """Outcome of one :meth:`CampaignRunner.run` call."""
@@ -158,6 +167,45 @@ class CampaignRunner:
         self.factory = factory
         self.trial = trial
         self.jobs = jobs
+        #: Persistent worker pool (entered via ``with runner:``); None
+        #: means every ``run``/``run_items`` call builds its own.
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
+        #: Cached warm session for sequential ``run_items`` streams
+        #: (the greybox fuzzer calls it once per mutation batch).
+        self._session: CampaignSession | None = None
+
+    # -- persistent warm pool (batch-streaming clients) ----------------------
+
+    def __enter__(self) -> "CampaignRunner":
+        """Start a persistent worker pool: targets are built and
+        snapshotted once per worker and then reused across every
+        ``run``/``run_items`` call inside the ``with`` block --
+        batch-streaming clients (the greybox fuzzer) would otherwise
+        pay a full per-worker rebuild on every batch."""
+        import repro.machine.machine as machine_module
+
+        jobs = self.jobs or 1
+        if jobs > 1 and not machine_module._DEFAULT_OBSERVER_FACTORIES:
+            self._pool_workers = jobs
+            self._pool = ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_worker_init,
+                initargs=(self.factory, self.trial,
+                          machine_module.DECODE_CACHE_DEFAULT,
+                          machine_module.BLOCK_CACHE_DEFAULT),
+            )
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op when none is active)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
 
     def _chunks(self, trials: int, workers: int) -> list[range]:
         """Contiguous index ranges, one per worker (locality + order)."""
@@ -179,7 +227,7 @@ class CampaignRunner:
         sequential = (
             jobs <= 1 or trials <= 1
             or machine_module._DEFAULT_OBSERVER_FACTORIES
-        )
+        ) and self._pool is None
         if sequential:
             session = CampaignSession(self.factory, self.trial)
             verdicts = session.run_batch(range(trials))
@@ -188,6 +236,63 @@ class CampaignRunner:
                 session.restored_pages,
             )
         chunks = self._chunks(trials, min(jobs, trials))
+        batches, workers = self._map_chunks(_worker_batch, chunks,
+                                            machine_module)
+        verdicts = [v for batch, _ in batches for v in batch]
+        pages = sum(pages for _, pages in batches)
+        return CampaignResult(
+            verdicts, trials, workers, perf_counter() - started, pages,
+        )
+
+    def run_items(self, items) -> CampaignResult:
+        """Run one trial per explicit ``item`` (instead of an index).
+
+        The trial callable receives each item where :meth:`run` would
+        pass an index -- the greybox fuzzer ships batches of mutated
+        inputs this way.  Results come back in item order and are
+        identical to the sequential path (each trial starts from the
+        same restored snapshot and sees only its own item).  Inside a
+        ``with runner:`` block the warm worker pool (or the warm
+        sequential session) is reused across calls.
+        """
+        import repro.machine.machine as machine_module
+
+        items = list(items)
+        jobs = self.jobs or 1
+        started = perf_counter()
+        if not items:
+            return CampaignResult([], 0, 0, perf_counter() - started, 0)
+        sequential = (
+            jobs <= 1 or len(items) <= 1
+            or machine_module._DEFAULT_OBSERVER_FACTORIES
+        ) and self._pool is None
+        if sequential:
+            if self._session is None:
+                self._session = CampaignSession(self.factory, self.trial)
+            session = self._session
+            before = session.restored_pages
+            verdicts = session.run_batch(items)
+            return CampaignResult(
+                verdicts, len(items), 1, perf_counter() - started,
+                session.restored_pages - before,
+            )
+        workers = min(jobs, len(items))
+        chunk_ranges = self._chunks(len(items), workers)
+        chunks = [[items[i] for i in chunk] for chunk in chunk_ranges]
+        batches, workers = self._map_chunks(_worker_items, chunks,
+                                            machine_module)
+        verdicts = [v for batch, _ in batches for v in batch]
+        pages = sum(pages for _, pages in batches)
+        return CampaignResult(
+            verdicts, len(items), workers, perf_counter() - started, pages,
+        )
+
+    def _map_chunks(self, worker_fn, chunks, machine_module):
+        """Map ``worker_fn`` over ``chunks``, reusing the persistent
+        pool when one is active (``with runner:``)."""
+        if self._pool is not None:
+            return (list(self._pool.map(worker_fn, chunks)),
+                    self._pool_workers)
         with ProcessPoolExecutor(
             max_workers=len(chunks),
             initializer=_worker_init,
@@ -195,12 +300,8 @@ class CampaignRunner:
                       machine_module.DECODE_CACHE_DEFAULT,
                       machine_module.BLOCK_CACHE_DEFAULT),
         ) as pool:
-            batches = list(pool.map(_worker_batch, chunks))
-        verdicts = [v for batch, _ in batches for v in batch]
-        pages = sum(pages for _, pages in batches)
-        return CampaignResult(
-            verdicts, trials, len(chunks), perf_counter() - started, pages,
-        )
+            batches = list(pool.map(worker_fn, chunks))
+        return batches, len(chunks)
 
     def run_cold(self, trials: int) -> CampaignResult:
         """The comparison baseline: rebuild the target for every trial.

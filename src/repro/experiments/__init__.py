@@ -6,6 +6,7 @@ from repro.experiments import (
     attestation_exp,
     cfi_exp,
     fig1,
+    fuzz_exp,
     heap_exp,
     fig4_exp,
     matrix,
@@ -23,6 +24,7 @@ __all__ = [
     "attestation_exp",
     "cfi_exp",
     "fig1",
+    "fuzz_exp",
     "heap_exp",
     "fig4_exp",
     "matrix",

@@ -28,6 +28,7 @@ from repro.experiments import (
     campaign_exp,
     cfi_exp,
     fig1,
+    fuzz_exp,
     heap_exp,
     fig4_exp,
     matrix,
@@ -60,6 +61,10 @@ def run_e5() -> str:
 
 def run_campaign(jobs: int | None = None, seed: int | None = None) -> str:
     return campaign_exp.run_campaign(jobs=jobs, seed=seed)
+
+
+def run_fuzz(jobs: int | None = None, seed: int | None = None) -> str:
+    return fuzz_exp.run_fuzz(jobs=jobs, seed=seed)
 
 
 def run_e6(seed: int | None = None) -> str:
@@ -151,6 +156,8 @@ EXPERIMENTS = {
     "e4": ("attack x countermeasure matrix", run_e4),
     "campaign": ("snapshot campaigns: ASLR guesses / PIN rollback / matrix",
                  run_campaign),
+    "fuzz": ("greybox vs blind fuzzing on the snapshot fork-server",
+             run_fuzz),
     "cfi": ("extension: coarse vs typed CFI precision", run_cfi),
     "heap": ("extension: heap attacks vs defences", run_heap),
     "multi": ("extension: mutually distrustful modules", run_multimodule),
@@ -233,6 +240,11 @@ def main(argv: list[str]) -> int:
                 print(run_e4(jobs=options.jobs))
             elif key == "campaign":
                 print(run_campaign(jobs=options.jobs, seed=options.seed))
+            elif key == "fuzz":
+                # Sequential by default: the greybox loop's warm
+                # in-process executor beats pool spin-up at these
+                # budgets, and observed runs can't cross processes.
+                print(run_fuzz(jobs=None, seed=options.seed))
             elif key == "e6":
                 print(run_e6(seed=options.seed))
             else:

@@ -23,6 +23,15 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.observe.coverage import (
+    MAP_SIZE,
+    CoverageObserver,
+    CrashSite,
+    bucket_mask,
+    edge_index,
+    has_new_bits,
+    stack_hash,
+)
 from repro.observe.events import Event, Observer, ObserverHub
 from repro.observe.export import (
     chrome_trace_events,
@@ -41,6 +50,13 @@ __all__ = [
     "EventTrace",
     "MetricsCollector",
     "GuestProfiler",
+    "CoverageObserver",
+    "CrashSite",
+    "MAP_SIZE",
+    "edge_index",
+    "bucket_mask",
+    "stack_hash",
+    "has_new_bits",
     "chrome_trace_events",
     "export_chrome_trace",
     "export_jsonl",

@@ -43,6 +43,32 @@ FIG1_SERVER_WIDE_OPEN = FIG1_SERVER_SAFE.replace(
     "read(fd, buf, 16);", "read(fd, buf, 256);  // BUG: buf holds only 16 bytes"
 )
 
+#: The coverage-guidance vehicle: the Figure 1 overflow hidden behind a
+#: byte-at-a-time method check.  A blind fuzzer only reaches the
+#: vulnerable ``read`` when the first three random bytes spell "GET"
+#: (odds 2^-24 per input), while a coverage-guided fuzzer solves the
+#: gates one comparison at a time -- each correct byte lights up a new
+#: branch edge and gets kept in the corpus.
+FIG1_SERVER_STAGED = """
+void handle_request(int fd) {
+    char buf[16];
+    read(fd, buf, 64);                 // BUG: buf holds only 16 bytes
+    write(1, buf, 16);
+}
+
+void main() {
+    char method[4];
+    read(0, method, 4);
+    if (method[0] == 'G') {
+        if (method[1] == 'E') {
+            if (method[2] == 'T') {
+                handle_request(0);
+            }
+        }
+    }
+}
+"""
+
 # ---------------------------------------------------------------------------
 # Data-only attack vehicle (Section III-B): overflowing ``name``
 # reaches the adjacent ``is_admin`` flag without touching the canary
@@ -584,6 +610,7 @@ VICTIMS = {
     "fig1_safe": FIG1_SERVER_SAFE,
     "fig1_vulnerable": FIG1_SERVER_VULNERABLE,
     "fig1_wide_open": FIG1_SERVER_WIDE_OPEN,
+    "fig1_staged": FIG1_SERVER_STAGED,
     "data_only": DATA_ONLY_VICTIM,
     "arbitrary_write": ARBITRARY_WRITE_VICTIM,
     "funcptr": FUNCPTR_VICTIM,

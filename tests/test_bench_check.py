@@ -82,6 +82,29 @@ class TestBlockSection:
         assert "block throughput" in message
 
 
+class TestFuzzSection:
+    """The greybox execs/sec section is gated like the others."""
+
+    def test_fuzz_rate_tracked_separately(self):
+        previous = {
+            "current": {"interpreter": {"instructions_per_second": 800_000.0},
+                        "fuzz": {"execs_per_second": 4_000.0}},
+            "history": [],
+        }
+        assert best_recorded_rate(previous, "fuzz") == 4_000.0
+
+    def test_no_fuzz_baseline_in_old_history(self):
+        previous = {"current": entry(800_000.0), "history": []}
+        assert best_recorded_rate(previous, "fuzz") is None
+        assert check_regression(4_000.0, None, section="fuzz") is None
+
+    def test_message_uses_execs_unit(self):
+        message = check_regression(1_000.0, 4_000.0, section="fuzz")
+        assert message is not None
+        assert "fuzz throughput" in message
+        assert "execs/s" in message
+
+
 class TestTrackingFile:
     def test_round_trip_appends_history(self, tmp_path):
         path = str(tmp_path / "bench.json")

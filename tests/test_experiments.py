@@ -9,6 +9,7 @@ from repro.experiments import (
     attestation_exp,
     fig1,
     fig4_exp,
+    fuzz_exp,
     matrix,
     modules_exp,
     overhead,
@@ -104,6 +105,35 @@ class TestE7Analysis:
             assert ("rejected" in row["safe_mode"]
                     or "bounds" in row["safe_mode"].lower()
                     or "BoundsFault" in row["safe_mode"]), row
+
+
+class TestFuzzExperiment:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        return fuzz_exp.fuzz_comparison(
+            max_execs=250, seed=7,
+            victims=("data_only",), corpus=("overflow_read",),
+        )
+
+    def test_cell_grid(self, cells):
+        assert len(cells) == 4      # 2 targets x {NONE, TESTING}
+        labels = {(c.program, c.config_name) for c in cells}
+        assert ("data_only", "TESTING") in labels
+        assert ("corpus:overflow_read", "NONE") in labels
+
+    def test_shallow_bugs_detected_by_both(self, cells):
+        for cell in cells:
+            if cell.config_name == "TESTING":
+                assert cell.blind.first_detected_exec is not None
+                assert cell.grey.first_detected_exec is not None
+                assert cell.grey.unique_crashes >= 1
+
+    def test_render_shape(self, cells):
+        table = fuzz_exp.render_comparison(cells)
+        assert "first detect" in table
+        assert "data_only" in table
+        curve = fuzz_exp.render_curve(cells[0].grey)
+        assert "coverage curve" in curve
 
 
 class TestE8E9Modules:
