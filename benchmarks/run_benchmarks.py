@@ -17,9 +17,10 @@ Options::
 
     --output PATH    where to write the JSON (default: BENCH_simulator.json)
     --quick          fewer benchmark rounds, for a fast smoke reading
-    --check          exit non-zero if interpreter or block-translation
-                     throughput regressed more than 10% against the
-                     best recorded run
+    --check          exit non-zero if any tracked throughput section
+                     regressed more than 10% against the median of the
+                     last few recorded runs, or if the trace-JIT leg
+                     fails to beat the block leg by MIN_TRACE_SPEEDUP
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import statistics
 import subprocess
 import sys
 import tempfile
@@ -66,6 +68,7 @@ def run_suite(quick: bool) -> dict:
 THROUGHPUT_SECTIONS = {
     "test_bench_interpreter_throughput": "interpreter",
     "test_bench_block_throughput": "block",
+    "test_bench_trace_throughput": "trace",
 }
 
 #: Campaign trial benchmarks (measured in trials/second, not insns/s).
@@ -83,6 +86,16 @@ FUZZ_SECTIONS = {
 #: Snapshot-restore trials must beat cold rebuilds by at least this
 #: factor for ``--check`` to pass (the layer's reason to exist).
 MIN_SNAPSHOT_SPEEDUP = 20.0
+
+#: The trace-JIT leg must beat the block leg by at least this factor
+#: for ``--check`` to pass (the tier's reason to exist).
+MIN_TRACE_SPEEDUP = 2.5
+
+#: How many recent runs feed the regression baseline.  Gating against
+#: the *median* of a window -- not the all-time best -- keeps one
+#: lucky fast run from ratcheting the floor up forever and failing
+#: every later run on scheduler noise.
+BASELINE_WINDOW = 5
 
 
 def summarize(raw: dict) -> dict:
@@ -141,6 +154,15 @@ def summarize(raw: dict) -> dict:
     cold = summary.get("snapshot_cold", {}).get("trials_per_second")
     if warm and cold:
         summary["snapshot"]["speedup_vs_cold"] = warm / cold
+    traced = summary.get("trace", {}).get("instructions_per_second")
+    blocked = summary.get("block", {}).get("instructions_per_second")
+    if traced and blocked:
+        summary["trace"]["speedup_vs_block"] = traced / blocked
+    # Echo the dispatch configuration the throughput legs ran with.
+    for bench in raw.get("benchmarks", []):
+        config = bench.get("extra_info", {}).get("config")
+        if bench["name"] == "test_bench_trace_throughput" and config:
+            summary["config"] = config
     return summary
 
 
@@ -185,16 +207,31 @@ def _unit(section: str) -> str:
     return "insns/s"
 
 
-def best_recorded_rate(previous: dict | None,
-                       section: str = "interpreter") -> float | None:
-    """Best throughput for ``section`` across the prior file's runs."""
+def baseline_rate(previous: dict | None, section: str = "interpreter",
+                  window: int = BASELINE_WINDOW,
+                  ) -> tuple[float | None, list[dict]]:
+    """(baseline, entries) for ``section`` from the prior file's runs.
+
+    The baseline is the *median* of the last ``window`` recorded runs
+    that carry the section, and ``entries`` reports which runs fed it
+    (timestamp + rate) so a failing gate is auditable.  Median-of-
+    recent beats all-time-best for flakiness: a single lucky run no
+    longer sets a floor that every honest later run trips over.
+    """
     if not previous:
-        return None
+        return None, []
     entries = list(previous.get("history", []))
     if previous.get("current"):
         entries.append(previous["current"])
-    rates = [_rate(entry, section) for entry in entries]
-    return max((rate for rate in rates if rate), default=None)
+    rated = [
+        {"timestamp": entry.get("timestamp", "?"), "rate": rate}
+        for entry in entries
+        if (rate := _rate(entry, section))
+    ]
+    used = rated[-window:]
+    if not used:
+        return None, []
+    return statistics.median(item["rate"] for item in used), used
 
 
 def check_regression(rate: float | None, baseline: float | None,
@@ -214,7 +251,7 @@ def check_regression(rate: float | None, baseline: float | None,
         drop = 100.0 * (1.0 - rate / baseline)
         return (
             f"REGRESSION: {section} throughput {rate:,.0f} {unit} is "
-            f"{drop:.1f}% below the best recorded {baseline:,.0f} {unit} "
+            f"{drop:.1f}% below the baseline median {baseline:,.0f} {unit} "
             f"(allowed: {threshold:.0%})"
         )
     return None
@@ -245,10 +282,13 @@ def main() -> None:
 
     compile_mean = summary.get("compile_pipeline", {}).get("mean_seconds")
     print(f"wrote {args.output}")
-    for section in ("interpreter", "block"):
+    for section in ("interpreter", "block", "trace"):
         rate = summary.get(section, {}).get("instructions_per_second")
         if rate:
             print(f"{section} throughput: ~{rate:,.0f} instructions/second")
+    trace_speedup = summary.get("trace", {}).get("speedup_vs_block")
+    if trace_speedup:
+        print(f"trace JIT vs block translation: {trace_speedup:.2f}x")
     if compile_mean:
         print(f"compile pipeline latency: {compile_mean * 1000:.2f} ms")
     speedup = summary.get("snapshot", {}).get("speedup_vs_cold")
@@ -264,20 +304,27 @@ def main() -> None:
 
     if args.check:
         failed = False
-        for section in ("interpreter", "block", "snapshot", "fuzz"):
+        for section in ("interpreter", "block", "trace", "snapshot", "fuzz"):
             rate = _rate(summary, section)
-            baseline = best_recorded_rate(previous, section)
+            baseline, used = baseline_rate(previous, section)
             message = check_regression(rate, baseline, section=section)
             unit = _unit(section)
             if message is not None:
                 print(message, file=sys.stderr)
                 failed = True
             elif baseline:
-                print(f"check: {section} OK ({rate:,.0f} {unit} vs best "
-                      f"{baseline:,.0f}, threshold 10%)")
+                print(f"check: {section} OK ({rate:,.0f} {unit} vs median "
+                      f"{baseline:,.0f} of last {len(used)} runs, "
+                      "threshold 10%)")
             else:
                 print(f"check: {section} has no baseline recorded yet, "
                       "passing")
+            if used and (message is not None or baseline):
+                # Name the runs behind the baseline so a trip of the
+                # gate is auditable without opening the JSON.
+                for item in used:
+                    print(f"  baseline[{section}]: {item['timestamp']} "
+                          f"-> {item['rate']:,.0f} {unit}")
         if speedup is not None:
             if speedup < MIN_SNAPSHOT_SPEEDUP:
                 print(f"REGRESSION: snapshot trials only {speedup:.1f}x "
@@ -287,6 +334,15 @@ def main() -> None:
             else:
                 print(f"check: snapshot speedup OK ({speedup:.1f}x >= "
                       f"{MIN_SNAPSHOT_SPEEDUP:.0f}x vs cold rebuild)")
+        if trace_speedup is not None:
+            if trace_speedup < MIN_TRACE_SPEEDUP:
+                print(f"REGRESSION: trace JIT only {trace_speedup:.2f}x "
+                      f"faster than block translation (floor: "
+                      f"{MIN_TRACE_SPEEDUP:.1f}x)", file=sys.stderr)
+                failed = True
+            else:
+                print(f"check: trace speedup OK ({trace_speedup:.2f}x >= "
+                      f"{MIN_TRACE_SPEEDUP:.1f}x vs block translation)")
         if failed:
             raise SystemExit(1)
 

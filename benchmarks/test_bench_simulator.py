@@ -4,11 +4,14 @@ Not a paper artefact: these wall-clock numbers characterise the
 simulator so experiment runtimes are interpretable, and guard against
 performance regressions in the fetch/decode/execute pipeline.
 
-Two throughput legs: ``interpreter`` pins ``block_cache=False`` so its
-history stays comparable with runs recorded before the basic-block
-translation cache existed; ``block`` measures the default dispatch
-path (superblock closures, tests/test_differential_blocks.py proves it
-observationally identical).
+Three throughput legs: ``interpreter`` pins ``block_cache=False`` so
+its history stays comparable with runs recorded before the basic-block
+translation cache existed; ``block`` pins superblock dispatch with the
+trace tier off, preserving that leg's pre-trace history; ``trace``
+measures the full default pipeline (superblocks + the tier-2 trace
+JIT, tests/test_differential_trace.py proves it observationally
+identical).  The --check gate requires the trace leg to beat the block
+leg by MIN_TRACE_SPEEDUP in run_benchmarks.py.
 
 The ``snapshot`` pair prices repeated-trial campaigns: one warm
 copy-on-write restore per trial versus a full compile+link+load
@@ -41,10 +44,12 @@ def _build():
     return load([obj])
 
 
-def _bench_throughput(benchmark, label, block_cache):
+def _bench_throughput(benchmark, label, block_cache, trace_jit=False):
     def run_once():
         program = _build()
-        program.machine.config.block_cache = block_cache
+        config = program.machine.config
+        config.block_cache = block_cache
+        config.trace_jit = trace_jit
         result = program.run(10_000_000)
         assert result.exit_code == 0
         return result.instructions
@@ -54,6 +59,16 @@ def _bench_throughput(benchmark, label, block_cache):
         rate = instructions / benchmark.stats.stats.mean
         benchmark.extra_info["instructions_per_run"] = instructions
         benchmark.extra_info["instructions_per_second"] = rate
+        # Record the dispatch configuration alongside the number so a
+        # history entry is interpretable on its own.
+        probe = _build().machine.config
+        benchmark.extra_info["config"] = {
+            "block_cache": block_cache,
+            "trace_jit": trace_jit,
+            "max_block_insns": probe.max_block_insns,
+            "trace_hot_threshold": probe.trace_hot_threshold,
+            "trace_max_insns": probe.trace_max_insns,
+        }
         print(f"\n{label} throughput: ~{rate:,.0f} instructions/second "
               f"({instructions} instructions per run)")
     assert instructions > 100_000
@@ -64,7 +79,14 @@ def test_bench_interpreter_throughput(benchmark):
 
 
 def test_bench_block_throughput(benchmark):
+    # trace_jit pinned off: this leg's history predates the trace tier
+    # and must keep measuring superblock dispatch alone.
     _bench_throughput(benchmark, "block-translation", block_cache=True)
+
+
+def test_bench_trace_throughput(benchmark):
+    _bench_throughput(benchmark, "trace-jit", block_cache=True,
+                      trace_jit=True)
 
 
 def test_bench_compile_pipeline(benchmark):

@@ -55,6 +55,20 @@ exploit's machine state is part of the semantics):
   stale.  Blocks additionally never extend *across* a module entry
   point, keeping block heads aligned with legitimate entry addresses.
 
+* **Block chaining.**  A block whose exit target is statically known
+  (direct jump, either edge of a conditional branch, a direct call, or
+  a fall-through end) returns its successor's :class:`CompiledBlock`
+  through a *chain cell* -- a one-element list, shared with the
+  machine's chain registry -- so the dispatch loop carries execution
+  straight into the next block without re-probing the block cache.
+  Cells are filled when the target block is compiled and nulled when
+  it is invalidated (page write, perm/PMA flush, trace installation),
+  so a chained hop can never reach a stale block: a nulled cell simply
+  drops control back to the dispatcher, which re-translates.  Python
+  has no tail calls, so chaining is trampoline-style (return the
+  successor, let the dispatcher call it) rather than a direct call --
+  a direct call would grow the host stack without bound on loops.
+
 Observed machines never execute blocks at all -- ``Machine.run`` falls
 back to the per-instruction path whenever observers are attached (or
 ``MachineConfig.block_cache`` is off), so the event stream keeps its
@@ -65,18 +79,19 @@ from __future__ import annotations
 
 from typing import Callable, NamedTuple
 
-from repro.errors import DecodeError, MachineFault
-from repro.isa.encoding import decode
-from repro.isa.instructions import Instruction, WORD_MASK
-from repro.isa.opcodes import BLOCK_END_OPCODES, OPCODE_LENGTHS
+from repro.errors import MachineFault
+from repro.isa.instructions import WORD_MASK
+from repro.isa.opcodes import BLOCK_END_OPCODES
 from repro.machine.cpu import c_div, c_mod
+from repro.machine.ir import IRInst, lift_block
 from repro.machine.memory import PAGE_SIZE, PERM_X, _PAGE_SHIFT, _U32
 
 _PAGE_MASK = PAGE_SIZE - 1
 
-#: Cacheability limit: the longest run of instructions fused into one
-#: block.  Long enough to swallow any realistic straight-line run on a
-#: 4 KiB page, small enough to keep translation latency negligible.
+#: Default for :attr:`MachineConfig.max_block_insns`: the longest run
+#: of instructions fused into one block.  Long enough to swallow any
+#: realistic straight-line run on a 4 KiB page, small enough to keep
+#: translation latency negligible.
 MAX_BLOCK_INSNS = 64
 
 _M = WORD_MASK  # 4294967295
@@ -112,7 +127,9 @@ _STORE_OPCODES = frozenset({0x05, 0x07, 0x08})
 class CompiledBlock(NamedTuple):
     """One translated basic block, keyed by its head address."""
 
-    #: The generated function; called as ``fn(machine, machine.cpu)``.
+    #: The generated function; called as ``fn(machine, machine.cpu)``
+    #: and returning the chained successor block (or None to drop back
+    #: to the dispatcher's cache probe).
     fn: Callable
     #: Masked address of the first instruction (the cache key).
     head: int
@@ -122,6 +139,10 @@ class CompiledBlock(NamedTuple):
     count: int
     #: The generated Python source, kept for debugging and tests.
     source: str
+    #: Static-exit chain cells as ``(target_head, cell)`` pairs; each
+    #: cell is a one-element list the generated code returns from, and
+    #: the machine fills/nulls as the target is compiled/invalidated.
+    exits: tuple = ()
 
 
 def compile_block(machine, head: int) -> CompiledBlock | None:
@@ -142,50 +163,43 @@ def compile_block(machine, head: int) -> CompiledBlock | None:
         entry_points = frozenset().union(
             *(module.entry_points for module in machine.pma.modules)
         )
-    insns: list[tuple[int, Instruction, int]] = []
-    addr = masked
-    while len(insns) < MAX_BLOCK_INSNS:
-        if addr >> _PAGE_SHIFT != page:
-            break  # next instruction starts on another page
-        if insns and addr in entry_points:
-            break  # never extend across a PMA entry point
-        opcode = memory.read_byte(addr)
-        length = OPCODE_LENGTHS[opcode]
-        if length == 0 or (addr & _PAGE_MASK) + length > PAGE_SIZE:
-            break  # invalid or page-straddling encoding: interpreter's job
-        try:
-            insn, _ = decode(memory.read_bytes(addr, length))
-        except DecodeError:
-            break
-        insns.append((addr, insn, length))
-        addr = (addr + length) & WORD_MASK
-        if insn.opcode in BLOCK_END_OPCODES:
-            break
+    insns = lift_block(memory, masked, machine.config.max_block_insns,
+                       entry_points)
     if not insns:
         return None
     inline_mem = not pma_active and not machine.config.redzones
-    source = _emit(insns, masked, pma_active, inline_mem)
+    source, exit_targets = _emit(insns, masked, pma_active, inline_mem)
+    cells = [[None] for _ in exit_targets]
     namespace = {
         "_MF": MachineFault,
         "_div": c_div,
         "_mod": c_mod,
         "_u32": _U32,
     }
+    for index, cell in enumerate(cells):
+        namespace[f"_x{index}"] = cell
     exec(compile(source, f"<block 0x{masked:08x}>", "exec"), namespace)
-    return CompiledBlock(namespace["_block"], masked, page, len(insns), source)
+    exits = tuple(zip(exit_targets, cells))
+    return CompiledBlock(namespace["_block"], masked, page, len(insns),
+                         source, exits)
 
 
-def _emit(insns: list[tuple[int, Instruction, int]], head: int,
-          pma_active: bool, inline_mem: bool) -> str:
-    """Generate the Python source of the block function."""
+def _emit(insns: list[IRInst], head: int,
+          pma_active: bool, inline_mem: bool) -> tuple[str, list[int]]:
+    """Generate the block function source and its static-exit targets."""
     last_index = len(insns) - 1
     uses_epoch = any(
-        insn.opcode in _STORE_OPCODES and k != last_index
-        for k, (_, insn, _) in enumerate(insns)
+        irx.opcode in _STORE_OPCODES and k != last_index
+        for k, irx in enumerate(insns)
     )
     uses_mem = inline_mem and any(
-        insn.opcode in _MEMORY_OPCODES for _, insn, _ in insns
+        irx.opcode in _MEMORY_OPCODES for irx in insns
     )
+    exit_targets: list[int] = []
+
+    def chain_cell(target: int) -> str:
+        exit_targets.append(target)
+        return f"_x{len(exit_targets) - 1}[0]"
     lines = [
         "def _block(m, cpu):",
         "    regs = cpu.regs",
@@ -205,10 +219,11 @@ def _emit(insns: list[tuple[int, Instruction, int]], head: int,
         lines.append("    _cf = m.pma.check_fetch")
     lines.append("    try:")
     emit = lines.append
-    for k, (ip, insn, length) in enumerate(insns):
-        nxt = (ip + length) & _M
-        op = insn.opcode
-        ops = insn.operands
+    for k, irx in enumerate(insns):
+        ip = irx.addr
+        nxt = irx.next_addr
+        op = irx.opcode
+        ops = irx.operands
         last = k == last_index
 
         if pma_active:
@@ -379,24 +394,37 @@ def _emit(insns: list[tuple[int, Instruction, int]], head: int,
         elif op == 0x28:  # chk
             emit(f"        {markers}")
             emit(f"        m.bounds_check(regs[{ops[0]}], {ops[1] & _M})")
-        elif op == 0x19:  # jmp imm (terminator)
+        elif op == 0x19:  # jmp imm (terminator, chained)
             writeback()
-            emit(f"        cpu.ip = {ops[0] & _M}")
-        elif op in _BRANCH_CONDITIONS:  # jcc (terminator)
+            target = ops[0] & _M
+            emit(f"        cpu.ip = {target}")
+            emit(f"        m.instructions_executed += {len(insns)}")
+            emit(f"        return {chain_cell(target)}")
+        elif op in _BRANCH_CONDITIONS:  # jcc (terminator, both edges chained)
             writeback()
-            emit(f"        cpu.ip = {ops[0] & _M} "
-                 f"if {_BRANCH_CONDITIONS[op]} else {nxt}")
+            target = ops[0] & _M
+            emit(f"        if {_BRANCH_CONDITIONS[op]}:")
+            emit(f"            cpu.ip = {target}")
+            emit(f"            m.instructions_executed += {len(insns)}")
+            emit(f"            return {chain_cell(target)}")
+            emit(f"        cpu.ip = {nxt}")
+            emit(f"        m.instructions_executed += {len(insns)}")
+            emit(f"        return {chain_cell(nxt)}")
         elif op == 0x1A:  # jmp reg (terminator, CFI check may fault)
             writeback()
             emit(f"        n = {k}; eip = {nxt}")
             emit(f"        _t = regs[{ops[0]}]")
             emit("        m.check_indirect_target(_t)")
             emit("        cpu.ip = _t")
-        elif op == 0x23:  # call imm (terminator, stack push may fault)
+        elif op == 0x23:  # call imm (terminator, stack push may fault;
+            # chained -- any fault raises before the successor return)
             writeback()
+            target = ops[0] & _M
             emit(f"        n = {k}; eip = {nxt}")
             emit(f"        m.push_return_address({nxt})")
-            emit(f"        cpu.ip = {ops[0] & _M}")
+            emit(f"        cpu.ip = {target}")
+            emit(f"        m.instructions_executed += {len(insns)}")
+            emit(f"        return {chain_cell(target)}")
         elif op == 0x24:  # call reg (terminator)
             writeback()
             emit(f"        n = {k}; eip = {nxt}")
@@ -421,12 +449,15 @@ def _emit(insns: list[tuple[int, Instruction, int]], head: int,
         else:  # pragma: no cover - decode() only yields table opcodes
             raise AssertionError(f"untranslatable opcode 0x{op:02x}")
 
-    last_ip, last_insn, last_length = insns[last_index]
+    last_insn = insns[last_index]
     if last_insn.opcode not in BLOCK_END_OPCODES:
-        # Fall-through end (page boundary / entry point / size limit).
+        # Fall-through end (page boundary / entry point / size limit):
+        # the successor head is static, so this edge chains too.
         emit("        cpu.zf = zf; cpu.lt = lt; cpu.ult = ult")
-        emit(f"        m.current_ip = {last_ip}")
-        emit(f"        cpu.ip = {(last_ip + last_length) & _M}")
+        emit(f"        m.current_ip = {last_insn.addr}")
+        emit(f"        cpu.ip = {last_insn.next_addr}")
+        emit(f"        m.instructions_executed += {len(insns)}")
+        emit(f"        return {chain_cell(last_insn.next_addr)}")
     lines += [
         "    except _MF:",
         "        cpu.zf = zf; cpu.lt = lt; cpu.ult = ult",
@@ -435,4 +466,4 @@ def _emit(insns: list[tuple[int, Instruction, int]], head: int,
         "        raise",
         f"    m.instructions_executed += {len(insns)}",
     ]
-    return "\n".join(lines) + "\n"
+    return "\n".join(lines) + "\n", exit_targets

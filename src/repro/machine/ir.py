@@ -1,0 +1,306 @@
+"""Decoded intermediate representation for VN32 instructions.
+
+The execution tiers share one explicit instruction-record layer
+between ``repro.isa`` decode and code generation: an :class:`IRInst`
+pins down, per instruction, everything a compiler pass needs without
+re-deriving it from opcode bytes --
+
+* which architectural registers it reads and writes (``push``/``pop``/
+  ``call``/``ret`` include SP, since the interpreter's handlers move it
+  through ``machine.push_word``/``pop_word``);
+* which FLAGS it defines and uses (``add``-family results define
+  zf/lt only; ``cmp`` defines zf/lt/ult; conditional branches read the
+  subset their predicate tests) -- the def/use sets that let the trace
+  compiler elide flag materialisation when a later instruction
+  overwrites FLAGS before any use;
+* whether it can fault at execute time (memory access, div/mod, CFI
+  checks, shadow-stack checks, bounds checks, syscalls);
+* its control-flow kind and static target/fall-through addresses.
+
+Consumers today are the superblock compiler
+(:mod:`repro.machine.blocks`) and the trace JIT
+(:mod:`repro.machine.trace`); the layer is deliberately free of any
+machine/codegen imports so the SFI rewriter and static analyses can
+lift the same records without touching the execution engine.
+
+Note the fault-capability flag describes the *baseline* machine: with
+protected modules (PMA) registered, every instruction can additionally
+fault at fetch time, and with red zones every data access gains a
+poison check.  Those are machine-wide modes the consumers account for
+themselves (blocks embed the PMA fetch check; the trace JIT refuses to
+trace under either).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.errors import DecodeError, MemoryFault
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction, Mem, WORD_MASK
+from repro.isa.opcodes import BLOCK_END_OPCODES, OPCODE_LENGTHS
+from repro.isa.registers import NUM_REGISTERS, SP
+
+#: All architectural register numbers (R0-R7, SP, BP).
+ALL_REGS = frozenset(range(NUM_REGISTERS))
+
+_EMPTY: frozenset[int] = frozenset()
+_NO_FLAGS: frozenset[str] = frozenset()
+#: FLAGS defined by arithmetic/logic results (``_set_flags_result``).
+RESULT_FLAGS = frozenset({"zf", "lt"})
+#: FLAGS defined by comparisons (``_set_flags_compare``).
+COMPARE_FLAGS = frozenset({"zf", "lt", "ult"})
+
+
+class ControlKind(enum.Enum):
+    """How an instruction affects control flow."""
+
+    #: Straight-line: execution falls through to ``next_addr``.
+    FALL = "fall"
+    #: Unconditional direct jump to ``target``.
+    JUMP = "jump"
+    #: Indirect jump through a register.
+    JUMP_REG = "jump_reg"
+    #: Conditional branch: ``target`` if taken, ``next_addr`` if not.
+    BRANCH = "branch"
+    #: Direct call to ``target`` (pushes ``next_addr``).
+    CALL = "call"
+    #: Indirect call through a register.
+    CALL_REG = "call_reg"
+    #: Return through the architectural stack.
+    RET = "ret"
+    #: Syscall: the handler may halt, exit, or rewrite the machine.
+    SYS = "sys"
+    #: Halt.
+    HALT = "halt"
+
+
+class IRInst(NamedTuple):
+    """One decoded, effect-annotated VN32 instruction."""
+
+    #: Masked address of the first encoded byte.
+    addr: int
+    #: Encoded length in bytes.
+    length: int
+    #: Opcode byte (fixes the encoding, as in :class:`Instruction`).
+    opcode: int
+    #: The decoded instruction (operands live here).
+    insn: Instruction
+    #: Architectural registers read at execute time.
+    reads: frozenset[int]
+    #: Architectural registers written at execute time.
+    writes: frozenset[int]
+    #: FLAGS defined ({"zf","lt"} for results, +"ult" for compares).
+    flags_written: frozenset[str]
+    #: FLAGS read (conditional-branch predicates).
+    flags_read: frozenset[str]
+    #: Can this instruction fault during execution (baseline machine)?
+    can_fault: bool
+    #: Control-flow classification.
+    kind: ControlKind
+    #: Static transfer target (JUMP/BRANCH/CALL), else None.
+    target: int | None
+    #: Address of the next sequential instruction.
+    next_addr: int
+
+    @property
+    def operands(self) -> tuple:
+        return self.insn.operands
+
+    @property
+    def mnemonic(self) -> str:
+        return self.insn.mnemonic
+
+    @property
+    def ends_block(self) -> bool:
+        """True when the superblock compiler must stop after this."""
+        return self.opcode in BLOCK_END_OPCODES
+
+
+#: FLAGS each conditional-branch opcode reads (cpu dispatch predicates).
+BRANCH_FLAGS_READ: dict[int, frozenset[str]] = {
+    0x1B: frozenset({"zf"}),            # jz
+    0x1C: frozenset({"zf"}),            # jnz
+    0x1D: frozenset({"lt"}),            # jl
+    0x1E: frozenset({"lt", "zf"}),      # jg
+    0x1F: frozenset({"lt", "zf"}),      # jle
+    0x20: frozenset({"lt"}),            # jge
+    0x21: frozenset({"ult"}),           # jb
+    0x22: frozenset({"ult"}),           # jae
+}
+
+_BRANCH_OPCODES = frozenset(BRANCH_FLAGS_READ)
+
+#: Opcodes whose handlers go through checked memory access.
+MEMORY_OPCODES = frozenset({0x04, 0x05, 0x06, 0x07, 0x08, 0x09})
+#: The subset that writes memory.
+STORE_OPCODES = frozenset({0x05, 0x07, 0x08})
+
+#: Result-flag writers: add/sub (rr+ri), mul, div, mod, and/or/xor,
+#: not, shl, shr.
+_RESULT_FLAG_OPCODES = frozenset(
+    {0x0A, 0x0B, 0x0C, 0x0D, 0x0E, 0x0F, 0x10,
+     0x11, 0x12, 0x13, 0x14, 0x15, 0x16}
+)
+
+#: Execute-phase fault capability on the baseline machine: memory
+#: access, div/mod by zero, indirect-transfer CFI checks, call/ret
+#: stack traffic (+ shadow stack), syscalls, chk bounds checks.
+_CAN_FAULT = MEMORY_OPCODES | frozenset(
+    {0x0F, 0x10, 0x1A, 0x23, 0x24, 0x25, 0x26, 0x28}
+)
+
+_KIND_BY_OPCODE: dict[int, ControlKind] = {
+    0x01: ControlKind.HALT,
+    0x19: ControlKind.JUMP,
+    0x1A: ControlKind.JUMP_REG,
+    0x23: ControlKind.CALL,
+    0x24: ControlKind.CALL_REG,
+    0x25: ControlKind.RET,
+    0x26: ControlKind.SYS,
+}
+for _op in _BRANCH_OPCODES:
+    _KIND_BY_OPCODE[_op] = ControlKind.BRANCH
+
+
+def _reg_effects(opcode: int, ops: tuple) -> tuple[frozenset[int], frozenset[int]]:
+    """(reads, writes) register sets for one decoded instruction."""
+    if opcode in (0x00, 0x01, 0x29):        # nop / halt / land
+        return _EMPTY, _EMPTY
+    if opcode == 0x02:                      # mov rr
+        return frozenset({ops[1]}), frozenset({ops[0]})
+    if opcode == 0x03:                      # mov ri
+        return _EMPTY, frozenset({ops[0]})
+    if opcode in (0x04, 0x06):              # load / loadb
+        return frozenset({ops[1].base}), frozenset({ops[0]})
+    if opcode in (0x05, 0x07):              # store / storeb
+        return frozenset({ops[0], ops[1].base}), _EMPTY
+    if opcode == 0x08:                      # push
+        return frozenset({ops[0], SP}), frozenset({SP})
+    if opcode == 0x09:                      # pop
+        return frozenset({SP}), frozenset({ops[0], SP})
+    if opcode in (0x0A, 0x0C, 0x0E, 0x0F, 0x10, 0x11, 0x12, 0x13):
+        return frozenset({ops[0], ops[1]}), frozenset({ops[0]})
+    if opcode in (0x0B, 0x0D, 0x15, 0x16):  # add/sub ri, shl, shr
+        return frozenset({ops[0]}), frozenset({ops[0]})
+    if opcode == 0x14:                      # not
+        return frozenset({ops[0]}), frozenset({ops[0]})
+    if opcode == 0x17:                      # cmp rr
+        return frozenset({ops[0], ops[1]}), _EMPTY
+    if opcode == 0x18:                      # cmp ri
+        return frozenset({ops[0]}), _EMPTY
+    if opcode == 0x19:                      # jmp abs
+        return _EMPTY, _EMPTY
+    if opcode == 0x1A:                      # jmp reg
+        return frozenset({ops[0]}), _EMPTY
+    if opcode in _BRANCH_OPCODES:
+        return _EMPTY, _EMPTY
+    if opcode == 0x23:                      # call abs: pushes next_addr
+        return frozenset({SP}), frozenset({SP})
+    if opcode == 0x24:                      # call reg
+        return frozenset({ops[0], SP}), frozenset({SP})
+    if opcode == 0x25:                      # ret
+        return frozenset({SP}), frozenset({SP})
+    if opcode == 0x26:                      # sys: handlers may touch any
+        return ALL_REGS, ALL_REGS           # register (input/rand -> r0)
+    if opcode == 0x27:                      # lea
+        return frozenset({ops[1].base}), frozenset({ops[0]})
+    if opcode == 0x28:                      # chk
+        return frozenset({ops[0]}), _EMPTY
+    raise AssertionError(f"unhandled opcode 0x{opcode:02x}")  # pragma: no cover
+
+
+def lift(insn: Instruction, addr: int) -> IRInst:
+    """Lift one decoded instruction at ``addr`` into an :class:`IRInst`."""
+    opcode = insn.opcode
+    length = OPCODE_LENGTHS[opcode]
+    masked = addr & WORD_MASK
+    reads, writes = _reg_effects(opcode, insn.operands)
+    kind = _KIND_BY_OPCODE.get(opcode, ControlKind.FALL)
+    target: int | None = None
+    if kind in (ControlKind.JUMP, ControlKind.BRANCH, ControlKind.CALL):
+        target = insn.operands[0] & WORD_MASK
+    if opcode in _RESULT_FLAG_OPCODES:
+        flags_written = RESULT_FLAGS
+    elif opcode in (0x17, 0x18):
+        flags_written = COMPARE_FLAGS
+    else:
+        flags_written = _NO_FLAGS
+    return IRInst(
+        addr=masked,
+        length=length,
+        opcode=opcode,
+        insn=insn,
+        reads=reads,
+        writes=writes,
+        flags_written=flags_written,
+        flags_read=BRANCH_FLAGS_READ.get(opcode, _NO_FLAGS),
+        can_fault=opcode in _CAN_FAULT,
+        kind=kind,
+        target=target,
+        next_addr=(masked + length) & WORD_MASK,
+    )
+
+
+def lift_at(memory, addr: int) -> IRInst | None:
+    """Lift the instruction whose first byte is at ``addr``.
+
+    Reads raw bytes (no permission checks -- callers validate fetch
+    legality themselves, e.g. by actually stepping the machine).
+    Returns None for unmapped addresses and undecodable bytes.
+    """
+    masked = addr & WORD_MASK
+    try:
+        opcode = memory.read_byte(masked)
+        length = OPCODE_LENGTHS[opcode]
+        if length == 0:
+            return None
+        insn, _ = decode(memory.read_bytes(masked, length))
+    except (MemoryFault, DecodeError):
+        return None
+    return lift(insn, masked)
+
+
+def lift_block(
+    memory,
+    head: int,
+    max_insns: int,
+    entry_points: frozenset[int] = frozenset(),
+) -> list[IRInst]:
+    """Lift the superblock starting at ``head``.
+
+    Decodes forward until a control transfer (:data:`BLOCK_END_OPCODES`),
+    a page boundary (no block spans pages -- one page watch covers the
+    whole block), a PMA ``entry_points`` hit past the head (block heads
+    must stay aligned with legitimate entry addresses), an instruction
+    whose encoding straddles the page edge, undecodable bytes, or
+    ``max_insns``.  May return an empty list (head undecodable): the
+    interpreter owns that address.
+    """
+    from repro.machine.memory import PAGE_SIZE, _PAGE_SHIFT
+
+    page_mask = PAGE_SIZE - 1
+    masked = head & WORD_MASK
+    page = masked >> _PAGE_SHIFT
+    out: list[IRInst] = []
+    addr = masked
+    while len(out) < max_insns:
+        if addr >> _PAGE_SHIFT != page:
+            break  # next instruction starts on another page
+        if out and addr in entry_points:
+            break  # never extend across a PMA entry point
+        opcode = memory.read_byte(addr)
+        length = OPCODE_LENGTHS[opcode]
+        if length == 0 or (addr & page_mask) + length > PAGE_SIZE:
+            break  # invalid or page-straddling encoding: interpreter's job
+        try:
+            insn, _ = decode(memory.read_bytes(addr, length))
+        except DecodeError:
+            break
+        irx = lift(insn, addr)
+        out.append(irx)
+        addr = irx.next_addr
+        if irx.ends_block:
+            break
+    return out

@@ -109,6 +109,10 @@ DECODE_CACHE_DEFAULT = True
 #: by the block-mode differential suite.
 BLOCK_CACHE_DEFAULT = True
 
+#: Default for :attr:`MachineConfig.trace_jit`, flipped the same way
+#: by the trace-mode differential suite.
+TRACE_JIT_DEFAULT = True
+
 
 def _env_override(name: str) -> bool | None:
     """Tri-state environment switch: None when unset, else its truth.
@@ -130,6 +134,11 @@ def _decode_cache_default() -> bool:
 def _block_cache_default() -> bool:
     env = _env_override("REPRO_BLOCK_CACHE")
     return BLOCK_CACHE_DEFAULT if env is None else env
+
+
+def _trace_jit_default() -> bool:
+    env = _env_override("REPRO_TRACE")
+    return TRACE_JIT_DEFAULT if env is None else env
 
 
 class RunStatus(enum.Enum):
@@ -248,6 +257,21 @@ class MachineConfig:
     #: write/perm/PMA invalidation machinery; observed machines and
     #: :meth:`Machine.step` always use the per-instruction path.
     block_cache: bool = field(default_factory=_block_cache_default)
+    #: Longest instruction run fused into one superblock (see
+    #: :data:`repro.machine.blocks.MAX_BLOCK_INSNS` for the rationale
+    #: behind the default).
+    max_block_insns: int = 64
+    #: Tier-2 trace JIT: count block-head executions and, past
+    #: :attr:`trace_hot_threshold`, record the hot path through taken
+    #: branches into a single guarded loop closure (see
+    #: :mod:`repro.machine.trace`).  Requires ``block_cache``; opt out
+    #: with ``REPRO_TRACE=0`` or ``trace_jit=False``, mirroring the
+    #: block-cache switches.
+    trace_jit: bool = field(default_factory=_trace_jit_default)
+    #: Block-head executions before the trace recorder kicks in.
+    trace_hot_threshold: int = 20
+    #: Longest recorded trace (instructions per loop iteration).
+    trace_max_insns: int = 256
 
 
 class Machine:
@@ -301,6 +325,21 @@ class Machine:
         #: overwrites the block's own tail aborts back to the
         #: dispatcher instead of executing stale decodes.
         self._block_epoch = 0
+        #: Chain cells: successor head -> list of one-element lists
+        #: embedded in compiled predecessor blocks.  Filling a cell
+        #: lets the predecessor hand the successor straight back to
+        #: the dispatcher without a dict probe; nulling it (on
+        #: invalidation or trace install) severs the chain.
+        self._chain_registry: dict[int, list[list]] = {}
+        #: Tier-2 trace cache: loop-head address -> CompiledTrace.
+        self._trace_cache: dict = {}
+        #: Invalidation index: page -> trace head addresses touching it.
+        self._trace_pages: dict[int, list[int]] = {}
+        #: Block-head execution counters feeding the hotness check.
+        self._trace_counts: dict[int, int] = {}
+        #: Heads where recording aborted (side exits, caps, syscalls);
+        #: never retried until the page is invalidated.
+        self._trace_failed: set[int] = set()
         self.memory.code_write_listener = self._invalidate_code_page
         self.memory.perm_change_listener = self.flush_decode_cache
         self.pma.add_change_listener(self.flush_decode_cache)
@@ -697,6 +736,18 @@ class Machine:
             self._block_cache.clear()
             self._block_pages.clear()
             self._block_epoch += 1
+        registry = self._chain_registry
+        if registry:
+            for cells in registry.values():
+                for cell in cells:
+                    cell[0] = None
+            registry.clear()
+        if self._trace_cache:
+            self._trace_cache.clear()
+            self._trace_pages.clear()
+            self._block_epoch += 1
+        self._trace_counts.clear()
+        self._trace_failed.clear()
         self.memory.unwatch_all()
         hub = self._observers
         if hub is not None and hub.decode_invalidate:
@@ -716,16 +767,69 @@ class Machine:
             dropped += len(addrs)
         heads = self._block_pages.pop(page, None)
         if heads:
-            blocks = self._block_cache
             for head in heads:
-                blocks.pop(head, None)
+                self._drop_block(head)
             dropped += len(heads)
             self._block_epoch += 1
+        trace_heads = self._trace_pages.pop(page, None)
+        if trace_heads:
+            traces = self._trace_cache
+            pages_index = self._trace_pages
+            for head in trace_heads:
+                trace = traces.pop(head, None)
+                if trace is None:
+                    continue
+                # Multi-page traces are indexed under every page they
+                # touch; scrub the other pages' entries too.
+                for other in trace.pages:
+                    if other != page:
+                        siblings = pages_index.get(other)
+                        if siblings is not None:
+                            try:
+                                siblings.remove(head)
+                            except ValueError:
+                                pass
+            dropped += len(trace_heads)
+            self._block_epoch += 1
+        counts = self._trace_counts
+        if counts:
+            for head in [h for h in counts if h >> 12 == page]:
+                del counts[head]
+        failed = self._trace_failed
+        if failed:
+            for head in [h for h in failed if h >> 12 == page]:
+                failed.discard(head)
         if dropped:
             hub = self._observers
             if hub is not None and hub.decode_invalidate:
                 for observer in hub.decode_invalidate:
                     observer.on_decode_invalidate(self, page, dropped)
+
+    def _drop_block(self, head: int) -> None:
+        """Remove one compiled block and sever every chain through it.
+
+        Cells *inside* the dead block are nulled and deregistered (so
+        the registry does not grow across campaign restores), and cells
+        in *other* blocks pointing at ``head`` are nulled so no stale
+        closure is ever handed back to the dispatcher.
+        """
+        block = self._block_cache.pop(head, None)
+        registry = self._chain_registry
+        if block is not None and block.exits:
+            for target, cell in block.exits:
+                cell[0] = None
+                cells = registry.get(target)
+                if cells is not None:
+                    try:
+                        cells.remove(cell)
+                    except ValueError:
+                        pass
+                    if not cells:
+                        del registry[target]
+        cells = registry.get(head)
+        if cells is not None:
+            for cell in cells:
+                cell[0] = None
 
     def block_cache_stats(self) -> dict[str, int]:
         """Counters for tests and diagnostics (not a stable API)."""
@@ -733,6 +837,15 @@ class Machine:
             "blocks": len(self._block_cache),
             "pages": len(self._block_pages),
             "epoch": self._block_epoch,
+        }
+
+    def trace_cache_stats(self) -> dict[str, int]:
+        """Tier-2 trace counters for tests and diagnostics."""
+        return {
+            "traces": len(self._trace_cache),
+            "pages": len(self._trace_pages),
+            "failed": len(self._trace_failed),
+            "chained": sum(len(c) for c in self._chain_registry.values()),
         }
 
     # -- snapshot / restore ------------------------------------------------------------
@@ -806,6 +919,7 @@ class Machine:
             watched = self.memory._watched_pages
             for page in changed:
                 watched.discard(page)
+                self.memory._update_fast_page(page)
                 self._invalidate_code_page(page)
         cpu = self.cpu
         cpu.regs[:] = snap.regs
@@ -1031,11 +1145,34 @@ class Machine:
         Re-checks for observers each dispatch: a syscall handler or
         hook attaching one mid-run demotes the rest of the run to the
         per-instruction loop.
+
+        Two tier-2 layers ride on top of plain block dispatch (see
+        DESIGN.md "Trace JIT & decoded IR"):
+
+        * **Chaining** -- ``entry.fn`` returns the successor's
+          :class:`CompiledBlock` when a static exit's chain cell is
+          filled, so hot block-to-block transfers skip the cache probe
+          entirely (``entry`` loops straight back into dispatch).
+        * **Hot traces** -- block-head execution counts past
+          ``config.trace_hot_threshold`` trigger the trace recorder;
+          an installed trace runs whole loop iterations inside one
+          closure and only returns here on a guard exit.  A trace
+          returning 1 means "a guard failed at the trace head itself";
+          ``skip`` makes the very next dispatch take the block path
+          once so a permanently failing guard cannot livelock.
         """
         cpu = self.cpu
         blocks = self._block_cache
+        traces = self._trace_cache
+        counts = self._trace_counts
+        failed = self._trace_failed
+        config = self.config
+        tracing = config.trace_jit
+        threshold = config.trace_hot_threshold
+        entry = None
+        skip = None
         while self._status is None:
-            if self._observers is not None or not self.config.block_cache:
+            if self._observers is not None or not config.block_cache:
                 return self._run_steps(max_instructions, start_count)
             remaining = max_instructions - (
                 self.instructions_executed - start_count
@@ -1044,27 +1181,97 @@ class Machine:
                 raise ExecutionLimitExceeded(
                     f"exceeded {max_instructions} instructions", cpu.ip
                 )
-            entry = blocks.get(cpu.ip)
             if entry is None:
-                entry = self._translate_block(cpu.ip)
+                ip = cpu.ip
+                if tracing:
+                    trace = traces.get(ip)
+                    if (
+                        trace is not None
+                        and trace is not skip
+                        and trace.count <= remaining
+                    ):
+                        skip = trace if trace.fn(self, cpu, remaining) else None
+                        continue
+                    skip = None
+                entry = blocks.get(ip)
                 if entry is None:
-                    self.step()
-                    continue
+                    entry = self._translate_block(ip)
+                    if entry is None:
+                        self.step()
+                        continue
             if entry.count > remaining:
                 self.step()
+                entry = None
                 continue
-            entry.fn(self, cpu)
+            if tracing:
+                head = entry.head
+                count = counts.get(head, 0) + 1
+                counts[head] = count
+                if (
+                    count >= threshold
+                    and head not in failed
+                    and head not in traces
+                ):
+                    entry = None
+                    self._record_trace(head, max_instructions, start_count)
+                    continue
+            entry = entry.fn(self, cpu)
 
     def _translate_block(self, head: int) -> CompiledBlock | None:
         """Translate and cache the block at ``head`` (None if the
-        interpreter must handle that address)."""
+        interpreter must handle that address).
+
+        Wires up chaining both ways: the new block's static-exit cells
+        are filled for successors already compiled, and every compiled
+        predecessor waiting on ``head`` gets its cell filled -- unless
+        a trace owns the address, which must keep first claim on
+        dispatch (chained predecessors would bypass it)."""
         block = compile_block(self, head)
         if block is None:
             return None
-        self._block_cache[block.head] = block
+        blocks = self._block_cache
+        traces = self._trace_cache
+        registry = self._chain_registry
+        blocks[block.head] = block
         self._block_pages.setdefault(block.page, []).append(block.head)
         self.memory.watch_page(block.page)
+        for target, cell in block.exits:
+            if target not in traces:
+                cell[0] = blocks.get(target)
+            registry.setdefault(target, []).append(cell)
+        if block.head not in traces:
+            for cell in registry.get(block.head, ()):
+                cell[0] = block
         return block
+
+    def _record_trace(self, head: int, max_instructions: int,
+                      start_count: int) -> None:
+        """Record and install the hot trace at ``head`` (or blacklist
+        it so a head that will not trace is never retried).
+
+        PMA module boundaries and red zones take the conservative road:
+        their per-instruction bookkeeping (boundary checks, poison
+        scans) is not replicated in trace codegen, so those
+        configurations simply never trace."""
+        from repro.machine.trace import record_and_compile
+
+        if self.pma.modules or self.config.redzones:
+            self._trace_failed.add(head)
+            return
+        trace = record_and_compile(self, head, max_instructions, start_count)
+        if trace is None:
+            self._trace_failed.add(head)
+            return
+        self._trace_cache[head] = trace
+        pages_index = self._trace_pages
+        for page in trace.pages:
+            pages_index.setdefault(page, []).append(head)
+            self.memory.watch_page(page)
+        # The trace owns this address now: drop the block so dispatch
+        # cannot race past the trace, and sever chains aimed at it.
+        self._drop_block(head)
+        for cell in self._chain_registry.get(head, ()):
+            cell[0] = None
 
     def _result(
         self,

@@ -131,6 +131,19 @@ class Memory:
         #: write to one must copy it (:meth:`_cow_break`).  Mutated in
         #: place, never replaced: the block translator holds aliases.
         self._cow_pages: set[int] = set()
+        #: Derived indexes for the trace JIT's inline memory guards:
+        #: ``_fast_read`` holds every mapped page with PERM_R;
+        #: ``_fast_write`` holds every mapped page with PERM_W that is
+        #: neither watched (cached code lives there -- writes must
+        #: take the notifying slow path) nor snapshot-shared (writes
+        #: must run the copy-on-write break first).  A single set
+        #: membership test therefore replaces the perms-dict probe,
+        #: the permission mask, and the watched/CoW exclusions on the
+        #: generated fast paths.  Like ``_cow_pages`` these are
+        #: mutated in place, never replaced: compiled traces alias
+        #: them.  Every mutating path below keeps them current.
+        self._fast_read: set[int] = set()
+        self._fast_write: set[int] = set()
         #: Pages copied or created since the last snapshot()/restore()
         #: -- exactly what a restore of the current snapshot must undo.
         self._dirty_pages: set[int] = set()
@@ -149,12 +162,34 @@ class Memory:
     def watch_page(self, page: int) -> None:
         """Ask for ``code_write_listener`` to fire when ``page`` is written."""
         self._watched_pages.add(page)
+        self._fast_write.discard(page)
 
     def unwatch_all(self) -> None:
+        released = list(self._watched_pages)
         self._watched_pages.clear()
+        for page in released:
+            self._update_fast_page(page)
+
+    def _update_fast_page(self, page: int) -> None:
+        """Recompute ``page``'s membership in the fast read/write sets."""
+        if page not in self._pages:
+            self._fast_read.discard(page)
+            self._fast_write.discard(page)
+            return
+        perms = self._perms.get(page, 0)
+        if perms & PERM_R:
+            self._fast_read.add(page)
+        else:
+            self._fast_read.discard(page)
+        if (perms & PERM_W and page not in self._watched_pages
+                and page not in self._cow_pages):
+            self._fast_write.add(page)
+        else:
+            self._fast_write.discard(page)
 
     def _notify_code_write(self, page: int) -> None:
         self._watched_pages.discard(page)
+        self._update_fast_page(page)
         listener = self.code_write_listener
         if listener is not None:
             listener(page)
@@ -173,6 +208,8 @@ class Memory:
         self._pages[page] = bytearray(self._pages[page])
         self._cow_pages.discard(page)
         self._dirty_pages.add(page)
+        if self._perms.get(page, 0) & PERM_W and page not in self._watched_pages:
+            self._fast_write.add(page)
 
     def snapshot(self) -> MemorySnapshot:
         """Freeze the current page table into a restorable snapshot.
@@ -181,6 +218,7 @@ class Memory:
         shared and the dirty set restarts empty."""
         pages = self._pages
         self._cow_pages.update(pages)
+        self._fast_write.clear()
         self._dirty_pages.clear()
         self._snap_counter += 1
         self._snap_epoch = self._snap_counter
@@ -220,6 +258,16 @@ class Memory:
         if perms_changed:
             self._perms.clear()
             self._perms.update(snap.perms)
+            # Permissions moved under an unknown set of pages: rebuild
+            # the fast sets wholesale (restores that change perms are
+            # rare; the campaign path below stays O(changed)).
+            self._fast_read.clear()
+            self._fast_write.clear()
+            for page in self._pages:
+                self._update_fast_page(page)
+        else:
+            for page in changed:
+                self._update_fast_page(page)
         self._dirty_pages.clear()
         self._snap_epoch = snap.epoch
         return changed, perms_changed
@@ -247,6 +295,7 @@ class Memory:
                 pages[page] = bytearray(PAGE_SIZE)
                 dirty.add(page)
             page_perms[page] = perms
+            self._update_fast_page(page)
         self._notify_perm_change()
 
     def set_perms(self, addr: int, size: int, perms: int) -> None:
@@ -255,6 +304,7 @@ class Memory:
             if page not in self._pages:
                 raise MemoryFault(f"set_perms on unmapped page 0x{page << _PAGE_SHIFT:08x}")
             self._perms[page] = perms
+            self._update_fast_page(page)
         self._notify_perm_change()
 
     def is_mapped(self, addr: int) -> bool:

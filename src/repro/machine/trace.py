@@ -1,0 +1,989 @@
+"""Tier-2 trace JIT: record hot loop paths, compile to guarded closures.
+
+When a block head's execution count crosses
+``MachineConfig.trace_hot_threshold``, the dispatcher calls
+:func:`record_and_compile`: the machine *actually executes* one loop
+iteration through the interpreter while the recorder notes each
+retired instruction (lifted through :mod:`repro.machine.ir`) and the
+control edge it took.  The recorded path -- loop body across the
+back-edge, taken branches, inlined leaf calls -- is compiled into one
+Python closure that runs whole iterations back to back without
+touching the dispatch loop.
+
+The compiler applies four optimisations the superblock tier cannot
+(they need a loop-shaped region and the IR's def/use sets):
+
+* **Register allocation** -- guest registers live in Python locals for
+  the whole loop; memory (``cpu.regs``) is only written at exits.
+* **Base-page guards** -- accesses whose address is ``base-reg +
+  constant`` (tracked symbolically, including through ``lea``/``mov``/
+  ``add``) are grouped per base register; one guard per iteration
+  proves the whole group hits a single resident, unwatched,
+  non-copy-on-write page, then every access in the group becomes a
+  direct ``bytearray`` read/write at a fixed offset.
+* **Store-to-load forwarding** -- a load provably reading what a prior
+  store in the same iteration wrote (same symbolic base, same offset
+  and width, no intervening may-alias store or helper) reuses the
+  stored value and never touches memory.  Groups containing such loads
+  still guard readability, so a W-only page faults exactly as the
+  interpreter would.
+* **Lazy flags** -- arithmetic results do not materialise zf/lt on the
+  hot path; the pending result is kept in ``_t`` and branch guards
+  substitute ``_t == 0`` / ``_t > 2147483647`` directly.  Exits,
+  fault-capable calls and the loop close materialise, so architectural
+  flags are exact wherever they can be observed.
+
+Exactness contract (same as blocks.py, held by the differential
+suites): every exit -- guard failure, budget exhaustion, epoch bump
+after a slow store, or a machine fault -- writes back registers,
+flags, ``cpu.ip``, ``current_ip`` and the retired-instruction count
+byte-identically to the interpreter executing the same prefix.
+Machines with PMA modules or red zones never trace (the per
+-instruction checks those modes need are not replicated here), and
+observed machines never reach this tier at all.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, NamedTuple
+
+from repro.errors import ExecutionLimitExceeded, MachineFault
+from repro.isa.instructions import WORD_MASK
+from repro.machine.cpu import c_div, c_mod
+from repro.machine.ir import ControlKind, IRInst, lift_at
+from repro.machine.memory import _U32
+
+_M = WORD_MASK
+_SIGN = 0x80000000
+_PAGE = 4096
+
+_ARITH_RR = {0x0A: "+", 0x0C: "-", 0x0E: "*"}
+_ARITH_RI = {0x0B: "+", 0x0D: "-"}
+_LOGIC_RR = {0x11: "&", 0x12: "|", 0x13: "^"}
+
+#: Flags each conditional branch needs, and its predicate builder.
+_COND_NEEDS = {
+    0x1B: ("zf",), 0x1C: ("zf",),
+    0x1D: ("lt",), 0x20: ("lt",),
+    0x1E: ("lt", "zf"), 0x1F: ("lt", "zf"),
+    0x21: ("ult",), 0x22: ("ult",),
+}
+
+
+def _cond_expr(op: int, zf: str, lt: str, ult: str) -> str:
+    return {
+        0x1B: f"{zf}",
+        0x1C: f"not {zf}",
+        0x1D: f"{lt}",
+        0x1E: f"not {lt} and not {zf}",
+        0x1F: f"{lt} or {zf}",
+        0x20: f"not {lt}",
+        0x21: f"{ult}",
+        0x22: f"not {ult}",
+    }[op]
+
+
+def _cond_value(op: int, zf: bool, lt: bool, ult: bool | None) -> bool:
+    return {
+        0x1B: zf, 0x1C: not zf,
+        0x1D: lt, 0x1E: not lt and not zf,
+        0x1F: lt or zf, 0x20: not lt,
+        0x21: bool(ult), 0x22: not ult,
+    }[op]
+
+
+def _signed(value: int) -> int:
+    value &= _M
+    return value - 0x100000000 if value >= _SIGN else value
+
+
+class TraceStep(NamedTuple):
+    """One recorded instruction and the control edge it took."""
+
+    ir: IRInst
+    #: Raw encoding at record time (re-verified before install).
+    raw: bytes
+    #: ``cpu.ip`` after the step: the observed successor address.
+    observed: int
+
+
+class CompiledTrace(NamedTuple):
+    """One installed hot trace, keyed by its loop-head address."""
+
+    #: Called as ``fn(machine, cpu, budget_remaining)``; returns 1 when
+    #: a loop-top guard failed with the machine parked exactly at the
+    #: head (the dispatcher must run the block path once to make
+    #: progress), else None.
+    fn: Callable
+    head: int
+    #: Pages holding the recorded code (the invalidation-index keys).
+    pages: tuple
+    #: Instructions retired per complete loop iteration.
+    count: int
+    #: Generated Python source, kept for debugging and tests.
+    source: str
+
+
+class _TraceAbort(Exception):
+    """Recording or compilation cannot produce a sound trace."""
+
+
+def record_and_compile(machine, head: int, max_instructions: int,
+                       start_count: int):
+    """Record one hot-loop iteration at ``head`` and compile it.
+
+    The machine genuinely executes while recording (the budget check
+    mirrors ``_run_steps`` so :class:`ExecutionLimitExceeded` fires at
+    the identical count and IP).  Returns a :class:`CompiledTrace`, or
+    None when the path will not trace -- it reaches a syscall/halt,
+    exceeds ``trace_max_insns`` without closing the loop, an
+    instruction cannot be lifted, or the recorded bytes changed under
+    a store the trace itself performed.
+    """
+    cpu = machine.cpu
+    memory = machine.memory
+    cap = machine.config.trace_max_insns
+    steps: list[TraceStep] = []
+    try:
+        while True:
+            if machine._status is not None:
+                return None
+            if machine.instructions_executed - start_count >= max_instructions:
+                raise ExecutionLimitExceeded(
+                    f"exceeded {max_instructions} instructions", cpu.ip
+                )
+            irx = lift_at(memory, cpu.ip)
+            if irx is None:
+                return None
+            if irx.kind in (ControlKind.SYS, ControlKind.HALT):
+                return None
+            if len(steps) >= cap:
+                return None
+            raw = bytes(memory.read_bytes(irx.addr, irx.length))
+            machine.step()
+            steps.append(TraceStep(irx, raw, cpu.ip))
+            if cpu.ip == head:
+                break
+    except MachineFault:
+        # The fault is real execution and must propagate, but the head
+        # is blacklisted so a faulting loop is not re-recorded on
+        # every subsequent run.
+        machine._trace_failed.add(head)
+        raise
+    try:
+        source, fn = _TraceCompiler(steps, head).compile()
+    except _TraceAbort:
+        return None
+    # Self-modifying recording: a store later in the iteration may
+    # have rewritten an earlier instruction's bytes.  The trace is
+    # only sound for the bytes it was lifted from.
+    for step in steps:
+        try:
+            current = bytes(memory.read_bytes(step.ir.addr, step.ir.length))
+        except MachineFault:
+            return None
+        if current != step.raw:
+            return None
+    pages = tuple(sorted({step.ir.addr >> 12 for step in steps}))
+    return CompiledTrace(fn, head, pages, len(steps), source)
+
+
+class _TraceCompiler:
+    """Three-phase compiler: symbolic analysis, grouping, emission.
+
+    Phase A walks the recorded steps with a symbolic register state
+    (constant / base-register-plus-offset / unknown) deciding
+    store-to-load forwarding; phase B groups symbolic memory accesses
+    per base register and demotes groups whose offset span cannot fit
+    one page; phase C re-runs the identical symbolic walk emitting
+    Python source, consulting the recorded decisions.
+    """
+
+    def __init__(self, steps: list[TraceStep], head: int) -> None:
+        self.steps = steps
+        self.head = head
+        self.close_ip = steps[-1].ir.addr
+        reads: set[int] = set()
+        writes: set[int] = set()
+        for step in steps:
+            reads |= step.ir.reads
+            writes |= step.ir.writes
+        self.used_regs = sorted(reads | writes)
+        self.written_regs = sorted(writes)
+        self.has_helpers = any(
+            s.ir.kind in (ControlKind.CALL, ControlKind.CALL_REG,
+                          ControlKind.RET)
+            for s in steps
+        )
+        self.mem_writing_helpers = any(
+            s.ir.kind in (ControlKind.CALL, ControlKind.CALL_REG)
+            for s in steps
+        )
+        # Phase A results, consulted by phase C:
+        self.load_fwd: dict[int, tuple[str, object]] = {}
+        self.store_temp: dict[int, str] = {}
+        self.access_rec: list[tuple] = []    # (k, kind, size, basekey, off)
+        self.access_group: dict[int, tuple[int, int]] = {}
+        self.groups: list[dict] = []
+        self.has_dyn_store = False
+        self.has_dyn_mem = False
+
+    # -- symbolic values: ('c', v) | ('r', base, off) | None --------------------------
+
+    @staticmethod
+    def _sym_plus(sym, imm: int):
+        if sym is None:
+            return None
+        if sym[0] == "c":
+            return ("c", (sym[1] + imm) & _M)
+        return ("r", sym[1], sym[2] + _signed(imm))
+
+    def _mem_sym(self, sym_state, mem):
+        return self._sym_plus(sym_state[mem.base], mem.disp)
+
+    # -- phase A ----------------------------------------------------------------------
+
+    def _analyze(self) -> None:
+        sym = {r: ("r", r, 0) for r in range(16)}
+        regver = {r: 0 for r in range(16)}
+        # live forwarding candidates:
+        # dict(step, basekey, off, size, src, ver, vsym, byte)
+        live: list[dict] = []
+
+        def addr_key(asym, size):
+            if asym is None:
+                return None, None
+            if asym[0] == "c":
+                addr = asym[1]
+                if (addr & 4095) + size > 4096:
+                    return None, None   # page-straddling constant access
+                return ("c", addr >> 12), addr
+            return ("r", asym[1]), asym[2]
+
+        def record_access(k, kind, size, basekey, off):
+            self.access_rec.append((k, kind, size, basekey, off))
+
+        def kill_for_store(basekey, off, size):
+            survivors = []
+            for st in live:
+                if basekey is None or st["basekey"] is None:
+                    continue              # dynamic store: kills everything
+                if st["basekey"] != basekey:
+                    continue              # different base may alias: kill
+                if off is None or st["off"] is None:
+                    continue
+                if st["off"] < off + size and off < st["off"] + st["size"]:
+                    continue              # same base, overlapping bytes
+                survivors.append(st)
+            live[:] = survivors
+
+        def note_store(k, basekey, off, size, src, vsym, byte):
+            kill_for_store(basekey, off, size)
+            if basekey is not None:
+                live.append(dict(step=k, basekey=basekey, off=off, size=size,
+                                 src=src, ver=regver[src], vsym=vsym,
+                                 byte=byte))
+
+        def try_forward(k, basekey, off, size, byte):
+            if basekey is None:
+                return None
+            for st in reversed(live):
+                if (st["basekey"] == basekey and st["off"] == off
+                        and st["size"] == size and st["byte"] == byte):
+                    return st
+            return None
+
+        def forward_expr(st) -> tuple[str, object]:
+            vsym = st["vsym"]
+            if vsym is not None and vsym[0] == "c":
+                return str(vsym[1]), vsym
+            if (vsym is not None and vsym[0] == "r"
+                    and regver[vsym[1]] == 0):
+                base, off = vsym[1], vsym[2]
+                if off == 0:
+                    return f"r{base}", vsym
+                return f"(r{base} + {off & _M}) & 4294967295", vsym
+            src = st["src"]
+            if regver[src] == st["ver"]:
+                expr = f"r{src}"
+                if st["byte"]:
+                    expr = f"r{src} & 255"
+                return expr, vsym
+            # Source clobbered between store and load: stash a temp at
+            # the store site.
+            self.store_temp[st["step"]] = st["temp_val"]
+            return f"_f{st['step']}", vsym
+
+        def write_reg(reg, value_sym):
+            sym[reg] = value_sym
+            regver[reg] += 1
+
+        self.sym_at: list[dict] = []
+        for k, step in enumerate(self.steps):
+            # Snapshot the symbolic state entering step k: phase C
+            # folds from these exact values instead of re-deriving
+            # them, so the two walks can never diverge.
+            self.sym_at.append(dict(sym))
+            irx = step.ir
+            op = irx.opcode
+            ops = irx.operands
+            kind = irx.kind
+            if op in (0x00, 0x29, 0x01):            # nop / land (halt filtered)
+                continue
+            if op == 0x02:                          # mov rr
+                write_reg(ops[0], sym[ops[1]])
+            elif op == 0x03:                        # mov ri
+                write_reg(ops[0], ("c", ops[1] & _M))
+            elif op in (0x04, 0x06):                # load / loadb
+                byte = op == 0x06
+                size = 1 if byte else 4
+                asym = self._mem_sym(sym, ops[1])
+                basekey, off = addr_key(asym, size)
+                record_access(k, "r", size, basekey, off)
+                st = try_forward(k, basekey, off, size, byte)
+                if st is not None:
+                    expr, vsym = forward_expr(st)
+                    self.load_fwd[k] = (expr, vsym)
+                    write_reg(ops[0], vsym)
+                else:
+                    write_reg(ops[0], None)
+                    if basekey is not None:
+                        # Redundant-load elimination: the slot now
+                        # provably holds r{d}, so a later load of the
+                        # same bytes forwards like a store would.
+                        live.append(dict(step=k, basekey=basekey,
+                                         off=off, size=size, src=ops[0],
+                                         ver=regver[ops[0]], vsym=None,
+                                         byte=byte,
+                                         temp_val=f"r{ops[0]}"))
+            elif op in (0x05, 0x07):                # store / storeb
+                byte = op == 0x07
+                size = 1 if byte else 4
+                asym = self._mem_sym(sym, ops[1])
+                basekey, off = addr_key(asym, size)
+                record_access(k, "w", size, basekey, off)
+                src = ops[0]
+                vsym = sym[src]
+                if byte:
+                    vsym = (("c", vsym[1] & 255)
+                            if vsym is not None and vsym[0] == "c" else None)
+                note_store(k, basekey, off, size, src, vsym, byte)
+                if basekey is not None:
+                    live[-1]["temp_val"] = (f"r{src} & 255" if byte
+                                            else f"r{src}")
+                if basekey is None:
+                    self.has_dyn_store = True
+            elif op == 0x08:                        # push
+                src = ops[0]
+                vsym = sym[src]
+                asym = self._sym_plus(sym[8], -4 & _M)
+                basekey, off = addr_key(asym, 4)
+                record_access(k, "w", 4, basekey, off)
+                note_store(k, basekey, off, 4, src, vsym, False)
+                if basekey is not None:
+                    live[-1]["temp_val"] = "_v" if src == 8 else f"r{src}"
+                if basekey is None:
+                    self.has_dyn_store = True
+                write_reg(8, asym)
+            elif op == 0x09:                        # pop
+                asym = sym[8]
+                basekey, off = addr_key(asym, 4)
+                record_access(k, "r", 4, basekey, off)
+                st = try_forward(k, basekey, off, 4, False)
+                vsym = None
+                if st is not None:
+                    expr, vsym = forward_expr(st)
+                    self.load_fwd[k] = (expr, vsym)
+                new_sp = self._sym_plus(asym, 4) if asym is not None else None
+                write_reg(8, new_sp)
+                if ops[0] != 8:
+                    write_reg(ops[0], vsym if st is not None else None)
+                else:
+                    sym[8] = vsym if st is not None else None
+                if st is None and basekey is not None:
+                    live.append(dict(step=k, basekey=basekey, off=off,
+                                     size=4, src=ops[0],
+                                     ver=regver[ops[0]], vsym=None,
+                                     byte=False,
+                                     temp_val=f"r{ops[0]}"))
+            elif op in _ARITH_RR or op in _LOGIC_RR or op in (0x0F, 0x10):
+                d, s = ops
+                a, b = sym[d], sym[s]
+                res = self._fold_rr(op, a, b)
+                write_reg(d, res)
+                if op in (0x0F, 0x10):
+                    write_reg(d, None)  # div/mod: never folded
+            elif op in _ARITH_RI:
+                d = ops[0]
+                imm = ops[1] & _M
+                a = sym[d]
+                if a is not None and a[0] == "c":
+                    v = ((a[1] + imm) if op == 0x0B else (a[1] - imm)) & _M
+                    write_reg(d, ("c", v))
+                elif a is not None and a[0] == "r":
+                    delta = _signed(imm) if op == 0x0B else -_signed(imm)
+                    write_reg(d, ("r", a[1], a[2] + delta))
+                else:
+                    write_reg(d, None)
+            elif op == 0x14:                        # not
+                a = sym[ops[0]]
+                write_reg(ops[0], ("c", a[1] ^ _M)
+                          if a is not None and a[0] == "c" else None)
+            elif op in (0x15, 0x16):                # shl / shr
+                a = sym[ops[0]]
+                sh = ops[1] & 31
+                if a is not None and a[0] == "c":
+                    v = ((a[1] << sh) & _M) if op == 0x15 else (a[1] >> sh)
+                    write_reg(ops[0], ("c", v))
+                else:
+                    write_reg(ops[0], None)
+            elif op in (0x17, 0x18):                # cmp: flags only
+                continue
+            elif op == 0x27:                        # lea
+                write_reg(ops[0], self._mem_sym(sym, ops[1]))
+            elif op == 0x28:                        # chk: no reg effects
+                continue
+            elif kind in (ControlKind.JUMP, ControlKind.BRANCH,
+                          ControlKind.JUMP_REG):
+                continue
+            elif kind in (ControlKind.CALL, ControlKind.CALL_REG):
+                live.clear()                        # helper writes memory
+                write_reg(8, None)
+            elif kind is ControlKind.RET:
+                write_reg(8, None)
+            else:  # pragma: no cover - recorder filters sys/halt
+                raise _TraceAbort(f"unsupported opcode 0x{op:02x}")
+        self.has_dyn_mem = any(rec[3] is None for rec in self.access_rec)
+
+    @staticmethod
+    def _fold_rr(op, a, b):
+        """Symbolic result of a register-register ALU op (or None)."""
+        if a is not None and b is not None and a[0] == "c" and b[0] == "c":
+            x, y = a[1], b[1]
+            if op == 0x0A:
+                return ("c", (x + y) & _M)
+            if op == 0x0C:
+                return ("c", (x - y) & _M)
+            if op == 0x0E:
+                return ("c", (x * y) & _M)
+            if op == 0x11:
+                return ("c", x & y)
+            if op == 0x12:
+                return ("c", x | y)
+            if op == 0x13:
+                return ("c", x ^ y)
+            return None
+        if op == 0x0A:                              # add: rel + const
+            if (a is not None and a[0] == "r"
+                    and b is not None and b[0] == "c"):
+                return ("r", a[1], a[2] + _signed(b[1]))
+            if (b is not None and b[0] == "r"
+                    and a is not None and a[0] == "c"):
+                return ("r", b[1], b[2] + _signed(a[1]))
+        if op == 0x0C:                              # sub: rel - const
+            if (a is not None and a[0] == "r"
+                    and b is not None and b[0] == "c"):
+                return ("r", a[1], a[2] - _signed(b[1]))
+        return None
+
+    # -- phase B ----------------------------------------------------------------------
+
+    def _build_groups(self) -> None:
+        by_base: dict = {}
+        order: list = []
+        for k, kind, size, basekey, off in self.access_rec:
+            if basekey is None:
+                continue
+            if basekey not in by_base:
+                by_base[basekey] = []
+                order.append(basekey)
+            by_base[basekey].append((k, kind, size, off))
+        for basekey in order:
+            accs = by_base[basekey]
+            min_off = min(off for _, _, _, off in accs)
+            max_end = max(off + size for _, _, size, off in accs)
+            if basekey[0] == "r" and max_end - min_off > _PAGE:
+                continue                            # demoted: dynamic access
+            gid = len(self.groups)
+            group = dict(
+                gid=gid,
+                basekey=basekey,
+                min_off=min_off,
+                max_end=max_end,
+                has_read=any(kind == "r" for _, kind, _, _ in accs),
+                has_write=any(kind == "w" for _, kind, _, _ in accs),
+            )
+            self.groups.append(group)
+            for k, _, _, off in accs:
+                if basekey[0] == "c":
+                    self.access_group[k] = (gid, off & 4095)
+                else:
+                    self.access_group[k] = (gid, off - min_off)
+
+    # -- phase C ----------------------------------------------------------------------
+
+    def compile(self):
+        self._analyze()
+        self._build_groups()
+        source = self._emit()
+        namespace = {"_MF": MachineFault, "_u32": _U32,
+                     "_div": c_div, "_mod": c_mod}
+        exec(compile(source, f"<trace 0x{self.head:08x}>", "exec"), namespace)
+        return source, namespace["_trace"]
+
+    def _emit(self) -> str:
+        steps = self.steps
+        total = len(steps)
+        uses_epoch = self.has_dyn_store or self.mem_writing_helpers
+        needs_fr = any(kind == "r" for _, kind, _, _, _ in self.access_rec)
+        needs_fw = any(kind == "w" for _, kind, _, _, _ in self.access_rec)
+        needs_mem = bool(self.access_rec)
+        needs_cw = any(not g["has_write"] for g in self.groups)
+        out: list[str] = []
+
+        def emit(line: str, ind: int = 3) -> None:
+            out.append("    " * ind + line)
+
+        # Emission-time flag state: None = locals architectural,
+        # "res" = zf/lt pending in _t, ("const", zb, lb) = known.
+        state = {"pending": None, "ult": None}
+
+        def mat_lines() -> list[str]:
+            pending = state["pending"]
+            if pending is None:
+                return []
+            if pending == "res":
+                return ["zf = _t == 0", "lt = _t > 2147483647"]
+            return [f"zf = {pending[1]}", f"lt = {pending[2]}"]
+
+        def mat(ind: int) -> None:
+            for line in mat_lines():
+                emit(line, ind)
+
+        def mat_main() -> None:
+            mat(3)
+            state["pending"] = None
+
+        def flag_exprs() -> tuple[str, str, str]:
+            pending = state["pending"]
+            ult = "ult" if state["ult"] is None else str(state["ult"])
+            if pending == "res":
+                return "(_t == 0)", "(_t > 2147483647)", ult
+            if pending is not None:
+                return str(pending[1]), str(pending[2]), ult
+            return "zf", "lt", ult
+
+        def exit_block(ind: int, ip_expr, retired: str,
+                       current_ip=None, ret: str = "None") -> None:
+            mat(ind)
+            for reg in self.written_regs:
+                emit(f"regs[{reg}] = r{reg}", ind)
+            emit("cpu.zf = zf; cpu.lt = lt; cpu.ult = ult", ind)
+            if current_ip is not None:
+                emit(f"m.current_ip = {current_ip}", ind)
+            emit(f"cpu.ip = {ip_expr}", ind)
+            emit(f"m.instructions_executed += {retired}", ind)
+            emit(f"return {ret}", ind)
+
+        def markers(k: int, ind: int = 3) -> None:
+            irx = steps[k].ir
+            emit(f"m.current_ip = {irx.addr}; n = {k}; "
+                 f"eip = {irx.next_addr}", ind)
+
+        def reg_expr(sym, reg: int) -> str:
+            value = sym.get(reg)
+            if value is not None and value[0] == "c":
+                return str(value[1])
+            return f"r{reg}"
+
+        def addr_line(base: int, disp: int) -> None:
+            if disp == 0:
+                emit(f"_a = r{base}")
+            else:
+                emit(f"_a = (r{base} + {disp & _M}) & 4294967295")
+
+        def group_off(k: int) -> str:
+            gid, delta = self.access_group[k]
+            group = self.groups[gid]
+            if group["basekey"][0] == "c":
+                return str(delta)
+            return f"_o{gid}" if delta == 0 else f"_o{gid} + {delta}"
+
+        def epoch_bail(k: int, ip_expr, ind: int) -> None:
+            emit(f"if m._block_epoch != _e:", ind)
+            exit_block(ind + 1, ip_expr, f"_nb + {k + 1}")
+
+        # -- prologue -----------------------------------------------------------------
+        out.append("def _trace(m, cpu, _lim):")
+        emit("regs = cpu.regs", 1)
+        for reg in self.used_regs:
+            emit(f"r{reg} = regs[{reg}]", 1)
+        emit("zf = cpu.zf; lt = cpu.lt; ult = cpu.ult", 1)
+        emit(f"n = 0; eip = {self.head}; _nb = 0", 1)
+        if self.has_helpers:
+            emit("_hp = 0", 1)
+        if needs_mem:
+            emit("_mem = m.memory._pages", 1)
+            emit("_pk = _u32.pack_into; _up = _u32.unpack_from", 1)
+        if needs_fr:
+            emit("_fr = m.memory._fast_read", 1)
+        if needs_fw:
+            emit("_fw = m.memory._fast_write", 1)
+        if needs_cw:
+            emit("_cw = m.memory._cow_pages", 1)
+        if uses_epoch:
+            emit("_e = m._block_epoch", 1)
+        emit("try:", 1)
+        emit("while True:", 2)
+
+        # -- loop-top page guards -----------------------------------------------------
+        for group in self.groups:
+            gid = group["gid"]
+            basekey = group["basekey"]
+            checks = []
+            if group["has_write"]:
+                checks.append(f"_p{gid} not in _fw")
+            if group["has_read"]:
+                checks.append(f"_p{gid} not in _fr")
+            if not group["has_write"]:
+                checks.append(f"_p{gid} in _cw")
+            if basekey[0] == "c":
+                emit(f"_p{gid} = {basekey[1]}")
+                emit(f"if {' or '.join(checks)}:")
+            else:
+                base = basekey[1]
+                lo = group["min_off"] & _M
+                hi = (group["max_end"] - 1) & _M
+                emit(f"_a{gid} = r{base}" if lo == 0 else
+                     f"_a{gid} = (r{base} + {lo}) & 4294967295")
+                emit(f"_p{gid} = _a{gid} >> 12")
+                span = (f"((r{base} + {hi}) & 4294967295) >> 12 "
+                        f"!= _p{gid}")
+                emit(f"if {span} or {' or '.join(checks)}:")
+            emit("if _nb:", 4)
+            emit(f"m.current_ip = {self.close_ip}", 5)
+            exit_block(4, self.head, "_nb", ret="1")
+            emit(f"_b{gid} = _mem[_p{gid}]")
+            if basekey[0] != "c":
+                emit(f"_o{gid} = _a{gid} & 4095")
+
+        # -- body ---------------------------------------------------------------------
+        for k, step in enumerate(steps):
+            irx = step.ir
+            op = irx.opcode
+            ops = irx.operands
+            kind = irx.kind
+            sym = self.sym_at[k]
+            nxt = irx.next_addr
+            grouped = k in self.access_group
+            fwd = self.load_fwd.get(k)
+            if op in (0x00, 0x29):
+                continue
+            elif op == 0x02:
+                emit(f"r{ops[0]} = r{ops[1]}")
+            elif op == 0x03:
+                emit(f"r{ops[0]} = {ops[1] & _M}")
+            elif op in (0x04, 0x06):                # load / loadb
+                d, mem = ops
+                byte = op == 0x06
+                if grouped:
+                    if fwd is not None:
+                        emit(f"r{d} = {fwd[0]}")
+                    elif byte:
+                        emit(f"r{d} = _b{self.access_group[k][0]}"
+                             f"[{group_off(k)}]")
+                    else:
+                        emit(f"r{d} = _up("
+                             f"_b{self.access_group[k][0]}, "
+                             f"{group_off(k)})[0]")
+                else:
+                    addr_line(mem.base, mem.disp)
+                    if byte:
+                        emit("if _a >> 12 in _fr:")
+                        emit(f"r{d} = " + (fwd[0] if fwd is not None else
+                                           "_mem[_a >> 12][_a & 4095]"), 4)
+                        emit("else:")
+                        mat(4)
+                        markers(k, 4)
+                        emit(f"r{d} = m.read_byte(_a)", 4)
+                    else:
+                        emit("_o = _a & 4095")
+                        emit("if _o <= 4092 and _a >> 12 in _fr:")
+                        emit(f"r{d} = " + (
+                            fwd[0] if fwd is not None else
+                            "_up(_mem[_a >> 12], _o)[0]"), 4)
+                        emit("else:")
+                        mat(4)
+                        markers(k, 4)
+                        emit(f"r{d} = m.read_word(_a)", 4)
+                if k in self.store_temp:
+                    emit(f"_f{k} = {self.store_temp[k]}")
+            elif op in (0x05, 0x07):                # store / storeb
+                s, mem = ops
+                byte = op == 0x07
+                if grouped:
+                    gid = self.access_group[k][0]
+                    if byte:
+                        emit(f"_b{gid}[{group_off(k)}] = r{s} & 255")
+                    else:
+                        emit(f"_pk(_b{gid}, {group_off(k)}, "
+                             f"r{s})")
+                else:
+                    addr_line(mem.base, mem.disp)
+                    if byte:
+                        emit("_pn = _a >> 12")
+                        emit("if _pn in _fw:")
+                        emit(f"_mem[_pn][_a & 4095] = r{s} & 255", 4)
+                        emit("else:")
+                        mat(4)
+                        markers(k, 4)
+                        emit(f"m.write_byte(_a, r{s} & 255)", 4)
+                        epoch_bail(k, nxt, 4)
+                    else:
+                        emit("_o = _a & 4095; _pn = _a >> 12")
+                        emit("if _o <= 4092 and _pn in _fw:")
+                        emit(f"_pk(_mem[_pn], _o, r{s})", 4)
+                        emit("else:")
+                        mat(4)
+                        markers(k, 4)
+                        emit(f"m.write_word(_a, r{s})", 4)
+                        epoch_bail(k, nxt, 4)
+                if k in self.store_temp:
+                    emit(f"_f{k} = {self.store_temp[k]}")
+            elif op == 0x08:                        # push
+                s = ops[0]
+                val = f"r{s}"
+                if s == 8:
+                    emit("_v = r8")
+                    val = "_v"
+                emit("r8 = (r8 - 4) & 4294967295")
+                if grouped:
+                    gid = self.access_group[k][0]
+                    emit(f"_pk(_b{gid}, {group_off(k)}, {val})")
+                else:
+                    emit("_o = r8 & 4095; _pn = r8 >> 12")
+                    emit("if _o <= 4092 and _pn in _fw:")
+                    emit(f"_pk(_mem[_pn], _o, {val})", 4)
+                    emit("else:")
+                    mat(4)
+                    markers(k, 4)
+                    emit(f"m.write_word(r8, {val})", 4)
+                    epoch_bail(k, nxt, 4)
+                if k in self.store_temp:
+                    emit(f"_f{k} = {self.store_temp[k]}")
+            elif op == 0x09:                        # pop
+                d = ops[0]
+                if grouped:
+                    vexpr = (fwd[0] if fwd is not None else
+                             f"_up(_b{self.access_group[k][0]},"
+                             f" {group_off(k)})[0]")
+                    if d == 8:
+                        emit(f"r8 = {vexpr}")
+                    else:
+                        emit(f"r{d} = {vexpr}")
+                        emit("r8 = (r8 + 4) & 4294967295")
+                else:
+                    emit("_o = r8 & 4095")
+                    emit("if _o <= 4092 and r8 >> 12 in _fr:")
+                    emit("_v = " + (fwd[0] if fwd is not None else
+                                    "_up(_mem[r8 >> 12], "
+                                    "_o)[0]"), 4)
+                    emit("else:")
+                    mat(4)
+                    markers(k, 4)
+                    emit("_v = m.read_word(r8)", 4)
+                    if d == 8:
+                        emit("r8 = _v")
+                    else:
+                        emit("r8 = (r8 + 4) & 4294967295")
+                        emit(f"r{d} = _v")
+                if k in self.store_temp:
+                    emit(f"_f{k} = {self.store_temp[k]}")
+            elif op in _ARITH_RR or op in _LOGIC_RR:
+                d, s = ops
+                res = self._fold_rr(op, sym.get(d), sym.get(s))
+                if res is not None and res[0] == "c":
+                    emit(f"r{d} = {res[1]}")
+                    state["pending"] = ("const", res[1] == 0,
+                                        res[1] > 0x7FFFFFFF)
+                else:
+                    ea, eb = reg_expr(sym, d), reg_expr(sym, s)
+                    if op in _ARITH_RR:
+                        emit(f"_t = ({ea} {_ARITH_RR[op]} {eb})"
+                             " & 4294967295")
+                    else:
+                        emit(f"_t = {ea} {_LOGIC_RR[op]} {eb}")
+                    emit(f"r{d} = _t")
+                    state["pending"] = "res"
+            elif op in _ARITH_RI:
+                d = ops[0]
+                imm = ops[1] & _M
+                a = sym.get(d)
+                if a is not None and a[0] == "c":
+                    v = ((a[1] + imm) if op == 0x0B else (a[1] - imm)) & _M
+                    emit(f"r{d} = {v}")
+                    state["pending"] = ("const", v == 0, v > 0x7FFFFFFF)
+                else:
+                    emit(f"_t = (r{d} {_ARITH_RI[op]} {imm})"
+                         " & 4294967295")
+                    emit(f"r{d} = _t")
+                    state["pending"] = "res"
+            elif op in (0x0F, 0x10):                # div / mod
+                mat_main()
+                markers(k)
+                helper = "_div" if op == 0x0F else "_mod"
+                emit(f"_t = {helper}(r{ops[0]}, r{ops[1]})")
+                emit(f"r{ops[0]} = _t")
+                state["pending"] = "res"
+            elif op == 0x14:                        # not
+                d = ops[0]
+                a = sym.get(d)
+                if a is not None and a[0] == "c":
+                    v = a[1] ^ _M
+                    emit(f"r{d} = {v}")
+                    state["pending"] = ("const", v == 0, v > 0x7FFFFFFF)
+                else:
+                    emit(f"_t = r{d} ^ 4294967295")
+                    emit(f"r{d} = _t")
+                    state["pending"] = "res"
+            elif op in (0x15, 0x16):                # shl / shr
+                d = ops[0]
+                sh = ops[1] & 31
+                a = sym.get(d)
+                if a is not None and a[0] == "c":
+                    v = ((a[1] << sh) & _M) if op == 0x15 else (a[1] >> sh)
+                    emit(f"r{d} = {v}")
+                    state["pending"] = ("const", v == 0, v > 0x7FFFFFFF)
+                else:
+                    if op == 0x15:
+                        emit(f"_t = (r{d} << {sh}) & 4294967295")
+                    else:
+                        emit(f"_t = r{d} >> {sh}")
+                    emit(f"r{d} = _t")
+                    state["pending"] = "res"
+            elif op in (0x17, 0x18):                # cmp rr / cmp ri
+                if op == 0x17:
+                    a, b = sym.get(ops[0]), sym.get(ops[1])
+                    eb = reg_expr(sym, ops[1])
+                else:
+                    a, b = sym.get(ops[0]), ("c", ops[1] & _M)
+                    eb = str(ops[1] & _M)
+                ea = reg_expr(sym, ops[0])
+                if (a is not None and a[0] == "c"
+                        and b is not None and b[0] == "c"):
+                    x, y = a[1], b[1]
+                    zv, lv, uv = (x == y,
+                                  (x ^ _SIGN) < (y ^ _SIGN), x < y)
+                    emit(f"zf = {zv}; lt = {lv}; ult = {uv}")
+                    state["ult"] = uv
+                else:
+                    eax = (str(a[1] ^ _SIGN) if a is not None
+                           and a[0] == "c" else f"({ea} ^ 2147483648)")
+                    ebx = (str(b[1] ^ _SIGN) if b is not None
+                           and b[0] == "c" else f"({eb} ^ 2147483648)")
+                    if b is not None and b[0] == "c" and b[1] == 0:
+                        # Nothing unsigned is below zero.
+                        emit(f"zf = {ea} == 0; lt = {eax} < {ebx}; "
+                             "ult = False")
+                        state["ult"] = False
+                    else:
+                        emit(f"zf = {ea} == {eb}; lt = {eax} < {ebx}; "
+                             f"ult = {ea} < {eb}")
+                        state["ult"] = None
+                state["pending"] = None
+            elif op == 0x27:                        # lea
+                d, mem = ops
+                a = sym.get(mem.base)
+                if a is not None and a[0] == "c":
+                    emit(f"r{d} = {(a[1] + mem.disp) & _M}")
+                elif mem.disp == 0:
+                    emit(f"r{d} = r{mem.base}")
+                else:
+                    emit(f"r{d} = (r{mem.base} + {mem.disp & _M})"
+                         " & 4294967295")
+            elif op == 0x28:                        # chk
+                mat_main()
+                markers(k)
+                emit(f"m.bounds_check(r{ops[0]}, {ops[1] & _M})")
+            elif kind is ControlKind.JUMP:
+                continue
+            elif kind is ControlKind.BRANCH:
+                taken = step.observed == irx.target
+                other = irx.next_addr if taken else irx.target
+                pending = state["pending"]
+                zk = lk = None
+                if pending is not None and pending != "res":
+                    zk, lk = pending[1], pending[2]
+                known = {"zf": zk is not None, "lt": lk is not None,
+                         "ult": state["ult"] is not None}
+                if all(known[f] for f in _COND_NEEDS[op]):
+                    if _cond_value(op, bool(zk), bool(lk),
+                                   state["ult"]) != taken:
+                        raise _TraceAbort("static branch contradicts "
+                                          "recording")
+                    continue                        # guard always holds
+                zfE, ltE, ultE = flag_exprs()
+                cond = _cond_expr(op, zfE, ltE, ultE)
+                emit(f"if not ({cond}):" if taken else f"if ({cond}):")
+                exit_block(4, other, f"_nb + {k + 1}",
+                           current_ip=irx.addr)
+            elif kind is ControlKind.JUMP_REG:
+                mat_main()
+                markers(k)
+                emit(f"_j = r{ops[0]}")
+                emit("m.check_indirect_target(_j)")
+                emit(f"if _j != {step.observed}:")
+                exit_block(4, "_j", f"_nb + {k + 1}")
+            elif kind is ControlKind.CALL:
+                mat_main()
+                markers(k)
+                emit("regs[8] = r8")
+                emit("_hp = 1")
+                emit(f"m.push_return_address({nxt})")
+                emit("r8 = regs[8]")
+                emit("_hp = 0")
+                epoch_bail(k, irx.target, 3)
+            elif kind is ControlKind.CALL_REG:
+                mat_main()
+                markers(k)
+                emit(f"_j = r{ops[0]}")
+                emit("m.check_indirect_target(_j)")
+                emit("regs[8] = r8")
+                emit("_hp = 1")
+                emit(f"m.push_return_address({nxt})")
+                emit("r8 = regs[8]")
+                emit("_hp = 0")
+                emit(f"if _j != {step.observed} or m._block_epoch != _e:")
+                exit_block(4, "_j", f"_nb + {k + 1}")
+            elif kind is ControlKind.RET:
+                mat_main()
+                markers(k)
+                emit("regs[8] = r8")
+                emit("_hp = 1")
+                emit("_j = m.pop_return_address()")
+                emit("r8 = regs[8]")
+                emit("_hp = 0")
+                emit(f"if _j != {step.observed}:")
+                exit_block(4, "_j", f"_nb + {k + 1}")
+            else:  # pragma: no cover - recorder filters sys/halt
+                raise _TraceAbort(f"unsupported kind {kind}")
+
+        # -- loop close ---------------------------------------------------------------
+        mat_main()
+        emit(f"_nb += {total}")
+        emit(f"if _nb + {total} > _lim:")
+        exit_block(4, self.head, "_nb", current_ip=self.close_ip)
+
+        # -- fault handler ------------------------------------------------------------
+        emit("except _MF:", 1)
+        for reg in self.written_regs:
+            if reg == 8 and self.has_helpers:
+                emit("if not _hp:", 2)
+                emit("regs[8] = r8", 3)
+            else:
+                emit(f"regs[{reg}] = r{reg}", 2)
+        emit("cpu.zf = zf; cpu.lt = lt; cpu.ult = ult", 2)
+        emit("cpu.ip = eip", 2)
+        emit("m.instructions_executed += _nb + n", 2)
+        emit("raise", 2)
+        return "\n".join(out) + "\n"

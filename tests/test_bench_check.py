@@ -5,32 +5,67 @@ from __future__ import annotations
 import json
 
 from benchmarks.run_benchmarks import (
-    best_recorded_rate,
+    BASELINE_WINDOW,
+    MIN_TRACE_SPEEDUP,
+    baseline_rate,
     check_regression,
     load_previous,
     write_tracking_file,
 )
 
 
-def entry(rate: float) -> dict:
-    return {"interpreter": {"instructions_per_second": rate}}
+def entry(rate: float, timestamp: str = "?") -> dict:
+    made = {"interpreter": {"instructions_per_second": rate}}
+    if timestamp != "?":
+        made["timestamp"] = timestamp
+    return made
 
 
-class TestBestRecordedRate:
+class TestBaselineRate:
     def test_none_without_file(self):
-        assert best_recorded_rate(None) is None
+        assert baseline_rate(None) == (None, [])
 
-    def test_picks_best_across_history_and_current(self):
+    def test_median_across_history_and_current(self):
         previous = {
             "current": entry(500_000.0),
             "history": [entry(100_000.0), entry(650_000.0)],
         }
-        assert best_recorded_rate(previous) == 650_000.0
+        baseline, used = baseline_rate(previous)
+        assert baseline == 500_000.0
+        assert len(used) == 3
 
     def test_skips_entries_without_interpreter_numbers(self):
         previous = {"current": {"compile_pipeline": {}},
                     "history": [entry(50_000.0)]}
-        assert best_recorded_rate(previous) == 50_000.0
+        baseline, used = baseline_rate(previous)
+        assert baseline == 50_000.0
+        assert len(used) == 1
+
+    def test_window_drops_old_entries(self):
+        # One ancient lucky run must not set the floor forever: only
+        # the last BASELINE_WINDOW entries feed the median.
+        history = [entry(9_999_999.0)] + [entry(100_000.0)] * BASELINE_WINDOW
+        previous = {"current": None, "history": history}
+        baseline, used = baseline_rate(previous)
+        assert baseline == 100_000.0
+        assert len(used) == BASELINE_WINDOW
+
+    def test_median_resists_one_outlier_inside_window(self):
+        previous = {
+            "current": entry(100_000.0),
+            "history": [entry(98_000.0), entry(9_999_999.0),
+                        entry(102_000.0)],
+        }
+        baseline, _ = baseline_rate(previous)
+        assert baseline == 101_000.0
+
+    def test_used_entries_carry_timestamps(self):
+        previous = {"current": entry(2.0, "2026-01-02"),
+                    "history": [entry(1.0, "2026-01-01")]}
+        _, used = baseline_rate(previous)
+        assert [item["timestamp"] for item in used] == [
+            "2026-01-01", "2026-01-02"]
+        assert [item["rate"] for item in used] == [1.0, 2.0]
 
 
 class TestCheckRegression:
@@ -66,20 +101,44 @@ class TestBlockSection:
                         "block": {"instructions_per_second": 3_000_000.0}},
             "history": [entry(900_000.0)],
         }
-        assert best_recorded_rate(previous) == 900_000.0
-        assert best_recorded_rate(previous, "block") == 3_000_000.0
+        assert baseline_rate(previous)[0] == 850_000.0
+        assert baseline_rate(previous, "block")[0] == 3_000_000.0
 
     def test_no_block_baseline_in_old_history(self):
         # Tracking files written before the block cache existed have
         # interpreter-only entries; the block gate must pass then.
         previous = {"current": entry(800_000.0), "history": [entry(700_000.0)]}
-        assert best_recorded_rate(previous, "block") is None
+        assert baseline_rate(previous, "block") == (None, [])
         assert check_regression(3_000_000.0, None, section="block") is None
 
     def test_message_names_the_section(self):
         message = check_regression(1_000_000.0, 3_000_000.0, section="block")
         assert message is not None
         assert "block throughput" in message
+
+
+class TestTraceSection:
+    """The trace-JIT leg is gated like the others, plus a speedup floor."""
+
+    def trace_entry(self, rate: float) -> dict:
+        return {"trace": {"instructions_per_second": rate,
+                          "speedup_vs_block": 2.6}}
+
+    def test_trace_rate_tracked_separately(self):
+        previous = {"current": self.trace_entry(10_000_000.0), "history": []}
+        assert baseline_rate(previous, "trace")[0] == 10_000_000.0
+
+    def test_no_trace_baseline_in_old_history(self):
+        # Entries written before the trace tier existed must not trip
+        # the gate on the first traced run.
+        previous = {"current": entry(800_000.0), "history": []}
+        assert baseline_rate(previous, "trace") == (None, [])
+        assert check_regression(10_000_000.0, None, section="trace") is None
+
+    def test_speedup_floor_is_meaningful(self):
+        # The gate's reason to exist: a trace tier slower than 2.5x
+        # block dispatch is a regression even if insns/s held steady.
+        assert MIN_TRACE_SPEEDUP >= 2.5
 
 
 class TestFuzzSection:
@@ -91,11 +150,11 @@ class TestFuzzSection:
                         "fuzz": {"execs_per_second": 4_000.0}},
             "history": [],
         }
-        assert best_recorded_rate(previous, "fuzz") == 4_000.0
+        assert baseline_rate(previous, "fuzz")[0] == 4_000.0
 
     def test_no_fuzz_baseline_in_old_history(self):
         previous = {"current": entry(800_000.0), "history": []}
-        assert best_recorded_rate(previous, "fuzz") is None
+        assert baseline_rate(previous, "fuzz") == (None, [])
         assert check_regression(4_000.0, None, section="fuzz") is None
 
     def test_message_uses_execs_unit(self):
@@ -123,7 +182,7 @@ class TestTrackingFile:
         path = str(tmp_path / "bench.json")
         write_tracking_file(path, entry(666_000.0))
         previous = load_previous(path)
-        baseline = best_recorded_rate(previous)
+        baseline, _ = baseline_rate(previous)
         assert check_regression(640_000.0, baseline) is None
         assert check_regression(500_000.0, baseline) is not None
 

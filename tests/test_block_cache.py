@@ -23,8 +23,12 @@ STACK_TOP = 0x0020F000
 
 def rwx_machine(**config_kwargs) -> Machine:
     # White-box suite: force translation on (explicit config beats the
-    # REPRO_BLOCK_CACHE env leg CI runs) unless a test opts out.
+    # REPRO_BLOCK_CACHE env leg CI runs) unless a test opts out.  The
+    # trace tier is pinned off so block mechanics stay observable --
+    # installing a trace deliberately drops the loop head's block
+    # (tests/test_trace_jit.py covers that hand-off).
     config_kwargs.setdefault("block_cache", True)
+    config_kwargs.setdefault("trace_jit", False)
     machine = Machine(MachineConfig(**config_kwargs))
     machine.memory.map_region(CODE, 0x1000, PERM_RWX)
     machine.memory.map_region(STACK_BASE, 0x10000, PERM_RW)

@@ -1,0 +1,160 @@
+"""Unit tests for the decoded IR layer (repro.machine.ir).
+
+The IR's def/use and control metadata drive both translation tiers:
+the superblock builder consumes ``ends_block``/``lift_block`` and the
+trace compiler consumes register effects and FLAGS liveness.  A wrong
+``reads``/``writes`` set silently miscompiles, so the effects are
+pinned per instruction class here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Mem, R0, R1, R2, R3, build, encode_many
+from repro.machine import Machine, MachineConfig
+from repro.machine.ir import (
+    BRANCH_FLAGS_READ,
+    COMPARE_FLAGS,
+    ControlKind,
+    RESULT_FLAGS,
+    lift,
+    lift_at,
+    lift_block,
+)
+from repro.machine.memory import PERM_RWX
+
+CODE = 0x1000
+
+
+def lift_one(insn, addr=CODE):
+    return lift(insn, addr)
+
+
+class TestRegisterEffects:
+    def test_mov_ri_writes_only(self):
+        irx = lift_one(build.mov_ri(R2, 7))
+        assert irx.reads == frozenset()
+        assert irx.writes == {R2}
+
+    def test_mov_rr_reads_source(self):
+        irx = lift_one(build.mov_rr(R2, R3))
+        assert irx.reads == {R3}
+        assert irx.writes == {R2}
+
+    def test_load_reads_base_writes_dest(self):
+        irx = lift_one(build.load(R0, Mem(R1, 8)))
+        assert irx.reads == {R1}
+        assert irx.writes == {R0}
+
+    def test_store_reads_both_writes_none(self):
+        irx = lift_one(build.store(R0, Mem(R1, 8)))
+        assert irx.reads == {R0, R1}
+        assert irx.writes == frozenset()
+
+    def test_push_reads_source_and_sp_writes_sp(self):
+        irx = lift_one(build.push(R3))
+        assert irx.reads == {R3, 8}
+        assert irx.writes == {8}
+
+    def test_pop_reads_sp_writes_dest_and_sp(self):
+        irx = lift_one(build.pop(R3))
+        assert irx.reads == {8}
+        assert irx.writes == {R3, 8}
+
+    def test_alu_rr_reads_both_writes_dest(self):
+        irx = lift_one(build.add_rr(R0, R1))
+        assert irx.reads == {R0, R1}
+        assert irx.writes == {R0}
+
+    def test_call_touches_sp(self):
+        irx = lift_one(build.call_abs(0x2000))
+        assert 8 in irx.reads and 8 in irx.writes
+
+    def test_ret_touches_sp(self):
+        irx = lift_one(build.ret())
+        assert 8 in irx.reads and 8 in irx.writes
+
+
+class TestFlagEffects:
+    def test_arith_writes_result_flags(self):
+        assert lift_one(build.add_ri(R0, 1)).flags_written == RESULT_FLAGS
+
+    def test_cmp_writes_all_flags(self):
+        assert lift_one(build.cmp_ri(R0, 5)).flags_written == COMPARE_FLAGS
+
+    def test_mov_writes_no_flags(self):
+        assert lift_one(build.mov_ri(R0, 5)).flags_written == frozenset()
+
+    def test_branches_read_their_predicate(self):
+        assert lift_one(build.jz(0x2000)).flags_read == {"zf"}
+        assert lift_one(build.jle(0x2000)).flags_read == {"zf", "lt"}
+        assert lift_one(build.jb(0x2000)).flags_read == {"ult"}
+        # The table drives the trace compiler's lazy-flag decisions:
+        # every conditional branch opcode must appear in it.
+        assert len(BRANCH_FLAGS_READ) == 8
+
+
+class TestControlKinds:
+    def test_straight_line(self):
+        irx = lift_one(build.add_ri(R0, 1))
+        assert irx.kind is ControlKind.FALL
+        assert not irx.ends_block
+        assert irx.next_addr == CODE + irx.length
+
+    def test_branch_has_both_edges(self):
+        irx = lift_one(build.jnz(0x2000))
+        assert irx.kind is ControlKind.BRANCH
+        assert irx.target == 0x2000
+        assert irx.next_addr == CODE + irx.length
+        assert irx.ends_block
+
+    def test_call_is_a_block_end_with_target(self):
+        irx = lift_one(build.call_abs(0x2000))
+        assert irx.kind is ControlKind.CALL
+        assert irx.target == 0x2000
+
+    def test_indirect_kinds(self):
+        assert lift_one(build.jmp_reg(R1)).kind is ControlKind.JUMP_REG
+        assert lift_one(build.call_reg(R1)).kind is ControlKind.CALL_REG
+        assert lift_one(build.ret()).kind is ControlKind.RET
+        assert lift_one(build.sys(3)).kind is ControlKind.SYS
+        assert lift_one(build.halt()).kind is ControlKind.HALT
+
+
+class TestLiftingFromMemory:
+    def machine(self, insns):
+        machine = Machine(MachineConfig(block_cache=False))
+        machine.memory.map_region(CODE, 0x1000, PERM_RWX)
+        machine.memory.write_bytes(CODE, encode_many(insns))
+        return machine
+
+    def test_lift_at_roundtrips_encoding(self):
+        machine = self.machine([build.mov_ri(R0, 42)])
+        irx = lift_at(machine.memory, CODE)
+        assert irx.opcode == 0x03
+        assert irx.operands == (R0, 42)
+
+    def test_lift_at_unmapped_returns_none(self):
+        machine = self.machine([build.nop()])
+        assert lift_at(machine.memory, 0x9000) is None
+
+    def test_lift_at_undecodable_returns_none(self):
+        machine = self.machine([build.nop()])
+        machine.memory.write_bytes(CODE, b"\xff")
+        assert lift_at(machine.memory, CODE) is None
+
+    def test_lift_block_stops_at_terminator(self):
+        machine = self.machine([
+            build.mov_ri(R0, 1),
+            build.add_ri(R0, 2),
+            build.jmp_abs(CODE),
+            build.nop(),                    # unreachable: not lifted
+        ])
+        insns = lift_block(machine.memory, CODE, 64, set())
+        assert [irx.opcode for irx in insns] == [0x03, 0x0B, 0x19]
+
+    def test_lift_block_respects_cap(self):
+        machine = self.machine([build.nop()] * 32 + [build.halt()])
+        insns = lift_block(machine.memory, CODE, 8, set())
+        assert len(insns) == 8
