@@ -19,8 +19,10 @@ Options::
     --quick          fewer benchmark rounds, for a fast smoke reading
     --check          exit non-zero if any tracked throughput section
                      regressed more than 10% against the median of the
-                     last few recorded runs, or if the trace-JIT leg
-                     fails to beat the block leg by MIN_TRACE_SPEEDUP
+                     last few recorded runs, if the trace-JIT leg
+                     fails to beat the block leg by MIN_TRACE_SPEEDUP,
+                     or if invariant-monitored dispatch costs more than
+                     MAX_MONITOR_OVERHEAD x the detached block leg
 """
 
 from __future__ import annotations
@@ -69,6 +71,7 @@ THROUGHPUT_SECTIONS = {
     "test_bench_interpreter_throughput": "interpreter",
     "test_bench_block_throughput": "block",
     "test_bench_trace_throughput": "trace",
+    "test_bench_monitored_throughput": "monitored",
 }
 
 #: Campaign trial benchmarks (measured in trials/second, not insns/s).
@@ -90,6 +93,11 @@ MIN_SNAPSHOT_SPEEDUP = 20.0
 #: The trace-JIT leg must beat the block leg by at least this factor
 #: for ``--check`` to pass (the tier's reason to exist).
 MIN_TRACE_SPEEDUP = 2.5
+
+#: Invariant-monitored block dispatch may cost at most this factor
+#: vs the detached block leg for ``--check`` to pass -- the monitors
+#: are only "always-on" if riding along stays cheap.
+MAX_MONITOR_OVERHEAD = 3.0
 
 #: How many recent runs feed the regression baseline.  Gating against
 #: the *median* of a window -- not the all-time best -- keeps one
@@ -158,6 +166,9 @@ def summarize(raw: dict) -> dict:
     blocked = summary.get("block", {}).get("instructions_per_second")
     if traced and blocked:
         summary["trace"]["speedup_vs_block"] = traced / blocked
+    watched = summary.get("monitored", {}).get("instructions_per_second")
+    if watched and blocked:
+        summary["monitored"]["overhead_vs_block"] = blocked / watched
     # Echo the dispatch configuration the throughput legs ran with.
     for bench in raw.get("benchmarks", []):
         config = bench.get("extra_info", {}).get("config")
@@ -282,13 +293,17 @@ def main() -> None:
 
     compile_mean = summary.get("compile_pipeline", {}).get("mean_seconds")
     print(f"wrote {args.output}")
-    for section in ("interpreter", "block", "trace"):
+    for section in ("interpreter", "block", "trace", "monitored"):
         rate = summary.get(section, {}).get("instructions_per_second")
         if rate:
             print(f"{section} throughput: ~{rate:,.0f} instructions/second")
     trace_speedup = summary.get("trace", {}).get("speedup_vs_block")
     if trace_speedup:
         print(f"trace JIT vs block translation: {trace_speedup:.2f}x")
+    monitor_overhead = summary.get("monitored", {}).get("overhead_vs_block")
+    if monitor_overhead:
+        print(f"invariant monitor vs detached block leg: "
+              f"{monitor_overhead:.2f}x overhead")
     if compile_mean:
         print(f"compile pipeline latency: {compile_mean * 1000:.2f} ms")
     speedup = summary.get("snapshot", {}).get("speedup_vs_cold")
@@ -304,7 +319,8 @@ def main() -> None:
 
     if args.check:
         failed = False
-        for section in ("interpreter", "block", "trace", "snapshot", "fuzz"):
+        for section in ("interpreter", "block", "trace", "monitored",
+                        "snapshot", "fuzz"):
             rate = _rate(summary, section)
             baseline, used = baseline_rate(previous, section)
             message = check_regression(rate, baseline, section=section)
@@ -343,6 +359,17 @@ def main() -> None:
             else:
                 print(f"check: trace speedup OK ({trace_speedup:.2f}x >= "
                       f"{MIN_TRACE_SPEEDUP:.1f}x vs block translation)")
+        if monitor_overhead is not None:
+            if monitor_overhead > MAX_MONITOR_OVERHEAD:
+                print(f"REGRESSION: invariant monitoring costs "
+                      f"{monitor_overhead:.2f}x the detached block leg "
+                      f"(ceiling: {MAX_MONITOR_OVERHEAD:.1f}x)",
+                      file=sys.stderr)
+                failed = True
+            else:
+                print(f"check: monitor overhead OK "
+                      f"({monitor_overhead:.2f}x <= "
+                      f"{MAX_MONITOR_OVERHEAD:.1f}x vs detached block leg)")
         if failed:
             raise SystemExit(1)
 

@@ -11,7 +11,9 @@ trace tier off, preserving that leg's pre-trace history; ``trace``
 measures the full default pipeline (superblocks + the tier-2 trace
 JIT, tests/test_differential_trace.py proves it observationally
 identical).  The --check gate requires the trace leg to beat the block
-leg by MIN_TRACE_SPEEDUP in run_benchmarks.py.
+leg by MIN_TRACE_SPEEDUP in run_benchmarks.py.  A fourth ``monitored``
+leg prices always-on invariant monitoring over superblock dispatch
+(gated at MAX_MONITOR_OVERHEAD x the detached block leg).
 
 The ``snapshot`` pair prices repeated-trial campaigns: one warm
 copy-on-write restore per trial versus a full compile+link+load
@@ -87,6 +89,41 @@ def test_bench_block_throughput(benchmark):
 def test_bench_trace_throughput(benchmark):
     _bench_throughput(benchmark, "trace-jit", block_cache=True,
                       trace_jit=True)
+
+
+def test_bench_monitored_throughput(benchmark):
+    """Superblock dispatch with the invariant monitor riding along.
+
+    The monitor is dispatch-transparent, so blocks stay on and the
+    cost is the baked-in control-transfer events plus the checked
+    memory accessors.  The --check gate in run_benchmarks.py bounds
+    this leg at MAX_MONITOR_OVERHEAD x the detached block leg --
+    the price of always-on monitoring must stay small enough to
+    actually leave it always on.
+    """
+    from repro.observe import InvariantMonitor
+
+    def run_once():
+        program = _build()
+        config = program.machine.config
+        config.block_cache = True
+        config.trace_jit = False
+        monitor = InvariantMonitor()
+        program.machine.attach_observer(monitor)
+        monitor.bind_program(program)
+        result = program.run(10_000_000)
+        assert result.exit_code == 0
+        assert monitor.total_breaches() == 0
+        return result.instructions
+
+    instructions = benchmark(run_once)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = instructions / benchmark.stats.stats.mean
+        benchmark.extra_info["instructions_per_run"] = instructions
+        benchmark.extra_info["instructions_per_second"] = rate
+        print(f"\nmonitored throughput: ~{rate:,.0f} instructions/second "
+              f"({instructions} instructions per run)")
+    assert instructions > 100_000
 
 
 def test_bench_compile_pipeline(benchmark):

@@ -35,7 +35,7 @@ order.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Callable
 
@@ -50,6 +50,7 @@ from repro.observe.coverage import (
     CrashSite,
     has_new_bits,
 )
+from repro.observe.invariants import InvariantMonitor
 from repro.programs.builders import build_victim, libc_object
 
 #: Faults that count as the fuzzer *detecting* a bug.  An execution
@@ -104,14 +105,21 @@ class SourceFactory:
 @dataclass(frozen=True)
 class InstrumentedFactory:
     """Wraps a target factory to attach a fresh coverage observer
-    before the campaign session takes its baseline snapshot."""
+    (and, with ``invariants``, an :class:`InvariantMonitor`) before
+    the campaign session takes its baseline snapshot."""
 
     base: Callable
+    invariants: bool = False
 
     def __call__(self):
         target = self.base()
         machine = getattr(target, "machine", target)
         machine.attach_observer(CoverageObserver())
+        if self.invariants:
+            monitor = InvariantMonitor()
+            machine.attach_observer(monitor)
+            if hasattr(target, "image"):
+                monitor.bind_program(target)
         return target
 
 
@@ -120,6 +128,13 @@ def _coverage_observer(machine) -> CoverageObserver:
         if isinstance(observer, CoverageObserver):
             return observer
     raise ValueError("machine has no CoverageObserver attached")
+
+
+def _invariant_monitor(machine) -> InvariantMonitor | None:
+    for observer in machine.observers:
+        if isinstance(observer, InvariantMonitor):
+            return observer
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -143,6 +158,7 @@ class SnapshotExecutor:
         factory: Callable,
         *,
         observer: CoverageObserver | None = None,
+        invariants: bool = False,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
     ) -> None:
         self.target = factory()
@@ -150,6 +166,12 @@ class SnapshotExecutor:
         self.observer = observer
         if observer is not None:
             self.machine.attach_observer(observer)
+        self.monitor: InvariantMonitor | None = None
+        if invariants:
+            self.monitor = InvariantMonitor()
+            self.machine.attach_observer(self.monitor)
+            if hasattr(self.target, "image"):
+                self.monitor.bind_program(self.target)
         self.baseline = self.machine.snapshot()
         self.max_instructions = max_instructions
         #: Total inputs executed through this executor.
@@ -184,12 +206,21 @@ class ExecOutcome:
         return self.fault is not None and self.fault not in _NON_DETECTIONS
 
 
-def outcome_of(observer: CoverageObserver, result: RunResult) -> ExecOutcome:
+def outcome_of(observer: CoverageObserver, result: RunResult,
+               monitor: InvariantMonitor | None = None) -> ExecOutcome:
+    crash_site = observer.crash_site
+    if monitor is not None and crash_site is not None:
+        first = monitor.first_breach
+        if first is not None:
+            # First-breach attribution extends the dedup key: the same
+            # faulting PC reached via a canary clobber and via a plain
+            # wild write are different bugs.
+            crash_site = replace(crash_site, first_breach=first.invariant)
     return ExecOutcome(
         status=result.status.value,
         fault=type(result.fault).__name__ if result.fault else None,
         edges=observer.edge_items(),
-        crash_site=observer.crash_site,
+        crash_site=crash_site,
         instructions=result.instructions,
     )
 
@@ -212,7 +243,7 @@ class CoverageTrial:
         observer.begin_run()
         machine.input.feed(data)
         result = machine.run(self.max_instructions)
-        return outcome_of(observer, result)
+        return outcome_of(observer, result, _invariant_monitor(machine))
 
 
 # ---------------------------------------------------------------------------
@@ -344,6 +375,7 @@ class GreyboxFuzzer:
         max_len: int = 96,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         jobs: int | None = None,
+        invariants: bool = False,
         program: str = "?",
         config: str = "?",
     ) -> None:
@@ -353,6 +385,7 @@ class GreyboxFuzzer:
         self.max_len = max_len
         self.max_instructions = max_instructions
         self.jobs = jobs
+        self.invariants = invariants
         self.program = program
         self.config = config
         self._executor: SnapshotExecutor | None = None
@@ -371,6 +404,7 @@ class GreyboxFuzzer:
             self._observer = CoverageObserver()
             self._executor = SnapshotExecutor(
                 self.factory, observer=self._observer,
+                invariants=self.invariants,
                 max_instructions=self.max_instructions,
             )
         return self._executor
@@ -382,7 +416,8 @@ class GreyboxFuzzer:
         outcomes = []
         for data in batch:
             result = executor.run(data)
-            outcomes.append(outcome_of(self._observer, result))
+            outcomes.append(
+                outcome_of(self._observer, result, executor.monitor))
         return outcomes
 
     # -- mutation stages -----------------------------------------------------
@@ -516,7 +551,7 @@ class GreyboxFuzzer:
         runner = None
         if self.jobs and self.jobs > 1:
             runner = CampaignRunner(
-                InstrumentedFactory(self.factory),
+                InstrumentedFactory(self.factory, invariants=self.invariants),
                 trial=CoverageTrial(self.max_instructions),
                 jobs=self.jobs,
             ).__enter__()
@@ -546,7 +581,8 @@ class GreyboxFuzzer:
             executor = self._local_executor()
 
             def run_outcome(data: bytes) -> ExecOutcome:
-                return outcome_of(self._observer, executor.run(data))
+                return outcome_of(self._observer, executor.run(data),
+                                  executor.monitor)
 
             for record in crashes.values():
                 record.minimized, used = minimize_input(

@@ -46,8 +46,11 @@ def run_e1() -> str:
             + "\n\n" + fig1.attack_provenance().render())
 
 
-def run_e4(jobs: int | None = None) -> str:
-    return matrix.render_matrix(matrix.run_matrix(jobs=jobs))
+def run_e4(jobs: int | None = None, invariants: bool = False) -> str:
+    return matrix.render_matrix(
+        matrix.run_matrix(jobs=jobs, invariants=invariants),
+        invariants=invariants,
+    )
 
 
 def run_e5() -> str:
@@ -199,6 +202,10 @@ def main(argv: list[str]) -> int:
                              "(default: cpu count; observed runs via "
                              "--trace-out/--jsonl-out/--metrics are always "
                              "sequential)")
+    parser.add_argument("--invariants", action="store_true",
+                        help="ride an InvariantMonitor on every machine "
+                             "the attack matrix (e4) builds and print the "
+                             "first-invariant-broken attribution table")
     parser.add_argument("--seed", type=int, default=None, metavar="N",
                         help="base seed for the randomised experiments "
                              "(e6 sweep seeds, campaign trial streams); "
@@ -237,7 +244,8 @@ def main(argv: list[str]) -> int:
             banner = f"==== {key.upper()} :: {title} "
             print(banner + "=" * max(0, 78 - len(banner)))
             if key == "e4":
-                print(run_e4(jobs=options.jobs))
+                print(run_e4(jobs=options.jobs,
+                             invariants=options.invariants))
             elif key == "campaign":
                 print(run_campaign(jobs=options.jobs, seed=options.seed))
             elif key == "fuzz":

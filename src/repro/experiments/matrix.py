@@ -63,6 +63,10 @@ class MatrixCell:
     attack: str
     preset: str
     result: AttackResult
+    #: ``invariant@ip`` label of the first security invariant the cell's
+    #: victim broke (None when invariant monitoring was off or nothing
+    #: was breached).
+    first_breach: str | None = None
 
 
 def _run_cell(task: tuple) -> MatrixCell:
@@ -74,18 +78,42 @@ def _run_cell(task: tuple) -> MatrixCell:
     pipelines -- parallel or not -- to honour them).
     """
     (attack_fn, attack_name, preset_name, preset, seed,
-     decode_default, block_default) = task
+     decode_default, block_default, invariants) = task
     import repro.machine.machine as machine_module
 
     machine_module.DECODE_CACHE_DEFAULT = decode_default
     machine_module.BLOCK_CACHE_DEFAULT = block_default
-    return MatrixCell(attack_name, preset_name, attack_fn(preset, seed=seed))
+    if not invariants:
+        return MatrixCell(attack_name, preset_name,
+                          attack_fn(preset, seed=seed))
+
+    from repro.observe import InvariantMonitor, observe_new_machines
+
+    monitors: list[InvariantMonitor] = []
+
+    def factory(machine) -> InvariantMonitor:
+        monitor = InvariantMonitor()
+        monitors.append(monitor)
+        return monitor
+
+    with observe_new_machines(factory):
+        result = attack_fn(preset, seed=seed)
+    # Multi-stage attacks (leak-then-smash) build several machines;
+    # the victim is the last one whose timeline is non-empty.
+    first = None
+    for monitor in reversed(monitors):
+        if monitor.first_breach is not None:
+            first = monitor.first_breach
+            break
+    return MatrixCell(attack_name, preset_name, result,
+                      first_breach=first.label() if first else None)
 
 
 def run_matrix(
     presets: tuple[tuple[str, MitigationConfig], ...] = MATRIX_PRESETS,
     seed: int = 7,
     jobs: int | None = None,
+    invariants: bool = False,
 ) -> list[MatrixCell]:
     """Run the full battery; one cell per (attack, preset).
 
@@ -97,13 +125,19 @@ def run_matrix(
     pool is skipped for them regardless of ``jobs``).  Cell order and
     content are identical either way: every cell is seeded
     explicitly, so the table does not depend on scheduling.
+
+    ``invariants`` attaches a fresh
+    :class:`~repro.observe.invariants.InvariantMonitor` to every
+    machine each cell builds and records the victim's first breach in
+    :attr:`MatrixCell.first_breach` -- the per-cell scope is local to
+    the worker, so the pool still applies.
     """
     import repro.machine.machine as machine_module
 
     tasks = [
         (attack_fn, attack_name, preset_name, preset, seed,
          machine_module.DECODE_CACHE_DEFAULT,
-         machine_module.BLOCK_CACHE_DEFAULT)
+         machine_module.BLOCK_CACHE_DEFAULT, invariants)
         for attack_fn, attack_name in UNIQUE_ATTACKS
         for preset_name, preset in presets
     ]
@@ -118,7 +152,8 @@ def run_matrix(
         return list(pool.map(_run_cell, tasks))
 
 
-def render_matrix(cells: list[MatrixCell]) -> str:
+def render_matrix(cells: list[MatrixCell],
+                  invariants: bool = False) -> str:
     presets = list(dict.fromkeys(cell.preset for cell in cells))
     attacks = list(dict.fromkeys(cell.attack for cell in cells))
     by_key = {(cell.attack, cell.preset): cell for cell in cells}
@@ -129,8 +164,20 @@ def render_matrix(cells: list[MatrixCell]) -> str:
             cell = by_key[(attack, preset)]
             row.append(_SYMBOLS[cell.result.outcome.value])
         rows.append(row)
-    return render_table(["attack \\ mitigations"] + presets, rows,
-                        title="E4: attack outcome by deployment posture")
+    out = render_table(["attack \\ mitigations"] + presets, rows,
+                       title="E4: attack outcome by deployment posture")
+    if invariants or any(cell.first_breach for cell in cells):
+        breach_rows = []
+        for attack in attacks:
+            row = [attack]
+            for preset in presets:
+                cell = by_key[(attack, preset)]
+                row.append(cell.first_breach or "-")
+            breach_rows.append(row)
+        out += "\n\n" + render_table(
+            ["attack \\ mitigations"] + presets, breach_rows,
+            title="E4: first invariant broken (breach attribution)")
+    return out
 
 
 def matrix_summary(cells: list[MatrixCell]) -> dict:

@@ -63,6 +63,10 @@ def render_metrics(snapshot: dict, title: str = "Execution metrics") -> str:
         "pma crossings": snapshot["pma_crossings"],
         "red-zone checked": snapshot["redzone_checked_accesses"],
     }
+    breaches = snapshot.get("invariant_breaches")
+    if breaches:
+        pairs["invariant breaches"] = ", ".join(
+            f"{name}={count}" for name, count in breaches.items())
     snapshots = snapshot.get("snapshots")
     if snapshots and snapshots.get("taken"):
         pairs["snapshots"] = (

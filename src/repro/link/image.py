@@ -71,6 +71,14 @@ class Image:
     kernel_ranges: list[tuple[int, int]] = field(default_factory=list)
     #: Address of the canary cell in the platform segment.
     canary_cell: int = 0
+    #: Per-function frame layouts from the MinC compiler, keyed by the
+    #: function's linked entry address:
+    #: ``entry -> ((local, bp_offset, size), ...)``.  Debug metadata
+    #: consumed by the invariant monitors' object-bounds checks.
+    frame_tables: dict[int, tuple] = field(default_factory=dict)
+    #: Linked addresses of data-object symbols (``kind == 'object'``),
+    #: for deriving global-object extents by the next-symbol interval.
+    data_addresses: set[int] = field(default_factory=set)
 
     def symbol(self, name: str) -> int:
         """Address of a symbol; raises ``KeyError`` with context."""

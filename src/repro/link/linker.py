@@ -220,6 +220,15 @@ def link(objects: list[ObjectFile], plan: LayoutPlan | None = None,
                 image.symbols[symbol.name] = addr
             if symbol.kind == "func":
                 image.function_addresses.add(addr)
+            elif symbol.kind == "object":
+                image.data_addresses.add(addr)
+        # Frame layouts ride from the compiler keyed by function name;
+        # re-key them by linked entry address for runtime consumers
+        # (the invariant monitors' object-bounds checks).
+        for func_name, locals_ in obj.frame_info.items():
+            symbol = obj.symbols.get(func_name)
+            if symbol is not None and symbol.section == TEXT:
+                image.frame_tables[address_of(obj, symbol)] = locals_
     image.symbols.update(builtin_symbols)
 
     # --- relocation ---------------------------------------------------------

@@ -138,4 +138,13 @@ def load(
 
     machine.cpu.ip = image.entry
     machine.cpu.sp = image.initial_sp
-    return LoadedProgram(machine, image, config)
+    program = LoadedProgram(machine, image, config)
+    # Hand link-time metadata (symbol tables, frame layouts, the canary
+    # cell) to any observers already attached -- e.g. via
+    # ``observe_new_machines`` factories, which run at Machine
+    # construction, before any of the above exists.
+    hub = machine._observers
+    if hub is not None:
+        for observer in hub.observers:
+            observer.bind_program(program)
+    return program

@@ -79,6 +79,12 @@ class ObjectFile:
     #: This object has been SFI-rewritten: the linker places it in a
     #: 1 MiB-aligned sandbox and resolves its ``__sfi_*`` symbols.
     sfi: bool = False
+    #: Per-function stack-frame layout recorded by the MinC code
+    #: generator: ``function name -> ((local, bp_offset, size), ...)``
+    #: with BP-relative offsets (negative for locals).  Debug metadata
+    #: for the invariant monitors' object-bounds checks; hand-written
+    #: assembly has no entries.
+    frame_info: dict[str, tuple] = field(default_factory=dict)
 
     def section(self, name: str) -> Section:
         """Get or create a section."""

@@ -69,10 +69,23 @@ exploit's machine state is part of the semantics):
   successor, let the dispatcher call it) rather than a direct call --
   a direct call would grow the host stack without bound on loops.
 
-Observed machines never execute blocks at all -- ``Machine.run`` falls
-back to the per-instruction path whenever observers are attached (or
-``MachineConfig.block_cache`` is off), so the event stream keeps its
-per-instruction exactness.
+* **Observers.**  A machine whose hub is *dispatch-transparent* (see
+  ``Observer.dispatch_transparent``: per-event subscribers only -- the
+  invariant monitors) keeps executing blocks: the hub's subscriber
+  tuples are baked into the generated code, transfer events are
+  emitted at the terminators after the instruction-count bump (the
+  interpreter's exact ordering), memory events on the inline
+  single-page fast paths are emitted by generated code (exact IP
+  committed first; slow-path accesses go through the observed
+  accessors, which emit themselves), and the fault handler emits
+  ``on_fault`` after writing back exact state.  Attach/detach flushes
+  translations whenever the baked-in hub would change, so compiled
+  emission can never go stale.  PMA-active machines refuse to compile
+  blocks under a hub (the per-instruction path emits their
+  enter/exit events).  Any *non*-transparent hub makes ``Machine.run``
+  fall back to the per-instruction path, as before, so the event
+  stream keeps its per-instruction exactness (``on_instruction``
+  and the decode-cache hooks are inherently per-tier).
 """
 
 from __future__ import annotations
@@ -158,6 +171,12 @@ def compile_block(machine, head: int) -> CompiledBlock | None:
     if not memory.page_perms(page) & PERM_X:
         return None
     pma_active = bool(machine.pma.modules)
+    hub = machine._blocks_hub
+    if hub is not None and pma_active:
+        # The per-instruction path owns PMA enter/exit event emission;
+        # blocks with both module tracking and a hub baked in are not
+        # worth their complexity.  Dispatch falls back to step().
+        return None
     entry_points: frozenset[int] = frozenset()
     if pma_active:
         entry_points = frozenset().union(
@@ -168,7 +187,7 @@ def compile_block(machine, head: int) -> CompiledBlock | None:
     if not insns:
         return None
     inline_mem = not pma_active and not machine.config.redzones
-    source, exit_targets = _emit(insns, masked, pma_active, inline_mem)
+    source, exit_targets = _emit(insns, masked, pma_active, inline_mem, hub)
     cells = [[None] for _ in exit_targets]
     namespace = {
         "_MF": MachineFault,
@@ -176,6 +195,10 @@ def compile_block(machine, head: int) -> CompiledBlock | None:
         "_mod": c_mod,
         "_u32": _U32,
     }
+    if hub is not None:
+        namespace.update(_hj=hub.jump, _hb=hub.branch, _hc=hub.call,
+                         _hr=hub.ret, _hf=hub.fault,
+                         _hmr=hub.read, _hmw=hub.write)
     for index, cell in enumerate(cells):
         namespace[f"_x{index}"] = cell
     exec(compile(source, f"<block 0x{masked:08x}>", "exec"), namespace)
@@ -184,10 +207,31 @@ def compile_block(machine, head: int) -> CompiledBlock | None:
                          source, exits)
 
 
-def _emit(insns: list[IRInst], head: int,
-          pma_active: bool, inline_mem: bool) -> tuple[str, list[int]]:
-    """Generate the block function source and its static-exit targets."""
+def _emit(insns: list[IRInst], head: int, pma_active: bool,
+          inline_mem: bool, hub=None) -> tuple[str, list[int]]:
+    """Generate the block function source and its static-exit targets.
+
+    With a (dispatch-transparent) ``hub``, transfer and fault event
+    emission is compiled in, matching ``Machine._step_observed``'s
+    ordering exactly: events fire after the instruction-count bump,
+    and ``on_fault`` fires after exact-state writeback.  Emission
+    loops are only generated for hooks that have subscribers -- safe
+    because any hub change flushes the block cache.
+    """
     last_index = len(insns) - 1
+    ev_jump = hub is not None and bool(hub.jump)
+    ev_branch = hub is not None and bool(hub.branch)
+    ev_call = hub is not None and bool(hub.call)
+    ev_ret = hub is not None and bool(hub.ret)
+    ev_fault = hub is not None and bool(hub.fault)
+    # Memory events on the inline fast path are emitted by generated
+    # code (with the exact IP committed first); slow-path accesses go
+    # through the observed instance accessors, which emit themselves.
+    ev_read = hub is not None and bool(hub.read)
+    ev_write = hub is not None and bool(hub.write)
+    #: Emission appended after the shared count-bump tail (reg-target
+    #: terminators commit ``cpu.ip`` inside the try and fall through).
+    tail_events: list[str] = []
     uses_epoch = any(
         irx.opcode in _STORE_OPCODES and k != last_index
         for k, irx in enumerate(insns)
@@ -273,6 +317,10 @@ def _emit(insns: list[IRInst], head: int,
                 emit("        if _o <= 4092 and _pg.get(_a >> 12, 0) & 1:")
                 emit(f"            regs[{reg}] = "
                      "_u32.unpack_from(_mem[_a >> 12], _o)[0]")
+                if ev_read:
+                    emit(f"            m.current_ip = {ip}")
+                    emit(f"            for _ob in _hmr: "
+                         f"_ob.on_read(m, _a, 4, regs[{reg}])")
                 emit("        else:")
                 emit(f"            {markers}")
                 emit(f"            regs[{reg}] = m.read_word(_a)")
@@ -287,6 +335,10 @@ def _emit(insns: list[IRInst], head: int,
                 emit("        if _o <= 4092 and _pg.get(_pn, 0) & 2 "
                      "and _pn not in _wp and _pn not in _cw:")
                 emit(f"            _u32.pack_into(_mem[_pn], _o, regs[{reg}])")
+                if ev_write:
+                    emit(f"            m.current_ip = {ip}")
+                    emit(f"            for _ob in _hmw: "
+                         f"_ob.on_write(m, _a, 4, regs[{reg}])")
                 emit("        else:")
                 slow_write(f"m.write_word(_a, regs[{reg}])", "            ")
             else:
@@ -297,6 +349,10 @@ def _emit(insns: list[IRInst], head: int,
             if inline_mem:
                 emit("        if _pg.get(_a >> 12, 0) & 1:")
                 emit(f"            regs[{reg}] = _mem[_a >> 12][_a & 4095]")
+                if ev_read:
+                    emit(f"            m.current_ip = {ip}")
+                    emit(f"            for _ob in _hmr: "
+                         f"_ob.on_read(m, _a, 1, regs[{reg}])")
                 emit("        else:")
                 emit(f"            {markers}")
                 emit(f"            regs[{reg}] = m.read_byte(_a)")
@@ -311,6 +367,10 @@ def _emit(insns: list[IRInst], head: int,
                 emit("        if _pg.get(_pn, 0) & 2 and _pn not in _wp "
                      "and _pn not in _cw:")
                 emit(f"            _mem[_pn][_a & 4095] = regs[{reg}] & 255")
+                if ev_write:
+                    emit(f"            m.current_ip = {ip}")
+                    emit(f"            for _ob in _hmw: "
+                         f"_ob.on_write(m, _a, 1, regs[{reg}] & 255)")
                 emit("        else:")
                 slow_write(f"m.write_byte(_a, regs[{reg}] & 255)",
                            "            ")
@@ -326,6 +386,10 @@ def _emit(insns: list[IRInst], head: int,
                 emit("        if _o <= 4092 and _pg.get(_pn, 0) & 2 "
                      "and _pn not in _wp and _pn not in _cw:")
                 emit("            _u32.pack_into(_mem[_pn], _o, _v)")
+                if ev_write:
+                    emit(f"            m.current_ip = {ip}")
+                    emit("            for _ob in _hmw: "
+                         "_ob.on_write(m, _sp, 4, _v)")
                 emit("        else:")
                 slow_write("m.write_word(_sp, _v)", "            ")
             else:
@@ -337,6 +401,10 @@ def _emit(insns: list[IRInst], head: int,
                 emit("        if _o <= 4092 and _pg.get(_sp >> 12, 0) & 1:")
                 emit("            _v = _u32.unpack_from(_mem[_sp >> 12], "
                      "_o)[0]")
+                if ev_read:
+                    emit(f"            m.current_ip = {ip}")
+                    emit("            for _ob in _hmr: "
+                         "_ob.on_read(m, _sp, 4, _v)")
                 emit("        else:")
                 emit(f"            {markers}")
                 emit("            _v = m.read_word(_sp)")
@@ -399,6 +467,9 @@ def _emit(insns: list[IRInst], head: int,
             target = ops[0] & _M
             emit(f"        cpu.ip = {target}")
             emit(f"        m.instructions_executed += {len(insns)}")
+            if ev_jump:
+                emit(f"        for _o in _hj: _o.on_jump(m, {ip}, "
+                     f"{target}, False)")
             emit(f"        return {chain_cell(target)}")
         elif op in _BRANCH_CONDITIONS:  # jcc (terminator, both edges chained)
             writeback()
@@ -406,9 +477,18 @@ def _emit(insns: list[IRInst], head: int,
             emit(f"        if {_BRANCH_CONDITIONS[op]}:")
             emit(f"            cpu.ip = {target}")
             emit(f"            m.instructions_executed += {len(insns)}")
+            if ev_branch:
+                # The interpreter derives "taken" from new_ip !=
+                # next_ip, so a branch whose target *is* the next
+                # instruction never reads as taken.
+                emit(f"            for _o in _hb: _o.on_branch(m, {ip}, "
+                     f"{target}, {target != nxt})")
             emit(f"            return {chain_cell(target)}")
             emit(f"        cpu.ip = {nxt}")
             emit(f"        m.instructions_executed += {len(insns)}")
+            if ev_branch:
+                emit(f"        for _o in _hb: _o.on_branch(m, {ip}, "
+                     f"{target}, False)")
             emit(f"        return {chain_cell(nxt)}")
         elif op == 0x1A:  # jmp reg (terminator, CFI check may fault)
             writeback()
@@ -416,6 +496,9 @@ def _emit(insns: list[IRInst], head: int,
             emit(f"        _t = regs[{ops[0]}]")
             emit("        m.check_indirect_target(_t)")
             emit("        cpu.ip = _t")
+            if ev_jump:
+                tail_events.append(
+                    f"    for _o in _hj: _o.on_jump(m, {ip}, cpu.ip, True)")
         elif op == 0x23:  # call imm (terminator, stack push may fault;
             # chained -- any fault raises before the successor return)
             writeback()
@@ -424,6 +507,9 @@ def _emit(insns: list[IRInst], head: int,
             emit(f"        m.push_return_address({nxt})")
             emit(f"        cpu.ip = {target}")
             emit(f"        m.instructions_executed += {len(insns)}")
+            if ev_call:
+                emit(f"        for _o in _hc: _o.on_call(m, {ip}, "
+                     f"{target}, {nxt}, False)")
             emit(f"        return {chain_cell(target)}")
         elif op == 0x24:  # call reg (terminator)
             writeback()
@@ -432,10 +518,17 @@ def _emit(insns: list[IRInst], head: int,
             emit("        m.check_indirect_target(_t)")
             emit(f"        m.push_return_address({nxt})")
             emit("        cpu.ip = _t")
+            if ev_call:
+                tail_events.append(
+                    f"    for _o in _hc: _o.on_call(m, {ip}, cpu.ip, "
+                    f"{nxt}, True)")
         elif op == 0x25:  # ret (terminator, pop/shadow check may fault)
             writeback()
             emit(f"        n = {k}; eip = {nxt}")
             emit("        cpu.ip = m.pop_return_address()")
+            if ev_ret:
+                tail_events.append(
+                    f"    for _o in _hr: _o.on_ret(m, {ip}, cpu.ip)")
         elif op == 0x01:  # halt (terminator)
             writeback()
             emit(f"        cpu.ip = {nxt}")
@@ -458,12 +551,26 @@ def _emit(insns: list[IRInst], head: int,
         emit(f"        cpu.ip = {last_insn.next_addr}")
         emit(f"        m.instructions_executed += {len(insns)}")
         emit(f"        return {chain_cell(last_insn.next_addr)}")
-    lines += [
-        "    except _MF:",
-        "        cpu.zf = zf; cpu.lt = lt; cpu.ult = ult",
-        "        cpu.ip = eip",
-        "        m.instructions_executed += n",
-        "        raise",
-        f"    m.instructions_executed += {len(insns)}",
-    ]
+    if ev_fault:
+        # State is written back *before* on_fault, so the observers
+        # see the interpreter's exact fault-time machine (current_ip
+        # was set by the faulting site's markers).
+        lines += [
+            "    except _MF as _exc:",
+            "        cpu.zf = zf; cpu.lt = lt; cpu.ult = ult",
+            "        cpu.ip = eip",
+            "        m.instructions_executed += n",
+            "        for _o in _hf: _o.on_fault(m, _exc, m.current_ip)",
+            "        raise",
+        ]
+    else:
+        lines += [
+            "    except _MF:",
+            "        cpu.zf = zf; cpu.lt = lt; cpu.ult = ult",
+            "        cpu.ip = eip",
+            "        m.instructions_executed += n",
+            "        raise",
+        ]
+    lines.append(f"    m.instructions_executed += {len(insns)}")
+    lines.extend(tail_events)
     return "\n".join(lines) + "\n", exit_targets

@@ -354,6 +354,12 @@ class Machine:
         #: Event-bus dispatch hub, or None when nothing is attached --
         #: the single check the fast path pays (see repro.observe).
         self._observers: ObserverHub | None = None
+        #: The hub the translated blocks were compiled against: None
+        #: for plain unobserved blocks, or a *dispatch-transparent* hub
+        #: whose event emission is baked into the block bodies.  Block
+        #: dispatch is only legal while ``_observers is _blocks_hub``;
+        #: any other hub demotes ``run()`` to per-instruction stepping.
+        self._blocks_hub: ObserverHub | None = None
         #: The auto-attached legacy tracer (``config.trace``), if any.
         self.tracer: InstructionTracer | None = None
         if self.config.trace:
@@ -378,6 +384,7 @@ class Machine:
         attached.append(observer)
         self._observers = ObserverHub(attached)
         self._sync_memory_accessors()
+        self._sync_block_observers()
         return observer
 
     def detach_observer(self, observer: "Observer") -> None:
@@ -386,6 +393,7 @@ class Machine:
         remaining = [obs for obs in self.observers if obs is not observer]
         self._observers = ObserverHub(remaining) if remaining else None
         self._sync_memory_accessors()
+        self._sync_block_observers()
 
     def _sync_memory_accessors(self) -> None:
         """Swap the checked accessors to their event-emitting variants
@@ -399,6 +407,62 @@ class Machine:
         else:
             for name in _MEMORY_ACCESSORS:
                 self.__dict__.pop(name, None)
+
+    def _sync_block_observers(self) -> None:
+        """Keep the translated-block cache honest about observers.
+
+        A *dispatch-transparent* hub (every subscriber opts in, no
+        per-instruction or decode-cache hooks) becomes the block tier's
+        target hub: existing translations are flushed, and blocks are
+        recompiled with that hub's event emission baked in.  Any other
+        hub simply demotes dispatch to the per-instruction loop without
+        touching the cache (the status-quo behaviour for ordinary
+        observers), so the warm translations survive a temporary
+        tracer attach.  A running dispatch loop picks the change up on
+        its next iteration; the one block already in flight finishes
+        on its compiled-in emission (at most ``max_block_insns``
+        instructions of skew, only reachable from mid-run attaches out
+        of syscall hooks).
+        """
+        hub = self._observers
+        target = hub if (hub is not None and hub.transparent) else None
+        if target is not self._blocks_hub:
+            self._flush_translations()
+            self._blocks_hub = target
+
+    def _flush_translations(self) -> None:
+        """Drop translated blocks, chains and traces -- but keep the
+        per-instruction decode cache, which is dispatch-independent.
+
+        Unlike :meth:`flush_decode_cache` this emits no
+        ``decode_invalidate`` events: it marks a dispatch-strategy
+        change, not a semantic invalidation, and emitting here would
+        make event streams differ across dispatch legs."""
+        if self._block_cache:
+            self._block_cache.clear()
+            self._block_pages.clear()
+            self._block_epoch += 1
+        registry = self._chain_registry
+        if registry:
+            for cells in registry.values():
+                for cell in cells:
+                    cell[0] = None
+            registry.clear()
+        if self._trace_cache:
+            self._trace_cache.clear()
+            self._trace_pages.clear()
+            self._block_epoch += 1
+        self._trace_counts.clear()
+        self._trace_failed.clear()
+
+    def emit_breach(self, breach: object) -> None:
+        """Publish an invariant breach to ``on_invariant_breach``
+        subscribers (called by
+        :class:`~repro.observe.invariants.InvariantMonitor`)."""
+        hub = self._observers
+        if hub is not None and hub.breach:
+            for observer in hub.breach:
+                observer.on_invariant_breach(self, breach)
 
     @property
     def trace(self) -> list[tuple[int, Instruction]]:
@@ -1101,8 +1165,11 @@ class Machine:
         experiment outcome and are returned in the result.
 
         Unobserved machines with ``config.block_cache`` dispatch
-        block-at-a-time through translated superblocks; observed
-        machines (and ``block_cache=False``) run the per-instruction
+        block-at-a-time through translated superblocks, as do machines
+        whose only observers are *dispatch-transparent* (their event
+        emission is compiled into the blocks; see
+        ``Observer.dispatch_transparent``).  Any other observed
+        machine (and ``block_cache=False``) runs the per-instruction
         loop, whose behaviour the differential suites hold the block
         path to exactly.
         """
@@ -1110,7 +1177,7 @@ class Machine:
         start_count = self.instructions_executed
         started = perf_counter()
         try:
-            if self._observers is None and self.config.block_cache:
+            if self.config.block_cache and self._observers is self._blocks_hub:
                 self._run_blocks(max_instructions, start_count)
             else:
                 self._run_steps(max_instructions, start_count)
@@ -1142,9 +1209,11 @@ class Machine:
         reproduce exactly, and for blocks longer than the remaining
         instruction budget so :class:`ExecutionLimitExceeded` fires at
         the identical instruction count and IP as the interpreter.
-        Re-checks for observers each dispatch: a syscall handler or
+        Re-checks the observer hub each dispatch: a syscall handler or
         hook attaching one mid-run demotes the rest of the run to the
-        per-instruction loop.
+        per-instruction loop -- unless the hub is dispatch-transparent,
+        in which case blocks are recompiled with its event emission
+        baked in and dispatch continues here.
 
         Two tier-2 layers ride on top of plain block dispatch (see
         DESIGN.md "Trace JIT & decoded IR"):
@@ -1167,20 +1236,31 @@ class Machine:
         counts = self._trace_counts
         failed = self._trace_failed
         config = self.config
-        tracing = config.trace_jit
+        jit = config.trace_jit
         threshold = config.trace_hot_threshold
         entry = None
         skip = None
         while self._status is None:
-            if self._observers is not None or not config.block_cache:
+            if self._observers is not self._blocks_hub or not config.block_cache:
                 return self._run_steps(max_instructions, start_count)
+            # Traces carry no observer emission, so the trace tier only
+            # engages on genuinely unobserved machines; with a
+            # transparent hub attached, hot loops run as (event-
+            # emitting) blocks.  Re-derived each iteration because a
+            # syscall hook may attach/detach observers mid-run.
+            tracing = jit and self._blocks_hub is None
             remaining = max_instructions - (
                 self.instructions_executed - start_count
             )
             if remaining <= 0:
-                raise ExecutionLimitExceeded(
+                limit = ExecutionLimitExceeded(
                     f"exceeded {max_instructions} instructions", cpu.ip
                 )
+                hub = self._observers
+                if hub is not None and hub.fault:
+                    for observer in hub.fault:
+                        observer.on_fault(self, limit, cpu.ip)
+                raise limit
             if entry is None:
                 ip = cpu.ip
                 if tracing:
@@ -1255,6 +1335,11 @@ class Machine:
         configurations simply never trace."""
         from repro.machine.trace import record_and_compile
 
+        if self._observers is not None:
+            # Unreachable while dispatch re-derives ``tracing`` per
+            # iteration; kept as a safety net.  Not blacklisted: the
+            # head may trace fine once the observers detach.
+            return
         if self.pma.modules or self.config.redzones:
             self._trace_failed.add(head)
             return

@@ -149,6 +149,11 @@ class CodeGenerator:
             f.name for f in program.functions if f.body is not None
         }
         self._uses_outcalls = False
+        #: Per-function frame layout, ``name -> ((local, bp_offset,
+        #: size), ...)``, recorded as frames are laid out.  Travels on
+        #: the object file (``ObjectFile.frame_info``) as debug
+        #: metadata for the invariant monitors' object-bounds checks.
+        self.frame_tables: dict[str, tuple] = {}
 
     # -- helpers ------------------------------------------------------------
 
@@ -309,6 +314,10 @@ class CodeGenerator:
                 cursor += RED_ZONE_SIZE
                 info.red_zones.append((-cursor, RED_ZONE_SIZE))
         info.frame_size = cursor - (4 if self.options.stack_canaries else 0)
+        self.frame_tables[func.name] = tuple(
+            (decl.name, decl.offset, storage_size(decl.var_type))
+            for decl in locals_
+        )
         return info
 
     # -- functions -----------------------------------------------------------------

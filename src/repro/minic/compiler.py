@@ -63,6 +63,21 @@ def compile_source(
     module_name: str = "module",
     options: CompileOptions | None = None,
 ) -> ObjectFile:
-    """Compile MinC source all the way to a relocatable object file."""
-    asm_text = compile_to_asm(source, module_name, options)
-    return assemble(asm_text, module_name)
+    """Compile MinC source all the way to a relocatable object file.
+
+    Unlike :func:`compile_to_asm` + :func:`assemble` by hand, this
+    also carries the code generator's per-function frame layouts onto
+    the object file (``ObjectFile.frame_info``) -- debug metadata the
+    invariant monitors use for object-bounds attribution.
+    """
+    options = options or CompileOptions()
+    program = analyze(parse(source), safe=options.bounds_checks)
+    generator = CodeGenerator(program, module_name, options)
+    asm_text = generator.generate()
+    if options.optimize:
+        from repro.minic.optimizer import optimize_asm
+
+        asm_text = optimize_asm(asm_text)
+    obj = assemble(asm_text, module_name)
+    obj.frame_info = dict(generator.frame_tables)
+    return obj

@@ -11,6 +11,9 @@ The observability layer for the VN32 simulator (see DESIGN.md,
   plain dict;
 * :class:`GuestProfiler` -- flat/call-graph profiles and hot-page
   heatmaps over the linker's symbol table;
+* :class:`InvariantMonitor` -- always-on security-invariant checks
+  (return-address integrity, W^X, canary intactness, object bounds,
+  PMA discipline, counter freshness) with first-breach attribution;
 * :func:`export_chrome_trace` / :func:`export_jsonl` -- file exporters;
 * :func:`observe_new_machines` -- a scope during which every newly
   constructed :class:`~repro.machine.machine.Machine` gets observers
@@ -33,6 +36,7 @@ from repro.observe.coverage import (
     stack_hash,
 )
 from repro.observe.events import Event, Observer, ObserverHub
+from repro.observe.invariants import InvariantBreach, InvariantMonitor
 from repro.observe.export import (
     chrome_trace_events,
     export_chrome_trace,
@@ -50,6 +54,8 @@ __all__ = [
     "EventTrace",
     "MetricsCollector",
     "GuestProfiler",
+    "InvariantMonitor",
+    "InvariantBreach",
     "CoverageObserver",
     "CrashSite",
     "MAP_SIZE",

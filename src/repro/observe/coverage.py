@@ -90,11 +90,21 @@ def stack_hash(stack: tuple[int, ...] | list[int]) -> int:
 class CrashSite:
     """``(fault type, faulting PC, call-stack hash)`` -- the dedup key
     for crash triage.  Frozen (hashable, usable as a dict key) and
-    picklable across the campaign runner's worker processes."""
+    picklable across the campaign runner's worker processes.
+
+    ``first_breach`` names the first security invariant an attached
+    :class:`~repro.observe.invariants.InvariantMonitor` saw broken
+    before the crash (e.g. ``"canary"`` or ``"return-integrity"``), or
+    ``None`` when no monitor ran or nothing was breached.  It extends
+    the dedup key: the same faulting PC reached through different
+    first breaches is two distinct crashes.  The default keeps old
+    three-field call sites (and pickled PR 5 fixtures) constructing
+    and comparing exactly as before."""
 
     fault: str
     ip: int | None
     call_hash: int
+    first_breach: str | None = None
 
 
 class CoverageObserver(Observer):

@@ -56,6 +56,21 @@ class Observer:
     subclasses override the ones they care about and the hub only
     routes events to overriding subscribers."""
 
+    #: Observers that only consume per-event hooks (no per-instruction
+    #: hook, no decode-cache hooks) may declare themselves
+    #: *dispatch-transparent*: the machine keeps running translated
+    #: basic blocks, compiling event emission directly into the block
+    #: bodies, instead of demoting to the per-instruction interpreter.
+    #: The differential suite proves both dispatch choices
+    #: byte-identical, so this is purely a performance contract.
+    dispatch_transparent: bool = False
+
+    def bind_program(self, program: object) -> None:
+        """Called by the loader when a :class:`LoadedProgram` finishes
+        loading on a machine this observer is attached to.  Gives
+        observers access to link-time metadata (symbol tables, frame
+        layouts, the canary cell) that does not exist at attach time."""
+
     # -- instruction stream -------------------------------------------------
 
     def on_instruction(self, machine: "Machine", ip: int,
@@ -133,6 +148,14 @@ class Observer:
         written since it was taken and were rewound (the campaign's
         per-trial reset cost)."""
 
+    # -- security invariants -------------------------------------------------
+
+    def on_invariant_breach(self, machine: "Machine",
+                            breach: object) -> None:
+        """An :class:`~repro.observe.invariants.InvariantMonitor`
+        detected a broken security invariant.  ``breach`` is the typed
+        :class:`~repro.observe.invariants.InvariantBreach` record."""
+
 
 #: hook method name -> hub slot holding the subscribers for that hook.
 HOOKS: dict[str, str] = {
@@ -151,6 +174,7 @@ HOOKS: dict[str, str] = {
     "on_decode_invalidate": "decode_invalidate",
     "on_snapshot_taken": "snapshot_taken",
     "on_snapshot_restored": "snapshot_restored",
+    "on_invariant_breach": "breach",
 }
 
 
@@ -184,6 +208,19 @@ class ObserverHub:
         """True if any subscriber cares about read/write events (the
         machine only wraps its memory accessors in that case)."""
         return bool(self.read or self.write)
+
+    @property
+    def transparent(self) -> bool:
+        """True if translated-block dispatch can keep running with this
+        hub attached.  Requires every observer to opt in
+        (``dispatch_transparent``) and the hub to carry no hooks whose
+        event counts are inherently dispatch-dependent: per-instruction
+        retirement (blocks batch it) and the decode-cache hooks (cache
+        populations differ between tiers)."""
+        return (not self.insn and not self.decode_miss
+                and not self.decode_invalidate
+                and all(getattr(observer, "dispatch_transparent", False)
+                        for observer in self.observers))
 
 
 @dataclass

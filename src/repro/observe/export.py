@@ -66,7 +66,8 @@ def chrome_trace_events(events: list["Event"],
                             "args": {"target":
                                      f"0x{event.data['target']:08x}"}})
         elif event.kind in ("fault", "syscall", "pma_enter", "pma_exit",
-                            "decode_miss", "decode_invalidate", "write"):
+                            "decode_miss", "decode_invalidate", "write",
+                            "breach"):
             args = {key: (f"0x{value:08x}" if key in ("addr", "target")
                           and isinstance(value, int) else value)
                     for key, value in event.data.items()}

@@ -1,0 +1,476 @@
+"""Always-on security-invariant monitors with first-breach attribution.
+
+The paper's countermeasure catalogue is, at bottom, a set of runtime
+invariants: return addresses come back unchanged, no page is both
+written and executed, canaries stay intact, protected modules are only
+entered at entry points and leak nothing through registers, monotonic
+counters never run backwards, red zones stay silent, and every access
+stays inside the object it started in.  Today's experiments report
+*that* an attack succeeded; this module reports *which invariant fell
+first and where* -- the causal observation the whole matrix is about.
+
+:class:`InvariantMonitor` is an event-bus subscriber
+(:class:`~repro.observe.events.Observer`) that checks all of these
+invariants from ordinary bus events, so it can ride every run -- and,
+being *dispatch-transparent*, it rides the block-translation tier too
+instead of demoting the machine to per-instruction stepping.  Each
+violation becomes a typed :class:`InvariantBreach` (invariant name,
+breaching instruction IP, guest call stack, pre/post values), the
+per-run sequence of which is the **first-breach timeline**.
+
+The checked invariants:
+
+==================== =====================================================
+invariant            broken when
+==================== =====================================================
+return-integrity     a ``ret`` pops a different address than its ``call``
+                     pushed (shadow-stack semantics, enforced or not)
+object-bounds        a bulk access overruns the stack local or global
+                     object it started in (per-function frame tables and
+                     data-symbol intervals from the compiler/linker)
+wx-write             a write lands on a page that has been executed
+wx-exec              control transfers onto a page that has been written
+canary               an armed canary slot is overwritten with a
+                     different value (the clobber, not the detection)
+pma-entry            the IP enters a protected module off its entry
+                     points or executes module data (from the fault)
+pma-confidentiality  a register leaves a protected module holding a
+                     module-internal pointer it did not arrive with
+counter-freshness    a snapshot restore rewinds a monotonic counter
+                     below its observed high-water mark (the Section
+                     IV-C rollback attacker)
+red-zone             a poisoned red zone was touched (from the fault)
+==================== =====================================================
+
+Frame tables, global-object intervals and the canary cell are link-time
+facts, delivered by the loader through :meth:`Observer.bind_program`
+after attach.  State resets automatically on snapshot restore so
+campaign trials never inherit a prior trial's breaches -- except the
+counter high-water mark, which deliberately survives restores: the
+rollback attacker is only visible *across* a restore.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import MachineFault, ProtectionFault, RedZoneFault
+from repro.observe.events import Observer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.machine import Machine
+    from repro.pma.module import ProtectedModule
+
+WORD_MASK = 0xFFFFFFFF
+PAGE_SHIFT = 12
+#: Stack-pointer / base-pointer register indices (repro.isa.registers).
+_BP = 9
+
+#: Retained breach records per invariant per run; further breaches of
+#: the same invariant are counted but not recorded (a smashed stack
+#: would otherwise flood the timeline with wx-write records).
+TIMELINE_CAP = 8
+#: Deepest guest call stack captured on a breach record.
+STACK_CAP = 32
+
+
+def _signed(value: int) -> int:
+    value &= WORD_MASK
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+@dataclass(frozen=True)
+class InvariantBreach:
+    """One detected invariant violation (picklable, for campaign
+    workers and fuzzing fan-out)."""
+
+    #: Which invariant broke (table in the module docstring).
+    invariant: str
+    #: Ordinal of this breach within the run (0 = the first breach).
+    seq: int
+    #: Breaching instruction IP (None when no instruction is at fault,
+    #: e.g. a counter rollback applied by a snapshot restore).
+    ip: int | None
+    #: Human-readable account of the violation.
+    detail: str
+    #: Value the invariant expected (invariant-specific; may be None).
+    pre: object = None
+    #: Value actually observed.
+    post: object = None
+    #: Guest call stack (pushed return addresses, innermost last).
+    call_stack: tuple[int, ...] = ()
+
+    @property
+    def where(self) -> str:
+        return f"0x{self.ip:08x}" if self.ip is not None else "?"
+
+    def label(self) -> str:
+        """Compact ``invariant@ip`` attribution label (matrix cells)."""
+        return f"{self.invariant}@{self.where}"
+
+
+class InvariantMonitor(Observer):
+    """Checks the security invariants above from bus events.
+
+    Attach before :func:`repro.link.loader.load` (e.g. via
+    ``observe_new_machines``) so the loader can deliver link-time
+    metadata through :meth:`bind_program`; without it the monitor still
+    runs, with the object-bounds / canary / PMA checks inert.
+    """
+
+    #: Pure per-event consumer: translated-block dispatch stays on.
+    dispatch_transparent = True
+
+    def __init__(self) -> None:
+        # Link-time metadata (bind_program).
+        self._frame_tables: dict[int, tuple] = {}
+        self._canary_cell: int | None = None
+        self._canary_value: int = 0
+        self._global_starts: list[int] = []
+        self._global_ends: list[int] = []
+        self._global_names: list[str] = []
+        self._baseline_exec_pages: frozenset[int] = frozenset()
+        # Cross-restore state (the rollback detector's memory).
+        self._counter_highwater: dict[bytes, int] = {}
+        self._reset_run_state()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _reset_run_state(self) -> None:
+        self.timeline: list[InvariantBreach] = []
+        self.counts: dict[str, int] = {}
+        self._returns: list[int] = []
+        self._frames: list[tuple | None] = []
+        self._armed: dict[int, int] = {}       # canary slot -> call depth
+        self._written_pages: set[int] = set()
+        self._exec_pages: set[int] = set(self._baseline_exec_pages)
+        self._wx_reported: set[tuple[str, int]] = set()
+        self._pma_entries: list[tuple[object, tuple[int, ...]]] = []
+
+    def begin_run(self) -> None:
+        """Reset per-run state (executors call this between inputs)."""
+        self._reset_run_state()
+
+    def bind_program(self, program: object) -> None:
+        image = program.image
+        machine = program.machine
+        self._frame_tables = dict(image.frame_tables)
+        self._canary_cell = image.canary_cell or None
+        self._canary_value = (
+            machine.memory.read_word(image.canary_cell)
+            if image.canary_cell else 0
+        )
+        # Global-object extents by the next-symbol interval: an object
+        # runs from its symbol to the next data symbol in the same
+        # segment (or the segment end).  Exactly the ground truth the
+        # heartbleed-style over-read crosses.
+        names_by_addr: dict[int, str] = {}
+        for name, addr in image.symbols.items():
+            if addr in image.data_addresses:
+                short = name.split(":", 1)[-1]
+                if addr not in names_by_addr or ":" not in name:
+                    names_by_addr[addr] = short
+        starts = sorted(image.data_addresses)
+        self._global_starts = starts
+        self._global_ends = []
+        self._global_names = [names_by_addr.get(a, f"0x{a:08x}") for a in starts]
+        for index, addr in enumerate(starts):
+            segment = image.segment_at(addr)
+            end = segment.end if segment is not None else addr + 4
+            if index + 1 < len(starts) and (
+                segment is None or segment.contains(starts[index + 1])
+            ):
+                end = starts[index + 1]
+            self._global_ends.append(end)
+        # W^X baseline: every page of a text-kind segment counts as
+        # executable from the start, so corrupting code is a wx-write
+        # breach even before the corrupted function ever runs.  Pages
+        # that *actually* execute are learned dynamically on top.
+        pages: set[int] = {image.entry >> PAGE_SHIFT}
+        for segment in image.segments:
+            if segment.kind == "text":
+                pages.update(range(segment.addr >> PAGE_SHIFT,
+                                   ((segment.end - 1) >> PAGE_SHIFT) + 1))
+        self._baseline_exec_pages = frozenset(pages)
+        self._reset_run_state()
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def first_breach(self) -> InvariantBreach | None:
+        """The first invariant broken this run, or None."""
+        return self.timeline[0] if self.timeline else None
+
+    def total_breaches(self) -> int:
+        return sum(self.counts.values())
+
+    def report(self) -> dict:
+        """Plain-dict run report (experiments / JSON consumers)."""
+        first = self.first_breach
+        return {
+            "first_breach": first.label() if first else None,
+            "counts": dict(self.counts),
+            "timeline": [
+                {"invariant": b.invariant, "seq": b.seq, "ip": b.ip,
+                 "detail": b.detail}
+                for b in self.timeline
+            ],
+        }
+
+    def _breach(self, machine: "Machine", invariant: str, ip: int | None,
+                detail: str, pre: object = None, post: object = None) -> None:
+        count = self.counts.get(invariant, 0) + 1
+        self.counts[invariant] = count
+        if count > TIMELINE_CAP:
+            return
+        breach = InvariantBreach(
+            invariant=invariant,
+            seq=len(self.timeline),
+            ip=ip,
+            detail=detail,
+            pre=pre,
+            post=post,
+            call_stack=tuple(self._returns[-STACK_CAP:]),
+        )
+        self.timeline.append(breach)
+        machine.emit_breach(breach)
+
+    # -- W^X helpers ---------------------------------------------------------
+
+    def _mark_exec(self, machine: "Machine", site: int, target: int) -> None:
+        self._exec_pages.add(site >> PAGE_SHIFT)
+        target_page = target >> PAGE_SHIFT
+        if target_page in self._written_pages:
+            self._wx_exec(machine, site, target, target_page)
+        self._exec_pages.add(target_page)
+
+    def _wx_exec(self, machine: "Machine", site: int, target: int,
+                 target_page: int) -> None:
+        key = ("wx-exec", target_page)
+        if key not in self._wx_reported:
+            self._wx_reported.add(key)
+            self._breach(
+                machine, "wx-exec", site,
+                f"control transferred to 0x{target & WORD_MASK:08x} "
+                "on a written page",
+                post=target & WORD_MASK,
+            )
+
+    # -- control flow --------------------------------------------------------
+
+    def on_call(self, machine: "Machine", site: int, target: int,
+                return_addr: int, indirect: bool) -> None:
+        self._mark_exec(machine, site, target)
+        self._returns.append(return_addr)
+        self._frames.append(self._frame_tables.get(target & WORD_MASK))
+
+    def on_ret(self, machine: "Machine", site: int, target: int) -> None:
+        if self._returns:
+            expected = self._returns.pop()
+            if target != expected:
+                self._breach(
+                    machine, "return-integrity", site,
+                    f"ret popped 0x{target & WORD_MASK:08x}, call pushed "
+                    f"0x{expected:08x}",
+                    pre=expected, post=target & WORD_MASK,
+                )
+        if self._frames:
+            self._frames.pop()
+        if self._armed:
+            depth = len(self._returns)
+            for slot, armed_depth in list(self._armed.items()):
+                if armed_depth > depth:
+                    del self._armed[slot]
+        self._mark_exec(machine, site, target)
+
+    def on_jump(self, machine: "Machine", site: int, target: int,
+                indirect: bool) -> None:
+        # _mark_exec inlined: jumps/branches dominate hot loops, and
+        # the wx-exec report path (a written target page) is cold.
+        pages = self._exec_pages
+        pages.add(site >> PAGE_SHIFT)
+        target_page = target >> PAGE_SHIFT
+        if target_page in self._written_pages:
+            self._wx_exec(machine, site, target, target_page)
+        pages.add(target_page)
+
+    def on_branch(self, machine: "Machine", site: int, target: int,
+                  taken: bool) -> None:
+        pages = self._exec_pages
+        pages.add(site >> PAGE_SHIFT)
+        if taken:
+            target_page = target >> PAGE_SHIFT
+            if target_page in self._written_pages:
+                self._wx_exec(machine, site, target, target_page)
+            pages.add(target_page)
+
+    # -- data accesses -------------------------------------------------------
+
+    def on_write(self, machine: "Machine", addr: int, size: int,
+                 value: int | bytes) -> None:
+        if size > 4:
+            self._check_bounds(machine, addr, size, "write")
+        first_page = addr >> PAGE_SHIFT
+        last_page = (addr + size - 1) >> PAGE_SHIFT
+        if first_page == last_page:
+            # The hot case: a single-page scalar store.
+            if first_page in self._exec_pages:
+                self._wx_write(machine, addr, size, first_page)
+            self._written_pages.add(first_page)
+        else:
+            for page in range(first_page, last_page + 1):
+                if page in self._exec_pages:
+                    self._wx_write(machine, addr, size, page)
+                self._written_pages.add(page)
+        if self._canary_value:
+            self._check_canary(machine, addr, size, value)
+
+    def _wx_write(self, machine: "Machine", addr: int, size: int,
+                  page: int) -> None:
+        key = ("wx-write", page)
+        if key not in self._wx_reported:
+            self._wx_reported.add(key)
+            self._breach(
+                machine, "wx-write", machine.current_ip,
+                f"write of {size} bytes at 0x{addr:08x} lands on "
+                "an executed page",
+                post=addr,
+            )
+
+    def on_read(self, machine: "Machine", addr: int, size: int,
+                value: int | bytes) -> None:
+        if size > 4:
+            self._check_bounds(machine, addr, size, "read")
+
+    def _check_bounds(self, machine: "Machine", addr: int, size: int,
+                      kind: str) -> None:
+        # Stack locals: the innermost MinC frame's layout, restricted
+        # to negative BP offsets (locals; positive offsets belong to
+        # the caller and would misattribute writes through pointer
+        # parameters).
+        table = self._frames[-1] if self._frames else None
+        if table:
+            offset = _signed(addr - machine.cpu.regs[_BP])
+            if offset < 0:
+                for name, local_offset, local_size in table:
+                    if local_offset <= offset < local_offset + local_size:
+                        end = local_offset + local_size
+                        if offset + size > end:
+                            self._breach(
+                                machine, "object-bounds", machine.current_ip,
+                                f"{kind} of {size} bytes overruns stack "
+                                f"local '{name}' ({local_size} bytes at "
+                                f"bp{local_offset:+d}) by "
+                                f"{offset + size - end} bytes",
+                                pre=local_size, post=size,
+                            )
+                        break
+        # Global objects, by data-symbol interval.
+        if self._global_starts:
+            index = bisect_right(self._global_starts, addr) - 1
+            if index >= 0:
+                start = self._global_starts[index]
+                end = self._global_ends[index]
+                if start <= addr < end and addr + size > end:
+                    self._breach(
+                        machine, "object-bounds", machine.current_ip,
+                        f"{kind} of {size} bytes overruns global "
+                        f"'{self._global_names[index]}' "
+                        f"[0x{start:08x}, 0x{end:08x}) by "
+                        f"{addr + size - end} bytes",
+                        pre=end - start, post=size,
+                    )
+
+    def _check_canary(self, machine: "Machine", addr: int, size: int,
+                      value: int | bytes) -> None:
+        if size == 4 and value == self._canary_value:
+            # A prologue (re)arming a canary slot.
+            self._armed[addr] = len(self._returns)
+            return
+        if not self._armed:
+            return
+        write_end = addr + size
+        for slot in list(self._armed):
+            if slot < write_end and addr < slot + 4:
+                if isinstance(value, bytes):
+                    chunk = value[max(0, slot - addr):slot - addr + 4]
+                    post: object = int.from_bytes(chunk, "little") \
+                        if len(chunk) == 4 else chunk
+                else:
+                    post = value
+                del self._armed[slot]
+                self._breach(
+                    machine, "canary", machine.current_ip,
+                    f"armed canary slot 0x{slot:08x} overwritten",
+                    pre=self._canary_value, post=post,
+                )
+
+    # -- faults --------------------------------------------------------------
+
+    def on_fault(self, machine: "Machine", fault: "MachineFault",
+                 ip: int) -> None:
+        if isinstance(fault, RedZoneFault):
+            self._breach(machine, "red-zone", ip, str(fault))
+        elif isinstance(fault, ProtectionFault):
+            text = str(fault)
+            if "bypassing its entry points" in text or \
+                    "execute data section" in text:
+                self._breach(machine, "pma-entry", ip, text)
+
+    # -- protected-module boundary -------------------------------------------
+
+    def on_pma_enter(self, machine: "Machine", module: "ProtectedModule",
+                     ip: int) -> None:
+        self._pma_entries.append((module, tuple(machine.cpu.regs[:8])))
+
+    def on_pma_exit(self, machine: "Machine", module: "ProtectedModule",
+                    ip: int) -> None:
+        entry_regs: tuple[int, ...] | None = None
+        if self._pma_entries and self._pma_entries[-1][0] is module:
+            _, entry_regs = self._pma_entries.pop()
+        leaks = []
+        for reg in range(1, 8):
+            value = machine.cpu.regs[reg]
+            if entry_regs is not None and value == entry_regs[reg]:
+                continue  # the caller arrived with it
+            if value in module.entry_points:
+                continue  # public knowledge
+            if module.in_data(value) or module.in_text(value):
+                leaks.append(f"r{reg}=0x{value:08x}")
+        if leaks:
+            self._breach(
+                machine, "pma-confidentiality", ip,
+                f"module {module.name} exited with module-internal "
+                f"pointers in registers: {', '.join(leaks)}",
+                post=tuple(machine.cpu.regs[:8]),
+            )
+        self._sample_counters(machine)
+
+    # -- monotonic-counter freshness -----------------------------------------
+
+    def _sample_counters(self, machine: "Machine") -> None:
+        for key, value in machine.pma.counter_values().items():
+            if value > self._counter_highwater.get(key, 0):
+                self._counter_highwater[key] = value
+
+    def on_snapshot_taken(self, machine: "Machine", pages: int) -> None:
+        self._sample_counters(machine)
+
+    def on_snapshot_restored(self, machine: "Machine",
+                             dirty_pages: int) -> None:
+        # Per-run state belongs to the *trial*; drop it first so a
+        # rollback breach lands in the fresh trial's timeline.
+        self._reset_run_state()
+        current = machine.pma.counter_values()
+        for key, highwater in self._counter_highwater.items():
+            value = current.get(key, 0)
+            if value < highwater:
+                self._breach(
+                    machine, "counter-freshness", None,
+                    f"snapshot restore rewound monotonic counter "
+                    f"{key.hex()[:12]} from {highwater} to {value} "
+                    "(platform rollback)",
+                    pre=highwater, post=value,
+                )

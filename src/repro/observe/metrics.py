@@ -48,6 +48,7 @@ class MetricsCollector(Observer):
         self.snapshots_taken = 0
         self.snapshots_restored = 0
         self.snapshot_dirty_pages = 0
+        self.breaches: Counter[str] = Counter()
 
     # -- hooks ---------------------------------------------------------------
 
@@ -106,6 +107,9 @@ class MetricsCollector(Observer):
         self.snapshots_restored += 1
         self.snapshot_dirty_pages += dirty_pages
 
+    def on_invariant_breach(self, machine, breach):
+        self.breaches[breach.invariant] += 1
+
     # -- derived -------------------------------------------------------------
 
     @property
@@ -144,4 +148,5 @@ class MetricsCollector(Observer):
                 "restored": self.snapshots_restored,
                 "dirty_pages_restored": self.snapshot_dirty_pages,
             },
+            "invariant_breaches": dict(sorted(self.breaches.items())),
         }

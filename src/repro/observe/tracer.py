@@ -129,6 +129,10 @@ class EventTrace(Observer):
         self._record("snapshot_restored", machine.current_ip,
                      dirty_pages=dirty_pages)
 
+    def on_invariant_breach(self, machine, breach):
+        self._record("breach", breach.ip if breach.ip is not None else 0,
+                     invariant=breach.invariant, detail=breach.detail)
+
     # -- queries -------------------------------------------------------------
 
     def writes_to(self, addr: int, size: int = 4) -> list[Event]:

@@ -252,6 +252,15 @@ class PMAController:
         module's blob or tampered with."""
         return crypto.open_blob(module.module_key, blob, aad)
 
+    def counter_values(self) -> dict[bytes, int]:
+        """Copy of the monotonic-counter store, keyed by measurement.
+
+        Observability accessor: invariant monitors compare these
+        against a high-water mark across snapshot restores to flag
+        the Section IV-C rollback attacker.
+        """
+        return dict(self._counters)
+
     def counter_read(self, module: ProtectedModule) -> int:
         """Read the module's non-volatile monotonic counter."""
         return self._counters.get(module.measurement, 0)

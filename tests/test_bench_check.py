@@ -6,6 +6,7 @@ import json
 
 from benchmarks.run_benchmarks import (
     BASELINE_WINDOW,
+    MAX_MONITOR_OVERHEAD,
     MIN_TRACE_SPEEDUP,
     baseline_rate,
     check_regression,
@@ -139,6 +140,42 @@ class TestTraceSection:
         # The gate's reason to exist: a trace tier slower than 2.5x
         # block dispatch is a regression even if insns/s held steady.
         assert MIN_TRACE_SPEEDUP >= 2.5
+
+
+class TestMonitoredSection:
+    """The invariant-monitored leg is gated like the others, plus an
+    overhead ceiling vs the detached block leg."""
+
+    def test_monitored_rate_tracked_separately(self):
+        previous = {
+            "current": {
+                "block": {"instructions_per_second": 3_000_000.0},
+                "monitored": {"instructions_per_second": 2_000_000.0,
+                              "overhead_vs_block": 1.5},
+            },
+            "history": [],
+        }
+        assert baseline_rate(previous, "monitored")[0] == 2_000_000.0
+
+    def test_no_monitored_baseline_in_old_history(self):
+        # Tracking files written before the invariant monitor existed
+        # must not trip the gate on the first monitored run.
+        previous = {"current": entry(800_000.0), "history": []}
+        assert baseline_rate(previous, "monitored") == (None, [])
+        assert check_regression(2_000_000.0, None,
+                                section="monitored") is None
+
+    def test_overhead_ceiling_is_meaningful(self):
+        # Always-on monitoring is only credible if it stays cheap:
+        # the ceiling must bound the monitored leg within a small
+        # factor of undisturbed block dispatch.
+        assert MAX_MONITOR_OVERHEAD <= 3.0
+
+    def test_message_names_the_section(self):
+        message = check_regression(500_000.0, 2_000_000.0,
+                                   section="monitored")
+        assert message is not None
+        assert "monitored throughput" in message
 
 
 class TestFuzzSection:
