@@ -21,8 +21,14 @@ Options::
                      regressed more than 10% against the median of the
                      last few recorded runs, if the trace-JIT leg
                      fails to beat the block leg by MIN_TRACE_SPEEDUP,
-                     or if invariant-monitored dispatch costs more than
-                     MAX_MONITOR_OVERHEAD x the detached block leg
+                     if invariant-monitored dispatch costs more than
+                     MAX_MONITOR_OVERHEAD x the detached block leg,
+                     if transparent fuzz dispatch fails to beat stepped
+                     dispatch by MIN_FUZZ_DISPATCH_SPEEDUP, or (on
+                     machines with >= 4 cores) if the parallel fuzz
+                     campaign scales below MIN_PARALLEL_SCALING
+    --trajectory     print each tracked section's throughput trend
+                     from the recorded history (no benchmark run)
 """
 
 from __future__ import annotations
@@ -84,6 +90,10 @@ TRIAL_SECTIONS = {
 #: per second through the warm snapshot fork-server).
 FUZZ_SECTIONS = {
     "test_bench_greybox_execs": "fuzz",
+    "test_bench_greybox_parsing": "fuzz_parsing",
+    "test_bench_greybox_execs_stepped": "fuzz_stepped",
+    "test_bench_fuzz_campaign": "fuzz_campaign",
+    "test_bench_fuzz_parallel": "fuzz_parallel",
 }
 
 #: Snapshot-restore trials must beat cold rebuilds by at least this
@@ -98,6 +108,19 @@ MIN_TRACE_SPEEDUP = 2.5
 #: vs the detached block leg for ``--check`` to pass -- the monitors
 #: are only "always-on" if riding along stays cheap.
 MAX_MONITOR_OVERHEAD = 3.0
+
+#: Transparent (block-speed) fuzz dispatch must beat the stepped
+#: per-instruction leg by at least this factor for ``--check`` to
+#: pass.  Measured on the same machine in the same run, so the
+#: "observed execs/s doubled" claim is hardware-independent.
+MIN_FUZZ_DISPATCH_SPEEDUP = 2.0
+
+#: The parallel greybox campaign must scale at least this much over
+#: the sequential campaign -- but only on machines with enough cores
+#: to express it (the gate is skipped below ``MIN_SCALING_CORES``,
+#: with the recorded core count printed so the skip is auditable).
+MIN_PARALLEL_SCALING = 3.0
+MIN_SCALING_CORES = 4
 
 #: How many recent runs feed the regression baseline.  Gating against
 #: the *median* of a window -- not the all-time best -- keeps one
@@ -143,7 +166,7 @@ def summarize(raw: dict) -> dict:
         elif name in FUZZ_SECTIONS:
             extra = bench.get("extra_info", {})
             execs = extra.get("execs_per_run")
-            summary[FUZZ_SECTIONS[name]] = {
+            section = {
                 "mean_seconds": stats["mean"],
                 "stddev_seconds": stats["stddev"],
                 "rounds": stats["rounds"],
@@ -152,6 +175,12 @@ def summarize(raw: dict) -> dict:
                     execs / stats["mean"] if execs else None
                 ),
             }
+            # The campaign legs record their fan-out so a history
+            # entry says what hardware its scaling number means on.
+            for key in ("jobs", "cores"):
+                if key in extra:
+                    section[key] = extra[key]
+            summary[FUZZ_SECTIONS[name]] = section
         elif name == "test_bench_compile_pipeline":
             summary["compile_pipeline"] = {
                 "mean_seconds": stats["mean"],
@@ -169,6 +198,14 @@ def summarize(raw: dict) -> dict:
     watched = summary.get("monitored", {}).get("instructions_per_second")
     if watched and blocked:
         summary["monitored"]["overhead_vs_block"] = blocked / watched
+    transparent = summary.get("fuzz_parsing", {}).get("execs_per_second")
+    stepped = summary.get("fuzz_stepped", {}).get("execs_per_second")
+    if transparent and stepped:
+        summary["fuzz_parsing"]["speedup_vs_stepped"] = transparent / stepped
+    fanned = summary.get("fuzz_parallel", {}).get("execs_per_second")
+    solo = summary.get("fuzz_campaign", {}).get("execs_per_second")
+    if fanned and solo:
+        summary["fuzz_parallel"]["scaling_vs_sequential"] = fanned / solo
     # Echo the dispatch configuration the throughput legs ran with.
     for bench in raw.get("benchmarks", []):
         config = bench.get("extra_info", {}).get("config")
@@ -213,7 +250,7 @@ def _rate(entry: dict, section: str = "interpreter") -> float | None:
 def _unit(section: str) -> str:
     if section in ("snapshot", "snapshot_cold"):
         return "trials/s"
-    if section == "fuzz":
+    if section.startswith("fuzz"):
         return "execs/s"
     return "insns/s"
 
@@ -268,6 +305,52 @@ def check_regression(rate: float | None, baseline: float | None,
     return None
 
 
+#: Sections --trajectory walks, in report order.
+TRAJECTORY_SECTIONS = (
+    "interpreter", "block", "trace", "monitored",
+    "snapshot", "snapshot_cold",
+    "fuzz", "fuzz_parsing", "fuzz_stepped", "fuzz_campaign",
+    "fuzz_parallel",
+)
+
+
+def render_trajectory(previous: dict | None,
+                      sections=TRAJECTORY_SECTIONS) -> list[str]:
+    """Per-section throughput trend lines from the tracking file.
+
+    Every recorded run that carries the section contributes one row
+    (timestamp -> rate); the section header summarises the move from
+    the first recorded rate to the latest as a percentage, so "did
+    this PR actually make fuzzing faster" is one flag away instead of
+    a JSON spelunking session.
+    """
+    if not previous:
+        return ["no tracking file recorded yet"]
+    entries = list(previous.get("history", []))
+    if previous.get("current"):
+        entries.append(previous["current"])
+    lines: list[str] = []
+    for section in sections:
+        rated = [
+            (entry.get("timestamp", "?"), rate)
+            for entry in entries
+            if (rate := _rate(entry, section))
+        ]
+        if not rated:
+            continue
+        unit = _unit(section)
+        first, last = rated[0][1], rated[-1][1]
+        if len(rated) > 1 and first:
+            move = 100.0 * (last / first - 1.0)
+            trend = f"{move:+.1f}% over {len(rated)} runs"
+        else:
+            trend = "1 run recorded"
+        lines.append(f"{section}: {last:,.0f} {unit} ({trend})")
+        for timestamp, rate in rated:
+            lines.append(f"  {timestamp}  {rate:>14,.0f} {unit}")
+    return lines or ["no tracked sections recorded yet"]
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -284,9 +367,18 @@ def main() -> None:
         help="exit non-zero on a >10%% throughput regression vs the "
              "best run recorded in the tracking file",
     )
+    parser.add_argument(
+        "--trajectory", action="store_true",
+        help="print per-section throughput trends from the tracking "
+             "file's history and exit (runs no benchmarks)",
+    )
     args = parser.parse_args()
 
     previous = load_previous(args.output)
+    if args.trajectory:
+        for line in render_trajectory(previous):
+            print(line)
+        return
     raw = run_suite(args.quick)
     summary = summarize(raw)
     write_tracking_file(args.output, summary, previous)
@@ -316,11 +408,20 @@ def main() -> None:
     fuzz_rate = summary.get("fuzz", {}).get("execs_per_second")
     if fuzz_rate:
         print(f"greybox fork-server: ~{fuzz_rate:,.0f} execs/second")
+    fuzz_speedup = summary.get("fuzz_parsing", {}).get("speedup_vs_stepped")
+    if fuzz_speedup:
+        print(f"transparent vs stepped fuzz dispatch: {fuzz_speedup:.2f}x")
+    parallel = summary.get("fuzz_parallel", {})
+    scaling = parallel.get("scaling_vs_sequential")
+    if scaling:
+        print(f"parallel fuzz campaign: {scaling:.2f}x sequential "
+              f"(jobs={parallel.get('jobs')}, cores={parallel.get('cores')})")
 
     if args.check:
         failed = False
         for section in ("interpreter", "block", "trace", "monitored",
-                        "snapshot", "fuzz"):
+                        "snapshot", "fuzz", "fuzz_parsing",
+                        "fuzz_parallel"):
             rate = _rate(summary, section)
             baseline, used = baseline_rate(previous, section)
             message = check_regression(rate, baseline, section=section)
@@ -370,6 +471,34 @@ def main() -> None:
                 print(f"check: monitor overhead OK "
                       f"({monitor_overhead:.2f}x <= "
                       f"{MAX_MONITOR_OVERHEAD:.1f}x vs detached block leg)")
+        if fuzz_speedup is not None:
+            if fuzz_speedup < MIN_FUZZ_DISPATCH_SPEEDUP:
+                print(f"REGRESSION: transparent fuzz dispatch only "
+                      f"{fuzz_speedup:.2f}x faster than stepped dispatch "
+                      f"(floor: {MIN_FUZZ_DISPATCH_SPEEDUP:.1f}x)",
+                      file=sys.stderr)
+                failed = True
+            else:
+                print(f"check: fuzz dispatch speedup OK "
+                      f"({fuzz_speedup:.2f}x >= "
+                      f"{MIN_FUZZ_DISPATCH_SPEEDUP:.1f}x vs stepped)")
+        if scaling is not None:
+            cores = parallel.get("cores") or 0
+            if cores < MIN_SCALING_CORES:
+                print(f"check: parallel scaling gate skipped "
+                      f"({cores} cores < {MIN_SCALING_CORES}; "
+                      f"measured {scaling:.2f}x)")
+            elif scaling < MIN_PARALLEL_SCALING:
+                print(f"REGRESSION: parallel fuzz campaign only "
+                      f"{scaling:.2f}x the sequential campaign at "
+                      f"jobs={parallel.get('jobs')} on {cores} cores "
+                      f"(floor: {MIN_PARALLEL_SCALING:.1f}x)",
+                      file=sys.stderr)
+                failed = True
+            else:
+                print(f"check: parallel scaling OK ({scaling:.2f}x >= "
+                      f"{MIN_PARALLEL_SCALING:.1f}x at "
+                      f"jobs={parallel.get('jobs')}, cores={cores})")
         if failed:
             raise SystemExit(1)
 

@@ -23,7 +23,18 @@ rebuild per trial, on the same return-to-libc guess workload
 The ``fuzz`` section prices the greybox fuzzer's inner loop: one
 coverage-instrumented execution through the warm snapshot fork-server
 (restore + feed + observed run + bitmap read-out) on the staged
-Figure 1 victim, reported in executions/second.
+Figure 1 victim, reported in executions/second.  The
+``fuzz_parsing`` / ``fuzz_stepped`` pair runs the parse-heavy
+``fig1_parsing`` victim (guest execution dominates, the way it does
+in real fuzz targets) behind the transparent observer and behind a
+non-dispatch-transparent subclass (per-instruction stepping, the
+pre-transparency coverage path); --check requires the transparent
+leg to beat the stepped one by MIN_FUZZ_DISPATCH_SPEEDUP, a
+hardware-independent reading of what transparency buys.  The
+``fuzz_campaign`` / ``fuzz_parallel`` pair prices whole greybox
+campaigns sequentially and fanned out over CampaignRunner workers;
+the scaling gate only binds on machines with >= 4 cores (the
+recorded ``cores`` travels with the number).
 """
 
 from repro.link import load
@@ -241,3 +252,123 @@ def test_bench_greybox_execs(benchmark):
         benchmark.extra_info["execs_per_run"] = _EXECS_PER_ROUND
         benchmark.extra_info["execs_per_second"] = rate
         print(f"\ngreybox fork-server: ~{rate:,.0f} execs/second")
+
+
+def _bench_parsing_execs(benchmark, label, observer_cls):
+    """Fork-server executions of the parse-heavy ``fig1_parsing``
+    victim behind ``observer_cls`` -- shared by the transparent /
+    stepped pair so the speedup ratio compares identical workloads."""
+    from repro.analysis.greybox import (
+        GreyboxFuzzer,
+        SnapshotExecutor,
+        VictimFactory,
+        outcome_of,
+    )
+    from repro.mitigations.config import TESTING
+
+    factory = VictimFactory("fig1_parsing", TESTING)
+    observer = observer_cls()
+    executor = SnapshotExecutor(factory, observer=observer)
+    fuzzer = GreyboxFuzzer(factory, seed=1)
+    inputs = [fuzzer._havoc_one(b"GET " + bytes(12))
+              for _ in range(_EXECS_PER_ROUND)]
+    executor.run(inputs[0])
+
+    def run_round():
+        count = 0
+        for data in inputs:
+            outcome_of(observer, executor.run(data))
+            count += 1
+        return count
+
+    count = benchmark(run_round)
+    assert count == _EXECS_PER_ROUND
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = _EXECS_PER_ROUND / benchmark.stats.stats.mean
+        benchmark.extra_info["execs_per_run"] = _EXECS_PER_ROUND
+        benchmark.extra_info["execs_per_second"] = rate
+        print(f"\n{label}: ~{rate:,.0f} execs/second")
+
+
+def test_bench_greybox_parsing(benchmark):
+    """Observed executions where guest parsing dominates the input.
+
+    The staged victim above prices the fork-server's fixed costs (its
+    requests run ~100 instructions); this leg prices coverage-observed
+    *execution*, which is what dispatch transparency accelerates.
+    """
+    from repro.observe.coverage import CoverageObserver
+
+    _bench_parsing_execs(benchmark, "greybox parsing victim",
+                         CoverageObserver)
+
+
+def test_bench_greybox_execs_stepped(benchmark):
+    """The parsing workload behind a *stepped* coverage observer.
+
+    A ``dispatch_transparent = False`` subclass forces the machine
+    down per-instruction dispatch -- exactly what every observed run
+    paid before coverage rode the superblock cache.  The --check gate
+    requires the transparent leg above to beat this one by
+    MIN_FUZZ_DISPATCH_SPEEDUP, so the speedup claim is checked on the
+    measuring machine itself rather than against a stale baseline.
+    """
+    from repro.observe.coverage import CoverageObserver
+
+    class SteppedCoverageObserver(CoverageObserver):
+        dispatch_transparent = False
+
+    _bench_parsing_execs(benchmark, "greybox stepped dispatch",
+                         SteppedCoverageObserver)
+
+
+#: Executions per whole-campaign benchmark round (large enough that
+#: worker warm-up amortises; tests/test_greybox.py proves the
+#: parallel report identical to the sequential one).
+_CAMPAIGN_EXECS = 600
+
+
+def _campaign_round(jobs):
+    from repro.analysis.greybox import GreyboxFuzzer, VictimFactory
+    from repro.mitigations.config import TESTING
+
+    # The parsing victim again: scaling is only meaningful when the
+    # workers spend their time executing the guest, not dispatching.
+    fuzzer = GreyboxFuzzer(VictimFactory("fig1_parsing", TESTING),
+                           seed=5, jobs=jobs)
+    report = fuzzer.run(_CAMPAIGN_EXECS, minimize=False)
+    return report.execs
+
+
+def _bench_campaign(benchmark, label, jobs):
+    import os
+
+    execs = benchmark.pedantic(lambda: _campaign_round(jobs),
+                               rounds=1, iterations=1)
+    assert execs == _CAMPAIGN_EXECS
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        rate = execs / benchmark.stats.stats.mean
+        benchmark.extra_info["execs_per_run"] = execs
+        benchmark.extra_info["execs_per_second"] = rate
+        benchmark.extra_info["jobs"] = jobs or 1
+        benchmark.extra_info["cores"] = os.cpu_count() or 1
+        print(f"\n{label}: ~{rate:,.0f} execs/second "
+              f"(jobs={jobs or 1}, cores={os.cpu_count()})")
+
+
+def test_bench_fuzz_campaign(benchmark):
+    """A whole sequential greybox campaign, mutation to report."""
+    _bench_campaign(benchmark, "greybox campaign (sequential)", None)
+
+
+def test_bench_fuzz_parallel(benchmark):
+    """The same campaign fanned out over CampaignRunner workers.
+
+    Pipelined batches + the shared virgin map; jobs=4 (capped at the
+    core count so a small container still produces an honest number).
+    The --check scaling gate only binds when cores >= 4.
+    """
+    import os
+
+    _bench_campaign(benchmark, "greybox campaign (parallel)",
+                    min(4, os.cpu_count() or 1))

@@ -29,7 +29,13 @@ The whole loop is deterministic for a fixed ``seed``: mutation
 batches are generated up front from a private RNG, executed (in
 process or across workers -- same outcomes either way, each trial
 starts from the same restored snapshot), and integrated in input
-order.
+order.  The batch schedule is pipelined with a one-batch lag --
+batch N+1 is generated and submitted before batch N is integrated --
+and the sequential path follows the same schedule, so parallel and
+sequential campaigns produce identical reports.  Workers filter
+coverage through a :class:`~repro.observe.coverage.SharedVirginMap`:
+only runs that light up a locally-unseen bucket ship their (packed)
+edge blob back to the master.
 """
 
 from __future__ import annotations
@@ -48,7 +54,10 @@ from repro.observe.coverage import (
     MAP_SIZE,
     CoverageObserver,
     CrashSite,
+    SharedVirginMap,
     has_new_bits,
+    pack_edges,
+    unpack_edges,
 )
 from repro.observe.invariants import InvariantMonitor
 from repro.programs.builders import build_victim, libc_object
@@ -148,9 +157,10 @@ class SnapshotExecutor:
     The one executor both fuzzers share (satisfying the paper's
     experiment shape *and* the performance budget): the legacy blind
     :func:`repro.analysis.fuzzer.fuzz_campaign` runs it unobserved
-    (superblock dispatch, block caches warm across restores) while the
-    greybox loop attaches a :class:`CoverageObserver` and pays the
-    per-instruction observed path for its feedback.
+    while the greybox loop attaches a :class:`CoverageObserver` --
+    which is dispatch-transparent, so both legs run superblock
+    dispatch with warm block caches across restores; the observed leg
+    merely pays the baked-in event emission at block terminators.
     """
 
     def __init__(
@@ -192,11 +202,20 @@ class SnapshotExecutor:
 @dataclass(frozen=True)
 class ExecOutcome:
     """Picklable digest of one fuzz execution (what crosses worker
-    process boundaries in ``jobs > 1`` campaigns)."""
+    process boundaries in ``jobs > 1`` campaigns).
+
+    ``edges`` is the :func:`~repro.observe.coverage.pack_edges` blob
+    (3 bytes per edge), or ``b""`` when a worker's shared-virgin-map
+    overlay proved the run covers nothing new (the bitmap-delta
+    filter: plateaued campaigns ship almost no coverage bytes at all).
+    Pickles written before the packed format -- tuple-of-tuples edge
+    lists -- still load and compare; :meth:`edge_items` normalizes
+    both shapes.
+    """
 
     status: str
     fault: str | None
-    edges: tuple[tuple[int, int], ...]
+    edges: bytes | tuple[tuple[int, int], ...]
     crash_site: CrashSite | None
     instructions: int
 
@@ -205,9 +224,25 @@ class ExecOutcome:
         """True when the run died on a real fault (not a hang)."""
         return self.fault is not None and self.fault not in _NON_DETECTIONS
 
+    def edge_items(self) -> tuple[tuple[int, int], ...]:
+        """The run's ``(cell, bucket_mask)`` pairs, whatever the wire
+        shape (packed blob, or a legacy tuple-of-tuples pickle)."""
+        if isinstance(self.edges, (bytes, bytearray)):
+            return unpack_edges(self.edges)
+        return tuple(self.edges)
+
 
 def outcome_of(observer: CoverageObserver, result: RunResult,
-               monitor: InvariantMonitor | None = None) -> ExecOutcome:
+               monitor: InvariantMonitor | None = None,
+               local_virgin: bytearray | None = None) -> ExecOutcome:
+    """Reduce one finished run to its picklable digest.
+
+    With ``local_virgin`` (a worker's private overlay of the shared
+    virgin map) the edge blob is shipped only when the run set a bit
+    the overlay had never seen -- the test *and* set happen here, so
+    the overlay accumulates this worker's own coverage between
+    :meth:`CoverageTrial.begin_batch` refreshes.
+    """
     crash_site = observer.crash_site
     if monitor is not None and crash_site is not None:
         first = monitor.first_breach
@@ -216,13 +251,34 @@ def outcome_of(observer: CoverageObserver, result: RunResult,
             # faulting PC reached via a canary clobber and via a plain
             # wild write are different bugs.
             crash_site = replace(crash_site, first_breach=first.invariant)
+    items = observer.edge_items()
+    if local_virgin is not None and not has_new_bits(local_virgin, items):
+        edges = b""
+    else:
+        edges = pack_edges(items)
     return ExecOutcome(
         status=result.status.value,
         fault=type(result.fault).__name__ if result.fault else None,
-        edges=observer.edge_items(),
+        edges=edges,
         crash_site=crash_site,
         instructions=result.instructions,
     )
+
+
+#: Per-process cache of shared-virgin-map attachments: segment name ->
+#: ``(handle, private overlay)``.  Lives at module level because
+#: :class:`CoverageTrial` is a frozen dataclass that crosses process
+#: boundaries by pickle; the attachment must be made (once) inside the
+#: worker process itself.
+_VIRGIN_OVERLAYS: dict[str, tuple[SharedVirginMap, bytearray]] = {}
+
+
+def _virgin_overlay(name: str) -> tuple[SharedVirginMap, bytearray]:
+    entry = _VIRGIN_OVERLAYS.get(name)
+    if entry is None:
+        entry = (SharedVirginMap.attach(name), bytearray(MAP_SIZE))
+        _VIRGIN_OVERLAYS[name] = entry
+    return entry
 
 
 @dataclass(frozen=True)
@@ -233,9 +289,26 @@ class CoverageTrial:
     :class:`~repro.campaign.CampaignRunner` -- the session restores
     the snapshot, this callable does the rest of
     :meth:`SnapshotExecutor.run`.
+
+    ``virgin_map`` names the master's :class:`SharedVirginMap`.  When
+    set, each worker keeps a private overlay of it -- refreshed from
+    shared memory once per batch (:meth:`begin_batch`), test-and-set
+    locally per run -- and ships each run's edge blob only when the
+    run is locally novel.  Soundness does not depend on freshness:
+    the overlay is always a subset of what the master knows by the
+    time it integrates this worker's results, so filtering never
+    drops coverage the master has not already seen.
     """
 
     max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+    virgin_map: str | None = None
+
+    def begin_batch(self, target) -> None:
+        """Per-batch hook (:meth:`CampaignSession.run_batch`): fold the
+        published virgin bits into this worker's private overlay."""
+        if self.virgin_map is not None:
+            shared, local = _virgin_overlay(self.virgin_map)
+            shared.merge_into(local)
 
     def __call__(self, target, data: bytes) -> ExecOutcome:
         machine = getattr(target, "machine", target)
@@ -243,7 +316,11 @@ class CoverageTrial:
         observer.begin_run()
         machine.input.feed(data)
         result = machine.run(self.max_instructions)
-        return outcome_of(observer, result, _invariant_monitor(machine))
+        local = None
+        if self.virgin_map is not None:
+            local = _virgin_overlay(self.virgin_map)[1]
+        return outcome_of(observer, result, _invariant_monitor(machine),
+                          local_virgin=local)
 
 
 # ---------------------------------------------------------------------------
@@ -420,6 +497,26 @@ class GreyboxFuzzer:
                 outcome_of(self._observer, result, executor.monitor))
         return outcomes
 
+    def _submit(self, batch: list[bytes], runner):
+        """Dispatch ``batch`` without waiting (the pipelined path).
+
+        With a runner the items go to :meth:`CampaignRunner.submit_items`
+        (workers start immediately when a pool is live); without one
+        the batch itself is the pending token and execution happens in
+        :meth:`_resolve` -- either way the exec stream order is
+        identical to a submit-then-wait loop.
+        """
+        if not batch:
+            return None
+        if runner is not None:
+            return runner.submit_items(batch)
+        return batch
+
+    def _resolve(self, pending) -> list[ExecOutcome]:
+        if isinstance(pending, list):
+            return self._execute(pending, None)
+        return pending.result().verdicts
+
     # -- mutation stages -----------------------------------------------------
 
     def _deterministic(self, data: bytes):
@@ -474,27 +571,43 @@ class GreyboxFuzzer:
                 out += rng.randbytes(rng.randint(1, 16))
         return bytes(out[:self.max_len])
 
-    def _next_batch(self) -> list[bytes]:
-        """The next mutation batch: pending deterministic work first
-        (newest corpus entry on top), then havoc over the queue."""
-        while self._det_stack:
-            generator = self._det_stack[-1]
-            batch = []
-            for mutant in generator:
-                batch.append(mutant)
-                if len(batch) >= self.batch_size * 4:
-                    return batch
-            self._det_stack.pop()
-            if batch:
-                return batch
+    def _havoc_base(self) -> bytes:
+        """The next corpus (or seed) entry the havoc stage mutates."""
         if self.queue:
             entry = self.queue[self._cursor % len(self.queue)]
             self._cursor += 1
-            base = entry.data
-        else:
-            base = self.seeds[self._cursor % len(self.seeds)]
-            self._cursor += 1
-        return [self._havoc_one(base) for _ in range(self.batch_size)]
+            return entry.data
+        base = self.seeds[self._cursor % len(self.seeds)]
+        self._cursor += 1
+        return base
+
+    def _next_batch(self) -> list[bytes]:
+        """The next mutation batch: pending deterministic work first
+        (newest corpus entry on top), then havoc over the queue.
+
+        Deterministic batches are filled *across* generator boundaries
+        and topped up with havoc mutants, so every batch the parallel
+        path fans out is exactly ``batch_size * 4`` items -- a
+        deterministic generator running dry used to emit a short
+        (sometimes single-digit) batch that left most workers idle for
+        a whole dispatch round.
+        """
+        batch: list[bytes] = []
+        target = self.batch_size * 4
+        while self._det_stack and len(batch) < target:
+            generator = self._det_stack[-1]
+            for mutant in generator:
+                batch.append(mutant)
+                if len(batch) >= target:
+                    break
+            else:
+                self._det_stack.pop()
+        if not batch:
+            return [self._havoc_one(self._havoc_base())
+                    for _ in range(self.batch_size)]
+        while len(batch) < target:
+            batch.append(self._havoc_one(self._havoc_base()))
+        return batch
 
     # -- corpus integration --------------------------------------------------
 
@@ -508,9 +621,10 @@ class GreyboxFuzzer:
         elapsed: float, report: GreyboxReport,
         crashes: dict[CrashSite, CrashRecord], force_add: bool = False,
     ) -> None:
-        for idx, _ in outcome.edges:
+        edges = outcome.edge_items()
+        for idx, _ in edges:
             self._covered.add(idx)
-        new_coverage = has_new_bits(self._virgin, outcome.edges)
+        new_coverage = has_new_bits(self._virgin, edges)
         if new_coverage or force_add:
             self._add_to_queue(data, execs)
             report.coverage_curve.append((execs, len(self._covered)))
@@ -538,6 +652,15 @@ class GreyboxFuzzer:
         produced the first detection (execs-to-first-detection is
         exact either way -- it is the input's position in the stream,
         not the point the loop noticed it).
+
+        The loop is *pipelined* with a one-batch lag: batch N+1 is
+        generated (from the corpus state as of batch N-1) and
+        submitted before batch N's outcomes are integrated, so on the
+        parallel path mutation generation and corpus triage in the
+        master overlap worker execution.  The sequential path follows
+        the identical schedule (generation is lazy-submitted, executed
+        at resolve time), so sequential and parallel campaigns stay
+        report-identical for a fixed seed.
         """
         report = GreyboxReport(self.program, self.config)
         crashes: dict[CrashSite, CrashRecord] = {}
@@ -549,33 +672,61 @@ class GreyboxFuzzer:
         started = perf_counter()
 
         runner = None
+        shared = None
         if self.jobs and self.jobs > 1:
+            shared = SharedVirginMap.create()
             runner = CampaignRunner(
                 InstrumentedFactory(self.factory, invariants=self.invariants),
-                trial=CoverageTrial(self.max_instructions),
+                trial=CoverageTrial(self.max_instructions,
+                                    virgin_map=shared.name),
                 jobs=self.jobs,
+                chunksize=max(1, self.batch_size // max(1, self.jobs)),
             ).__enter__()
         try:
-            # Seed corpus first: every seed joins the queue.
-            batch = [data for data in dict.fromkeys(self.seeds)]
-            force_add = True
-            while report.execs < max_execs and batch:
-                batch = batch[:max_execs - report.execs]
-                outcomes = self._execute(batch, runner)
-                for data, outcome in zip(batch, outcomes):
+            # Seed corpus first, synchronously: every seed joins the
+            # queue, and the deterministic stages everything else
+            # pipelines behind are derived from it.
+            seed_batch = list(dict.fromkeys(self.seeds))[:max_execs]
+            for data, outcome in zip(seed_batch,
+                                     self._execute(seed_batch, runner)):
+                report.execs += 1
+                self._integrate(
+                    data, outcome, report.execs, perf_counter() - started,
+                    report, crashes, force_add=True,
+                )
+            if shared is not None:
+                shared.publish(self._virgin)
+
+            current: list[bytes] = []
+            if report.execs < max_execs and not (
+                    stop_on_first_crash and report.first_detected_exec):
+                current = self._next_batch()[:max_execs - report.execs]
+            pending = self._submit(current, runner)
+            while current:
+                # Generate + submit the NEXT batch before integrating
+                # the current one (the lag that buys the overlap).
+                budget = max_execs - report.execs - len(current)
+                upcoming = self._next_batch()[:budget] if budget > 0 else []
+                next_pending = self._submit(upcoming, runner)
+                for data, outcome in zip(current, self._resolve(pending)):
                     report.execs += 1
                     self._integrate(
                         data, outcome, report.execs,
                         perf_counter() - started, report, crashes,
-                        force_add=force_add,
                     )
-                force_add = False
+                if shared is not None:
+                    shared.publish(self._virgin)
                 if stop_on_first_crash and report.first_detected_exec:
+                    if next_pending is not None and not isinstance(
+                            next_pending, list):
+                        next_pending.cancel()
                     break
-                batch = self._next_batch()
+                current, pending = upcoming, next_pending
         finally:
             if runner is not None:
                 runner.close()
+            if shared is not None:
+                shared.close()
 
         if minimize and crashes:
             executor = self._local_executor()

@@ -5,6 +5,7 @@ from repro.campaign.runner import (
     CampaignRunner,
     CampaignSession,
     ComposedTrial,
+    PendingItems,
 )
 
 __all__ = [
@@ -12,4 +13,5 @@ __all__ = [
     "CampaignRunner",
     "CampaignSession",
     "ComposedTrial",
+    "PendingItems",
 ]

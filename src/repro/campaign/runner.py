@@ -38,6 +38,7 @@ process boundaries).
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from time import perf_counter
@@ -85,6 +86,12 @@ class CampaignSession:
         return self.trial(self.target, index)
 
     def run_batch(self, indices) -> list:
+        begin = getattr(self.trial, "begin_batch", None)
+        if begin is not None:
+            # Per-batch trial hook: the greybox fuzzer's CoverageTrial
+            # refreshes its shared-virgin-map overlay here, once per
+            # batch instead of once per trial.
+            begin(self.target)
         run_trial = self.run_trial
         return [run_trial(index) for index in indices]
 
@@ -120,8 +127,59 @@ def _worker_items(items) -> tuple[list, int]:
     greybox fuzzer ships mutated inputs instead of index ranges)."""
     session = _WORKER_SESSION
     before = session.restored_pages
-    verdicts = [session.run_trial(item) for item in items]
+    verdicts = session.run_batch(items)
     return verdicts, session.restored_pages - before
+
+
+class PendingItems:
+    """In-flight work handed out by :meth:`CampaignRunner.submit_items`.
+
+    On the pooled path the items are already executing when this
+    object exists; :meth:`result` just collects the chunk futures.  On
+    the sequential path execution is *lazy* -- it happens inside
+    :meth:`result` -- so a pipelined client (submit batch N+1, then
+    integrate batch N) observes the exact same execution order a plain
+    ``run_items`` loop would, and the two paths stay verdict-identical.
+    """
+
+    def __init__(self, runner: "CampaignRunner", items: list,
+                 futures: list | None, workers: int, started: float) -> None:
+        self._runner = runner
+        self._items = items
+        self._futures = futures
+        self._workers = workers
+        self._started = started
+        self._result: CampaignResult | None = None
+
+    def result(self) -> "CampaignResult":
+        """Block until every item has run; verdicts in item order."""
+        if self._result is None:
+            if self._futures is None:
+                self._result = self._runner._run_items_now(
+                    self._items, self._started)
+            else:
+                batches = [future.result() for future in self._futures]
+                verdicts = [v for batch, _ in batches for v in batch]
+                pages = sum(pages for _, pages in batches)
+                self._result = CampaignResult(
+                    verdicts, len(self._items), self._workers,
+                    perf_counter() - self._started, pages,
+                )
+        return self._result
+
+    def cancel(self) -> None:
+        """Best-effort cancel of chunks not yet started (an abandoned
+        pipelined batch after ``stop_on_first_crash``).  Chunks already
+        running finish and are discarded."""
+        if self._futures is not None:
+            for future in self._futures:
+                future.cancel()
+            self._futures = [f for f in self._futures if not f.cancelled()]
+        else:
+            self._items = []
+        if self._result is None:
+            self._result = CampaignResult(
+                [], 0, 0, perf_counter() - self._started, 0)
 
 
 @dataclass
@@ -157,6 +215,7 @@ class CampaignRunner:
         trial: Callable | None = None,
         max_instructions: int = 2_000_000,
         jobs: int | None = None,
+        chunksize: int | None = None,
     ) -> None:
         if trial is None:
             if mutator is None or verdict is None:
@@ -167,6 +226,11 @@ class CampaignRunner:
         self.factory = factory
         self.trial = trial
         self.jobs = jobs
+        #: Items per submitted work unit on the parallel path.  None
+        #: means one contiguous chunk per worker (minimal dispatch
+        #: overhead); smaller chunks let a pipelined client overlap a
+        #: finishing batch's tail with the next batch's head.
+        self.chunksize = chunksize
         #: Persistent worker pool (entered via ``with runner:``); None
         #: means every ``run``/``run_items`` call builds its own.
         self._pool: ProcessPoolExecutor | None = None
@@ -186,26 +250,40 @@ class CampaignRunner:
         import repro.machine.machine as machine_module
 
         jobs = self.jobs or 1
-        if jobs > 1 and not machine_module._DEFAULT_OBSERVER_FACTORIES:
-            self._pool_workers = jobs
-            self._pool = ProcessPoolExecutor(
-                max_workers=jobs,
-                initializer=_worker_init,
-                initargs=(self.factory, self.trial,
-                          machine_module.DECODE_CACHE_DEFAULT,
-                          machine_module.BLOCK_CACHE_DEFAULT),
-            )
+        if jobs > 1:
+            if machine_module._DEFAULT_OBSERVER_FACTORIES:
+                warnings.warn(
+                    f"CampaignRunner(jobs={jobs}) is running sequentially: "
+                    "observe_new_machines() default observer factories are "
+                    "active, and observers cannot cross worker process "
+                    "boundaries",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                self._pool_workers = jobs
+                self._pool = ProcessPoolExecutor(
+                    max_workers=jobs,
+                    initializer=_worker_init,
+                    initargs=(self.factory, self.trial,
+                              machine_module.DECODE_CACHE_DEFAULT,
+                              machine_module.BLOCK_CACHE_DEFAULT),
+                )
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
     def close(self) -> None:
-        """Shut down the persistent pool (no-op when none is active)."""
+        """Release the persistent pool and the cached warm session."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
             self._pool_workers = 0
+        # The sequential warm session pins a built machine plus its
+        # baseline snapshot pages; a closed runner must not keep them
+        # alive for its own lifetime.
+        self._session = None
 
     def _chunks(self, trials: int, workers: int) -> list[range]:
         """Contiguous index ranges, one per worker (locality + order)."""
@@ -255,11 +333,41 @@ class CampaignRunner:
         ``with runner:`` block the warm worker pool (or the warm
         sequential session) is reused across calls.
         """
+        return self.submit_items(items).result()
+
+    def submit_items(self, items) -> PendingItems:
+        """Dispatch ``items`` without waiting for their verdicts.
+
+        Inside a ``with runner:`` block the items start executing on
+        the persistent pool immediately, split into
+        :attr:`chunksize`-item work units, and the returned
+        :class:`PendingItems` collects them later -- a pipelined
+        client generates its next mutation batch while this one runs.
+        Outside a pool the work is deferred to ``.result()`` (the
+        sequential warm session or a per-call pool), preserving
+        run_items semantics exactly.
+        """
+        items = list(items)
+        started = perf_counter()
+        if not items or self._pool is None:
+            return PendingItems(self, items, None, 0, started)
+        workers = min(self._pool_workers, len(items))
+        if self.chunksize is not None:
+            size = max(1, self.chunksize)
+            chunks = [items[pos:pos + size]
+                      for pos in range(0, len(items), size)]
+        else:
+            chunks = [[items[i] for i in chunk]
+                      for chunk in self._chunks(len(items), workers)]
+        futures = [self._pool.submit(_worker_items, chunk)
+                   for chunk in chunks]
+        return PendingItems(self, items, futures, workers, started)
+
+    def _run_items_now(self, items: list, started: float) -> CampaignResult:
+        """Synchronous item execution (the non-pooled legs)."""
         import repro.machine.machine as machine_module
 
-        items = list(items)
         jobs = self.jobs or 1
-        started = perf_counter()
         if not items:
             return CampaignResult([], 0, 0, perf_counter() - started, 0)
         sequential = (

@@ -42,7 +42,8 @@ identity diff over the (sparse) page table.
 from __future__ import annotations
 
 import struct
-from itertools import chain
+import zlib
+from itertools import chain, count
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import MemoryFault
@@ -95,6 +96,15 @@ def _pages_covering(addr: int, size: int) -> Iterable[int]:
     return chain(range(first, _NUM_PAGES), range(0, last + 1))
 
 
+#: Epochs handed to deserialized snapshots.  Strictly negative and
+#: never repeated, so a snapshot that came over the wire can never be
+#: mistaken for the live table's most-recent snapshot (whose epochs
+#: are positive): restoring one always takes the identity-diff path
+#: the first time, then participates in O(dirty) epoch tracking like
+#: any other restore point.
+_WIRE_EPOCHS = count(-1, -1)
+
+
 class MemorySnapshot:
     """A frozen page table: shared page objects + a permission copy.
 
@@ -115,6 +125,36 @@ class MemorySnapshot:
     @property
     def page_count(self) -> int:
         return len(self.pages)
+
+    def to_payload(self) -> tuple:
+        """Serializable digest of the frozen page table.
+
+        ``(perms, sorted page numbers, zlib blob)`` -- the sparse
+        pages are concatenated in page-number order and compressed as
+        one stream (guest images are mostly zeros and repeated code
+        patterns; one stream lets the compressor share its window
+        across pages).
+        """
+        nums = sorted(self.pages)
+        blob = zlib.compress(
+            b"".join(bytes(self.pages[num]) for num in nums), 6)
+        return (dict(self.perms), nums, blob)
+
+    @classmethod
+    def from_payload(cls, payload: tuple) -> "MemorySnapshot":
+        """Rebuild a restorable snapshot from :meth:`to_payload`."""
+        perms, nums, blob = payload
+        raw = zlib.decompress(blob)
+        if len(raw) != len(nums) * PAGE_SIZE:
+            raise ValueError(
+                f"memory payload holds {len(raw)} bytes for "
+                f"{len(nums)} pages"
+            )
+        pages = {
+            num: bytearray(raw[pos:pos + PAGE_SIZE])
+            for pos, num in zip(range(0, len(raw), PAGE_SIZE), nums)
+        }
+        return cls(next(_WIRE_EPOCHS), pages, dict(perms))
 
 
 class Memory:

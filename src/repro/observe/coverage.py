@@ -22,6 +22,7 @@ of 4x" counts as new behaviour while "39x vs 40x" does not.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import TYPE_CHECKING
 
 from repro.observe.events import Observer
@@ -116,7 +117,22 @@ class CoverageObserver(Observer):
     ``touched`` are live for the current run (and are zeroed lazily on
     the next ``begin_run``), so per-run reset cost is O(edges taken),
     not O(map size).
+
+    The observer is *dispatch-transparent*: it subscribes exactly to
+    the control-transfer hooks the superblock translator bakes into
+    compiled blocks (branch/jump/call/ret/fault), so an attached
+    coverage probe keeps the machine on translated-block dispatch
+    instead of demoting it to per-instruction stepping.  The event
+    stream is identical either way (the differential suite proves the
+    bitmap byte-identical across legs); observed fuzzing runs at block
+    speed.
     """
+
+    #: Compiled superblocks emit branch/jump/call/ret/fault events in
+    #: the same order and with the same arguments as the stepped
+    #: interpreter, so block dispatch may continue with this observer
+    #: attached (see ObserverHub.transparent).
+    dispatch_transparent = True
 
     def __init__(self) -> None:
         self.counts = bytearray(MAP_SIZE)
@@ -203,3 +219,116 @@ def has_new_bits(virgin: bytearray, edges: tuple[tuple[int, int], ...]) -> bool:
             virgin[idx] = seen | mask
             new = True
     return new
+
+
+# ---------------------------------------------------------------------------
+# Wire format: packed edge sets and the shared virgin map
+# ---------------------------------------------------------------------------
+
+#: Bytes per packed edge: 2-byte little-endian cell index + 1-byte
+#: bucket mask.  MAP_SIZE is 2**12, so the index fits 16 bits with
+#: room for the map to grow 16x before the format changes.
+_EDGE_RECORD = 3
+
+
+def pack_edges(edges: tuple[tuple[int, int], ...]) -> bytes:
+    """Pack sorted ``(cell, bucket_mask)`` pairs into a compact blob.
+
+    Three bytes per edge instead of a pickled tuple-of-tuples (~25
+    bytes per edge plus object overhead) -- this is what crosses the
+    campaign runner's process boundary per execution.
+    """
+    out = bytearray(len(edges) * _EDGE_RECORD)
+    pos = 0
+    for idx, mask in edges:
+        out[pos] = idx & 0xFF
+        out[pos + 1] = idx >> 8
+        out[pos + 2] = mask
+        pos += _EDGE_RECORD
+    return bytes(out)
+
+
+def unpack_edges(blob: bytes) -> tuple[tuple[int, int], ...]:
+    """Inverse of :func:`pack_edges` (order preserved)."""
+    return tuple(
+        (blob[pos] | (blob[pos + 1] << 8), blob[pos + 2])
+        for pos in range(0, len(blob), _EDGE_RECORD)
+    )
+
+
+class SharedVirginMap:
+    """The campaign-global virgin bitmap in shared memory.
+
+    Protocol (master-authoritative, lock-free):
+
+    * the fuzzing master :meth:`create`\\ s the segment and is the only
+      writer -- it :meth:`publish`\\ es its private virgin map after
+      integrating each batch;
+    * workers :meth:`attach` by name and periodically OR the published
+      bytes into a private overlay (:meth:`merge_into`), against which
+      they test-and-set each run's edges locally;
+    * a worker ships a run's full edge set only when the run set a bit
+      its overlay had never seen.  Filtered runs ship an empty blob.
+
+    This is sound without any locking because virgin bits are
+    monotonic: anything a worker's overlay knows is a subset of what
+    the master's map knows by the time the master integrates that
+    worker's later results, so "not new locally" always implies "not
+    new globally".  A stale or torn read only makes a worker ship
+    edges it did not strictly need to -- never drop coverage.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, owner: bool) -> None:
+        self._shm = shm
+        self._owner = owner
+
+    @property
+    def name(self) -> str:
+        """Segment name workers use to :meth:`attach`."""
+        return self._shm.name
+
+    @classmethod
+    def create(cls) -> "SharedVirginMap":
+        """Allocate a fresh all-zero map (master side)."""
+        shm = shared_memory.SharedMemory(create=True, size=MAP_SIZE)
+        shm.buf[:MAP_SIZE] = bytes(MAP_SIZE)
+        return cls(shm, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedVirginMap":
+        """Open an existing map by name (worker side)."""
+        shm = shared_memory.SharedMemory(name=name)
+        # The master owns the segment's lifetime; stop this process's
+        # resource tracker from also unlinking it (and from warning
+        # about a "leak") at worker shutdown.
+        try:  # pragma: no cover - tracker internals vary by version
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        return cls(shm, owner=False)
+
+    def publish(self, virgin: bytearray) -> None:
+        """Overwrite the shared bytes with the master's map."""
+        self._shm.buf[:MAP_SIZE] = bytes(virgin)
+
+    def snapshot(self) -> bytes:
+        """The currently published map."""
+        return bytes(self._shm.buf[:MAP_SIZE])
+
+    def merge_into(self, local: bytearray) -> None:
+        """OR the published bits into a worker's private overlay."""
+        merged = int.from_bytes(local, "little") | int.from_bytes(
+            self._shm.buf[:MAP_SIZE], "little"
+        )
+        local[:] = merged.to_bytes(MAP_SIZE, "little")
+
+    def close(self) -> None:
+        """Detach; the owner also unlinks the segment."""
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

@@ -69,6 +69,45 @@ void main() {
 }
 """
 
+#: The staged victim with a parsing front-end: every request is
+#: checksummed byte-by-byte before the method check, the way a real
+#: server tokenizes before it routes.  Guest execution (a few hundred
+#: instructions per request) dominates the per-input fixed cost here,
+#: which is what makes this the fuzzing *throughput* vehicle: the
+#: benchmark suite uses it to price coverage-observed dispatch, where
+#: the tiny staged victim would mostly price snapshot restores.
+FIG1_SERVER_PARSING = """
+char body[64];
+
+void handle_request(int fd) {
+    char buf[16];
+    read(fd, buf, 64);                 // BUG: buf holds only 16 bytes
+    write(1, buf, 16);
+}
+
+void main() {
+    char method[4];
+    int sum = 0;
+    int i;
+    read(0, method, 4);
+    read(0, body, 64);
+    for (i = 0; i < 64; i = i + 1) {
+        sum = sum * 31 + body[i];      // parse work on every request
+        sum = sum ^ (sum >> 7);        // Jenkins-style avalanche mix
+        sum = sum + (sum << 3);
+        sum = sum ^ (sum >> 11);
+    }
+    if (method[0] == 'G') {
+        if (method[1] == 'E') {
+            if (method[2] == 'T') {
+                handle_request(0);
+            }
+        }
+    }
+    print_int(sum);
+}
+"""
+
 # ---------------------------------------------------------------------------
 # Data-only attack vehicle (Section III-B): overflowing ``name``
 # reaches the adjacent ``is_admin`` flag without touching the canary
@@ -611,6 +650,7 @@ VICTIMS = {
     "fig1_vulnerable": FIG1_SERVER_VULNERABLE,
     "fig1_wide_open": FIG1_SERVER_WIDE_OPEN,
     "fig1_staged": FIG1_SERVER_STAGED,
+    "fig1_parsing": FIG1_SERVER_PARSING,
     "data_only": DATA_ONLY_VICTIM,
     "arbitrary_write": ARBITRARY_WRITE_VICTIM,
     "funcptr": FUNCPTR_VICTIM,

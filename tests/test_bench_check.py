@@ -7,10 +7,14 @@ import json
 from benchmarks.run_benchmarks import (
     BASELINE_WINDOW,
     MAX_MONITOR_OVERHEAD,
+    MIN_FUZZ_DISPATCH_SPEEDUP,
+    MIN_PARALLEL_SCALING,
+    MIN_SCALING_CORES,
     MIN_TRACE_SPEEDUP,
     baseline_rate,
     check_regression,
     load_previous,
+    render_trajectory,
     write_tracking_file,
 )
 
@@ -199,6 +203,90 @@ class TestFuzzSection:
         assert message is not None
         assert "fuzz throughput" in message
         assert "execs/s" in message
+
+
+class TestParallelFuzzSection:
+    """The parallel campaign leg: its own baseline plus the gates
+    introduced with the throughput overhaul."""
+
+    def test_parallel_rate_tracked_separately(self):
+        previous = {
+            "current": {
+                "fuzz_campaign": {"execs_per_second": 1_000.0},
+                "fuzz_parallel": {"execs_per_second": 3_400.0,
+                                  "scaling_vs_sequential": 3.4,
+                                  "jobs": 4, "cores": 8},
+            },
+            "history": [],
+        }
+        assert baseline_rate(previous, "fuzz_parallel")[0] == 3_400.0
+        assert baseline_rate(previous, "fuzz_campaign")[0] == 1_000.0
+
+    def test_no_parallel_baseline_in_old_history(self):
+        # Tracking files written before the parallel overhaul must not
+        # trip the gate on the first fanned-out run.
+        previous = {"current": entry(800_000.0), "history": []}
+        assert baseline_rate(previous, "fuzz_parallel") == (None, [])
+        assert check_regression(3_400.0, None,
+                                section="fuzz_parallel") is None
+
+    def test_message_uses_execs_unit(self):
+        message = check_regression(1_000.0, 4_000.0,
+                                   section="fuzz_parallel")
+        assert message is not None
+        assert "fuzz_parallel throughput" in message
+        assert "execs/s" in message
+
+    def test_gate_floors_are_meaningful(self):
+        # The ISSUE's acceptance bars: transparent dispatch must at
+        # least double observed execs/s, and four workers must earn at
+        # least a 3x campaign -- on hardware that can express it.
+        assert MIN_FUZZ_DISPATCH_SPEEDUP >= 2.0
+        assert MIN_PARALLEL_SCALING >= 3.0
+        assert MIN_SCALING_CORES == 4
+
+
+class TestTrajectory:
+    def runs(self):
+        return {
+            "current": {
+                "timestamp": "2026-08-08",
+                "interpreter": {"instructions_per_second": 1_200_000.0},
+                "fuzz": {"execs_per_second": 9_000.0},
+            },
+            "history": [
+                {"timestamp": "2026-08-01",
+                 "interpreter": {"instructions_per_second": 1_000_000.0}},
+                {"timestamp": "2026-08-04",
+                 "interpreter": {"instructions_per_second": 1_100_000.0},
+                 "fuzz": {"execs_per_second": 4_500.0}},
+            ],
+        }
+
+    def test_sections_report_trend_and_rows(self):
+        lines = render_trajectory(self.runs())
+        text = "\n".join(lines)
+        # The interpreter moved 1.0M -> 1.2M across three runs...
+        assert "interpreter: 1,200,000 insns/s (+20.0% over 3 runs)" in text
+        # ...and fuzz doubled across the two runs that carry it.
+        assert "fuzz: 9,000 execs/s (+100.0% over 2 runs)" in text
+        assert "2026-08-01" in text and "2026-08-08" in text
+
+    def test_sections_without_history_are_skipped(self):
+        lines = render_trajectory(self.runs())
+        assert not any(line.startswith("fuzz_parallel") for line in lines)
+
+    def test_single_run_has_no_percentage(self):
+        previous = {"current": entry(500_000.0, "2026-08-08"),
+                    "history": []}
+        lines = render_trajectory(previous)
+        assert lines[0] == "interpreter: 500,000 insns/s (1 run recorded)"
+
+    def test_empty_file_says_so(self):
+        assert render_trajectory(None) == ["no tracking file recorded yet"]
+        assert render_trajectory({"current": {"compile_pipeline": {}},
+                                  "history": []}) == [
+            "no tracked sections recorded yet"]
 
 
 class TestTrackingFile:

@@ -85,6 +85,80 @@ class TestRunnerParity:
             CampaignRunner(SecretFactory())
 
 
+class TestRunnerLifecycle:
+    def test_close_drops_cached_session(self):
+        """close() must release the warm sequential session (a built
+        machine plus its snapshot pages), not just the pool."""
+        runner = _guess_runner(jobs=1)
+        runner.run_items([0, 1])
+        assert runner._session is not None
+        runner.close()
+        assert runner._session is None
+
+    def test_degrade_to_sequential_warns(self):
+        """jobs > 1 with observe_new_machines() factories active used
+        to silently run sequentially; now it says why."""
+        from repro.observe import MetricsCollector, observe_new_machines
+
+        runner = _guess_runner(jobs=2)
+        with observe_new_machines(lambda machine: MetricsCollector()):
+            with pytest.warns(RuntimeWarning,
+                              match="observe_new_machines"):
+                runner.__enter__()
+        assert runner._pool is None
+        runner.close()
+
+    def test_no_warning_without_factories(self):
+        import warnings as warnings_module
+
+        with _guess_runner(jobs=2) as runner:
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error")
+                runner.run(4)
+
+
+class TestSubmitItems:
+    def trial_runner(self, jobs=None, chunksize=None):
+        runner = _guess_runner(jobs=jobs)
+        runner.chunksize = chunksize
+        return runner
+
+    def test_submit_matches_run_items_sequential(self):
+        runner = self.trial_runner()
+        direct = runner.run_items([0, 1, 2, 3]).verdicts
+        pending = runner.submit_items([0, 1, 2, 3])
+        assert pending.result().verdicts == direct
+        assert pending.result() is pending.result()  # cached
+        runner.close()
+
+    def test_pipelined_submit_matches_barrier(self):
+        """Two batches in flight (submit N+1 before resolving N) must
+        produce the same verdicts as strictly sequential batches."""
+        with self.trial_runner(jobs=2, chunksize=2) as runner:
+            first = runner.submit_items([0, 1, 2, 3])
+            second = runner.submit_items([4, 5, 6, 7])
+            pipelined = (first.result().verdicts
+                         + second.result().verdicts)
+        barrier = self.trial_runner().run_items(range(8)).verdicts
+        assert pipelined == barrier
+
+    def test_chunksize_splits_work_units(self):
+        with self.trial_runner(jobs=2, chunksize=1) as runner:
+            pending = runner.submit_items([0, 1, 2, 3])
+            assert len(pending._futures) == 4
+            assert pending.result().trials == 4
+
+    def test_cancel_abandons_pending_batch(self):
+        with self.trial_runner(jobs=2) as runner:
+            pending = runner.submit_items([0, 1])
+            pending.cancel()
+            assert pending.result().trials == 0
+
+    def test_empty_submit(self):
+        runner = self.trial_runner()
+        assert runner.submit_items([]).result().verdicts == []
+
+
 class TestRollbackAttack:
     def test_snapshot_attacker_defeats_lockout(self):
         # tries_left locks the in-run attacker out after 3 guesses...

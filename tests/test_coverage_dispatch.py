@@ -1,0 +1,117 @@
+"""Dispatch-transparency differential suite for the coverage probe.
+
+PR 7 taught the superblock translator to bake observer event emission
+into compiled blocks when every attached observer is
+*dispatch-transparent*; this suite pins down that the
+:class:`CoverageObserver` rides that path (observed fuzzing runs at
+block speed) **without changing anything observable**: run results are
+byte-identical and the coverage bitmap, edge list and crash signature
+are identical across
+
+* per-instruction stepping (a non-transparent observer subclass),
+* the plain interpreter leg (``block_cache=False``),
+* transparent superblock dispatch (the new default), and
+* transparent dispatch with the trace JIT enabled (traces stand down
+  under a hub; blocks still serve hot code).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.greybox import SnapshotExecutor, VictimFactory, outcome_of
+from repro.mitigations.config import TESTING
+from repro.observe.coverage import CoverageObserver
+from tests.test_differential_cache import summarize
+
+GET_SMASH = b"GET " + b"A" * 32
+INPUTS = [b"", b"GET", b"GET \x01\x02", GET_SMASH, b"B" * 64]
+
+
+class SteppedCoverageObserver(CoverageObserver):
+    """The pre-transparency observer: same hooks, same bitmap, but the
+    machine must demote to per-instruction dispatch for it."""
+
+    dispatch_transparent = False
+
+
+def executor_with(observer, *, block_cache: bool = True,
+                  trace_jit: bool = False):
+    executor = SnapshotExecutor(VictimFactory("fig1_staged", TESTING),
+                                observer=observer)
+    executor.machine.config.block_cache = block_cache
+    executor.machine.config.trace_jit = trace_jit
+    return executor
+
+
+def leg(observer_cls, **config):
+    """Run every probe input down one dispatch leg; return everything
+    observable about it."""
+    observer = observer_cls()
+    executor = executor_with(observer, **config)
+    digest = []
+    for data in INPUTS:
+        result = executor.run(data)
+        digest.append((
+            summarize(result),
+            observer.snapshot_counts(),
+            observer.edge_items(),
+            outcome_of(observer, result).crash_site,
+        ))
+    return executor, digest
+
+
+class TestTransparency:
+    def test_coverage_observer_opts_in(self):
+        assert CoverageObserver.dispatch_transparent is True
+
+    def test_transparent_hub_keeps_block_dispatch(self):
+        executor, _ = leg(CoverageObserver, block_cache=True)
+        machine = executor.machine
+        assert machine._blocks_hub is machine._observers is not None
+        assert machine.block_cache_stats()["blocks"] > 0
+
+    def test_stepped_observer_demotes_dispatch(self):
+        executor, _ = leg(SteppedCoverageObserver, block_cache=True)
+        machine = executor.machine
+        assert machine._blocks_hub is None
+        assert machine.block_cache_stats()["blocks"] == 0
+
+    def test_traces_stand_down_under_hub(self):
+        executor, _ = leg(CoverageObserver, block_cache=True, trace_jit=True)
+        assert executor.machine.trace_cache_stats()["traces"] == 0
+
+
+class TestDifferential:
+    """Byte- and bitmap-identical across every dispatch leg."""
+
+    @pytest.fixture(scope="class")
+    def stepped(self):
+        return leg(SteppedCoverageObserver, block_cache=True)[1]
+
+    def test_block_leg_matches_stepped(self, stepped):
+        assert leg(CoverageObserver, block_cache=True)[1] == stepped
+
+    def test_interpreter_leg_matches_stepped(self, stepped):
+        assert leg(CoverageObserver, block_cache=False)[1] == stepped
+
+    def test_traced_leg_matches_stepped(self, stepped):
+        assert leg(CoverageObserver, block_cache=True,
+                   trace_jit=True)[1] == stepped
+
+    def test_restores_keep_legs_identical(self, stepped):
+        """Interleaved restores (the fuzzing access pattern) must not
+        desynchronize the transparent leg from the stepped one."""
+        observer = CoverageObserver()
+        executor = executor_with(observer)
+        for _ in range(2):
+            digest = []
+            for data in INPUTS:
+                result = executor.run(data)
+                digest.append((
+                    summarize(result),
+                    observer.snapshot_counts(),
+                    observer.edge_items(),
+                    outcome_of(observer, result).crash_site,
+                ))
+            assert digest == stepped

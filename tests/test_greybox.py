@@ -18,9 +18,13 @@ Four proof obligations:
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
+import repro.machine.machine as machine_module
 from repro.analysis.greybox import (
+    ExecOutcome,
     GreyboxFuzzer,
     SnapshotExecutor,
     VictimFactory,
@@ -34,10 +38,13 @@ from repro.observe.coverage import (
     MAP_SIZE,
     CoverageObserver,
     CrashSite,
+    SharedVirginMap,
     bucket_mask,
     edge_index,
     has_new_bits,
+    pack_edges,
     stack_hash,
+    unpack_edges,
 )
 from tests.test_differential_cache import summarize
 
@@ -304,6 +311,135 @@ class TestEffectiveness:
             report = GreyboxFuzzer(
                 VictimFactory("fig1_staged", TESTING), seed=5, jobs=jobs,
             ).run(max_execs=400, minimize=False)
+            results.append((
+                report.execs, report.edges, report.corpus_size,
+                report.coverage_curve, report.first_detected_exec,
+                [c.site for c in report.crashes],
+                [c.input for c in report.crashes],
+            ))
+        assert results[0] == results[1]
+
+
+# ---------------------------------------------------------------------------
+# Wire compatibility + the shared virgin map
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(params=[True, False], ids=["blocks", "stepped"])
+def block_default(request):
+    """Run the parallel determinism proof under both dispatch legs
+    (workers inherit the module default through the pool initargs)."""
+    previous = machine_module.BLOCK_CACHE_DEFAULT
+    machine_module.BLOCK_CACHE_DEFAULT = request.param
+    try:
+        yield request.param
+    finally:
+        machine_module.BLOCK_CACHE_DEFAULT = previous
+
+
+class TestWireCompat:
+    def test_pack_unpack_round_trip(self):
+        edges = ((0, 1), (5, 128), (4095, 64), (300, 3))
+        blob = pack_edges(edges)
+        assert len(blob) == 3 * len(edges)
+        assert unpack_edges(blob) == edges
+        assert pack_edges(()) == b""
+        assert unpack_edges(b"") == ()
+
+    def test_old_tuple_edges_pickle_still_loads(self):
+        """PR 5-era ExecOutcome pickles carried edges as a
+        tuple-of-tuples; they must still load and integrate."""
+        old = ExecOutcome(status="fault", fault="RedZoneFault",
+                          edges=((5, 1), (9, 2)),
+                          crash_site=CrashSite("RedZoneFault", 0x1000, 7),
+                          instructions=44)
+        back = pickle.loads(pickle.dumps(old))
+        assert back.edge_items() == ((5, 1), (9, 2))
+        assert back.is_detection
+        virgin = bytearray(MAP_SIZE)
+        assert has_new_bits(virgin, back.edge_items())
+
+    def test_packed_and_tuple_outcomes_integrate_identically(self):
+        items = ((5, 1), (9, 2), (700, 8))
+        packed = ExecOutcome("exited", None, pack_edges(items), None, 10)
+        legacy = ExecOutcome("exited", None, items, None, 10)
+        assert packed.edge_items() == legacy.edge_items()
+
+    def test_three_field_crash_site_fixture(self):
+        """Old CrashSite pickles (pre-first_breach) construct and
+        compare exactly as before."""
+        site = CrashSite("RedZoneFault", 0x1000, 123)
+        assert site.first_breach is None
+        assert site == pickle.loads(pickle.dumps(site))
+        assert site == CrashSite("RedZoneFault", 0x1000, 123, None)
+
+    def test_packed_blob_is_compact(self):
+        executor, observer = instrumented_executor("fig1_staged", TESTING)
+        result = executor.run(GET_SMASH)
+        outcome = outcome_of(observer, result)
+        assert isinstance(outcome.edges, bytes)
+        assert len(outcome.edges) == 3 * len(outcome.edge_items())
+        tuple_pickle = pickle.dumps(outcome.edge_items())
+        assert len(pickle.dumps(outcome.edges)) < len(tuple_pickle)
+
+
+class TestSharedVirginMap:
+    def test_publish_attach_snapshot(self):
+        shared = SharedVirginMap.create()
+        try:
+            virgin = bytearray(MAP_SIZE)
+            virgin[7] = 3
+            virgin[4095] = 128
+            shared.publish(virgin)
+            worker = SharedVirginMap.attach(shared.name)
+            try:
+                assert worker.snapshot() == bytes(virgin)
+                local = bytearray(MAP_SIZE)
+                local[9] = 1
+                worker.merge_into(local)
+                assert local[7] == 3 and local[9] == 1 and local[4095] == 128
+            finally:
+                worker.close()
+        finally:
+            shared.close()
+
+    def test_overlay_filters_repeat_coverage(self):
+        """A run whose every bucket is already in the worker overlay
+        ships an empty edge blob; a novel run ships the full set."""
+        executor, observer = instrumented_executor("fig1_staged", TESTING)
+        local = bytearray(MAP_SIZE)
+        first = outcome_of(observer, executor.run(b"GET x"),
+                           local_virgin=local)
+        assert first.edges != b""
+        repeat = outcome_of(observer, executor.run(b"GET x"),
+                            local_virgin=local)
+        assert repeat.edges == b""
+        assert repeat.edge_items() == ()
+        # The rejected-method path takes branches the GET path never
+        # did: locally novel, so the full edge set ships.
+        novel = outcome_of(observer, executor.run(b"PUT x"),
+                           local_virgin=local)
+        assert novel.edges != b""
+
+    def test_filtered_crash_keeps_its_site(self):
+        """Novelty filtering must never swallow a crash signature."""
+        executor, observer = instrumented_executor("fig1_staged", TESTING)
+        local = bytearray(MAP_SIZE)
+        outcome_of(observer, executor.run(GET_SMASH), local_virgin=local)
+        repeat = outcome_of(observer, executor.run(GET_SMASH),
+                            local_virgin=local)
+        assert repeat.edges == b""
+        assert repeat.crash_site is not None
+        assert repeat.is_detection
+
+    def test_parallel_matches_sequential_both_legs(self, block_default):
+        """The shared-virgin-map + pipelined path must stay
+        report-identical to sequential under either dispatch leg."""
+        results = []
+        for jobs in (None, 2):
+            report = GreyboxFuzzer(
+                VictimFactory("fig1_staged", TESTING), seed=5, jobs=jobs,
+            ).run(max_execs=300, minimize=False)
             results.append((
                 report.execs, report.edges, report.corpus_size,
                 report.coverage_curve, report.first_detected_exec,
