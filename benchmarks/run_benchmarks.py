@@ -24,9 +24,12 @@ Options::
                      if invariant-monitored dispatch costs more than
                      MAX_MONITOR_OVERHEAD x the detached block leg,
                      if transparent fuzz dispatch fails to beat stepped
-                     dispatch by MIN_FUZZ_DISPATCH_SPEEDUP, or (on
+                     dispatch by MIN_FUZZ_DISPATCH_SPEEDUP, (on
                      machines with >= 4 cores) if the parallel fuzz
-                     campaign scales below MIN_PARALLEL_SCALING
+                     campaign scales below MIN_PARALLEL_SCALING, or if
+                     the service-coordinated campaign sustains less
+                     than MIN_SERVICE_EFFICIENCY of the direct
+                     CampaignRunner throughput at the same jobs count
     --trajectory     print each tracked section's throughput trend
                      from the recorded history (no benchmark run)
 """
@@ -94,6 +97,7 @@ FUZZ_SECTIONS = {
     "test_bench_greybox_execs_stepped": "fuzz_stepped",
     "test_bench_fuzz_campaign": "fuzz_campaign",
     "test_bench_fuzz_parallel": "fuzz_parallel",
+    "test_bench_fuzz_service": "fuzz_service",
 }
 
 #: Snapshot-restore trials must beat cold rebuilds by at least this
@@ -121,6 +125,13 @@ MIN_FUZZ_DISPATCH_SPEEDUP = 2.0
 #: with the recorded core count printed so the skip is auditable).
 MIN_PARALLEL_SCALING = 3.0
 MIN_SCALING_CORES = 4
+
+#: The coordinator-managed campaign must sustain at least this share
+#: of the direct CampaignRunner throughput at the same jobs count --
+#: per-batch checkpointing and the persistent store are only "live
+#: telemetry" if they stay out of the hot path.  Both legs run in the
+#: same process on the same hardware, so the ratio binds everywhere.
+MIN_SERVICE_EFFICIENCY = 0.8
 
 #: How many recent runs feed the regression baseline.  Gating against
 #: the *median* of a window -- not the all-time best -- keeps one
@@ -206,6 +217,9 @@ def summarize(raw: dict) -> dict:
     solo = summary.get("fuzz_campaign", {}).get("execs_per_second")
     if fanned and solo:
         summary["fuzz_parallel"]["scaling_vs_sequential"] = fanned / solo
+    served = summary.get("fuzz_service", {}).get("execs_per_second")
+    if served and fanned:
+        summary["fuzz_service"]["efficiency_vs_direct"] = served / fanned
     # Echo the dispatch configuration the throughput legs ran with.
     for bench in raw.get("benchmarks", []):
         config = bench.get("extra_info", {}).get("config")
@@ -310,7 +324,7 @@ TRAJECTORY_SECTIONS = (
     "interpreter", "block", "trace", "monitored",
     "snapshot", "snapshot_cold",
     "fuzz", "fuzz_parsing", "fuzz_stepped", "fuzz_campaign",
-    "fuzz_parallel",
+    "fuzz_parallel", "fuzz_service",
 )
 
 
@@ -416,12 +430,17 @@ def main() -> None:
     if scaling:
         print(f"parallel fuzz campaign: {scaling:.2f}x sequential "
               f"(jobs={parallel.get('jobs')}, cores={parallel.get('cores')})")
+    service = summary.get("fuzz_service", {})
+    efficiency = service.get("efficiency_vs_direct")
+    if efficiency:
+        print(f"service-coordinated campaign: {efficiency:.0%} of direct "
+              f"runner throughput (jobs={service.get('jobs')})")
 
     if args.check:
         failed = False
         for section in ("interpreter", "block", "trace", "monitored",
                         "snapshot", "fuzz", "fuzz_parsing",
-                        "fuzz_parallel"):
+                        "fuzz_parallel", "fuzz_service"):
             rate = _rate(summary, section)
             baseline, used = baseline_rate(previous, section)
             message = check_regression(rate, baseline, section=section)
@@ -499,6 +518,18 @@ def main() -> None:
                 print(f"check: parallel scaling OK ({scaling:.2f}x >= "
                       f"{MIN_PARALLEL_SCALING:.1f}x at "
                       f"jobs={parallel.get('jobs')}, cores={cores})")
+        if efficiency is not None:
+            if efficiency < MIN_SERVICE_EFFICIENCY:
+                print(f"REGRESSION: service-coordinated campaign sustains "
+                      f"only {efficiency:.0%} of direct CampaignRunner "
+                      f"throughput at jobs={service.get('jobs')} "
+                      f"(floor: {MIN_SERVICE_EFFICIENCY:.0%})",
+                      file=sys.stderr)
+                failed = True
+            else:
+                print(f"check: service efficiency OK ({efficiency:.0%} >= "
+                      f"{MIN_SERVICE_EFFICIENCY:.0%} of direct runner at "
+                      f"jobs={service.get('jobs')})")
         if failed:
             raise SystemExit(1)
 

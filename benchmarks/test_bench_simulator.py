@@ -372,3 +372,44 @@ def test_bench_fuzz_parallel(benchmark):
 
     _bench_campaign(benchmark, "greybox campaign (parallel)",
                     min(4, os.cpu_count() or 1))
+
+
+def test_bench_fuzz_service(benchmark, tmp_path):
+    """The identical campaign driven through the durable service.
+
+    Same victim, seed, budget and jobs as ``test_bench_fuzz_parallel``
+    -- the delta is pure coordinator overhead: the asyncio drain loop,
+    per-batch checkpoint pickling, corpus/triage persistence, and the
+    JSONL progress stream.  The --check gate requires >= 80% of the
+    direct CampaignRunner throughput; the ratio compares like against
+    like on any core count, so it binds unconditionally.
+    """
+    import os
+
+    from repro.campaign.service import CampaignCoordinator, CampaignSpec
+
+    jobs = min(4, os.cpu_count() or 1)
+
+    def service_round():
+        import shutil
+
+        root = tmp_path / "svc"
+        shutil.rmtree(root, ignore_errors=True)
+        coordinator = CampaignCoordinator(root, concurrency=1)
+        coordinator.submit(CampaignSpec(
+            job_id="bench", victim="fig1_parsing", config="testing",
+            seed=5, max_execs=_CAMPAIGN_EXECS, jobs=jobs,
+            invariants=False, minimize=False,
+        ))
+        return coordinator.serve()["bench"]["execs"]
+
+    execs = benchmark.pedantic(service_round, rounds=1, iterations=1)
+    assert execs == _CAMPAIGN_EXECS
+    if benchmark.stats is not None:
+        rate = execs / benchmark.stats.stats.mean
+        benchmark.extra_info["execs_per_run"] = execs
+        benchmark.extra_info["execs_per_second"] = rate
+        benchmark.extra_info["jobs"] = jobs
+        benchmark.extra_info["cores"] = os.cpu_count() or 1
+        print(f"\ngreybox campaign (service): ~{rate:,.0f} execs/second "
+              f"(jobs={jobs}, cores={os.cpu_count()})")

@@ -40,13 +40,14 @@ edge blob back to the master.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Callable
 
 from repro.campaign import CampaignRunner
-from repro.machine.machine import RunResult
+from repro.machine.machine import MachineSnapshot, RunResult
 from repro.minic import compile_source
 from repro.minic.compiler import options_from_mitigations
 from repro.mitigations.config import MitigationConfig, NONE
@@ -119,6 +120,10 @@ class InstrumentedFactory:
 
     base: Callable
     invariants: bool = False
+    #: Optional RSNP wire bytes; when set, each worker restores this
+    #: exact machine image over its freshly built target before the
+    #: campaign session snapshots it (resumed service campaigns).
+    baseline_bytes: bytes | None = None
 
     def __call__(self):
         target = self.base()
@@ -129,6 +134,8 @@ class InstrumentedFactory:
             machine.attach_observer(monitor)
             if hasattr(target, "image"):
                 monitor.bind_program(target)
+        if self.baseline_bytes is not None:
+            machine.restore(MachineSnapshot.from_bytes(self.baseline_bytes))
         return target
 
 
@@ -170,6 +177,7 @@ class SnapshotExecutor:
         observer: CoverageObserver | None = None,
         invariants: bool = False,
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        baseline_bytes: bytes | None = None,
     ) -> None:
         self.target = factory()
         self.machine = getattr(self.target, "machine", self.target)
@@ -182,6 +190,11 @@ class SnapshotExecutor:
             self.machine.attach_observer(self.monitor)
             if hasattr(self.target, "image"):
                 self.monitor.bind_program(self.target)
+        if baseline_bytes is not None:
+            # A resumed campaign does not trust a rebuild to reproduce
+            # the original image bit-for-bit; it restores the stored
+            # RSNP snapshot over the fresh build and baselines *that*.
+            self.machine.restore(MachineSnapshot.from_bytes(baseline_bytes))
         self.baseline = self.machine.snapshot()
         self.max_instructions = max_instructions
         #: Total inputs executed through this executor.
@@ -388,6 +401,49 @@ class QueueEntry:
     det_done: bool = False
 
 
+class _DetStage:
+    """Resumable deterministic-stage cursor.
+
+    The det stack used to hold raw generators, which cannot be
+    checkpointed.  ``(data, consumed)`` fully determines the remaining
+    mutants -- the stage is a pure function of the corpus entry -- so
+    a resume recreates the generator and fast-forwards ``consumed``
+    items to land on the exact next mutant.
+    """
+
+    __slots__ = ("data", "consumed", "_iter")
+
+    def __init__(self, stage_fn: Callable, data: bytes,
+                 consumed: int = 0) -> None:
+        self.data = data
+        self.consumed = consumed
+        self._iter = stage_fn(data)
+        for _ in range(consumed):
+            if next(self._iter, None) is None:
+                break
+
+    def __iter__(self) -> "_DetStage":
+        return self
+
+    def __next__(self) -> bytes:
+        mutant = next(self._iter)
+        self.consumed += 1
+        return mutant
+
+
+#: Campaign checkpoint wire version (bump on layout changes).
+CHECKPOINT_VERSION = 1
+
+
+def _digest_corpus(queue: list[QueueEntry]) -> str:
+    """Order-sensitive digest of the corpus contents."""
+    digest = hashlib.sha256()
+    for entry in queue:
+        digest.update(len(entry.data).to_bytes(4, "little"))
+        digest.update(entry.data)
+    return digest.hexdigest()
+
+
 @dataclass
 class GreyboxReport:
     """Outcome of one :meth:`GreyboxFuzzer.run` campaign."""
@@ -408,10 +464,39 @@ class GreyboxReport:
     minimization_execs: int = 0
     #: Dirty pages rewound across all fork-server restores.
     restored_pages: int = 0
+    #: True when the campaign stopped early on ``stop_after_batches``
+    #: (a resumable checkpoint exists; minimization was skipped).
+    interrupted: bool = False
+    #: Order-sensitive sha256 of the corpus contents.
+    corpus_digest: str = ""
 
     @property
     def unique_crashes(self) -> int:
         return len(self.crashes)
+
+    def fingerprint(self) -> str:
+        """sha256 over every seed-deterministic field of the report.
+
+        Wall-clock and restore-cost fields (``duration_seconds``,
+        ``first_detected_seconds``, ``found_at_seconds``,
+        ``restored_pages``) are excluded; everything the campaign's
+        seed determines -- exec count, coverage, corpus contents,
+        crash dedup set with first-breach attribution, minimized
+        reproducers -- is included.  An interrupted-then-resumed
+        campaign must produce the uninterrupted run's fingerprint.
+        """
+        payload = (
+            self.program, self.config, self.execs, self.edges,
+            self.corpus_size, self.corpus_digest,
+            tuple(self.coverage_curve), self.first_detected_exec,
+            tuple(
+                (record.site.fault, record.site.ip, record.site.call_hash,
+                 record.site.first_breach, record.input, record.minimized,
+                 record.found_at_exec)
+                for record in self.crashes
+            ),
+        )
+        return hashlib.sha256(repr(payload).encode()).hexdigest()
 
     @property
     def detected(self) -> bool:
@@ -455,6 +540,7 @@ class GreyboxFuzzer:
         invariants: bool = False,
         program: str = "?",
         config: str = "?",
+        snapshot_bytes: bytes | None = None,
     ) -> None:
         self.factory = factory
         self.rng = random.Random(seed)
@@ -465,6 +551,9 @@ class GreyboxFuzzer:
         self.invariants = invariants
         self.program = program
         self.config = config
+        #: RSNP wire bytes of the baseline image to fuzz (service
+        #: resumes); None baselines whatever ``factory`` builds.
+        self.snapshot_bytes = snapshot_bytes
         self._executor: SnapshotExecutor | None = None
         self._observer: CoverageObserver | None = None
         # Campaign state (reset per run()).
@@ -483,8 +572,15 @@ class GreyboxFuzzer:
                 self.factory, observer=self._observer,
                 invariants=self.invariants,
                 max_instructions=self.max_instructions,
+                baseline_bytes=self.snapshot_bytes,
             )
         return self._executor
+
+    def baseline_snapshot_bytes(self) -> bytes:
+        """RSNP wire bytes of the warm baseline image.  The campaign
+        service persists these at campaign start so a resume fuzzes
+        the *stored* machine image, not a rebuild's."""
+        return self._local_executor().baseline.to_bytes()
 
     def _execute(self, batch: list[bytes], runner) -> list[ExecOutcome]:
         if runner is not None:
@@ -614,7 +710,7 @@ class GreyboxFuzzer:
     def _add_to_queue(self, data: bytes, execs: int) -> None:
         entry = QueueEntry(data, execs)
         self.queue.append(entry)
-        self._det_stack.append(self._deterministic(data))
+        self._det_stack.append(_DetStage(self._deterministic, data))
 
     def _integrate(
         self, data: bytes, outcome: ExecOutcome, execs: int,
@@ -636,6 +732,66 @@ class GreyboxFuzzer:
             if site is not None and site not in crashes:
                 crashes[site] = CrashRecord(site, data, execs, elapsed)
 
+    # -- checkpoint / resume -------------------------------------------------
+
+    def _campaign_state(self, report: GreyboxReport,
+                        crashes: dict[CrashSite, CrashRecord],
+                        pending: list[bytes]) -> dict:
+        """Everything :meth:`run` needs to continue from this exact
+        point.  ``pending`` is the already-generated-but-unintegrated
+        batch: the pipeline's one-batch lag means the RNG has advanced
+        *through* that batch by checkpoint time, so the state must
+        carry the batch itself, not regenerate it."""
+        return {
+            "version": CHECKPOINT_VERSION,
+            "rng": self.rng.getstate(),
+            "queue": [(entry.data, entry.found_at_exec, entry.det_done)
+                      for entry in self.queue],
+            "det_stack": [(stage.data, stage.consumed)
+                          for stage in self._det_stack],
+            "cursor": self._cursor,
+            "virgin": bytes(self._virgin),
+            "covered": sorted(self._covered),
+            "execs": report.execs,
+            "coverage_curve": list(report.coverage_curve),
+            "first_detected_exec": report.first_detected_exec,
+            "first_detected_seconds": report.first_detected_seconds,
+            "crashes": [
+                (record.site, record.input, record.found_at_exec,
+                 record.found_at_seconds)
+                for record in crashes.values()
+            ],
+            "pending": list(pending),
+        }
+
+    def _restore_state(self, state: dict, report: GreyboxReport,
+                       crashes: dict[CrashSite, CrashRecord]) -> list[bytes]:
+        """Inverse of :meth:`_campaign_state`; returns the pending
+        batch the resumed loop must execute first."""
+        if state.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"campaign checkpoint version {state.get('version')!r} "
+                f"(this build reads {CHECKPOINT_VERSION})"
+            )
+        self.rng.setstate(state["rng"])
+        self.queue = [QueueEntry(data, execs, det)
+                      for data, execs, det in state["queue"]]
+        self._det_stack = [
+            _DetStage(self._deterministic, data, consumed)
+            for data, consumed in state["det_stack"]
+        ]
+        self._cursor = state["cursor"]
+        self._virgin = bytearray(state["virgin"])
+        self._covered = set(state["covered"])
+        report.execs = state["execs"]
+        report.coverage_curve = [tuple(point)
+                                 for point in state["coverage_curve"]]
+        report.first_detected_exec = state["first_detected_exec"]
+        report.first_detected_seconds = state["first_detected_seconds"]
+        for site, data, at_exec, at_seconds in state["crashes"]:
+            crashes[site] = CrashRecord(site, data, at_exec, at_seconds)
+        return [bytes(item) for item in state["pending"]]
+
     # -- the campaign --------------------------------------------------------
 
     def run(
@@ -645,6 +801,9 @@ class GreyboxFuzzer:
         stop_on_first_crash: bool = False,
         minimize: bool = True,
         minimize_budget: int = 256,
+        checkpoint: Callable[[dict], None] | None = None,
+        resume: dict | None = None,
+        stop_after_batches: int | None = None,
     ) -> GreyboxReport:
         """Fuzz for up to ``max_execs`` executions.
 
@@ -661,6 +820,14 @@ class GreyboxFuzzer:
         the identical schedule (generation is lazy-submitted, executed
         at resolve time), so sequential and parallel campaigns stay
         report-identical for a fixed seed.
+
+        ``checkpoint`` is called with a resumable state dict after
+        every integrated batch; passing that dict back as ``resume``
+        continues the campaign from exactly that point -- the final
+        report is fingerprint-identical to an uninterrupted run.
+        ``stop_after_batches`` interrupts the campaign after that many
+        integrated mutation batches (``report.interrupted`` is set and
+        minimization is skipped; the last checkpoint resumes it).
         """
         report = GreyboxReport(self.program, self.config)
         crashes: dict[CrashSite, CrashRecord] = {}
@@ -670,38 +837,52 @@ class GreyboxFuzzer:
         self._det_stack = []
         self._cursor = 0
         started = perf_counter()
+        resumed_pending: list[bytes] | None = None
+        if resume is not None:
+            resumed_pending = self._restore_state(resume, report, crashes)
 
         runner = None
         shared = None
         if self.jobs and self.jobs > 1:
             shared = SharedVirginMap.create()
             runner = CampaignRunner(
-                InstrumentedFactory(self.factory, invariants=self.invariants),
+                InstrumentedFactory(self.factory, invariants=self.invariants,
+                                    baseline_bytes=self.snapshot_bytes),
                 trial=CoverageTrial(self.max_instructions,
                                     virgin_map=shared.name),
                 jobs=self.jobs,
                 chunksize=max(1, self.batch_size // max(1, self.jobs)),
             ).__enter__()
+        batches_done = 0
+        interrupted = False
         try:
-            # Seed corpus first, synchronously: every seed joins the
-            # queue, and the deterministic stages everything else
-            # pipelines behind are derived from it.
-            seed_batch = list(dict.fromkeys(self.seeds))[:max_execs]
-            for data, outcome in zip(seed_batch,
-                                     self._execute(seed_batch, runner)):
-                report.execs += 1
-                self._integrate(
-                    data, outcome, report.execs, perf_counter() - started,
-                    report, crashes, force_add=True,
-                )
+            if resumed_pending is None:
+                # Seed corpus first, synchronously: every seed joins
+                # the queue, and the deterministic stages everything
+                # else pipelines behind are derived from it.
+                seed_batch = list(dict.fromkeys(self.seeds))[:max_execs]
+                for data, outcome in zip(seed_batch,
+                                         self._execute(seed_batch, runner)):
+                    report.execs += 1
+                    self._integrate(
+                        data, outcome, report.execs,
+                        perf_counter() - started, report, crashes,
+                        force_add=True,
+                    )
+                current: list[bytes] = []
+                if report.execs < max_execs and not (
+                        stop_on_first_crash and report.first_detected_exec):
+                    current = self._next_batch()[:max_execs - report.execs]
+            else:
+                # The checkpointed batch was generated (RNG already
+                # advanced through it) but never integrated: it is the
+                # resumed stream's next batch, verbatim.
+                current = resumed_pending[:max(0, max_execs - report.execs)]
             if shared is not None:
                 shared.publish(self._virgin)
-
-            current: list[bytes] = []
-            if report.execs < max_execs and not (
-                    stop_on_first_crash and report.first_detected_exec):
-                current = self._next_batch()[:max_execs - report.execs]
             pending = self._submit(current, runner)
+            if checkpoint is not None:
+                checkpoint(self._campaign_state(report, crashes, current))
             while current:
                 # Generate + submit the NEXT batch before integrating
                 # the current one (the lag that buys the overlap).
@@ -721,6 +902,18 @@ class GreyboxFuzzer:
                             next_pending, list):
                         next_pending.cancel()
                     break
+                if checkpoint is not None:
+                    checkpoint(
+                        self._campaign_state(report, crashes, upcoming))
+                batches_done += 1
+                if (stop_after_batches is not None
+                        and batches_done >= stop_after_batches
+                        and upcoming):
+                    if next_pending is not None and not isinstance(
+                            next_pending, list):
+                        next_pending.cancel()
+                    interrupted = True
+                    break
                 current, pending = upcoming, next_pending
         finally:
             if runner is not None:
@@ -728,7 +921,7 @@ class GreyboxFuzzer:
             if shared is not None:
                 shared.close()
 
-        if minimize and crashes:
+        if minimize and crashes and not interrupted:
             executor = self._local_executor()
 
             def run_outcome(data: bytes) -> ExecOutcome:
@@ -742,9 +935,11 @@ class GreyboxFuzzer:
                 )
                 report.minimization_execs += used
 
+        report.interrupted = interrupted
         report.duration_seconds = perf_counter() - started
         report.edges = len(self._covered)
         report.corpus_size = len(self.queue)
+        report.corpus_digest = _digest_corpus(self.queue)
         report.crashes = sorted(
             crashes.values(), key=lambda record: record.found_at_exec
         )

@@ -55,6 +55,12 @@ _ESCAPES = {
     "'": "'",
 }
 
+#: Ceiling on ``.space`` sizes and ``.align`` boundaries.  The guest
+#: address space is 4 GiB but no real module reserves more than a few
+#: pages of zeros; an absurd operand is a typo (or a fuzzer) and
+#: should be a diagnostic, not an out-of-memory loop.
+_MAX_SPACE = 1 << 20
+
 
 def _parse_string(text: str, line: int) -> bytes:
     """Parse a double-quoted string literal with C-style escapes."""
@@ -71,13 +77,21 @@ def _parse_string(text: str, line: int) -> bytes:
                 raise AssemblerError("dangling escape in string", line)
             esc = body[i]
             if esc == "x":
-                out.append(int(body[i + 1 : i + 3], 16))
+                digits = body[i + 1 : i + 3]
+                try:
+                    out.append(int(digits, 16))
+                except ValueError:
+                    raise AssemblerError(
+                        f"bad hex escape \\x{digits}", line)
                 i += 2
             elif esc in _ESCAPES:
                 out += _ESCAPES[esc].encode("latin-1")
             else:
                 raise AssemblerError(f"unknown escape \\{esc}", line)
         else:
+            if ord(char) > 0xFF:
+                raise AssemblerError(
+                    f"non-byte character {char!r} in string literal", line)
             out += char.encode("latin-1")
         i += 1
     return bytes(out)
@@ -130,6 +144,9 @@ def _split_operands(text: str, line: int) -> list[str]:
         if in_string:
             current += char
             if char == "\\":
+                if i + 1 >= len(text):
+                    raise AssemblerError(
+                        f"dangling escape in {text!r}", line)
                 current += text[i + 1]
                 i += 1
             elif char == '"':
@@ -304,15 +321,19 @@ class Assembler:
             return current
         if name == ".space":
             tokens = _split_operands(rest, line_number)
+            if not tokens:
+                raise AssemblerError(".space needs a size", line_number)
             size = _parse_int(tokens[0])
             fill = _parse_int(tokens[1]) if len(tokens) > 1 else 0
-            if size is None or size < 0:
+            if size is None or not 0 <= size <= _MAX_SPACE:
                 raise AssemblerError(f"bad .space size {rest!r}", line_number)
+            if fill is None:
+                raise AssemblerError(f"bad .space fill {rest!r}", line_number)
             section.data += bytes([fill & 0xFF]) * size
             return current
         if name == ".align":
             alignment = _parse_int(rest)
-            if not alignment or alignment <= 0:
+            if not alignment or not 0 < alignment <= _MAX_SPACE:
                 raise AssemblerError(f"bad alignment {rest!r}", line_number)
             while section.size % alignment:
                 section.data.append(0)

@@ -1,4 +1,11 @@
-"""Snapshot-driven trial campaigns (the repeated-experiment engine)."""
+"""Snapshot-driven trial campaigns (the repeated-experiment engine).
+
+:mod:`~repro.campaign.runner` is the in-process fan-out;
+:mod:`~repro.campaign.service` and :mod:`~repro.campaign.store` are
+the durable fuzzing-as-a-service layer on top of it.  The service
+modules are imported lazily by the CLI to keep ``import
+repro.campaign`` light; they are re-exported here for discoverability.
+"""
 
 from repro.campaign.runner import (
     CampaignResult,
@@ -14,4 +21,19 @@ __all__ = [
     "CampaignSession",
     "ComposedTrial",
     "PendingItems",
+    "CampaignCoordinator",
+    "CampaignSpec",
+    "CampaignStore",
 ]
+
+
+def __getattr__(name: str):
+    if name in ("CampaignCoordinator", "CampaignSpec"):
+        from repro.campaign import service
+
+        return getattr(service, name)
+    if name == "CampaignStore":
+        from repro.campaign.store import CampaignStore
+
+        return CampaignStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -165,6 +165,7 @@ class PendingItems:
                     verdicts, len(self._items), self._workers,
                     perf_counter() - self._started, pages,
                 )
+            self._runner._settle(self)
         return self._result
 
     def cancel(self) -> None:
@@ -180,6 +181,7 @@ class PendingItems:
         if self._result is None:
             self._result = CampaignResult(
                 [], 0, 0, perf_counter() - self._started, 0)
+        self._runner._settle(self)
 
 
 @dataclass
@@ -238,6 +240,9 @@ class CampaignRunner:
         #: Cached warm session for sequential ``run_items`` streams
         #: (the greybox fuzzer calls it once per mutation batch).
         self._session: CampaignSession | None = None
+        #: In-flight ``submit_items`` handles not yet resolved or
+        #: cancelled; ``close()`` settles them deterministically.
+        self._pending: list[PendingItems] = []
 
     # -- persistent warm pool (batch-streaming clients) ----------------------
 
@@ -274,8 +279,27 @@ class CampaignRunner:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _settle(self, handle: PendingItems) -> None:
+        try:
+            self._pending.remove(handle)
+        except ValueError:
+            pass
+
     def close(self) -> None:
-        """Release the persistent pool and the cached warm session."""
+        """Release the persistent pool and the cached warm session.
+
+        Outstanding :meth:`submit_items` handles are settled first,
+        deterministically: pooled batches are already executing, so
+        they are *drained* (their verdicts stay collectable through
+        ``.result()`` after close); lazy sequential batches have not
+        started, so they are *cancelled* (resolving them later would
+        silently resurrect the warm session this close just dropped).
+        """
+        for handle in list(self._pending):
+            if handle._futures is not None:
+                handle.result()
+            else:
+                handle.cancel()
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -350,18 +374,21 @@ class CampaignRunner:
         items = list(items)
         started = perf_counter()
         if not items or self._pool is None:
-            return PendingItems(self, items, None, 0, started)
-        workers = min(self._pool_workers, len(items))
-        if self.chunksize is not None:
-            size = max(1, self.chunksize)
-            chunks = [items[pos:pos + size]
-                      for pos in range(0, len(items), size)]
+            handle = PendingItems(self, items, None, 0, started)
         else:
-            chunks = [[items[i] for i in chunk]
-                      for chunk in self._chunks(len(items), workers)]
-        futures = [self._pool.submit(_worker_items, chunk)
-                   for chunk in chunks]
-        return PendingItems(self, items, futures, workers, started)
+            workers = min(self._pool_workers, len(items))
+            if self.chunksize is not None:
+                size = max(1, self.chunksize)
+                chunks = [items[pos:pos + size]
+                          for pos in range(0, len(items), size)]
+            else:
+                chunks = [[items[i] for i in chunk]
+                          for chunk in self._chunks(len(items), workers)]
+            futures = [self._pool.submit(_worker_items, chunk)
+                       for chunk in chunks]
+            handle = PendingItems(self, items, futures, workers, started)
+        self._pending.append(handle)
+        return handle
 
     def _run_items_now(self, items: list, started: float) -> CampaignResult:
         """Synchronous item execution (the non-pooled legs)."""

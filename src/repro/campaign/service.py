@@ -1,0 +1,301 @@
+"""Fuzzing as a service: the async campaign coordinator.
+
+The ROADMAP's "heavy traffic" north star needs fuzzing campaigns that
+outlive a single process: submit a job, pull the plug, come back, and
+the campaign continues from where it stopped -- converging on exactly
+the report the uninterrupted run would have produced.  This module is
+that service layer on top of the PR 7/9 machinery:
+
+* **jobs** are :class:`CampaignSpec` records spooled as JSON under
+  ``<root>/jobs/``; each owns one durable
+  :class:`~repro.campaign.store.CampaignStore` under
+  ``<root>/campaigns/<job_id>/``;
+* the :class:`CampaignCoordinator` drains the spool with an asyncio
+  loop, running up to ``concurrency`` campaigns at once, each in a
+  worker thread (inside which the fuzzer may fan out its own
+  ``jobs > 1`` process pool -- the coordinator shards *campaigns*,
+  the runner shards *batches*);
+* every integrated batch checkpoints: the fuzzer state goes to
+  ``checkpoint.bin``, new corpus entries and triage records merge
+  into the store, and one observe-bus-style JSONL progress event is
+  appended (``kind="campaign_progress"``, ``seq`` = exec count) --
+  live ``tail -f`` telemetry in the same shape as
+  :func:`repro.observe.export.export_jsonl`;
+* resume is convergent by construction: the exec stream is a pure
+  function of ``(seed, checkpoint)``, and the baseline machine image
+  is pinned by the stored RSNP snapshot rather than trusted to a
+  rebuild (:meth:`GreyboxFuzzer.baseline_snapshot_bytes`).
+
+``python -m repro.experiments submit / serve / status`` is the CLI
+front end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.analysis.greybox import GreyboxFuzzer, GreyboxReport, VictimFactory
+from repro.campaign.store import CampaignStore
+from repro.mitigations.config import (
+    MATRIX_PRESETS,
+    SAFE_LANGUAGE,
+    TESTING,
+    MitigationConfig,
+)
+
+#: Named mitigation presets a job can request.
+CONFIG_PRESETS: dict[str, MitigationConfig] = {
+    **dict(MATRIX_PRESETS),
+    "testing": TESTING,
+    "safe": SAFE_LANGUAGE,
+}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """One fuzzing job: victim, budget, and campaign parameters."""
+
+    job_id: str
+    victim: str
+    config: str = "testing"
+    seed: int = 0
+    #: Per-job execution budget (the coordinator's unit of fairness).
+    max_execs: int = 2000
+    jobs: int | None = None
+    max_len: int = 96
+    invariants: bool = True
+    minimize: bool = True
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignSpec":
+        return cls(**payload)
+
+    def mitigation_config(self) -> MitigationConfig:
+        try:
+            return CONFIG_PRESETS[self.config]
+        except KeyError:
+            raise ValueError(
+                f"unknown config preset {self.config!r} "
+                f"(choose from {', '.join(sorted(CONFIG_PRESETS))})"
+            ) from None
+
+
+def report_digest(report: GreyboxReport) -> dict:
+    """The JSON shape of a finished campaign (what ``report.json``
+    stores and the resume-equivalence tests compare)."""
+    return {
+        "program": report.program,
+        "config": report.config,
+        "execs": report.execs,
+        "edges": report.edges,
+        "corpus_size": report.corpus_size,
+        "corpus_digest": report.corpus_digest,
+        "coverage_curve": [list(point) for point in report.coverage_curve],
+        "first_detected_exec": report.first_detected_exec,
+        "unique_crashes": report.unique_crashes,
+        "crashes": [
+            {
+                "fault": record.site.fault,
+                "ip": record.site.ip,
+                "call_hash": record.site.call_hash,
+                "first_breach": record.site.first_breach,
+                "input": record.input.hex(),
+                "minimized": (None if record.minimized is None
+                              else record.minimized.hex()),
+                "found_at_exec": record.found_at_exec,
+            }
+            for record in report.crashes
+        ],
+        "interrupted": report.interrupted,
+        "fingerprint": report.fingerprint(),
+    }
+
+
+@dataclass
+class JobStatus:
+    """One row of ``python -m repro.experiments status``."""
+
+    job_id: str
+    status: str
+    execs: int = 0
+    max_execs: int = 0
+    corpus_size: int = 0
+    unique_crashes: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class CampaignCoordinator:
+    """Shards submitted campaigns over an asyncio worker pool.
+
+    ``max_batches`` bounds how many mutation batches each campaign
+    integrates *this drain* -- the interruption knob: a bounded serve
+    leaves every unfinished campaign paused with a fresh checkpoint,
+    and the next (unbounded) serve resumes them to completion.
+    """
+
+    def __init__(self, root: str | Path, *, concurrency: int = 2,
+                 max_batches: int | None = None) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.campaigns_dir = self.root / "campaigns"
+        self.campaigns_dir.mkdir(parents=True, exist_ok=True)
+        self.concurrency = max(1, concurrency)
+        self.max_batches = max_batches
+
+    # -- job spool -----------------------------------------------------------
+
+    def submit(self, spec: CampaignSpec) -> Path:
+        """Spool one job; validates the spec eagerly so a bad submit
+        fails at submit time, not inside the serve loop."""
+        spec.mitigation_config()
+        if spec.victim not in _victim_names():
+            raise ValueError(
+                f"unknown victim {spec.victim!r} "
+                f"(choose from {', '.join(_victim_names())})"
+            )
+        path = self.jobs_dir / f"{spec.job_id}.json"
+        path.write_text(json.dumps(spec.to_dict(), indent=2))
+        return self.store_for(spec.job_id).root
+
+    def specs(self) -> list[CampaignSpec]:
+        return [CampaignSpec.from_dict(json.loads(path.read_text()))
+                for path in sorted(self.jobs_dir.glob("*.json"))]
+
+    def store_for(self, job_id: str) -> CampaignStore:
+        return CampaignStore(self.campaigns_dir / job_id)
+
+    # -- the drain loop ------------------------------------------------------
+
+    async def drain(self) -> dict[str, dict]:
+        """Run every spooled campaign that is not already done."""
+        gate = asyncio.Semaphore(self.concurrency)
+
+        async def one(spec: CampaignSpec) -> tuple[str, dict]:
+            async with gate:
+                digest = await asyncio.to_thread(self.run_job, spec)
+            return spec.job_id, digest
+
+        results = await asyncio.gather(*(one(spec) for spec in self.specs()))
+        return dict(results)
+
+    def serve(self) -> dict[str, dict]:
+        """Synchronous front end for :meth:`drain`."""
+        return asyncio.run(self.drain())
+
+    # -- one campaign --------------------------------------------------------
+
+    def run_job(self, spec: CampaignSpec) -> dict:
+        """Run (or resume) one campaign to completion or interruption."""
+        store = self.store_for(spec.job_id)
+        meta = store.load_meta() or {}
+        if meta.get("status") == "done":
+            return store.load_report() or {}
+
+        snapshot = store.load_snapshot()
+        fuzzer = GreyboxFuzzer(
+            VictimFactory(spec.victim, spec.mitigation_config(),
+                          seed=spec.seed),
+            seed=spec.seed,
+            jobs=spec.jobs,
+            max_len=spec.max_len,
+            invariants=spec.invariants,
+            program=spec.victim,
+            config=spec.config,
+            snapshot_bytes=snapshot,
+        )
+        if snapshot is None:
+            # First run: pin the baseline image so every later resume
+            # fuzzes these exact bytes, not a rebuild's.
+            store.save_snapshot(fuzzer.baseline_snapshot_bytes())
+        resume = store.load_checkpoint()
+
+        def on_checkpoint(state: dict) -> None:
+            store.save_checkpoint(state)
+            for data, _found_at, _det in state["queue"]:
+                store.add_corpus(data)
+            store.record_crashes(
+                _CheckpointCrash(site, data, found_at)
+                for site, data, found_at, _seconds in state["crashes"]
+            )
+            store.save_meta({
+                **spec.to_dict(),
+                "status": "running",
+                "execs": state["execs"],
+                "corpus_size": len(state["queue"]),
+                "unique_crashes": len(state["crashes"]),
+            })
+            store.append_progress({
+                "kind": "campaign_progress",
+                "seq": state["execs"],
+                "job_id": spec.job_id,
+                "corpus_size": len(state["queue"]),
+                "edges": len(state["covered"]),
+                "unique_crashes": len(state["crashes"]),
+            })
+
+        report = fuzzer.run(
+            spec.max_execs,
+            minimize=spec.minimize,
+            checkpoint=on_checkpoint,
+            resume=resume,
+            stop_after_batches=self.max_batches,
+        )
+        digest = report_digest(report)
+        if report.interrupted:
+            store.save_meta({**spec.to_dict(), "status": "paused",
+                             "execs": report.execs,
+                             "corpus_size": report.corpus_size,
+                             "unique_crashes": report.unique_crashes})
+            return digest
+        # Finished: persist the final triage (with minimized
+        # reproducers), drop the resume point, seal the report.
+        for entry in fuzzer.queue:
+            store.add_corpus(entry.data)
+        store.record_crashes(report.crashes)
+        store.save_report(digest)
+        store.clear_checkpoint()
+        store.save_meta({**spec.to_dict(), "status": "done",
+                         "execs": report.execs,
+                         "corpus_size": report.corpus_size,
+                         "unique_crashes": report.unique_crashes})
+        return digest
+
+    # -- status --------------------------------------------------------------
+
+    def status(self) -> list[JobStatus]:
+        rows = []
+        for spec in self.specs():
+            meta = self.store_for(spec.job_id).load_meta() or {}
+            rows.append(JobStatus(
+                job_id=spec.job_id,
+                status=meta.get("status", "queued"),
+                execs=meta.get("execs", 0),
+                max_execs=spec.max_execs,
+                corpus_size=meta.get("corpus_size", 0),
+                unique_crashes=meta.get("unique_crashes", 0),
+            ))
+        return rows
+
+
+@dataclass(frozen=True)
+class _CheckpointCrash:
+    """Adapter: checkpoint crash tuples -> the store's record shape
+    (mid-campaign records have no minimized reproducer yet)."""
+
+    site: object
+    input: bytes
+    found_at_exec: int
+    minimized: bytes | None = None
+
+
+def _victim_names() -> tuple[str, ...]:
+    from repro.programs.sources import VICTIMS
+
+    return tuple(sorted(VICTIMS))

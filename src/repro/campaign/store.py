@@ -1,0 +1,213 @@
+"""Persistent campaign state: corpus, triage, checkpoints, snapshots.
+
+The fuzzing service's durability layer.  One :class:`CampaignStore`
+owns one campaign directory:
+
+.. code-block:: text
+
+    <root>/
+        meta.json        campaign identity + budget + live progress
+        snapshot.rsnp    RSNP wire bytes of the baseline machine image
+        checkpoint.bin   latest resumable GreyboxFuzzer state
+        report.json      final report digest (written once, on finish)
+        progress.jsonl   one observe-bus style event per batch
+        corpus/<sha>.bin content-addressed corpus entries
+        crashes.json     triage records keyed by CrashSite
+
+Every write is atomic (temp file + ``os.replace``), so a campaign
+killed mid-batch leaves the previous consistent state on disk -- the
+coordinator resumes from the last checkpoint and, because the fuzzer's
+exec stream is a pure function of ``(seed, checkpoint)``, converges to
+the same report the uninterrupted run would have produced.
+
+Corpus entries are content-addressed by sha256, which is also the
+cross-run dedup: re-submitting a campaign over an existing store skips
+blobs it already holds.  Crash records are keyed by the full
+:class:`~repro.observe.coverage.CrashSite` -- fault type, faulting PC,
+call-stack hash *and* first-breach attribution -- and a later run
+never overwrites an earlier reproducer for the same site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.observe.coverage import CrashSite
+
+#: Magic + version prefix for checkpoint.bin (the pickled fuzzer
+#: state itself carries its own CHECKPOINT_VERSION field).
+_CHECKPOINT_MAGIC = b"RCKP\x01"
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` so readers see either the old or the new file."""
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_bytes(data)
+    os.replace(temp, path)
+
+
+def _site_key(site: CrashSite) -> str:
+    """Stable JSON key for a crash site (the dedup identity)."""
+    breach = site.first_breach or "-"
+    return f"{site.fault}@{site.ip:#x}/{site.call_hash:#x}/{breach}"
+
+
+@dataclass(frozen=True)
+class TriageRecord:
+    """One deduplicated crash as the store persists it."""
+
+    site: CrashSite
+    input: bytes
+    minimized: bytes | None
+    found_at_exec: int
+
+    @property
+    def reproducer(self) -> bytes:
+        return self.minimized if self.minimized is not None else self.input
+
+
+class CampaignStore:
+    """Durable on-disk state for one fuzzing campaign."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.corpus_dir = self.root / "corpus"
+        self.corpus_dir.mkdir(exist_ok=True)
+
+    # -- campaign metadata ---------------------------------------------------
+
+    def save_meta(self, meta: dict) -> None:
+        _atomic_write(self.root / "meta.json",
+                      json.dumps(meta, indent=2, sort_keys=True).encode())
+
+    def load_meta(self) -> dict | None:
+        path = self.root / "meta.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_bytes())
+
+    # -- baseline snapshot (RSNP wire format) --------------------------------
+
+    def save_snapshot(self, blob: bytes) -> None:
+        _atomic_write(self.root / "snapshot.rsnp", blob)
+
+    def load_snapshot(self) -> bytes | None:
+        path = self.root / "snapshot.rsnp"
+        return path.read_bytes() if path.exists() else None
+
+    # -- resumable checkpoint ------------------------------------------------
+
+    def save_checkpoint(self, state: dict) -> None:
+        _atomic_write(self.root / "checkpoint.bin",
+                      _CHECKPOINT_MAGIC + pickle.dumps(state))
+
+    def load_checkpoint(self) -> dict | None:
+        path = self.root / "checkpoint.bin"
+        if not path.exists():
+            return None
+        blob = path.read_bytes()
+        if not blob.startswith(_CHECKPOINT_MAGIC):
+            raise ValueError(f"{path} is not a campaign checkpoint")
+        return pickle.loads(blob[len(_CHECKPOINT_MAGIC):])
+
+    def clear_checkpoint(self) -> None:
+        """A finished campaign leaves no resume point behind."""
+        path = self.root / "checkpoint.bin"
+        if path.exists():
+            path.unlink()
+
+    # -- corpus (content-addressed, dedup across runs) -----------------------
+
+    def add_corpus(self, data: bytes) -> bool:
+        """Persist one corpus entry; False when already stored."""
+        name = hashlib.sha256(data).hexdigest()
+        path = self.corpus_dir / f"{name}.bin"
+        if path.exists():
+            return False
+        _atomic_write(path, data)
+        return True
+
+    def corpus_blobs(self) -> list[bytes]:
+        """Every stored corpus entry (sorted by content hash)."""
+        return [path.read_bytes()
+                for path in sorted(self.corpus_dir.glob("*.bin"))]
+
+    # -- crash triage (dedup by CrashSite incl. first_breach) ----------------
+
+    def record_crashes(self, records) -> int:
+        """Merge crash records into ``crashes.json``; earliest
+        reproducer per site wins.  Returns how many sites are new."""
+        triage = self._load_triage()
+        added = 0
+        for record in records:
+            key = _site_key(record.site)
+            known = triage.get(key)
+            if known is not None and known["found_at_exec"] <= record.found_at_exec:
+                continue
+            if known is None:
+                added += 1
+            minimized = getattr(record, "minimized", None)
+            triage[key] = {
+                "fault": record.site.fault,
+                "ip": record.site.ip,
+                "call_hash": record.site.call_hash,
+                "first_breach": record.site.first_breach,
+                "input": record.input.hex(),
+                "minimized": None if minimized is None else minimized.hex(),
+                "found_at_exec": record.found_at_exec,
+            }
+        _atomic_write(self.root / "crashes.json",
+                      json.dumps(triage, indent=2, sort_keys=True).encode())
+        return added
+
+    def crash_records(self) -> list[TriageRecord]:
+        """Every stored triage record, sorted by site key."""
+        triage = self._load_triage()
+        records = []
+        for key in sorted(triage):
+            entry = triage[key]
+            records.append(TriageRecord(
+                site=CrashSite(entry["fault"], entry["ip"],
+                               entry["call_hash"], entry["first_breach"]),
+                input=bytes.fromhex(entry["input"]),
+                minimized=(None if entry["minimized"] is None
+                           else bytes.fromhex(entry["minimized"])),
+                found_at_exec=entry["found_at_exec"],
+            ))
+        return records
+
+    def _load_triage(self) -> dict:
+        path = self.root / "crashes.json"
+        if not path.exists():
+            return {}
+        return json.loads(path.read_bytes())
+
+    # -- final report + live progress ----------------------------------------
+
+    def save_report(self, report: dict) -> None:
+        _atomic_write(self.root / "report.json",
+                      json.dumps(report, indent=2, sort_keys=True).encode())
+
+    def load_report(self) -> dict | None:
+        path = self.root / "report.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_bytes())
+
+    def append_progress(self, event: dict) -> None:
+        """One JSONL progress line (the observe-bus export idiom)."""
+        with open(self.root / "progress.jsonl", "a") as stream:
+            stream.write(json.dumps(event) + "\n")
+
+    def progress_events(self) -> list[dict]:
+        path = self.root / "progress.jsonl"
+        if not path.exists():
+            return []
+        return [json.loads(line)
+                for line in path.read_text().splitlines() if line]

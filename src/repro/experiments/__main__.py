@@ -179,7 +179,79 @@ EXPERIMENTS = {
 ALIASES = {"fig1": "e1", "fig4": "e10"}
 
 
+# ---------------------------------------------------------------------------
+# The fuzzing-service front end (submit / serve / status)
+# ---------------------------------------------------------------------------
+
+
+def _service_main(command: str, argv: list[str]) -> int:
+    """``python -m repro.experiments submit|serve|status`` -- the
+    durable campaign service (repro.campaign.service)."""
+    from repro.campaign.service import CampaignCoordinator, CampaignSpec
+
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.experiments {command}")
+    parser.add_argument("--store", required=True, metavar="DIR",
+                        help="service root (job spool + campaign stores)")
+    if command == "submit":
+        parser.add_argument("--victim", required=True,
+                            help="victim program name (repro.programs)")
+        parser.add_argument("--job-id", default=None,
+                            help="job name (default: derived from victim)")
+        parser.add_argument("--config", default="testing",
+                            help="mitigation preset (default: testing)")
+        parser.add_argument("--seed", type=int, default=0)
+        parser.add_argument("--max-execs", type=int, default=2000,
+                            metavar="N", help="per-job execution budget")
+        parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes inside the campaign")
+        parser.add_argument("--max-len", type=int, default=96)
+        options = parser.parse_args(argv)
+        coordinator = CampaignCoordinator(options.store)
+        job_id = options.job_id or f"{options.victim}-{options.seed}"
+        store_root = coordinator.submit(CampaignSpec(
+            job_id=job_id, victim=options.victim, config=options.config,
+            seed=options.seed, max_execs=options.max_execs,
+            jobs=options.jobs, max_len=options.max_len,
+        ))
+        print(f"[service] queued {job_id!r} -> {store_root}")
+        return 0
+    if command == "serve":
+        parser.add_argument("--concurrency", type=int, default=2, metavar="N",
+                            help="campaigns drained at once (default: 2)")
+        parser.add_argument("--max-batches", type=int, default=None,
+                            metavar="N",
+                            help="interrupt each campaign after N mutation "
+                                 "batches, leaving a resumable checkpoint "
+                                 "(default: drain to completion)")
+        options = parser.parse_args(argv)
+        coordinator = CampaignCoordinator(
+            options.store, concurrency=options.concurrency,
+            max_batches=options.max_batches)
+        reports = coordinator.serve()
+        for job_id in sorted(reports):
+            digest = reports[job_id]
+            state = "paused" if digest.get("interrupted") else "done"
+            print(f"[service] {job_id}: {state} execs={digest.get('execs')} "
+                  f"edges={digest.get('edges')} "
+                  f"crashes={digest.get('unique_crashes')}")
+        return 0
+    # status
+    options = parser.parse_args(argv)
+    rows = CampaignCoordinator(options.store).status()
+    if not rows:
+        print("[service] no jobs spooled")
+        return 0
+    for row in rows:
+        print(f"[service] {row.job_id}: {row.status} "
+              f"execs={row.execs}/{row.max_execs} "
+              f"corpus={row.corpus_size} crashes={row.unique_crashes}")
+    return 0
+
+
 def main(argv: list[str]) -> int:
+    if argv and argv[0] in ("submit", "serve", "status"):
+        return _service_main(argv[0], argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run paper-artefact experiments, optionally under "

@@ -53,7 +53,12 @@ def _lex_escape(text: str, i: int, line: int, col: int) -> tuple[str, int]:
     if esc == "x":
         if i + 3 >= len(text):
             raise CompileError("truncated hex escape", line, col)
-        return chr(int(text[i + 2 : i + 4], 16)), i + 4
+        digits = text[i + 2 : i + 4]
+        try:
+            value = int(digits, 16)
+        except ValueError:
+            raise CompileError(f"bad hex escape \\x{digits}", line, col)
+        return chr(value), i + 4
     if esc in _ESCAPES:
         return _ESCAPES[esc], i + 2
     raise CompileError(f"unknown escape \\{esc}", line, col)
@@ -137,6 +142,15 @@ def tokenize(source: str) -> list[Token]:
                     chunk, j = _lex_escape(source, j, start_line, start_col)
                     chunks.append(chunk)
                 else:
+                    # MinC strings are guest byte arrays; a code point
+                    # above 0xFF has no byte encoding (and would leak a
+                    # UnicodeEncodeError out of the parser's latin-1
+                    # encode instead of a diagnostic).
+                    if ord(source[j]) > 0xFF:
+                        raise CompileError(
+                            f"non-byte character {source[j]!r} in string "
+                            "literal", start_line, start_col,
+                        )
                     chunks.append(source[j])
                     j += 1
             if j >= n:
@@ -155,6 +169,11 @@ def tokenize(source: str) -> list[Token]:
                 raise CompileError("unterminated char literal", start_line, start_col)
             if j >= n or source[j] != "'":
                 raise CompileError("unterminated char literal", start_line, start_col)
+            if ord(chunk) > 0xFF:
+                raise CompileError(
+                    f"non-byte character {chunk!r} in char literal",
+                    start_line, start_col,
+                )
             tokens.append(Token("int", ord(chunk), start_line, start_col))
             advance(j + 1 - i)
             continue

@@ -158,6 +158,45 @@ class TestSubmitItems:
         runner = self.trial_runner()
         assert runner.submit_items([]).result().verdicts == []
 
+    def test_close_drains_pooled_pending(self):
+        """Closing the runner with a pooled batch in flight must not
+        orphan its futures: the batch is already executing, so close()
+        drains it and the verdicts stay collectable afterwards."""
+        direct = self.trial_runner().run_items([0, 1, 2, 3]).verdicts
+        runner = self.trial_runner(jobs=2)
+        runner.__enter__()
+        pending = runner.submit_items([0, 1, 2, 3])
+        runner.close()
+        assert runner._pending == []
+        result = pending.result()  # resolved during close, not re-run
+        assert result.verdicts == direct
+        assert result.trials == 4
+
+    def test_close_cancels_lazy_pending(self):
+        """A lazy (sequential) batch has not started when close() runs;
+        resolving it later must not resurrect the warm session."""
+        runner = self.trial_runner()
+        pending = runner.submit_items([0, 1, 2, 3])
+        runner.close()
+        assert runner._pending == []
+        assert pending.result().trials == 0
+        assert runner._session is None  # close() really dropped it
+
+    def test_cancel_then_result_is_empty(self):
+        """cancel() before result() yields an empty CampaignResult on
+        both the lazy and pooled paths, and settles the handle."""
+        lazy = self.trial_runner()
+        handle = lazy.submit_items([0, 1])
+        handle.cancel()
+        empty = handle.result()
+        assert empty.verdicts == [] and empty.trials == 0
+        assert lazy._pending == []
+        with self.trial_runner(jobs=2) as runner:
+            pooled = runner.submit_items([0, 1])
+            pooled.cancel()
+            assert pooled.result().trials == 0
+            assert runner._pending == []
+
 
 class TestRollbackAttack:
     def test_snapshot_attacker_defeats_lockout(self):

@@ -213,6 +213,32 @@ class TestBlindFuzzerRegressions:
                 < default["asan"].smashing_class)
 
 
+class TestGreyboxRegressions:
+    def test_havoc_ops_guard_empty_input(self):
+        """Every byte-indexed havoc op must skip a zero-length buffer:
+        ``rng.randrange(0)`` raises ValueError, and truncation/delete
+        ops routinely produce empty intermediates mid-stack."""
+        fuzzer = GreyboxFuzzer(VictimFactory("data_only", TESTING), seed=11)
+        for _ in range(3000):
+            mutant = fuzzer._havoc_one(b"")
+            assert len(mutant) <= fuzzer.max_len
+        # max_len=0 forces *every* op's output back to empty, so each
+        # mutation round re-enters the guards with len(out) == 0.
+        fuzzer.max_len = 0
+        assert all(fuzzer._havoc_one(b"") == b"" for _ in range(500))
+
+    def test_campaign_from_empty_seed(self):
+        """A campaign seeded with only b'' must run to its exec budget
+        (deterministic length extensions grow the corpus from nothing)
+        instead of dying in the havoc stage."""
+        report = GreyboxFuzzer(VictimFactory("data_only", TESTING),
+                               seed=3, seeds=(b"",), program="data_only",
+                               config="testing").run(400, minimize=False)
+        assert report.execs == 400
+        assert report.corpus_size >= 1
+        assert report.edges > 0
+
+
 # ---------------------------------------------------------------------------
 # Crash triage
 # ---------------------------------------------------------------------------
